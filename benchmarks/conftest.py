@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Each benchmark module regenerates one of the paper's figures/tables
+(see DESIGN.md's experiment index).  The regenerated series are printed
+to stdout (run with ``-s`` to see them) and attached to the benchmark
+records via ``extra_info`` so ``--benchmark-json`` captures them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.euler.rankine_hugoniot import post_shock_state
+from repro.euler.solver import SolverConfig
+
+
+@pytest.fixture(scope="session")
+def paper_method():
+    """Section 5: RK3 + first-order piecewise-constant reconstruction."""
+    return SolverConfig(reconstruction="pc", riemann="rusanov", rk_order=3, cfl=0.5)
+
+
+@pytest.fixture(scope="session")
+def two_channel_host(paper_method):
+    """A small two-channel instance shared by several benchmarks."""
+    from repro.euler import problems
+
+    n = 16
+    solver, setup = problems.two_channel(
+        n_cells=n, h=n / 2.0, mach=2.2, config=paper_method
+    )
+    post = post_shock_state(2.2)
+    e0 = int(round(setup.exit_start / setup.dx))
+    e1 = int(round(setup.exit_stop / setup.dx))
+    qin_left = np.array([post.rho, post.velocity, 0.0, post.p])
+    qin_bottom = np.array([post.rho, 0.0, post.velocity, post.p])
+    return solver, setup, n, e0, e1, qin_left, qin_bottom

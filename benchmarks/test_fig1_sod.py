@@ -1,0 +1,67 @@
+"""F1 — the paper's Fig. 1: Sod shock tube snapshots.
+
+Regenerates the three density profiles of the expanding shock wave and
+checks them against the exact Riemann solution; the timed kernel is one
+full Sod solve with the paper's flow-picture method (WENO-3 on
+characteristic variables + RK3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.euler import exact_riemann_solve, problems
+from repro.euler.diagnostics import exact_wave_speeds, find_jumps_1d
+from repro.euler.problems import SOD
+from repro.euler.solver import SolverConfig
+from repro.figures import figure1_sod
+
+
+def test_fig1_snapshots_regenerated(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure1_sod(n_cells=200, times=(0.05, 0.10, 0.15)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    for snapshot in result.snapshots:
+        assert snapshot.l1_error < 0.015
+    benchmark.extra_info["l1_errors"] = [s.l1_error for s in result.snapshots]
+
+    # the shock front expands in time (the figure's visual content)
+    fronts = [max(find_jumps_1d(s.x, s.density)) for s in result.snapshots]
+    assert fronts[0] < fronts[1] < fronts[2]
+
+
+def test_fig1_wave_positions_match_exact(benchmark):
+    def run():
+        solver, x = problems.sod(300)
+        solver.run(t_end=0.15)
+        return solver, x
+
+    solver, x = benchmark.pedantic(run, rounds=1, iterations=1)
+    speeds = exact_wave_speeds(SOD.left, SOD.right)
+    jumps = find_jumps_1d(x, solver.primitive[:, 0])
+    expected_shock = SOD.x_diaphragm + speeds.shock * 0.15
+    expected_contact = SOD.x_diaphragm + speeds.contact * 0.15
+    assert min(abs(j - expected_shock) for j in jumps) < 0.02
+    assert min(abs(j - expected_contact) for j in jumps) < 0.02
+    print(f"\nshock at {expected_shock:.4f}, contact at {expected_contact:.4f},"
+          f" detected jumps {[f'{j:.3f}' for j in jumps]}")
+
+
+@pytest.mark.parametrize("scheme", ["pc", "tvd2", "tvd3", "weno3"])
+def test_fig1_reconstruction_menu(benchmark, scheme):
+    """Every reconstruction option solves the Fig. 1 workload; the
+    error ordering (1st order worst) is asserted via thresholds."""
+    config = SolverConfig(reconstruction=scheme, riemann="hllc", rk_order=3)
+
+    def solve():
+        solver, x = problems.sod(150, config)
+        solver.run(t_end=0.2)
+        exact = exact_riemann_solve(SOD.left, SOD.right, x, 0.2, SOD.x_diaphragm)
+        return float(np.abs(solver.primitive[:, 0] - exact[:, 0]).mean())
+
+    error = benchmark(solve)
+    limit = 0.03 if scheme == "pc" else 0.012
+    assert error < limit
+    benchmark.extra_info["mean_density_error"] = error

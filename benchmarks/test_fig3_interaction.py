@@ -1,0 +1,89 @@
+"""F2/F3 — the paper's Figs. 2-3: the 2-D shock-interaction snapshot.
+
+Regenerates the flow picture at a reduced grid and asserts the
+structures the paper describes: primary fronts that become
+approximately circular, diagonal symmetry, strong compression, and a
+Mach-stem-bearing density maximum along the diagonal between the
+channels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.euler import diagnostics
+from repro.euler.solver import SolverConfig
+from repro.figures import figure2_schematic, figure3_interaction
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return figure3_interaction(
+        n_cells=48,
+        config=SolverConfig(reconstruction="pc", riemann="hllc", rk_order=2),
+    )
+
+
+def test_fig2_schematic_regenerated():
+    art = figure2_schematic()
+    print()
+    print(art)
+    assert "Ms = 2.2" in art
+
+
+def test_fig3_snapshot_regenerated(benchmark, snapshot):
+    benchmark.pedantic(
+        lambda: figure3_interaction(
+            n_cells=24,
+            config=SolverConfig(reconstruction="pc", riemann="rusanov", rk_order=2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(snapshot.render())
+    benchmark.extra_info["shock_radius"] = snapshot.shock_radius
+    benchmark.extra_info["circularity_spread"] = snapshot.shock_circularity
+
+
+def test_fig3_primary_fronts_approximately_circular(snapshot):
+    """'the primary shock waves ... rapidly become approximately
+    circular in shape'."""
+    assert snapshot.shock_radius > 5.0
+    assert snapshot.shock_circularity < 0.25
+
+
+def test_fig3_flow_is_diagonally_symmetric(snapshot):
+    assert snapshot.symmetry_error < 1e-9
+
+
+def test_fig3_interaction_zone_on_diagonal(snapshot):
+    """The Mach stem forms between the two primary shocks: the diagonal
+    carries a pressure maximum well above both ambient and the plain
+    post-shock pressure of a single wave."""
+    diagonal = diagnostics.diagonal_profile(snapshot.primitive)
+    from repro.euler.rankine_hugoniot import post_shock_state
+
+    single_shock_p = post_shock_state(snapshot.setup.mach).p
+    assert diagonal[:, 3].max() > 1.05 * single_shock_p
+
+
+def test_fig3_compression_levels(snapshot):
+    """Density behind the fronts exceeds ambient; the interaction zone
+    exceeds the single-shock Rankine-Hugoniot density."""
+    from repro.euler.rankine_hugoniot import post_shock_state
+
+    rho_single = post_shock_state(snapshot.setup.mach).rho
+    assert snapshot.max_density_ratio > rho_single
+
+
+def test_fig3_disturbed_region_grows(paper_method):
+    from repro.euler import problems
+
+    solver, setup = problems.two_channel(n_cells=32, h=16.0, config=paper_method)
+    fractions = []
+    for _ in range(3):
+        solver.run(max_steps=solver.steps + 6)
+        fractions.append(
+            diagnostics.disturbed_fraction(solver.primitive, setup.p0)
+        )
+    assert fractions[0] < fractions[1] < fractions[2]

@@ -1,0 +1,128 @@
+"""F4 / S5a — the paper's Fig. 4 and the 2000x2000 variant.
+
+Regenerates the wall-clock-vs-cores series with the measured-trace +
+simulated-machine methodology (see repro.perf.scaling) and asserts the
+figure's qualitative content.  The timed kernels are the real
+executions behind the traces: one SaC step through the vectorising
+backend and one Fortran step through the interpreter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.figures import render_figure4
+from repro.perf.scaling import (
+    TwoChannelWorkload,
+    figure4_experiment,
+    measure_fortran_trace,
+    measure_sac_trace,
+)
+
+WORKLOAD = TwoChannelWorkload(measure_grid=16, measure_steps=1)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return measure_sac_trace(WORKLOAD), measure_fortran_trace(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def fig4(traces):
+    sac_trace, fortran_trace = traces
+    return figure4_experiment(
+        400, 1000, workload=WORKLOAD, sac_trace=sac_trace, fortran_trace=fortran_trace
+    )
+
+
+def test_fig4_table_regenerated(benchmark, traces, fig4):
+    sac_trace, fortran_trace = traces
+    benchmark.pedantic(
+        lambda: figure4_experiment(
+            400, 1000, workload=WORKLOAD,
+            sac_trace=sac_trace, fortran_trace=fortran_trace,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_figure4(fig4))
+    benchmark.extra_info["sac_seconds"] = [p.sac_seconds for p in fig4.points]
+    benchmark.extra_info["fortran_seconds"] = [p.fortran_seconds for p in fig4.points]
+
+
+def test_fig4_shape_fortran_fast_then_degrades(fig4):
+    """'SaC was much slower than Fortran when run on just one core.
+    However the Fortran code did not scale well with the number of
+    cores, and as the number of cores increased performance degraded.'"""
+    fortran = [p.fortran_seconds for p in fig4.points]
+    sac = [p.sac_seconds for p in fig4.points]
+    assert fortran[0] * 2 < sac[0]          # 1 core: Fortran much faster
+    assert fortran[-1] > fortran[0]         # degradation over 16 cores
+    assert min(fortran) == fortran[fortran.index(min(fortran))]
+
+
+def test_fig4_shape_sac_scales_and_crosses(fig4):
+    sac = [p.sac_seconds for p in fig4.points]
+    assert all(b <= a * 1.001 for a, b in zip(sac, sac[1:]))
+    assert sac[0] / sac[-1] > 3.0
+    assert fig4.crossover_cores() is not None
+
+
+def test_s5a_large_grid(traces, benchmark):
+    """Section 5 text: 'When the same benchmark was run with a larger
+    2000x2000 grid we discovered that Fortran was able to scale slightly
+    with small numbers of cores but after just five cores it started to
+    suffer from the overheads of inter-thread communication again.'"""
+    sac_trace, fortran_trace = traces
+    result = benchmark.pedantic(
+        lambda: figure4_experiment(
+            2000, 1000, workload=WORKLOAD,
+            sac_trace=sac_trace, fortran_trace=fortran_trace,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_figure4(result))
+    fortran = [p.fortran_seconds for p in result.points]
+    best = fortran.index(min(fortran)) + 1
+    assert 2 <= best <= 6
+    assert fortran[-1] > min(fortran)
+    benchmark.extra_info["fortran_best_cores"] = best
+
+
+def test_fig4_real_kernel_sac_step(benchmark, two_channel_host, sac_compiled):
+    """Real wall clock of one SaC RK3 step (vectorised backend)."""
+    solver, setup, n, e0, e1, qin_left, qin_bottom = two_channel_host
+    q0 = solver.u.copy()
+    benchmark(
+        lambda: sac_compiled.run(
+            "step", q0, 0.1, setup.dx, setup.dx, e0, e1, qin_left, qin_bottom
+        )
+    )
+
+
+def test_fig4_real_kernel_fortran_step(benchmark, two_channel_host, f90_compiled):
+    """Real wall clock of one Fortran RK3 step (interpreter)."""
+    solver, setup, n, e0, e1, qin_left, qin_bottom = two_channel_host
+    q0 = np.ascontiguousarray(np.moveaxis(solver.u.copy(), -1, 0))
+
+    def step():
+        q = q0.copy()
+        f90_compiled.call(
+            "STEP", q, n, n, 0.1, setup.dx, setup.dx, e0, e1, qin_left, qin_bottom
+        )
+
+    benchmark(step)
+
+
+@pytest.fixture(scope="module")
+def sac_compiled():
+    from repro.sac import compile_file
+
+    return compile_file("euler2d.sac")
+
+
+@pytest.fixture(scope="module")
+def f90_compiled():
+    from repro.f90 import compile_file
+
+    return compile_file("euler2d.f90")

@@ -1,0 +1,100 @@
+"""S4a/S4b — the paper's Section 4 kernels.
+
+``dfDxNoBoundary`` (4.1) and ``getDt`` (4.2) run through both language
+pipelines and the golden NumPy formula; the benchmark times each
+implementation of the *same* computation, which is the honest local
+analogue of the paper's code comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sac import CompilerOptions, compile_file as compile_sac
+from repro.f90 import compile_file as compile_fortran
+
+NX = NY = 48
+
+
+@pytest.fixture(scope="module")
+def qp_field(rng_module):
+    qp = np.empty((NX, NY, 4))
+    qp[..., 0] = rng_module.normal(0, 1, (NX, NY))      # Ux
+    qp[..., 1] = rng_module.normal(0, 1, (NX, NY))      # Uy
+    qp[..., 2] = rng_module.uniform(0.5, 2, (NX, NY))   # Pc
+    qp[..., 3] = rng_module.uniform(0.5, 2, (NX, NY))   # Rc
+    return qp
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="module")
+def sac_kernels():
+    return compile_sac(
+        "kernels.sac",
+        CompilerOptions(defines={"DIM": 2, "DELTA": np.array([1.0, 1.0]), "CFL": 0.5}),
+    )
+
+
+@pytest.fixture(scope="module")
+def fortran_getdt():
+    return compile_fortran("getdt.f90")
+
+
+def numpy_getdt(qp):
+    c = np.sqrt(1.4 * qp[..., 2] / qp[..., 3])
+    ev = (np.abs(qp[..., 0]) + c) / 1.0 + (np.abs(qp[..., 1]) + c) / 1.0
+    return 0.5 / ev.max()
+
+
+class TestS4bGetDt:
+    def test_sac_getdt(self, benchmark, sac_kernels, qp_field):
+        dt = benchmark(lambda: sac_kernels.run("getDt", qp_field))
+        assert dt == pytest.approx(numpy_getdt(qp_field), rel=1e-12)
+
+    def test_fortran_getdt(self, benchmark, fortran_getdt, qp_field):
+        storage = fortran_getdt.get("VARS", "QP")
+        storage[:, :NX, :NY] = np.moveaxis(qp_field, -1, 0)
+        fortran_getdt.set("VARS", "IXMAX", NX)
+        fortran_getdt.set("VARS", "IYMAX", NY)
+        fortran_getdt.set("CONS", "DX", 1.0)
+        fortran_getdt.set("CONS", "DY", 1.0)
+        benchmark(lambda: fortran_getdt.call("GETDT"))
+        assert fortran_getdt.get("VARS", "DT") == pytest.approx(
+            numpy_getdt(qp_field), rel=1e-12
+        )
+
+    def test_numpy_getdt(self, benchmark, qp_field):
+        benchmark(lambda: numpy_getdt(qp_field))
+
+    def test_getdt_reduction_requires_reduction_flag(self):
+        """The -reduction story: without it the GetDT nest stays serial."""
+        from repro.f90 import FortranOptions
+
+        limited = compile_fortran(
+            "getdt.f90", FortranOptions(reductions=False)
+        )
+        assert not limited.autopar_report.parallel_loops
+        assert any(
+            "reduction" in reason
+            for reason in limited.autopar_report.serial_loops.values()
+        )
+
+
+class TestS4aDfDx:
+    def test_sac_dfdx(self, benchmark, sac_kernels, rng_module):
+        dqc = rng_module.normal(0, 1, (512, 4))
+        result = benchmark(lambda: sac_kernels.run("dfDxNoBoundary", dqc, 0.5))
+        np.testing.assert_allclose(result, (dqc[1:] - dqc[:-1]) / 0.5)
+
+    def test_numpy_dfdx(self, benchmark, rng_module):
+        dqc = rng_module.normal(0, 1, (512, 4))
+        benchmark(lambda: (dqc[1:] - dqc[:-1]) / 0.5)
+
+    def test_dfdx_is_rank_generic(self, sac_kernels, rng_module):
+        for shape in [(64,), (16, 4), (8, 8, 3)]:
+            data = rng_module.normal(0, 1, shape)
+            result = sac_kernels.run("dfDxNoBoundary", data, 2.0)
+            np.testing.assert_allclose(result, (data[1:] - data[:-1]) / 2.0)

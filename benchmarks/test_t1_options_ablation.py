@@ -1,0 +1,155 @@
+"""T1 — the paper's Section 5 compiler-options table, as ablations.
+
+The paper fixes ``sac2c -maxoptcyc 100 -O3 -mt -maxwlur 20
+-nofoldparallel`` and ``f90 -autopar -reduction -O3``.  These
+benchmarks vary each lever and measure/assert its effect:
+
+* -O3 vs -O0       — the optimiser's effect on real step time and on
+                     the parallel-region count (the paper's 'collates
+                     many small operations' mechanism);
+* -maxoptcyc       — cycles until fixpoint;
+* -maxwlur         — unrolling budget on a small-vector workload;
+* -autopar         — parallel-loop count with/without;
+* OMP schedule/nesting — fork/join model sensitivity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sac import CompilerOptions, compile_file as compile_sac
+from repro.sac.parser import parse_module
+from repro.sac.opt import PipelineOptions, optimize_module
+from repro.sac.typecheck import TypeChecker
+from repro.f90 import FortranOptions, compile_file as compile_fortran
+from repro.f90.openmp import OpenMPSettings
+
+
+def _step_args(host):
+    solver, setup, n, e0, e1, qin_left, qin_bottom = host
+    q0 = solver.u.copy()
+    return ("step", q0, 0.1, setup.dx, setup.dx, e0, e1, qin_left, qin_bottom)
+
+
+class TestOptimizerAblation:
+    def test_o3_step(self, benchmark, two_channel_host):
+        program = compile_sac("euler2d.sac", CompilerOptions(optimize=True))
+        benchmark(lambda: program.run(*_step_args(two_channel_host)))
+
+    def test_o3_collates_operations(self, two_channel_host):
+        """-O3 produces strictly fewer parallel regions per step than
+        -O0: the optimiser really does merge small array operations."""
+        counts = {}
+        for optimize in (False, True):
+            program = compile_sac(
+                "euler2d.sac", CompilerOptions(optimize=optimize, trace=True)
+            )
+            program.run(*_step_args(two_channel_host))
+            counts[optimize] = program.trace.parallel_region_count
+        assert counts[True] < counts[False]
+
+    def test_o3_faster_than_o0_wall_clock(self, two_channel_host):
+        """The unoptimised program falls back to per-element evaluation
+        in places; optimisation must win by a wide real-time margin."""
+        import time
+
+        times = {}
+        for optimize in (False, True):
+            program = compile_sac("euler2d.sac", CompilerOptions(optimize=optimize))
+            args = _step_args(two_channel_host)
+            program.run(*args)  # warm-up
+            start = time.perf_counter()
+            program.run(*args)
+            times[optimize] = time.perf_counter() - start
+        assert times[True] < times[False]
+
+    def test_maxoptcyc_one_insufficient(self):
+        """A single cycle leaves rewrites on the table (the paper's 100
+        gives the pipeline room to reach its fixpoint)."""
+        source = compile_sac.__module__  # silence linters
+        from repro.sac import load_program_source
+
+        text = load_program_source("euler2d.sac")
+
+        def rewrites(cycles):
+            module = parse_module(text)
+            TypeChecker(module).check_all()
+            return optimize_module(
+                module, PipelineOptions(max_cycles=cycles)
+            )
+
+        one = rewrites(1)
+        many = rewrites(100)
+        assert many.total_rewrites >= one.total_rewrites
+        assert many.cycles_run < 100  # fixpoint reached well before the cap
+
+    @pytest.mark.parametrize("max_unroll", [0, 20])
+    def test_maxwlur_budget(self, max_unroll):
+        source = """
+        double f(double[.] a) {
+          s = with { ([0] <= [i] < [6]) : a[i] * 2.0; } : fold(+, 0.0);
+          return( s );
+        }
+        """
+        module = parse_module(source)
+        TypeChecker(module).check_all()
+        report = optimize_module(module, PipelineOptions(max_unroll=max_unroll))
+        unrolled = report.pass_totals.get("with_loop_unrolling", 0)
+        if max_unroll >= 6:
+            assert unrolled >= 1
+        else:
+            assert unrolled == 0
+
+
+class TestAutoparAblation:
+    def test_autopar_on(self, benchmark):
+        program = compile_fortran("euler2d.f90", FortranOptions(autopar=True))
+        assert len(program.autopar_report.parallel_loops) >= 10
+        benchmark(lambda: len(program.autopar_report.parallel_loops))
+
+    def test_autopar_off_all_serial(self):
+        program = compile_fortran("euler2d.f90", FortranOptions(autopar=False))
+        assert not program.autopar_report.parallel_loops
+
+
+class TestOpenMPSettings:
+    def test_paper_settings(self):
+        settings = OpenMPSettings.paper_settings()
+        assert settings.schedule == "STATIC"
+        assert settings.nested and not settings.dynamic
+
+    def test_dynamic_schedule_costs_more(self):
+        static = OpenMPSettings(schedule="STATIC").sync_model()
+        dynamic = OpenMPSettings(schedule="DYNAMIC").sync_model()
+        assert dynamic.region_overhead(8) > static.region_overhead(8)
+
+    def test_nesting_off_removes_churn(self):
+        nested = OpenMPSettings(nested=True).sync_model()
+        flat = OpenMPSettings(nested=False).sync_model()
+        assert flat.nested_overhead(8, 400) == 0.0
+        assert nested.nested_overhead(8, 400) > 0.0
+
+    def test_settings_negligible_on_figure_shape(self):
+        """The paper: different OMP env combinations 'made a negligible
+        difference' — the *shape* (degradation) survives any of them."""
+        from repro.perf.machine import MachineModel, fortran_runtime
+        from repro.perf.scaling import (
+            TwoChannelWorkload,
+            figure4_experiment,
+            measure_fortran_trace,
+            measure_sac_trace,
+        )
+
+        workload = TwoChannelWorkload(measure_grid=16, measure_steps=1)
+        sac_trace = measure_sac_trace(workload)
+        fortran_trace = measure_fortran_trace(workload)
+        for settings in (
+            OpenMPSettings(schedule="STATIC", nested=True),
+            OpenMPSettings(schedule="DYNAMIC", nested=True),
+        ):
+            result = figure4_experiment(
+                400, 1000, workload=workload,
+                sac_trace=sac_trace, fortran_trace=fortran_trace,
+                fortran=fortran_runtime(settings.sync_model()),
+            )
+            fortran = [p.fortran_seconds for p in result.points]
+            assert fortran[-1] > fortran[0]

@@ -1,0 +1,38 @@
+"""The paper's 2-D experiment (Section 3.2 / Figs. 2-3): unsteady
+interaction of shock waves exhausting from two perpendicular channels.
+
+Prints the flow-configuration schematic, runs the interaction at
+Ms = 2.2, renders the density field, and reports the quantitative
+structure diagnostics (circular primary fronts, diagonal symmetry).
+
+Run:  python examples/shock_interaction_2d.py [n_cells]
+(defaults to an 80x80 grid; the paper's full scale is 400.)
+"""
+
+import sys
+
+from repro.figures import figure2_schematic, figure3_interaction
+
+
+def main(n_cells: int = 80):
+    print("=" * 70)
+    print("Fig. 2: flow configuration")
+    print("=" * 70)
+    print(figure2_schematic())
+    print()
+
+    print("=" * 70)
+    print(f"Fig. 3: shock interaction at Ms = 2.2 on a {n_cells}x{n_cells} grid")
+    print("=" * 70)
+    result = figure3_interaction(n_cells=n_cells)
+    print(result.render())
+    print()
+    print("structure checks (the features the paper describes):")
+    print(f"  primary front approximately circular: spread = {result.shock_circularity:.3f}")
+    print(f"  flow symmetric about the diagonal   : error  = {result.symmetry_error:.2e}")
+    print(f"  compression behind the fronts       : rho_max/rho0 = {result.max_density_ratio:.2f}")
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    main(size)

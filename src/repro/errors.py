@@ -1,0 +1,65 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch a single exception type at API boundaries while tests can assert
+on precise failure categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PhysicsError(ReproError):
+    """A numerical-physics failure (negative density/pressure, NaNs...)."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid solver or benchmark configuration."""
+
+
+class SacError(ReproError):
+    """Base class for errors raised by the SaC pipeline."""
+
+
+class SacSyntaxError(SacError):
+    """Lexical or syntactic error in a SaC source file."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class SacTypeError(SacError):
+    """Type or shape error detected by the SaC type checker."""
+
+
+class SacRuntimeError(SacError):
+    """Error raised while evaluating a compiled SaC program."""
+
+
+class FortranError(ReproError):
+    """Base class for errors raised by the mini-Fortran pipeline."""
+
+
+class FortranSyntaxError(FortranError):
+    """Lexical or syntactic error in a Fortran source file."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class FortranSemanticError(FortranError):
+    """Name-resolution or typing error in a Fortran program."""
+
+
+class FortranRuntimeError(FortranError):
+    """Error raised while interpreting a Fortran program."""

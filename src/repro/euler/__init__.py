@@ -1,0 +1,41 @@
+"""NumPy reference implementation of the paper's Euler solver.
+
+This package is the "physics substrate": a complete Godunov-type
+finite-volume solver for the 1-D and 2-D compressible Euler equations
+with the reconstruction/Riemann/time-integration menu the paper's
+Fortran code offers.  Both language pipelines (``repro.sac`` and
+``repro.f90``) are validated against it.
+
+Quick start::
+
+    from repro.euler import problems
+
+    solver, x = problems.sod(n_cells=200)
+    solver.run(t_end=0.2)
+    density = solver.primitive[:, 0]
+"""
+
+from repro.euler.constants import DEFAULT_CFL, GAMMA
+from repro.euler.solver import (
+    EulerSolver1D,
+    EulerSolver2D,
+    RunResult,
+    SolverConfig,
+    paper_benchmark_config,
+)
+from repro.euler.exact_riemann import RiemannState, solve as exact_riemann_solve
+from repro.euler.rankine_hugoniot import PostShockState, post_shock_state
+
+__all__ = [
+    "DEFAULT_CFL",
+    "GAMMA",
+    "EulerSolver1D",
+    "EulerSolver2D",
+    "RunResult",
+    "SolverConfig",
+    "paper_benchmark_config",
+    "RiemannState",
+    "exact_riemann_solve",
+    "PostShockState",
+    "post_shock_state",
+]

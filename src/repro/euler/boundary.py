@@ -1,0 +1,158 @@
+"""Boundary conditions as ghost-cell fills.
+
+The solver stores only interior cells; before every right-hand-side
+evaluation the state is padded with ``ghost_cells`` layers per side and
+each edge's :class:`BoundaryCondition` fills its layers.
+
+Three kinds cover everything in the paper:
+
+* :class:`Transmissive` — zero-gradient outflow (the open edges of the
+  2-D computational domain, both ends of the shock tube),
+* :class:`ReflectiveWall` — solid wall, normal velocity mirrored with
+  opposite sign (the "solid walls" around the channel exits),
+* :class:`SupersonicInflow` — frozen post-shock state (the channel
+  exit sections; valid because at Ms = 2.2 the flow behind the shock is
+  supersonic, as the paper notes).
+
+:class:`EdgeSpec` composes several conditions along one edge through
+index intervals, which is how the 2-D problem's part-wall/part-inflow
+edges (Fig. 2) are expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class BoundaryCondition:
+    """Fills ghost layers on one edge of a padded primitive sweep array.
+
+    ``fill`` receives the padded array with axis 0 being the sweep
+    axis in *sweep layout* (field 1 normal to the edge) and must write
+    the ``ghost_cells`` layers at the low end; the solver orients the
+    array so every condition only ever fills the low end.
+    """
+
+    def fill(self, padded: np.ndarray, ghost_cells: int) -> None:
+        raise NotImplementedError
+
+
+class Transmissive(BoundaryCondition):
+    """Zero-gradient (outflow/continuative) boundary."""
+
+    def fill(self, padded: np.ndarray, ghost_cells: int) -> None:
+        for layer in range(ghost_cells):
+            padded[layer] = padded[ghost_cells]
+
+
+class ReflectiveWall(BoundaryCondition):
+    """Solid wall: interior mirrored, normal velocity (field 1) negated."""
+
+    def fill(self, padded: np.ndarray, ghost_cells: int) -> None:
+        for layer in range(ghost_cells):
+            mirror = 2 * ghost_cells - 1 - layer
+            padded[layer] = padded[mirror]
+            padded[layer, ..., 1] = -padded[mirror, ..., 1]
+
+
+class SupersonicInflow(BoundaryCondition):
+    """All ghost layers pinned to a fixed primitive state (sweep layout)."""
+
+    def __init__(self, prim_state: Sequence[float]):
+        self.state = np.asarray(prim_state, dtype=float)
+
+    def fill(self, padded: np.ndarray, ghost_cells: int) -> None:
+        padded[:ghost_cells] = self.state
+
+
+class FixedState(SupersonicInflow):
+    """Alias with a clearer name for Dirichlet tests."""
+
+
+@dataclass
+class EdgeSegment:
+    """One boundary condition applied to a half-open index interval of an edge."""
+
+    start: int
+    stop: Optional[int]
+    condition: BoundaryCondition
+
+
+@dataclass
+class EdgeSpec:
+    """A (possibly piecewise) boundary specification for one domain edge."""
+
+    segments: List[EdgeSegment] = field(default_factory=list)
+
+    @classmethod
+    def uniform(cls, condition: BoundaryCondition) -> "EdgeSpec":
+        return cls(segments=[EdgeSegment(0, None, condition)])
+
+    def add(self, start: int, stop: Optional[int], condition: BoundaryCondition) -> "EdgeSpec":
+        self.segments.append(EdgeSegment(start, stop, condition))
+        return self
+
+    def fill(self, padded: np.ndarray, ghost_cells: int) -> None:
+        """Fill the low-end ghost layers, segment by segment.
+
+        Axis 0 of ``padded`` is the sweep axis; axis 1 (when present)
+        runs along the edge and is what the segments partition.
+        """
+        if not self.segments:
+            raise ConfigurationError("EdgeSpec has no segments")
+        if padded.ndim == 2:  # 1-D problem: (cells, fields) - segments must be uniform
+            self.segments[0].condition.fill(padded, ghost_cells)
+            return
+        for segment in self.segments:
+            window = padded[:, segment.start : segment.stop]
+            segment.condition.fill(window, ghost_cells)
+
+
+@dataclass
+class BoundarySet1D:
+    """Boundary pair for a 1-D domain."""
+
+    low: BoundaryCondition
+    high: BoundaryCondition
+
+
+@dataclass
+class BoundarySet2D:
+    """Boundary conditions for the four edges of a 2-D rectangle.
+
+    Names follow the paper's Fig. 2 orientation: x grows rightward,
+    y grows upward; ``left``/``bottom`` are where the channels exhaust.
+    """
+
+    left: EdgeSpec
+    right: EdgeSpec
+    bottom: EdgeSpec
+    top: EdgeSpec
+
+    def for_axis(self, axis: int) -> Tuple[EdgeSpec, EdgeSpec]:
+        """(low, high) edge specs for a sweep along ``axis`` (0 = x, 1 = y)."""
+        if axis == 0:
+            return self.left, self.right
+        if axis == 1:
+            return self.bottom, self.top
+        raise ConfigurationError(f"axis must be 0 or 1, got {axis}")
+
+
+def transmissive_1d() -> BoundarySet1D:
+    """Open tube: both ends transmissive (the Sod problem's far fields)."""
+    return BoundarySet1D(low=Transmissive(), high=Transmissive())
+
+
+def all_transmissive_2d() -> BoundarySet2D:
+    """All four edges open (useful for isolated-blast tests)."""
+    return BoundarySet2D(
+        left=EdgeSpec.uniform(Transmissive()),
+        right=EdgeSpec.uniform(Transmissive()),
+        bottom=EdgeSpec.uniform(Transmissive()),
+        top=EdgeSpec.uniform(Transmissive()),
+    )

@@ -1,0 +1,23 @@
+"""Physical and numerical constants used throughout the Euler solver.
+
+The paper simulates an inviscid perfect gas with the ratio of specific
+heats of air, gamma = 1.4, and advances the solution with a CFL-limited
+time step (``DT = CFL / EVmax`` in the Fortran ``GetDT`` routine).
+"""
+
+from __future__ import annotations
+
+#: Ratio of specific heats for air (the paper's ``Gam``/``GAM``).
+GAMMA = 1.4
+
+#: Default CFL number for the TVD Runge-Kutta time integrators.
+DEFAULT_CFL = 0.5
+
+#: Smallest density/pressure admitted before the solver reports failure.
+FLOOR = 1e-12
+
+#: Number of conserved fields in 1-D: (rho, rho*u, E).
+NCONS_1D = 3
+
+#: Number of conserved fields in 2-D: (rho, rho*u, rho*v, E).
+NCONS_2D = 4

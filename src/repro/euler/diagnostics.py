@@ -1,0 +1,154 @@
+"""Quantitative diagnostics for the flow structures the paper describes.
+
+Fig. 1 shows 1-D wave positions; Fig. 3 is described qualitatively:
+primary shocks that "rapidly become approximately circular", a Mach
+stem on the diagonal between the channels, reflected shocks and
+contact surfaces.  The benchmark harness cannot eyeball a picture, so
+these functions turn each description into a number that can be
+asserted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.euler.constants import GAMMA
+from repro.euler import eos
+from repro.euler.exact_riemann import RiemannState, solve_star_region
+
+
+def l1_error(numerical: np.ndarray, exact: np.ndarray, dx: float) -> float:
+    """Grid-weighted L1 norm of the difference of two fields."""
+    return float(np.sum(np.abs(numerical - exact)) * dx)
+
+
+def find_jumps_1d(x: np.ndarray, field: np.ndarray, threshold_fraction: float = 0.25):
+    """Positions of sharp gradients in a 1-D profile (shock/contact finder).
+
+    Returns the x-locations of local maxima of ``|d field / dx|`` that
+    exceed ``threshold_fraction`` of the global maximum gradient.
+    """
+    gradient = np.abs(np.gradient(field, x))
+    peak = gradient.max()
+    span = float(x[-1] - x[0]) or 1.0
+    if peak * span < 1e-10 * max(1.0, float(np.abs(field).max())):
+        return []  # numerically flat (np.gradient leaves ~1e-16 noise)
+    threshold = threshold_fraction * peak
+    positions = []
+    for i in range(1, len(x) - 1):
+        if gradient[i] >= threshold and gradient[i] >= gradient[i - 1] and gradient[i] > gradient[i + 1]:
+            positions.append(float(x[i]))
+    return positions
+
+
+@dataclass(frozen=True)
+class SodWaveSpeeds:
+    """Exact wave speeds of a Riemann problem (for checking Fig. 1 positions)."""
+
+    rarefaction_head: float
+    rarefaction_tail: float
+    contact: float
+    shock: float
+
+
+def exact_wave_speeds(
+    left: RiemannState, right: RiemannState, gamma: float = GAMMA
+) -> SodWaveSpeeds:
+    """Speeds of the four waves of a left-rarefaction/right-shock solution."""
+    star = solve_star_region(left, right, gamma)
+    a_left = left.sound_speed(gamma)
+    a_star = a_left * (star.p / left.p) ** ((gamma - 1.0) / (2.0 * gamma))
+    shock_speed = right.u + right.sound_speed(gamma) * np.sqrt(
+        (gamma + 1.0) / (2.0 * gamma) * star.p / right.p
+        + (gamma - 1.0) / (2.0 * gamma)
+    )
+    return SodWaveSpeeds(
+        rarefaction_head=left.u - a_left,
+        rarefaction_tail=star.u - a_star,
+        contact=star.u,
+        shock=float(shock_speed),
+    )
+
+
+def symmetry_error(primitive: np.ndarray) -> float:
+    """Deviation of a 2-D state from mirror symmetry about the main diagonal.
+
+    The two-channel problem is symmetric under (x, y) -> (y, x) with u
+    and v exchanged; returns the max-norm violation (0 for a perfectly
+    symmetric field).
+    """
+    if primitive.ndim != 3 or primitive.shape[0] != primitive.shape[1]:
+        raise ConfigurationError("symmetry_error needs a square (N, N, 4) state")
+    mirrored = np.transpose(primitive, (1, 0, 2)).copy()
+    mirrored[..., [1, 2]] = mirrored[..., [2, 1]]
+    return float(np.max(np.abs(primitive - mirrored)))
+
+
+def shock_front_radius(
+    primitive: np.ndarray,
+    origin: Tuple[float, float],
+    dx: float,
+    p_ambient: float = 1.0,
+    jump_factor: float = 1.2,
+    n_rays: int = 64,
+) -> Tuple[float, float]:
+    """Mean radius and circularity of the leading pressure front.
+
+    Walks ``n_rays`` rays outward from ``origin`` and records where the
+    pressure last exceeds ``jump_factor * p_ambient``.  Returns
+    ``(mean_radius, relative_spread)``; a circular front has a small
+    relative spread (the paper: the primary shocks "rapidly become
+    approximately circular in shape").
+    """
+    nx, ny = primitive.shape[:2]
+    pressure = primitive[..., -1]
+    max_extent = min(nx, ny) * dx
+    radii: List[float] = []
+    angles = np.linspace(0.0, 0.5 * np.pi, n_rays)
+    samples = np.arange(0.0, max_extent, 0.5 * dx)
+    for angle in angles:
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        last = 0.0
+        for r in samples:
+            i = int((origin[0] + r * cos_a) / dx)
+            j = int((origin[1] + r * sin_a) / dx)
+            if not (0 <= i < nx and 0 <= j < ny):
+                break
+            if pressure[i, j] > jump_factor * p_ambient:
+                last = r
+        if last > 0.0:
+            radii.append(last)
+    if not radii:
+        return 0.0, 0.0
+    radii_array = np.asarray(radii)
+    mean = float(radii_array.mean())
+    spread = float(radii_array.std() / mean) if mean > 0 else 0.0
+    return mean, spread
+
+
+def diagonal_profile(primitive: np.ndarray) -> np.ndarray:
+    """Primitive values along the main diagonal (where the Mach stem lives)."""
+    n = min(primitive.shape[0], primitive.shape[1])
+    index = np.arange(n)
+    return primitive[index, index]
+
+
+def mach_number_field(primitive: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
+    """Local flow Mach number |velocity| / c for every cell."""
+    ndim = primitive.shape[-1] - 2
+    speed2 = sum(primitive[..., 1 + a] ** 2 for a in range(ndim))
+    sound = eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma)
+    return np.sqrt(speed2) / sound
+
+
+def disturbed_fraction(
+    primitive: np.ndarray, p_ambient: float = 1.0, tolerance: float = 0.01
+) -> float:
+    """Fraction of cells whose pressure departs from ambient (front coverage)."""
+    pressure = primitive[..., -1]
+    disturbed = np.abs(pressure - p_ambient) > tolerance * p_ambient
+    return float(np.count_nonzero(disturbed)) / disturbed.size

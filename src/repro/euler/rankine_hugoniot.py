@@ -1,0 +1,92 @@
+"""Rankine-Hugoniot relations for a moving normal shock.
+
+The 2-D experiment (the paper's Section 3.2) imposes inflow boundary
+conditions equal to the state *behind* a shock of Mach number Ms = 2.2
+propagating into quiescent gas; those values are "calculated from the
+Rankine-Hugoniot relations".  This module provides exactly that
+calculation, plus the inverse checks used by the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.euler.constants import GAMMA
+from repro.euler import eos
+
+
+@dataclass(frozen=True)
+class PostShockState:
+    """Primitive state behind a moving normal shock (velocity along the shock normal)."""
+
+    rho: float
+    velocity: float
+    p: float
+    shock_speed: float
+
+    def is_supersonic_inflow(self, gamma: float = GAMMA) -> bool:
+        """True when the flow behind the shock is supersonic (paper: Ms = 2.2 is).
+
+        When this holds, the exit-section values never change during the
+        computation, which is why the paper can hold them fixed.
+        """
+        c = float(eos.sound_speed(self.rho, self.p, gamma))
+        return self.velocity > c
+
+
+def post_shock_state(
+    mach: float,
+    rho0: float = 1.0,
+    p0: float = 1.0,
+    gamma: float = GAMMA,
+) -> PostShockState:
+    """State behind a shock of Mach number ``mach`` moving into gas at rest.
+
+    Standard normal-shock relations for a shock propagating with speed
+    ``W = Ms * c0`` into ``(rho0, u0=0, p0)``:
+
+    * p2/p1   = 1 + 2 gamma / (gamma+1) (Ms^2 - 1)
+    * rho2/rho1 = (gamma+1) Ms^2 / ((gamma-1) Ms^2 + 2)
+    * u2      = 2 c0 / (gamma+1) (Ms - 1/Ms)
+    """
+    if mach <= 1.0:
+        raise ConfigurationError(f"shock Mach number must exceed 1, got {mach}")
+    c0 = float(eos.sound_speed(rho0, p0, gamma))
+    p2 = p0 * (1.0 + 2.0 * gamma / (gamma + 1.0) * (mach * mach - 1.0))
+    rho2 = rho0 * (gamma + 1.0) * mach * mach / ((gamma - 1.0) * mach * mach + 2.0)
+    u2 = 2.0 * c0 / (gamma + 1.0) * (mach - 1.0 / mach)
+    return PostShockState(rho=rho2, velocity=u2, p=p2, shock_speed=mach * c0)
+
+
+def shock_mach_from_pressure_ratio(
+    pressure_ratio: float, gamma: float = GAMMA
+) -> float:
+    """Inverse relation: Ms from p2/p1 (used by property tests as a round-trip)."""
+    if pressure_ratio <= 1.0:
+        raise ConfigurationError("a shock requires a pressure ratio above 1")
+    return float(
+        np.sqrt((gamma + 1.0) / (2.0 * gamma) * (pressure_ratio - 1.0) + 1.0)
+    )
+
+
+def hugoniot_residual(pre, post, shock_speed: float, gamma: float = GAMMA):
+    """Jump-condition residuals (mass, momentum, energy) across a moving shock.
+
+    ``pre``/``post`` are (rho, u, p) triples in the lab frame; the shock
+    moves with ``shock_speed``.  All three residuals vanish for states
+    produced by :func:`post_shock_state` — the test-suite asserts this.
+    """
+    rho1, u1, p1 = pre
+    rho2, u2, p2 = post
+    w1 = u1 - shock_speed
+    w2 = u2 - shock_speed
+    mass = rho1 * w1 - rho2 * w2
+    momentum = (rho1 * w1 * w1 + p1) - (rho2 * w2 * w2 + p2)
+    # total enthalpy per unit mass in the shock frame: gamma/(gamma-1) p/rho + w^2/2
+    energy = (p1 / rho1 * gamma / (gamma - 1.0) + 0.5 * w1 * w1) - (
+        p2 / rho2 * gamma / (gamma - 1.0) + 0.5 * w2 * w2
+    )
+    return mass, momentum, energy

@@ -1,0 +1,34 @@
+"""Reconstruction stage of the Godunov pipeline (paper Section 3, stage 1)."""
+
+from repro.euler.reconstruction.base import (
+    StencilScheme,
+    reconstruct_component,
+    stencil_views,
+)
+from repro.euler.reconstruction.limiters import LIMITERS, get_limiter
+from repro.euler.reconstruction.schemes import (
+    get_scheme,
+    make_tvd2,
+    piecewise_constant,
+    tvd3,
+    weno3,
+)
+from repro.euler.reconstruction.characteristic import (
+    eigen_matrices,
+    reconstruct_characteristic,
+)
+
+__all__ = [
+    "StencilScheme",
+    "reconstruct_component",
+    "stencil_views",
+    "LIMITERS",
+    "get_limiter",
+    "get_scheme",
+    "make_tvd2",
+    "piecewise_constant",
+    "tvd3",
+    "weno3",
+    "eigen_matrices",
+    "reconstruct_characteristic",
+]

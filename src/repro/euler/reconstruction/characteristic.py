@@ -1,0 +1,136 @@
+"""Reconstruction in local characteristic variables.
+
+The paper (Section 3): "The reconstruction is applied to the so-called
+(local) characteristic variables rather than to the primitive variables
+rho, u, v and p or the conservative variables Q."
+
+For every face we build the left/right eigenvector matrices of the Roe-
+averaged flux Jacobian, project the whole stencil of *conservative*
+values into characteristic space, run any stencil-form scheme there,
+and project the reconstructed states back.  Cells where the projected
+state comes back unphysical (possible at very strong gradients) fall
+back to the 1st-order value, which is always physical.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.euler.constants import FLOOR, GAMMA
+from repro.euler import state
+from repro.euler.reconstruction.base import StencilScheme, stencil_views
+from repro.euler.riemann.roe import roe_average
+
+
+def eigen_matrices(
+    prim_left: np.ndarray, prim_right: np.ndarray, gamma: float = GAMMA
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Left/right eigenvector matrices of the Roe-averaged Jacobian at faces.
+
+    Returns ``(L, R)`` with shape ``(..., nv, nv)`` such that
+    ``L @ R == I`` and ``R`` has the right eigenvectors as columns,
+    ordered (u-c, u, [shear,] u+c).  Sweep layout: field 1 is the
+    normal velocity.
+    """
+    nfields = prim_left.shape[-1]
+    velocities, enthalpy, sound = roe_average(prim_left, prim_right, gamma)
+    u = velocities[0]
+    q2 = sum(v * v for v in velocities)
+    b2 = (gamma - 1.0) / (sound * sound)
+    b1 = 0.5 * b2 * q2
+    ones = np.ones_like(u)
+    zeros = np.zeros_like(u)
+
+    if nfields == 3:
+        right_rows = [
+            [ones, ones, ones],
+            [u - sound, u, u + sound],
+            [enthalpy - u * sound, 0.5 * q2, enthalpy + u * sound],
+        ]
+        left_rows = [
+            [0.5 * (b1 + u / sound), 0.5 * (-b2 * u - 1.0 / sound), 0.5 * b2 * ones],
+            [1.0 - b1, b2 * u, -b2 * ones],
+            [0.5 * (b1 - u / sound), 0.5 * (-b2 * u + 1.0 / sound), 0.5 * b2 * ones],
+        ]
+    else:
+        v = velocities[1]
+        right_rows = [
+            [ones, ones, zeros, ones],
+            [u - sound, u, zeros, u + sound],
+            [v, v, ones, v],
+            [enthalpy - u * sound, 0.5 * q2, v, enthalpy + u * sound],
+        ]
+        left_rows = [
+            [
+                0.5 * (b1 + u / sound),
+                0.5 * (-b2 * u - 1.0 / sound),
+                0.5 * (-b2 * v),
+                0.5 * b2 * ones,
+            ],
+            [1.0 - b1, b2 * u, b2 * v, -b2 * ones],
+            [-v, zeros, ones, zeros],
+            [
+                0.5 * (b1 - u / sound),
+                0.5 * (-b2 * u + 1.0 / sound),
+                0.5 * (-b2 * v),
+                0.5 * b2 * ones,
+            ],
+        ]
+
+    right = np.stack([np.stack(row, axis=-1) for row in right_rows], axis=-2)
+    left = np.stack([np.stack(row, axis=-1) for row in left_rows], axis=-2)
+    return left, right
+
+
+def _project(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Apply a per-face matrix to a per-face field vector."""
+    return np.einsum("...ij,...j->...i", matrix, vector)
+
+
+def reconstruct_characteristic(
+    scheme: StencilScheme,
+    padded_primitive: np.ndarray,
+    gamma: float = GAMMA,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run a stencil scheme on local characteristic variables.
+
+    ``padded_primitive`` holds N + 2*ghost_cells cells along axis 0 in
+    primitive sweep layout; the result is primitive left/right states
+    at the N + 1 interior faces.
+    """
+    ghost_cells = scheme.ghost_cells
+    views = stencil_views(padded_primitive, ghost_cells)
+    adjacent_left = views[ghost_cells - 1]
+    adjacent_right = views[ghost_cells]
+
+    if ghost_cells == 1:
+        # Piecewise-constant is basis-independent; skip the projection.
+        return scheme(views)
+
+    left_matrix, right_matrix = eigen_matrices(adjacent_left, adjacent_right, gamma)
+    conservative = [state.conservative_from_primitive(v, gamma) for v in views]
+    characteristic = [_project(left_matrix, u) for u in conservative]
+
+    char_left, char_right = scheme(characteristic)
+    cons_left = _project(right_matrix, char_left)
+    cons_right = _project(right_matrix, char_right)
+    prim_left = state.primitive_from_conservative(cons_left, gamma)
+    prim_right = state.primitive_from_conservative(cons_right, gamma)
+
+    prim_left = _fallback_unphysical(prim_left, adjacent_left)
+    prim_right = _fallback_unphysical(prim_right, adjacent_right)
+    return prim_left, prim_right
+
+
+def _fallback_unphysical(reconstructed: np.ndarray, first_order: np.ndarray) -> np.ndarray:
+    """Replace faces whose high-order state is unphysical with the cell average."""
+    bad = (
+        (reconstructed[..., 0] <= FLOOR)
+        | (reconstructed[..., -1] <= FLOOR)
+        | ~np.all(np.isfinite(reconstructed), axis=-1)
+    )
+    if not np.any(bad):
+        return reconstructed
+    return np.where(bad[..., None], first_order, reconstructed)

@@ -1,0 +1,147 @@
+"""The four reconstruction schemes of the paper's Fortran code.
+
+* ``pc``    — 1st-order piecewise-constant (used in the paper's Fig. 4
+  benchmark together with RK3)
+* ``tvd2``  — 2nd-order MUSCL with a selectable slope limiter
+* ``tvd3``  — 3rd-order limited kappa = 1/3 scheme
+* ``weno3`` — 3rd-order weighted essentially non-oscillatory scheme
+  (used for the paper's flow pictures; assigns zero weight to stencils
+  crossing a discontinuity)
+
+All schemes are in stencil form (see ``reconstruction.base``) and are
+returned by :func:`get_scheme` as callables carrying a ``ghost_cells``
+attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.euler.reconstruction import limiters as _limiters
+
+#: Small number keeping WENO weights finite on perfectly flat data.
+WENO_EPSILON = 1e-6
+
+
+def piecewise_constant(cells: Sequence[np.ndarray]):
+    """First-order reconstruction: the face states are the cell averages."""
+    return cells[0].copy(), cells[1].copy()
+
+
+piecewise_constant.ghost_cells = 1
+
+
+def _muscl_states(cells, limiter):
+    """Shared MUSCL logic: limited slopes in the two cells adjacent to the face."""
+    ng = len(cells) // 2
+    left_cell = cells[ng - 1]
+    right_cell = cells[ng]
+    slope_left = limiter(left_cell - cells[ng - 2], right_cell - left_cell)
+    slope_right = limiter(right_cell - left_cell, cells[ng + 1] - right_cell)
+    return left_cell + 0.5 * slope_left, right_cell - 0.5 * slope_right
+
+
+def make_tvd2(limiter_name: str = "minmod"):
+    """Build a 2nd-order MUSCL scheme with the named slope limiter."""
+    limiter = _limiters.get_limiter(limiter_name)
+
+    def tvd2(cells: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+        return _muscl_states(cells, limiter)
+
+    tvd2.ghost_cells = 2
+    tvd2.__name__ = f"tvd2_{limiter_name}"
+    return tvd2
+
+
+def tvd3(cells: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """3rd-order limited kappa-scheme (kappa = 1/3, compression b = 4).
+
+    For the cell left of the face (extrapolating rightwards):
+
+        vL = v + 1/4 [ (1 - k) minmod(d-, b d+) + (1 + k) minmod(d+, b d-) ]
+
+    and the mirrored expression for the cell right of the face.
+    """
+    kappa = 1.0 / 3.0
+    b = (3.0 - kappa) / (1.0 - kappa)
+    minmod = _limiters.minmod
+    ng = len(cells) // 2
+
+    left_cell = cells[ng - 1]
+    right_cell = cells[ng]
+
+    dm_left = left_cell - cells[ng - 2]
+    dp_left = right_cell - left_cell
+    left = left_cell + 0.25 * (
+        (1.0 - kappa) * minmod(dm_left, b * dp_left)
+        + (1.0 + kappa) * minmod(dp_left, b * dm_left)
+    )
+
+    dm_right = right_cell - left_cell
+    dp_right = cells[ng + 1] - right_cell
+    right = right_cell - 0.25 * (
+        (1.0 - kappa) * minmod(dp_right, b * dm_right)
+        + (1.0 + kappa) * minmod(dm_right, b * dp_right)
+    )
+    return left, right
+
+
+tvd3.ghost_cells = 2
+
+
+def weno3(cells: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """3rd-order WENO reconstruction (two 2-point stencils per side).
+
+    Smoothness indicators are squared one-sided differences; a stencil
+    crossing a discontinuity gets a huge indicator and hence (as the
+    paper puts it) "automatically ... zero weight".
+    """
+    ng = len(cells) // 2
+    far_left, left_cell, right_cell, far_right = (
+        cells[ng - 2],
+        cells[ng - 1],
+        cells[ng],
+        cells[ng + 1],
+    )
+
+    left = _weno3_one_side(far_left, left_cell, right_cell)
+    right = _weno3_one_side(far_right, right_cell, left_cell)
+    return left, right
+
+
+weno3.ghost_cells = 2
+
+
+def _weno3_one_side(upwind, centre, downwind):
+    """WENO-3 extrapolation from ``centre`` towards the face shared with ``downwind``."""
+    beta0 = (centre - upwind) ** 2
+    beta1 = (downwind - centre) ** 2
+    alpha0 = (1.0 / 3.0) / (WENO_EPSILON + beta0) ** 2
+    alpha1 = (2.0 / 3.0) / (WENO_EPSILON + beta1) ** 2
+    weight0 = alpha0 / (alpha0 + alpha1)
+    weight1 = 1.0 - weight0
+    candidate0 = 1.5 * centre - 0.5 * upwind
+    candidate1 = 0.5 * centre + 0.5 * downwind
+    return weight0 * candidate0 + weight1 * candidate1
+
+
+def get_scheme(name: str, limiter: str = "minmod"):
+    """Look up a reconstruction scheme by name.
+
+    ``limiter`` only affects ``tvd2``; the other schemes have fixed
+    internal limiting, matching the paper's menu of options.
+    """
+    if name == "pc":
+        return piecewise_constant
+    if name == "tvd2":
+        return make_tvd2(limiter)
+    if name == "tvd3":
+        return tvd3
+    if name == "weno3":
+        return weno3
+    raise ConfigurationError(
+        f"unknown reconstruction {name!r} (known: pc, tvd2, tvd3, weno3)"
+    )

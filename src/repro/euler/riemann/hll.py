@@ -1,0 +1,42 @@
+"""HLL two-wave approximate Riemann solver.
+
+Uses Davis-style wave-speed estimates:
+
+    sL = min(uL - cL, uR - cR),   sR = max(uL + cL, uR + cR)
+
+and the standard HLL average flux in the subsonic wedge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.euler.constants import GAMMA
+from repro.euler import eos, state
+
+
+def wave_speed_estimates(left, right, gamma: float = GAMMA):
+    """Davis estimates (sL, sR) for the outermost wave speeds."""
+    c_left = eos.sound_speed(left[..., 0], left[..., -1], gamma)
+    c_right = eos.sound_speed(right[..., 0], right[..., -1], gamma)
+    s_left = np.minimum(left[..., 1] - c_left, right[..., 1] - c_right)
+    s_right = np.maximum(left[..., 1] + c_left, right[..., 1] + c_right)
+    return s_left, s_right
+
+
+def hll_flux(left: np.ndarray, right: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
+    """Numerical flux from primitive left/right states in sweep layout."""
+    flux_left = state.physical_flux(left, axis_field=1, gamma=gamma)
+    flux_right = state.physical_flux(right, axis_field=1, gamma=gamma)
+    u_left = state.conservative_from_primitive(left, gamma)
+    u_right = state.conservative_from_primitive(right, gamma)
+    s_left, s_right = wave_speed_estimates(left, right, gamma)
+
+    sl = s_left[..., None]
+    sr = s_right[..., None]
+    denominator = np.where(sr - sl == 0.0, 1.0, sr - sl)
+    hll = (sr * flux_left - sl * flux_right + sl * sr * (u_right - u_left)) / denominator
+
+    flux = np.where(sl >= 0.0, flux_left, hll)
+    flux = np.where(sr <= 0.0, flux_right, flux)
+    return flux

@@ -1,0 +1,32 @@
+"""Rusanov (local Lax-Friedrichs) flux.
+
+The simplest of the shipped approximate Riemann solvers:
+
+    F = 0.5 (F(L) + F(R)) - 0.5 smax (U(R) - U(L))
+
+with ``smax`` the largest local signal speed.  Heavily dissipative but
+positivity-friendly; useful both as a production fallback and as the
+reference the fancier solvers are regression-tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.euler.constants import GAMMA
+from repro.euler import eos, state
+
+
+def rusanov_flux(left: np.ndarray, right: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
+    """Numerical flux from primitive left/right states in sweep layout."""
+    flux_left = state.physical_flux(left, axis_field=1, gamma=gamma)
+    flux_right = state.physical_flux(right, axis_field=1, gamma=gamma)
+    u_left = state.conservative_from_primitive(left, gamma)
+    u_right = state.conservative_from_primitive(right, gamma)
+
+    c_left = eos.sound_speed(left[..., 0], left[..., -1], gamma)
+    c_right = eos.sound_speed(right[..., 0], right[..., -1], gamma)
+    smax = np.maximum(
+        np.abs(left[..., 1]) + c_left, np.abs(right[..., 1]) + c_right
+    )
+    return 0.5 * (flux_left + flux_right) - 0.5 * smax[..., None] * (u_right - u_left)

@@ -1,0 +1,54 @@
+"""TVD (strong-stability-preserving) Runge-Kutta integrators.
+
+The paper uses "the 2nd or 3rd order TVD Runge-Kutta schemes" (Shu &
+Osher) for stage 3 of the Godunov pipeline; forward Euler is included
+as the building block and for cheap smoke tests.  Each integrator is a
+convex combination of forward-Euler substeps, which is what preserves
+the TVD property of the spatial operator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Right-hand side: conservative state -> time derivative, same shape.
+RhsFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def rk1_step(u: np.ndarray, dt: float, rhs: RhsFunction) -> np.ndarray:
+    """Forward Euler: U + dt L(U)."""
+    return u + dt * rhs(u)
+
+
+def rk2_tvd_step(u: np.ndarray, dt: float, rhs: RhsFunction) -> np.ndarray:
+    """Shu-Osher SSP-RK2 (Heun form as convex Euler combinations)."""
+    stage1 = u + dt * rhs(u)
+    return 0.5 * u + 0.5 * (stage1 + dt * rhs(stage1))
+
+
+def rk3_tvd_step(u: np.ndarray, dt: float, rhs: RhsFunction) -> np.ndarray:
+    """Shu-Osher SSP-RK3, the scheme used for the paper's benchmark runs."""
+    stage1 = u + dt * rhs(u)
+    stage2 = 0.75 * u + 0.25 * (stage1 + dt * rhs(stage1))
+    return u / 3.0 + 2.0 / 3.0 * (stage2 + dt * rhs(stage2))
+
+
+INTEGRATORS = {
+    1: rk1_step,
+    2: rk2_tvd_step,
+    3: rk3_tvd_step,
+}
+
+
+def get_integrator(order: int):
+    """Integrator of the requested order; raises ConfigurationError otherwise."""
+    try:
+        return INTEGRATORS[order]
+    except KeyError:
+        raise ConfigurationError(
+            f"no TVD Runge-Kutta scheme of order {order} (have 1, 2, 3)"
+        ) from None

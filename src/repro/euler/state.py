@@ -1,0 +1,150 @@
+"""Conversions between conservative and primitive Euler variables.
+
+Layout convention
+-----------------
+Fields are stored in the **last** axis of a NumPy array so that a state
+array broadcasts naturally over any grid shape:
+
+* 1-D: ``U[..., 0:3] = (rho, rho*u, E)``; ``P[..., 0:3] = (rho, u, p)``
+* 2-D: ``U[..., 0:4] = (rho, rho*u, rho*v, E)``;
+  ``P[..., 0:4] = (rho, u, v, p)``
+
+These match the paper's ``Q`` vector (its Eq. 2) and its primitive
+vector ``QP`` (which the Fortran ``GetDT`` indexes as Ux, Uy, Pc, Rc).
+The number of fields (3 vs 4) selects the dimensionality; helper
+:func:`ndim_of` recovers it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PhysicsError
+from repro.euler.constants import FLOOR, GAMMA
+from repro.euler import eos
+
+
+def ndim_of(state: np.ndarray) -> int:
+    """Spatial dimensionality implied by the number of fields (3 -> 1-D, 4 -> 2-D)."""
+    nfields = state.shape[-1]
+    if nfields == 3:
+        return 1
+    if nfields == 4:
+        return 2
+    raise PhysicsError(f"state arrays must have 3 or 4 fields, got {nfields}")
+
+
+def primitive_from_conservative(u: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
+    """Convert conservative ``(rho, rho*u[, rho*v], E)`` to primitive ``(rho, u[, v], p)``."""
+    ndim = ndim_of(u)
+    rho = u[..., 0]
+    p_out = np.empty_like(u)
+    p_out[..., 0] = rho
+    if ndim == 1:
+        vel = u[..., 1] / rho
+        kinetic = 0.5 * rho * vel * vel
+        p_out[..., 1] = vel
+        p_out[..., 2] = eos.pressure(rho, kinetic, u[..., 2], gamma)
+    else:
+        vx = u[..., 1] / rho
+        vy = u[..., 2] / rho
+        kinetic = 0.5 * rho * (vx * vx + vy * vy)
+        p_out[..., 1] = vx
+        p_out[..., 2] = vy
+        p_out[..., 3] = eos.pressure(rho, kinetic, u[..., 3], gamma)
+    return p_out
+
+
+def conservative_from_primitive(p: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
+    """Convert primitive ``(rho, u[, v], p)`` to conservative ``(rho, rho*u[, rho*v], E)``."""
+    ndim = ndim_of(p)
+    rho = p[..., 0]
+    u_out = np.empty_like(p)
+    u_out[..., 0] = rho
+    if ndim == 1:
+        vel = p[..., 1]
+        u_out[..., 1] = rho * vel
+        u_out[..., 2] = eos.total_energy(rho, vel * vel, p[..., 2], gamma)
+    else:
+        vx = p[..., 1]
+        vy = p[..., 2]
+        u_out[..., 1] = rho * vx
+        u_out[..., 2] = rho * vy
+        u_out[..., 3] = eos.total_energy(rho, vx * vx + vy * vy, p[..., 3], gamma)
+    return u_out
+
+
+def physical_flux(p: np.ndarray, axis_field: int = 1, gamma: float = GAMMA) -> np.ndarray:
+    """Physical flux of the Euler equations through faces normal to one axis.
+
+    ``axis_field`` selects the normal velocity field in the primitive
+    array: 1 for the x-flux ``F``, 2 for the y-flux ``G`` (2-D only),
+    matching the paper's Eq. 2.
+    """
+    ndim = ndim_of(p)
+    rho = p[..., 0]
+    pressure = p[..., -1]
+    flux = np.empty_like(p)
+    if ndim == 1:
+        vel = p[..., 1]
+        energy = eos.total_energy(rho, vel * vel, pressure, gamma)
+        flux[..., 0] = rho * vel
+        flux[..., 1] = rho * vel * vel + pressure
+        flux[..., 2] = vel * (energy + pressure)
+        return flux
+    if axis_field not in (1, 2):
+        raise PhysicsError(f"axis_field must be 1 (x) or 2 (y), got {axis_field}")
+    vx = p[..., 1]
+    vy = p[..., 2]
+    vn = p[..., axis_field]
+    energy = eos.total_energy(rho, vx * vx + vy * vy, pressure, gamma)
+    flux[..., 0] = rho * vn
+    flux[..., 1] = rho * vn * vx
+    flux[..., 2] = rho * vn * vy
+    flux[..., axis_field] += pressure
+    flux[..., 3] = vn * (energy + pressure)
+    return flux
+
+
+def validate_state(p: np.ndarray, where: str = "state") -> None:
+    """Raise :class:`PhysicsError` if a primitive state is unphysical."""
+    rho = p[..., 0]
+    pressure = p[..., -1]
+    if not np.all(np.isfinite(p)):
+        raise PhysicsError(f"{where}: non-finite values detected")
+    if np.any(rho < FLOOR):
+        raise PhysicsError(f"{where}: non-positive density (min {rho.min():.3e})")
+    if np.any(pressure < FLOOR):
+        raise PhysicsError(f"{where}: non-positive pressure (min {pressure.min():.3e})")
+
+
+def swap_velocity_axes(p: np.ndarray) -> np.ndarray:
+    """Return a copy of a 2-D state array with u and v exchanged.
+
+    Used by the dimension-sweep machinery so every 1-D kernel can treat
+    field 1 as the normal velocity.
+    """
+    if ndim_of(p) != 2:
+        raise PhysicsError("swap_velocity_axes needs a 4-field (2-D) state")
+    out = p.copy()
+    out[..., 1] = p[..., 2]
+    out[..., 2] = p[..., 1]
+    return out
+
+
+def total_mass(u: np.ndarray) -> float:
+    """Total mass in the domain (sum of cell densities; used by conservation tests)."""
+    return float(np.sum(u[..., 0]))
+
+
+def total_energy_sum(u: np.ndarray) -> float:
+    """Total energy in the domain (conservation diagnostics)."""
+    return float(np.sum(u[..., -1]))
+
+
+def total_momentum(u: np.ndarray) -> np.ndarray:
+    """Total momentum vector (length 1 in 1-D, 2 in 2-D)."""
+    ndim = ndim_of(u)
+    if ndim == 1:
+        return np.array([np.sum(u[..., 1])])
+    return np.array([np.sum(u[..., 1]), np.sum(u[..., 2])])

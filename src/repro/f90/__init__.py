@@ -1,0 +1,31 @@
+"""A mini Fortran-90 — the paper's baseline language.
+
+Pipeline: :mod:`lexer` / :mod:`parser` (free-form front end) →
+:mod:`sema` (implicit typing, validation) → :mod:`depend` /
+:mod:`autopar` (dependence analysis, ``-autopar -reduction``) →
+:mod:`interp` (reference-semantics interpreter that records an
+execution trace) with :mod:`openmp` mapping the runtime environment
+(OMP_SCHEDULE and friends) onto the fork/join cost model.
+"""
+
+from repro.f90.api import (
+    CompiledFortran,
+    FortranOptions,
+    compile_file,
+    compile_source,
+    load_program_source,
+)
+from repro.f90.autopar import AutoparOptions, AutoparReport, autoparallelize
+from repro.f90.openmp import OpenMPSettings
+
+__all__ = [
+    "CompiledFortran",
+    "FortranOptions",
+    "compile_file",
+    "compile_source",
+    "load_program_source",
+    "AutoparOptions",
+    "AutoparReport",
+    "autoparallelize",
+    "OpenMPSettings",
+]

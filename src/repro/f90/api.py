@@ -1,0 +1,93 @@
+"""Public API of the mini Fortran-90 pipeline.
+
+Typical use::
+
+    from repro.f90 import api
+
+    program = api.compile_file("euler2d.f90")   # parse + autopar
+    program.call("STEP", q, nx, ny, dt, dx, dy, e0, e1, qin_left, qin_bottom)
+
+Arrays are passed by reference (the NumPy buffer is mutated); scalars
+are passed by value — a documented subset restriction (use length-1
+arrays for scalar outputs, or module variables like the paper's
+``DT``).
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import FortranError
+from repro.f90.autopar import AutoparOptions, AutoparReport, autoparallelize
+from repro.f90.interp import F90Program
+from repro.f90.openmp import OpenMPSettings
+from repro.f90.parser import parse_program
+from repro.sac.runtime.profiler import ExecutionTrace
+
+
+@dataclass
+class FortranOptions:
+    """Compiler-flag equivalents of the paper's f90 invocation
+    (``-autopar -parallel -reduction -O3 -fast``)."""
+
+    autopar: bool = True
+    reductions: bool = True
+    openmp: OpenMPSettings = field(default_factory=OpenMPSettings.paper_settings)
+    trace: bool = False
+
+
+class CompiledFortran:
+    """A parsed, analysed, runnable Fortran program."""
+
+    def __init__(self, program: F90Program, report: AutoparReport, options: FortranOptions):
+        self.program = program
+        self.autopar_report = report
+        self.options = options
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        return self.program.trace
+
+    def call(self, name: str, *args) -> None:
+        self.program.call(name, *args)
+
+    def get(self, module: str, name: str):
+        return self.program.get_module_var(module, name)
+
+    def set(self, module: str, name: str, value) -> None:
+        self.program.set_module_var(module, name, value)
+
+    def reset_trace(self) -> None:
+        self.program.trace.clear()
+
+
+def compile_source(source: str, options: Optional[FortranOptions] = None) -> CompiledFortran:
+    options = options or FortranOptions()
+    unit = parse_program(source)
+    report = autoparallelize(
+        unit, AutoparOptions(enabled=options.autopar, reductions=options.reductions)
+    )
+    trace = ExecutionTrace(enabled=options.trace)
+    program = F90Program(unit, trace=trace, record_parallel=options.autopar)
+    return CompiledFortran(program, report, options)
+
+
+def compile_file(name: str, options: Optional[FortranOptions] = None) -> CompiledFortran:
+    return compile_source(load_program_source(name), options)
+
+
+def load_program_source(name: str) -> str:
+    """Source of a bundled program (``repro/f90/programs``) or a path."""
+    try:
+        resource = importlib.resources.files("repro.f90") / "programs" / name
+        if resource.is_file():
+            return resource.read_text()
+    except (ModuleNotFoundError, FileNotFoundError, TypeError):
+        pass
+    try:
+        with open(name, "r") as handle:
+            return handle.read()
+    except OSError as error:
+        raise FortranError(f"cannot load Fortran program {name!r}: {error}") from None

@@ -1,0 +1,218 @@
+"""AST for the mini Fortran-90."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+# -- expressions -----------------------------------------------------------
+
+
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class RealLit(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class LogicalLit(Expr):
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class Section:
+    """One subscript: an index expression, a range, or ':' (full extent)."""
+
+    index: Optional[Expr] = None          # element subscript
+    lower: Optional[Expr] = None          # section lower bound (or None = lbound)
+    upper: Optional[Expr] = None          # section upper bound (or None = ubound)
+    is_range: bool = False                # True for lo:hi / ':' forms
+
+
+@dataclass
+class Ref(Expr):
+    """NAME or NAME(subscripts) — array element, section, or function call
+    (disambiguated at interpretation time against the symbol table)."""
+
+    name: str
+    subscripts: List[Section] = field(default_factory=list)
+    has_parens: bool = False
+    line: int = 0
+
+
+@dataclass
+class BinOp(Expr):
+    op: str  # + - * / ** == /= < <= > >= AND OR
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class UnOp(Expr):
+    op: str  # '-' | 'NOT' | '+'
+    operand: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+# -- statements ------------------------------------------------------------
+
+
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    target: Ref = None  # type: ignore[assignment]
+    expr: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    then_body: List[Stmt] = field(default_factory=list)
+    elif_blocks: List[Tuple[Expr, List[Stmt]]] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Do(Stmt):
+    var: str = ""
+    lower: Expr = None  # type: ignore[assignment]
+    upper: Expr = None  # type: ignore[assignment]
+    step: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+    # set by the auto-paralleliser:
+    parallel: bool = False
+    reduction_vars: Dict[str, str] = field(default_factory=dict)  # var -> MAX/MIN/+/*
+    private_vars: List[str] = field(default_factory=list)
+    serial_reason: str = ""
+
+
+@dataclass
+class DoWhile(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Call(Stmt):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Print(Stmt):
+    items: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+# -- declarations ----------------------------------------------------------
+
+
+@dataclass
+class Dim:
+    """One array dimension with (possibly implicit 1) lower bound."""
+
+    lower: Optional[Expr]  # None -> 1
+    upper: Expr
+
+
+@dataclass
+class VarDecl:
+    name: str
+    base: str  # REAL | INTEGER | LOGICAL
+    dims: List[Dim] = field(default_factory=list)
+    parameter: Optional[Expr] = None
+    line: int = 0
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+
+@dataclass
+class ImplicitRule:
+    """IMPLICIT REAL*8 (A-H,O-Z) — letter ranges mapped to a base type."""
+
+    base: str
+    ranges: List[Tuple[str, str]] = field(default_factory=list)
+
+    def covers(self, letter: str) -> bool:
+        return any(low <= letter <= high for low, high in self.ranges)
+
+
+@dataclass
+class ModuleDef:
+    name: str
+    decls: List[VarDecl] = field(default_factory=list)
+    implicits: List[ImplicitRule] = field(default_factory=list)
+
+
+@dataclass
+class SubroutineDef:
+    name: str
+    args: List[str] = field(default_factory=list)
+    uses: List[str] = field(default_factory=list)
+    decls: List[VarDecl] = field(default_factory=list)
+    implicits: List[ImplicitRule] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ProgramUnit:
+    """A parsed source file: modules + subroutines."""
+
+    modules: Dict[str, ModuleDef] = field(default_factory=dict)
+    subroutines: Dict[str, SubroutineDef] = field(default_factory=dict)
+
+
+def walk_expr(expr: Expr):
+    yield expr
+    if isinstance(expr, Ref):
+        for section in expr.subscripts:
+            for child in (section.index, section.lower, section.upper):
+                if child is not None:
+                    yield from walk_expr(child)
+    elif isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk_expr(expr.operand)
+
+
+def walk_stmts(statements: List[Stmt]):
+    for statement in statements:
+        yield statement
+        if isinstance(statement, If):
+            yield from walk_stmts(statement.then_body)
+            for _, block in statement.elif_blocks:
+                yield from walk_stmts(block)
+            yield from walk_stmts(statement.else_body)
+        elif isinstance(statement, Do):
+            yield from walk_stmts(statement.body)
+        elif isinstance(statement, DoWhile):
+            yield from walk_stmts(statement.body)

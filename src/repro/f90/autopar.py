@@ -1,0 +1,84 @@
+"""The auto-paralleliser (Sun Studio's ``-autopar -reduction``).
+
+Walks every subroutine, runs the dependence analysis on each DO loop
+and annotates the AST in place: ``parallel``, ``reduction_vars``,
+``private_vars`` and, when serial, a human-readable ``serial_reason``
+(surfaced by tests and by the ablation benchmark).
+
+Reduction loops (``EVmax = MAX(EV, EVmax)`` in the paper's GetDT) are
+only parallelised when ``reductions`` is on — the paper's compiler
+line passes ``-reduction`` explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.f90 import ast
+from repro.f90.depend import analyze_loop
+
+
+@dataclass
+class AutoparOptions:
+    enabled: bool = True        # -autopar
+    reductions: bool = True     # -reduction
+
+
+@dataclass
+class AutoparReport:
+    """Which loops were parallelised and why the others were not."""
+
+    parallel_loops: List[str] = None  # type: ignore[assignment]
+    serial_loops: Dict[str, str] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.parallel_loops is None:
+            self.parallel_loops = []
+        if self.serial_loops is None:
+            self.serial_loops = {}
+
+
+def autoparallelize(program: ast.ProgramUnit, options: AutoparOptions = AutoparOptions()) -> AutoparReport:
+    """Annotate every DO loop in the program; returns the report."""
+    report = AutoparReport()
+    for subroutine in program.subroutines.values():
+        _walk(subroutine.body, subroutine.name, options, report)
+    return report
+
+
+def _walk(statements: List[ast.Stmt], where: str, options: AutoparOptions, report: AutoparReport) -> None:
+    for statement in statements:
+        if isinstance(statement, ast.Do):
+            _annotate(statement, where, options, report)
+            _walk(statement.body, where, options, report)
+        elif isinstance(statement, ast.DoWhile):
+            _walk(statement.body, where, options, report)
+        elif isinstance(statement, ast.If):
+            _walk(statement.then_body, where, options, report)
+            for _, block in statement.elif_blocks:
+                _walk(block, where, options, report)
+            _walk(statement.else_body, where, options, report)
+
+
+def _annotate(loop: ast.Do, where: str, options: AutoparOptions, report: AutoparReport) -> None:
+    label = f"{where}:{loop.var}@{loop.line}"
+    if not options.enabled:
+        loop.parallel = False
+        loop.serial_reason = "auto-parallelisation disabled"
+        report.serial_loops[label] = loop.serial_reason
+        return
+    analysis = analyze_loop(loop)
+    if analysis.parallel and analysis.reduction_vars and not options.reductions:
+        loop.parallel = False
+        loop.serial_reason = "reduction loop (enable -reduction)"
+        report.serial_loops[label] = loop.serial_reason
+        return
+    loop.parallel = analysis.parallel
+    loop.reduction_vars = analysis.reduction_vars
+    loop.private_vars = analysis.private_vars
+    loop.serial_reason = analysis.reason
+    if analysis.parallel:
+        report.parallel_loops.append(label)
+    else:
+        report.serial_loops[label] = analysis.reason

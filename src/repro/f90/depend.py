@@ -1,0 +1,249 @@
+"""Loop dependence analysis for the auto-paralleliser.
+
+Decides, conservatively, whether the iterations of a DO loop are
+independent — the same job Sun Studio's ``-autopar`` does for the
+paper's Fortran code.  The analysis is deliberately *incomplete* in
+the ways production auto-parallelisers are (the paper: "the compiler
+can not always work out the data dependences in complete detail"):
+
+* any CALL in the body defeats it (no interprocedural analysis);
+* an array is distributable only when the loop variable appears as a
+  *plain* subscript in the same dimension of every write and read —
+  offsets like ``A(i+1)`` or subscripts through other variables are
+  loop-carried as far as it knows;
+* scalars must be provably private (written before read each
+  iteration) or match a reduction pattern (``s = s + e``,
+  ``s = MAX(s, e)``, ...), which the ``-reduction`` flag enables.
+
+The result feeds :mod:`repro.f90.autopar`, which annotates the loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.f90 import ast
+
+#: names treated as intrinsic functions rather than arrays when called
+INTRINSIC_NAMES = {
+    "SQRT", "ABS", "EXP", "LOG", "SIN", "COS", "DBLE", "FLOAT", "INT",
+    "NINT", "MAX", "MIN", "MOD", "SUM", "MAXVAL", "MINVAL", "SIZE",
+}
+
+_REDUCTION_INTRINSICS = {"MAX": "MAX", "MIN": "MIN"}
+
+
+@dataclass
+class LoopAnalysis:
+    parallel: bool
+    reduction_vars: Dict[str, str] = field(default_factory=dict)
+    private_vars: List[str] = field(default_factory=list)
+    reason: str = ""
+
+
+@dataclass
+class _Access:
+    name: str
+    is_write: bool
+    subscripts: Optional[List[ast.Section]]  # None = scalar access
+    statement: ast.Stmt
+    order: int
+
+
+def _collect_accesses(statements: List[ast.Stmt]) -> Tuple[List[_Access], List[str], bool]:
+    """Linearised accesses, inner loop variables, and a has-call flag."""
+    accesses: List[_Access] = []
+    inner_loop_vars: List[str] = []
+    has_call = False
+    counter = [0]
+
+    def read_expr(expr: ast.Expr, statement: ast.Stmt) -> None:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Ref):
+                if node.has_parens and node.name in INTRINSIC_NAMES:
+                    continue  # argument refs are visited by walk_expr anyway
+                counter[0] += 1
+                accesses.append(
+                    _Access(
+                        node.name,
+                        False,
+                        node.subscripts if node.has_parens else None,
+                        statement,
+                        counter[0],
+                    )
+                )
+
+    def visit(statements: List[ast.Stmt]) -> None:
+        nonlocal has_call
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                read_expr(statement.expr, statement)
+                for section in statement.target.subscripts:
+                    for child in (section.index, section.lower, section.upper):
+                        if child is not None:
+                            read_expr(child, statement)
+                counter[0] += 1
+                accesses.append(
+                    _Access(
+                        statement.target.name,
+                        True,
+                        statement.target.subscripts
+                        if statement.target.has_parens
+                        else None,
+                        statement,
+                        counter[0],
+                    )
+                )
+            elif isinstance(statement, ast.If):
+                read_expr(statement.condition, statement)
+                visit(statement.then_body)
+                for condition, block in statement.elif_blocks:
+                    read_expr(condition, statement)
+                    visit(block)
+                visit(statement.else_body)
+            elif isinstance(statement, ast.Do):
+                inner_loop_vars.append(statement.var)
+                read_expr(statement.lower, statement)
+                read_expr(statement.upper, statement)
+                if statement.step is not None:
+                    read_expr(statement.step, statement)
+                visit(statement.body)
+            elif isinstance(statement, ast.DoWhile):
+                read_expr(statement.condition, statement)
+                visit(statement.body)
+            elif isinstance(statement, ast.Call):
+                has_call = True
+            elif isinstance(statement, ast.Print):
+                for item in statement.items:
+                    read_expr(item, statement)
+    visit(statements)
+    return accesses, inner_loop_vars, has_call
+
+
+def _is_plain_var(expr: Optional[ast.Expr], var: str) -> bool:
+    return (
+        isinstance(expr, ast.Ref)
+        and expr.name == var
+        and not expr.has_parens
+    )
+
+
+def _mentions_var(expr: Optional[ast.Expr], var: str) -> bool:
+    if expr is None:
+        return False
+    return any(
+        isinstance(node, ast.Ref) and node.name == var and not node.has_parens
+        for node in ast.walk_expr(expr)
+    )
+
+
+def _reduction_pattern(statement: ast.Assign) -> Optional[str]:
+    """Return the reduction operator if the assignment matches one."""
+    name = statement.target.name
+    expr = statement.expr
+    if isinstance(expr, ast.Ref) and expr.has_parens and expr.name in _REDUCTION_INTRINSICS:
+        operands = [s.index for s in expr.subscripts]
+        if any(_is_plain_var(operand, name) for operand in operands):
+            return _REDUCTION_INTRINSICS[expr.name]
+        return None
+    if isinstance(expr, ast.BinOp) and expr.op in ("+", "*"):
+        if _is_plain_var(expr.left, name) or _is_plain_var(expr.right, name):
+            return expr.op
+    return None
+
+
+def analyze_loop(loop: ast.Do) -> LoopAnalysis:
+    """Dependence analysis of one DO loop (independent of nesting)."""
+    accesses, inner_loop_vars, has_call = _collect_accesses(loop.body)
+    if has_call:
+        return LoopAnalysis(False, reason="CALL with unknown side effects")
+
+    var = loop.var
+    reductions: Dict[str, str] = {}
+    privates: List[str] = list(dict.fromkeys(inner_loop_vars))
+
+    # classify scalars
+    scalar_names = {a.name for a in accesses if a.subscripts is None}
+    scalar_names -= {var}
+    for name in sorted(scalar_names):
+        if name in privates:
+            continue
+        touching = [a for a in accesses if a.name == name and a.subscripts is None]
+        writes = [a for a in touching if a.is_write]
+        if not writes:
+            continue  # read-only shared scalar
+        reduction_ops = {
+            _reduction_pattern(a.statement)
+            for a in writes
+            if isinstance(a.statement, ast.Assign)
+        }
+        if len(writes) >= 1 and None not in reduction_ops and len(reduction_ops) == 1:
+            # every write is the same reduction; reads elsewhere disqualify
+            other_reads = [
+                a
+                for a in touching
+                if not a.is_write and a.statement not in [w.statement for w in writes]
+            ]
+            if not other_reads:
+                reductions[name] = reduction_ops.pop()
+                continue
+        first = min(touching, key=lambda a: a.order)
+        if first.is_write and isinstance(first.statement, ast.Assign) and not _mentions_var(
+            first.statement.expr, name
+        ):
+            privates.append(name)
+            continue
+        return LoopAnalysis(
+            False, reason=f"scalar {name} carried across iterations"
+        )
+
+    # classify arrays
+    array_names = {a.name for a in accesses if a.subscripts is not None}
+    for name in sorted(array_names):
+        touching = [a for a in accesses if a.name == name and a.subscripts is not None]
+        writes = [a for a in touching if a.is_write]
+        if not writes:
+            continue  # read-only array
+        distribution_dim: Optional[int] = None
+        for write in writes:
+            if any(s.is_range for s in write.subscripts or []):
+                return LoopAnalysis(
+                    False, reason=f"array section of {name} written inside the loop"
+                )
+            dims_with_var = [
+                position
+                for position, section in enumerate(write.subscripts or [])
+                if _is_plain_var(section.index, var)
+            ]
+            if not dims_with_var:
+                if any(
+                    _mentions_var(section.index, var)
+                    for section in (write.subscripts or [])
+                ):
+                    return LoopAnalysis(
+                        False,
+                        reason=f"complex subscript of {name} involves {var}",
+                    )
+                return LoopAnalysis(
+                    False, reason=f"iteration-invariant write to {name}"
+                )
+            if distribution_dim is None:
+                distribution_dim = dims_with_var[0]
+            elif distribution_dim not in dims_with_var:
+                return LoopAnalysis(
+                    False, reason=f"inconsistent distribution of {name}"
+                )
+        for access in touching:
+            sections = access.subscripts or []
+            if distribution_dim is None or distribution_dim >= len(sections):
+                return LoopAnalysis(
+                    False, reason=f"rank mismatch accessing {name}"
+                )
+            section = sections[distribution_dim]
+            if section.is_range or not _is_plain_var(section.index, var):
+                return LoopAnalysis(
+                    False, reason=f"loop-carried dependence on {name}"
+                )
+
+    return LoopAnalysis(True, reductions, privates)

@@ -1,0 +1,675 @@
+"""Interpreter for the mini Fortran-90.
+
+Executes a :class:`ProgramUnit` with Fortran semantics: module storage
+shared through ``USE``, call-by-reference arguments (host NumPy arrays
+are mutated in place), adjustable array declarations whose bounds are
+evaluated per call, custom lower bounds (``Q(4, 0:NX+1, 0:NY+1)``),
+implicit typing, and whole-array / array-section assignments evaluated
+through NumPy (these are the statements a vectorising F90 compiler
+also treats as single array operations).
+
+The interpreter doubles as the *measurement instrument* for the
+OpenMP cost model: statement executions are counted, and every
+auto-parallelised DO loop or whole-array statement at parallel-nesting
+depth zero is recorded in an :class:`ExecutionTrace` — serial work in
+between becomes serial regions.  The machine model replays that trace
+with fork/join costs to produce the Fortran curves of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FortranRuntimeError
+from repro.f90 import ast
+from repro.f90.sema import implicit_base, validate_program
+from repro.sac.runtime.profiler import ExecutionTrace
+
+
+class FArray:
+    """A Fortran array: NumPy storage + per-dimension lower bounds.
+
+    Fortran's column-major order is preserved logically by storing
+    subscripts in declaration order; the host sees the same axis order
+    as the declaration (``Q(4, NX, NY)`` -> shape (4, NX, NY)).
+    """
+
+    __slots__ = ("data", "lbounds")
+
+    def __init__(self, data: np.ndarray, lbounds: Tuple[int, ...]):
+        self.data = data
+        self.lbounds = lbounds
+
+    def offset(self, subscripts: Sequence[int], line: int) -> Tuple[int, ...]:
+        if len(subscripts) != self.data.ndim:
+            raise FortranRuntimeError(
+                f"line {line}: rank-{len(subscripts)} reference to"
+                f" rank-{self.data.ndim} array"
+            )
+        offsets = []
+        for position, (subscript, lbound, extent) in enumerate(
+            zip(subscripts, self.lbounds, self.data.shape)
+        ):
+            index = int(subscript) - lbound
+            if not 0 <= index < extent:
+                raise FortranRuntimeError(
+                    f"line {line}: subscript {int(subscript)} out of bounds"
+                    f" {lbound}:{lbound + extent - 1} in dimension {position + 1}"
+                )
+            offsets.append(index)
+        return tuple(offsets)
+
+
+_INTRINSICS_ELEMENTWISE = {
+    "SQRT": np.sqrt,
+    "ABS": np.abs,
+    "EXP": np.exp,
+    "LOG": np.log,
+    "SIN": np.sin,
+    "COS": np.cos,
+    "DBLE": lambda value: np.asarray(value, dtype=np.float64),
+    "FLOAT": lambda value: np.asarray(value, dtype=np.float64),
+    "INT": lambda value: np.asarray(np.trunc(value)).astype(np.int64),
+    "NINT": lambda value: np.asarray(np.rint(value)).astype(np.int64),
+}
+
+_INTRINSICS_REDUCE = {
+    "SUM": np.sum,
+    "MAXVAL": np.max,
+    "MINVAL": np.min,
+}
+
+
+class _Frame:
+    """One subroutine activation."""
+
+    __slots__ = ("subroutine", "locals", "implicits")
+
+    def __init__(self, subroutine: ast.SubroutineDef, implicits):
+        self.subroutine = subroutine
+        self.locals: Dict[str, object] = {}
+        self.implicits = implicits
+
+
+class F90Program:
+    """A loaded Fortran program with live module storage."""
+
+    def __init__(
+        self,
+        program: ast.ProgramUnit,
+        trace: Optional[ExecutionTrace] = None,
+        record_parallel: bool = True,
+    ):
+        validate_program(program)
+        self.program = program
+        self.trace = trace if trace is not None else ExecutionTrace(enabled=False)
+        self.record_parallel = record_parallel
+        self.module_storage: Dict[str, Dict[str, object]] = {}
+        self._parallel_depth = 0
+        self._stmt_count = 0
+        self._serial_marker = 0
+        self._expr_ops_cache: Dict[int, int] = {}
+        for name, module in program.modules.items():
+            self.module_storage[name] = self._init_module(module)
+
+    # ------------------------------------------------------------------
+    # module initialisation
+    # ------------------------------------------------------------------
+
+    def _init_module(self, module: ast.ModuleDef) -> Dict[str, object]:
+        storage: Dict[str, object] = {}
+        env = _ModuleEnv(self, storage)
+        for decl in module.decls:
+            if decl.parameter is not None:
+                value = self._eval(decl.parameter, env)
+                storage[decl.name] = _coerce_scalar(value, decl.base)
+            elif decl.is_array:
+                storage[decl.name] = self._allocate(decl, env)
+            else:
+                storage[decl.name] = _zero(decl.base)
+        return storage
+
+    def _allocate(self, decl: ast.VarDecl, env) -> FArray:
+        lbounds = []
+        shape = []
+        for dim in decl.dims:
+            lower = 1 if dim.lower is None else int(self._eval(dim.lower, env))
+            upper = int(self._eval(dim.upper, env))
+            if upper < lower:
+                raise FortranRuntimeError(
+                    f"line {decl.line}: bad bounds {lower}:{upper} for {decl.name}"
+                )
+            lbounds.append(lower)
+            shape.append(upper - lower + 1)
+        dtype = np.float64 if decl.base == "REAL" else (
+            np.int64 if decl.base == "INTEGER" else np.bool_
+        )
+        return FArray(np.zeros(shape, dtype=dtype), tuple(lbounds))
+
+    # ------------------------------------------------------------------
+    # host API
+    # ------------------------------------------------------------------
+
+    def call(self, name: str, *args) -> None:
+        """Call a subroutine; array arguments are mutated in place."""
+        subroutine = self.program.subroutines.get(name.upper())
+        if subroutine is None:
+            raise FortranRuntimeError(f"no subroutine named {name!r}")
+        if len(args) != len(subroutine.args):
+            raise FortranRuntimeError(
+                f"{name}: expected {len(subroutine.args)} arguments, got {len(args)}"
+            )
+        frame = _Frame(subroutine, subroutine.implicits)
+        # bind scalar args first so adjustable array bounds can use them
+        for arg_name, value in zip(subroutine.args, args):
+            if not isinstance(value, np.ndarray):
+                frame.locals[arg_name] = _to_fortran_scalar(value)
+        for arg_name, value in zip(subroutine.args, args):
+            if isinstance(value, np.ndarray):
+                decl = _find_decl(arg_name, subroutine.decls)
+                if decl is None or not decl.is_array:
+                    raise FortranRuntimeError(
+                        f"{name}: array argument {arg_name} lacks a declaration"
+                    )
+                frame.locals[arg_name] = self._bind_array_arg(decl, value, frame)
+        # local declarations (non-arguments)
+        for decl in subroutine.decls:
+            if decl.name in frame.locals:
+                continue
+            if decl.parameter is not None:
+                frame.locals[decl.name] = _coerce_scalar(
+                    self._eval(decl.parameter, frame), decl.base
+                )
+            elif decl.is_array:
+                frame.locals[decl.name] = self._allocate(decl, frame)
+        self._serial_marker = self._stmt_count
+        try:
+            self._exec_block(frame.subroutine.body, frame)
+        except _ReturnSignal:
+            pass
+        self._flush_serial()
+
+    def get_module_var(self, module: str, name: str):
+        """Read a module variable from the host (e.g. Vars' DT)."""
+        storage = self.module_storage.get(module.upper())
+        if storage is None or name.upper() not in storage:
+            raise FortranRuntimeError(f"no variable {name} in module {module}")
+        value = storage[name.upper()]
+        return value.data if isinstance(value, FArray) else value
+
+    def set_module_var(self, module: str, name: str, value) -> None:
+        storage = self.module_storage.get(module.upper())
+        if storage is None or name.upper() not in storage:
+            raise FortranRuntimeError(f"no variable {name} in module {module}")
+        slot = storage[name.upper()]
+        if isinstance(slot, FArray):
+            slot.data[...] = value
+        else:
+            storage[name.upper()] = _to_fortran_scalar(value)
+
+    def _bind_array_arg(self, decl: ast.VarDecl, value: np.ndarray, frame) -> FArray:
+        lbounds = []
+        shape = []
+        for dim in decl.dims:
+            lower = 1 if dim.lower is None else int(self._eval(dim.lower, frame))
+            upper = int(self._eval(dim.upper, frame))
+            lbounds.append(lower)
+            shape.append(upper - lower + 1)
+        if tuple(shape) != value.shape:
+            raise FortranRuntimeError(
+                f"argument {decl.name}: declared shape {tuple(shape)} does not"
+                f" match actual {value.shape}"
+            )
+        return FArray(value, tuple(lbounds))
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, name: str, frame) -> Tuple[Optional[Dict], Optional[object]]:
+        """(storage dict, value) for a name, or (None, None) if unknown."""
+        if isinstance(frame, _Frame):
+            if name in frame.locals:
+                return frame.locals, frame.locals[name]
+            for used in frame.subroutine.uses:
+                storage = self.module_storage[used]
+                if name in storage:
+                    return storage, storage[name]
+            return None, None
+        # _ModuleEnv during module initialisation
+        if name in frame.storage:
+            return frame.storage, frame.storage[name]
+        for storage in self.module_storage.values():
+            if name in storage:
+                return storage, storage[name]
+        return None, None
+
+    def _implicits_of(self, frame) -> List[ast.ImplicitRule]:
+        if isinstance(frame, _Frame):
+            rules = list(frame.implicits)
+            for used in frame.subroutine.uses:
+                rules.extend(self.program.modules[used].implicits)
+            return rules
+        return []
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _exec_block(self, statements: List[ast.Stmt], frame) -> None:
+        for statement in statements:
+            self._exec_stmt(statement, frame)
+
+    def _exec_stmt(self, statement: ast.Stmt, frame) -> None:
+        self._stmt_count += 1
+        if isinstance(statement, ast.Assign):
+            self._exec_assign(statement, frame)
+        elif isinstance(statement, ast.If):
+            if _truth(self._eval(statement.condition, frame), statement.line):
+                self._exec_block(statement.then_body, frame)
+                return
+            for condition, block in statement.elif_blocks:
+                if _truth(self._eval(condition, frame), statement.line):
+                    self._exec_block(block, frame)
+                    return
+            self._exec_block(statement.else_body, frame)
+        elif isinstance(statement, ast.Do):
+            self._exec_do(statement, frame)
+        elif isinstance(statement, ast.DoWhile):
+            while _truth(self._eval(statement.condition, frame), statement.line):
+                self._exec_block(statement.body, frame)
+        elif isinstance(statement, ast.Call):
+            args = [self._eval_call_arg(a, frame) for a in statement.args]
+            self._call_internal(statement, args, frame)
+        elif isinstance(statement, ast.Return):
+            raise _ReturnSignal()
+        elif isinstance(statement, ast.Print):
+            values = [self._eval(item, frame) for item in statement.items]
+            print(" ".join(str(v) for v in values))
+        else:
+            raise FortranRuntimeError(
+                f"line {statement.line}: unknown statement {type(statement).__name__}"
+            )
+
+    def _eval_call_arg(self, expr: ast.Expr, frame):
+        """Whole-array arguments pass the FArray (by reference)."""
+        if isinstance(expr, ast.Ref) and not expr.has_parens:
+            _, value = self._resolve(expr.name, frame)
+            if isinstance(value, FArray):
+                return value
+        return self._eval(expr, frame)
+
+    def _call_internal(self, statement: ast.Call, args, frame) -> None:
+        subroutine = self.program.subroutines.get(statement.name)
+        if subroutine is None:
+            raise FortranRuntimeError(
+                f"line {statement.line}: CALL to unknown subroutine {statement.name}"
+            )
+        inner = _Frame(subroutine, subroutine.implicits)
+        for arg_name, value in zip(subroutine.args, args):
+            if isinstance(value, FArray):
+                decl = _find_decl(arg_name, subroutine.decls)
+                if decl is not None and decl.is_array:
+                    lbounds = []
+                    for dim in decl.dims:
+                        lower = 1 if dim.lower is None else int(self._eval(dim.lower, inner))
+                        lbounds.append(lower)
+                    inner.locals[arg_name] = FArray(value.data, tuple(lbounds))
+                else:
+                    inner.locals[arg_name] = value
+            else:
+                inner.locals[arg_name] = value
+        for decl in subroutine.decls:
+            if decl.name in inner.locals:
+                continue
+            if decl.parameter is not None:
+                inner.locals[decl.name] = _coerce_scalar(
+                    self._eval(decl.parameter, inner), decl.base
+                )
+            elif decl.is_array:
+                inner.locals[decl.name] = self._allocate(decl, inner)
+        try:
+            self._exec_block(subroutine.body, inner)
+        except _ReturnSignal:
+            pass
+
+    # -- DO loops -----------------------------------------------------------
+
+    def _exec_do(self, statement: ast.Do, frame) -> None:
+        lower = int(self._eval(statement.lower, frame))
+        upper = int(self._eval(statement.upper, frame))
+        step = 1 if statement.step is None else int(self._eval(statement.step, frame))
+        if step == 0:
+            raise FortranRuntimeError(f"line {statement.line}: DO step of zero")
+        trips = max(0, (upper - lower + step) // step)
+
+        record = (
+            statement.parallel
+            and self.record_parallel
+            and self._parallel_depth == 0
+            and trips > 0
+        )
+        if record:
+            self._flush_serial()
+            marker = self._stmt_count
+            self._parallel_depth += 1
+        storage, _ = self._resolve(statement.var, frame)
+        target = storage if storage is not None else self._local_storage(frame)
+        value = lower
+        for _ in range(trips):
+            target[statement.var] = np.int64(value)
+            self._exec_block(statement.body, frame)
+            value += step
+        target[statement.var] = np.int64(value)
+        if record:
+            self._parallel_depth -= 1
+            body_statements = self._stmt_count - marker
+            ops = max(1.0, body_statements / trips)
+            # traffic proxy: roughly one double per statement misses cache
+            self.trace.record(
+                "parallel_do",
+                trips,
+                ops,
+                int(trips * ops * 8),
+                label=f"do:{statement.var}@{statement.line}",
+                outer_iterations=trips if _contains_do(statement.body) else 0,
+            )
+            self._serial_marker = self._stmt_count
+
+    def _local_storage(self, frame) -> Dict:
+        return frame.locals if isinstance(frame, _Frame) else frame.storage
+
+    def _flush_serial(self) -> None:
+        pending = self._stmt_count - self._serial_marker
+        if pending > 0:
+            self.trace.record("serial", pending, 1.0, 0, label="serial")
+        self._serial_marker = self._stmt_count
+
+    # -- assignment -----------------------------------------------------------
+
+    def _exec_assign(self, statement: ast.Assign, frame) -> None:
+        target = statement.target
+        value = self._eval(statement.expr, frame)
+        storage, existing = self._resolve(target.name, frame)
+
+        if storage is None:
+            if target.has_parens:
+                raise FortranRuntimeError(
+                    f"line {statement.line}: assignment to undeclared array"
+                    f" {target.name}"
+                )
+            base = implicit_base(target.name, self._implicits_of(frame))
+            self._local_storage(frame)[target.name] = _coerce_scalar(value, base)
+            return
+
+        if isinstance(existing, FArray):
+            if not target.has_parens:
+                # whole-array assignment: one array operation
+                self._record_array_stmt(existing.data.size, statement)
+                existing.data[...] = value.data if isinstance(value, FArray) else value
+                return
+            if any(s.is_range for s in target.subscripts):
+                selector = self._section_selector(existing, target.subscripts, frame, statement.line)
+                window = existing.data[selector]
+                self._record_array_stmt(int(np.asarray(window).size), statement)
+                existing.data[selector] = value.data if isinstance(value, FArray) else value
+                return
+            subscripts = [self._eval(s.index, frame) for s in target.subscripts]
+            offsets = existing.offset(subscripts, statement.line)
+            existing.data[offsets] = _coerce_element(value, existing.data.dtype)
+            return
+
+        # scalar rebinding
+        base = (
+            "REAL"
+            if isinstance(existing, (float, np.floating))
+            else "INTEGER"
+            if isinstance(existing, (int, np.integer)) and not isinstance(existing, (bool, np.bool_))
+            else "LOGICAL"
+        )
+        storage[target.name] = _coerce_scalar(value, base)
+
+    def _record_array_stmt(self, elements: int, statement: ast.Assign) -> None:
+        """Whole-array statements are single vector operations; the
+        auto-paralleliser treats them like parallel loops."""
+        if elements <= 1 or self._parallel_depth > 0 or not self.record_parallel:
+            return
+        ops = self._expr_ops(statement.expr)
+        self._flush_serial()
+        self.trace.record(
+            "parallel_do", elements, float(ops), elements * 16,
+            label=f"array-stmt@{statement.line}",
+        )
+        self._serial_marker = self._stmt_count
+
+    def _expr_ops(self, expr: ast.Expr) -> int:
+        key = id(expr)
+        cached = self._expr_ops_cache.get(key)
+        if cached is None:
+            cached = max(
+                1,
+                sum(
+                    1
+                    for node in ast.walk_expr(expr)
+                    if isinstance(node, (ast.BinOp, ast.UnOp))
+                ),
+            )
+            self._expr_ops_cache[key] = cached
+        return cached
+
+    def _section_selector(self, array: FArray, subscripts, frame, line):
+        selector = []
+        for position, section in enumerate(subscripts):
+            lbound = array.lbounds[position]
+            extent = array.data.shape[position]
+            if section.is_range:
+                low = lbound if section.lower is None else int(self._eval(section.lower, frame))
+                high = (
+                    lbound + extent - 1
+                    if section.upper is None
+                    else int(self._eval(section.upper, frame))
+                )
+                selector.append(slice(low - lbound, high - lbound + 1))
+            else:
+                index = int(self._eval(section.index, frame)) - lbound
+                if not 0 <= index < extent:
+                    raise FortranRuntimeError(
+                        f"line {line}: subscript out of bounds in section"
+                    )
+                selector.append(index)
+        return tuple(selector)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, frame):
+        if isinstance(expr, ast.IntLit):
+            return np.int64(expr.value)
+        if isinstance(expr, ast.RealLit):
+            return np.float64(expr.value)
+        if isinstance(expr, ast.LogicalLit):
+            return np.bool_(expr.value)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, frame)
+        if isinstance(expr, ast.UnOp):
+            operand = self._eval(expr.operand, frame)
+            operand = operand.data if isinstance(operand, FArray) else operand
+            if expr.op == "-":
+                return -operand
+            if expr.op == "NOT":
+                return np.logical_not(operand)
+            return operand
+        if isinstance(expr, ast.Ref):
+            return self._eval_ref(expr, frame)
+        raise FortranRuntimeError(f"unknown expression {type(expr).__name__}")
+
+    def _eval_binop(self, expr: ast.BinOp, frame):
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        left = left.data if isinstance(left, FArray) else left
+        right = right.data if isinstance(right, FArray) else right
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if _is_integer(left) and _is_integer(right):
+                if np.any(np.asarray(right) == 0):
+                    raise FortranRuntimeError(f"line {expr.line}: integer division by zero")
+                quotient = np.trunc(np.asarray(left) / np.asarray(right)).astype(np.int64)
+                return quotient[()] if quotient.ndim == 0 else quotient
+            return left / right
+        if op == "**":
+            return left ** right
+        if op == "==":
+            return left == right
+        if op == "/=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "AND":
+            return np.logical_and(left, right)
+        if op == "OR":
+            return np.logical_or(left, right)
+        raise FortranRuntimeError(f"line {expr.line}: unknown operator {op!r}")
+
+    def _eval_ref(self, expr: ast.Ref, frame):
+        storage, value = self._resolve(expr.name, frame)
+        if storage is not None:
+            if isinstance(value, FArray):
+                if not expr.has_parens:
+                    return value
+                if any(s.is_range for s in expr.subscripts):
+                    selector = self._section_selector(value, expr.subscripts, frame, expr.line)
+                    return value.data[selector]
+                subscripts = [self._eval(s.index, frame) for s in expr.subscripts]
+                return value.data[value.offset(subscripts, expr.line)]
+            if expr.has_parens:
+                raise FortranRuntimeError(
+                    f"line {expr.line}: {expr.name} is not an array or function"
+                )
+            return value
+        if expr.has_parens:
+            return self._eval_intrinsic(expr, frame)
+        raise FortranRuntimeError(
+            f"line {expr.line}: {expr.name} referenced before assignment"
+        )
+
+    def _eval_intrinsic(self, expr: ast.Ref, frame):
+        name = expr.name
+        args = []
+        for section in expr.subscripts:
+            if section.is_range or section.index is None:
+                raise FortranRuntimeError(
+                    f"line {expr.line}: bad argument to {name}"
+                )
+            value = self._eval(section.index, frame)
+            args.append(value.data if isinstance(value, FArray) else value)
+        if name in _INTRINSICS_ELEMENTWISE and len(args) == 1:
+            return _INTRINSICS_ELEMENTWISE[name](args[0])
+        if name in _INTRINSICS_REDUCE and len(args) == 1:
+            return _INTRINSICS_REDUCE[name](args[0])
+        if name == "MAX" and len(args) >= 2:
+            result = args[0]
+            for arg in args[1:]:
+                result = np.maximum(result, arg)
+            return result
+        if name == "MIN" and len(args) >= 2:
+            result = args[0]
+            for arg in args[1:]:
+                result = np.minimum(result, arg)
+            return result
+        if name == "MOD" and len(args) == 2:
+            return np.fmod(args[0], args[1])
+        if name == "SIZE" and len(args) == 1:
+            return np.int64(np.asarray(args[0]).size)
+        raise FortranRuntimeError(
+            f"line {expr.line}: unknown function or unbound array {name!r}"
+        )
+
+
+class _ModuleEnv:
+    """Environment used while initialising one module's storage."""
+
+    __slots__ = ("program", "storage")
+
+    def __init__(self, program: F90Program, storage: Dict[str, object]):
+        self.program = program
+        self.storage = storage
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _find_decl(name: str, decls: List[ast.VarDecl]) -> Optional[ast.VarDecl]:
+    for decl in decls:
+        if decl.name == name:
+            return decl
+    return None
+
+
+def _zero(base: str):
+    if base == "REAL":
+        return np.float64(0.0)
+    if base == "INTEGER":
+        return np.int64(0)
+    return np.bool_(False)
+
+
+def _coerce_scalar(value, base: str):
+    array = np.asarray(value.data if isinstance(value, FArray) else value)
+    if array.ndim != 0:
+        raise FortranRuntimeError("cannot assign an array to a scalar")
+    if base == "REAL":
+        return np.float64(array)
+    if base == "INTEGER":
+        return np.int64(np.trunc(array))
+    return np.bool_(array)
+
+
+def _coerce_element(value, dtype):
+    array = np.asarray(value)
+    if array.ndim != 0:
+        raise FortranRuntimeError("cannot assign an array to an array element")
+    if np.issubdtype(dtype, np.integer):
+        return np.int64(np.trunc(array))
+    return array.astype(dtype, copy=False)[()]
+
+
+def _to_fortran_scalar(value):
+    if isinstance(value, (bool, np.bool_)):
+        return np.bool_(value)
+    if isinstance(value, (int, np.integer)):
+        return np.int64(value)
+    return np.float64(value)
+
+
+def _truth(value, line: int) -> bool:
+    array = np.asarray(value)
+    if array.ndim != 0:
+        raise FortranRuntimeError(f"line {line}: condition must be scalar")
+    return bool(array)
+
+
+def _is_integer(value) -> bool:
+    return np.issubdtype(np.asarray(value).dtype, np.integer)
+
+
+def _contains_do(statements: List[ast.Stmt]) -> bool:
+    return any(isinstance(s, ast.Do) for s in ast.walk_stmts(statements))

@@ -1,0 +1,212 @@
+"""Lexer for the mini Fortran-90.
+
+Fortran is line-oriented: the lexer first assembles *logical lines*
+(stripping ``!`` comments, joining ``&`` continuations, splitting on
+``;``), then tokenises each line.  Identifiers and keywords are
+case-insensitive and normalised to upper case; ``1.4d0``-style double
+literals and the dotted operators (``.AND.``, ``.LT.``, ...) are
+handled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import FortranSyntaxError
+
+DOT_OPERATORS = {
+    ".AND.": "AND",
+    ".OR.": "OR",
+    ".NOT.": "NOT",
+    ".EQ.": "==",
+    ".NE.": "/=",
+    ".LT.": "<",
+    ".LE.": "<=",
+    ".GT.": ">",
+    ".GE.": ">=",
+    ".TRUE.": "TRUE",
+    ".FALSE.": "FALSE",
+}
+
+MULTI_OPERATORS = ["::", "**", "==", "/=", "<=", ">=", "=>"]
+SINGLE_OPERATORS = set("+-*/=(),:<>%")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # ident | int | real | op | string | eof
+    text: str
+    line: int
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_ident(self, text: str) -> bool:
+        return self.kind == "ident" and self.text == text
+
+
+@dataclass
+class LogicalLine:
+    """One statement-bearing line with its original line number."""
+
+    tokens: List[Token]
+    line: int
+
+
+def logical_lines(source: str) -> List[LogicalLine]:
+    """Assemble logical lines: strip comments, join & continuations."""
+    raw_lines = source.splitlines()
+    assembled: List[Tuple[str, int]] = []
+    buffer = ""
+    buffer_line = 0
+    for number, raw in enumerate(raw_lines, start=1):
+        text = _strip_comment(raw)
+        stripped = text.strip()
+        if not stripped:
+            continue
+        if buffer:
+            if stripped.startswith("&"):
+                stripped = stripped[1:].lstrip()
+            buffer += " " + stripped
+        else:
+            buffer = stripped
+            buffer_line = number
+        if buffer.rstrip().endswith("&"):
+            buffer = buffer.rstrip()[:-1]
+            continue
+        for piece in _split_semicolons(buffer):
+            if piece.strip():
+                assembled.append((piece.strip(), buffer_line))
+        buffer = ""
+    if buffer.strip():
+        assembled.append((buffer.strip(), buffer_line))
+
+    lines = []
+    for text, number in assembled:
+        tokens = _tokenize_line(text, number)
+        if tokens:
+            tokens.append(Token("eof", "", number))
+            lines.append(LogicalLine(tokens, number))
+    return lines
+
+
+def _strip_comment(text: str) -> str:
+    in_string = False
+    for position, char in enumerate(text):
+        if char == "'":
+            in_string = not in_string
+        elif char == "!" and not in_string:
+            return text[:position]
+    return text
+
+
+def _split_semicolons(text: str) -> List[str]:
+    pieces = []
+    current = []
+    in_string = False
+    for char in text:
+        if char == "'":
+            in_string = not in_string
+        if char == ";" and not in_string:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    pieces.append("".join(current))
+    return pieces
+
+
+def _tokenize_line(text: str, line: int) -> List[Token]:
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char in " \t":
+            position += 1
+            continue
+        if char == "'":
+            end = text.find("'", position + 1)
+            if end < 0:
+                raise FortranSyntaxError("unterminated string literal", line)
+            tokens.append(Token("string", text[position + 1 : end], line))
+            position = end + 1
+            continue
+        if char == ".":
+            matched = False
+            upper = text[position:].upper()
+            for dotted, replacement in DOT_OPERATORS.items():
+                if upper.startswith(dotted):
+                    kind = "op"
+                    if replacement in ("TRUE", "FALSE"):
+                        kind = "ident"
+                    tokens.append(Token(kind, replacement, line))
+                    position += len(dotted)
+                    matched = True
+                    break
+            if matched:
+                continue
+            if position + 1 < length and text[position + 1].isdigit():
+                token, position = _number(text, position, line)
+                tokens.append(token)
+                continue
+            raise FortranSyntaxError(f"unexpected '.' in {text!r}", line)
+        if char.isdigit():
+            token, position = _number(text, position, line)
+            tokens.append(token)
+            continue
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            tokens.append(Token("ident", text[position:end].upper(), line))
+            position = end
+            continue
+        matched = False
+        for operator in MULTI_OPERATORS:
+            if text.startswith(operator, position):
+                tokens.append(Token("op", operator, line))
+                position += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in SINGLE_OPERATORS:
+            tokens.append(Token("op", char, line))
+            position += 1
+            continue
+        raise FortranSyntaxError(f"unexpected character {char!r}", line)
+    return tokens
+
+
+def _number(text: str, position: int, line: int) -> Tuple[Token, int]:
+    """Scan 123, 1.5, 1.4D0, 1.E-3, 0.5_8 style numbers."""
+    length = len(text)
+    end = position
+    is_real = False
+    while end < length and text[end].isdigit():
+        end += 1
+    if end < length and text[end] == ".":
+        # avoid eating '.AND.' after '1': only a real if next is digit/exp/D
+        probe = end + 1
+        if probe >= length or text[probe].isdigit() or text[probe] in "dDeE \t)+-*/,":
+            follows = text[probe:probe + 4].upper()
+            if not any(follows.startswith(op[1:]) for op in DOT_OPERATORS):
+                is_real = True
+                end = probe
+                while end < length and text[end].isdigit():
+                    end += 1
+    if end < length and text[end] in "dDeE":
+        probe = end + 1
+        if probe < length and text[probe] in "+-":
+            probe += 1
+        if probe < length and text[probe].isdigit():
+            is_real = True
+            end = probe
+            while end < length and text[end].isdigit():
+                end += 1
+    literal = text[position:end]
+    kind = "real" if is_real else "int"
+    normalised = literal.upper().replace("D", "E") if is_real else literal
+    return Token(kind, normalised, line), end

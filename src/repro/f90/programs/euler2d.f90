@@ -1,0 +1,203 @@
+! 2-D compressible Euler solver in loop-nest Fortran-90 — the baseline
+! implementation the paper ports to SaC.  Same numerics as
+! euler2d.sac: piecewise-constant reconstruction, Rusanov fluxes,
+! 3rd-order TVD Runge-Kutta, two-channel boundary conditions (walls
+! with exit sections [E0+1, E1] blowing the Rankine-Hugoniot post-shock
+! primitive states QINL / QINB).
+!
+! State layout is the classic component-first Fortran one:
+! Q(1,ix,iy) = rho, Q(2,..) = rho*u, Q(3,..) = rho*v, Q(4,..) = E.
+! Subset note: scalars pass by value, so GETDT2 returns through a
+! length-1 array.
+
+MODULE Cons
+  IMPLICIT REAL*8 (A-H,O-Z)
+  REAL*8, PARAMETER :: Gam = 1.4D0
+END MODULE
+
+! primitive variables with a one-cell ghost frame, boundary conditions
+! applied (left/bottom: wall outside the exit section, inflow inside;
+! right/top: transmissive)
+SUBROUTINE PRIMBC(Q, NX, NY, E0, E1, QINL, QINB, QP)
+  USE Cons
+  IMPLICIT REAL*8 (A-H,O-Z)
+  INTEGER NX, NY, E0, E1
+  REAL*8 Q(4, NX, NY), QINL(4), QINB(4)
+  REAL*8 QP(4, 0:NX+1, 0:NY+1)
+
+  DO iy = 1, NY
+    DO ix = 1, NX
+      R = Q(1, ix, iy)
+      U = Q(2, ix, iy) / R
+      V = Q(3, ix, iy) / R
+      P = (Gam - 1.D0) * (Q(4, ix, iy) - 0.5D0 * R * (U*U + V*V))
+      QP(1, ix, iy) = R
+      QP(2, ix, iy) = U
+      QP(3, ix, iy) = V
+      QP(4, ix, iy) = P
+    END DO
+  END DO
+
+  ! left and right ghost columns
+  DO iy = 1, NY
+    IF (iy >= E0 + 1 .AND. iy <= E1) THEN
+      QP(1, 0, iy) = QINL(1)
+      QP(2, 0, iy) = QINL(2)
+      QP(3, 0, iy) = QINL(3)
+      QP(4, 0, iy) = QINL(4)
+    ELSE
+      QP(1, 0, iy) = QP(1, 1, iy)
+      QP(2, 0, iy) = -QP(2, 1, iy)
+      QP(3, 0, iy) = QP(3, 1, iy)
+      QP(4, 0, iy) = QP(4, 1, iy)
+    END IF
+    QP(1, NX+1, iy) = QP(1, NX, iy)
+    QP(2, NX+1, iy) = QP(2, NX, iy)
+    QP(3, NX+1, iy) = QP(3, NX, iy)
+    QP(4, NX+1, iy) = QP(4, NX, iy)
+  END DO
+
+  ! bottom and top ghost rows
+  DO ix = 1, NX
+    IF (ix >= E0 + 1 .AND. ix <= E1) THEN
+      QP(1, ix, 0) = QINB(1)
+      QP(2, ix, 0) = QINB(2)
+      QP(3, ix, 0) = QINB(3)
+      QP(4, ix, 0) = QINB(4)
+    ELSE
+      QP(1, ix, 0) = QP(1, ix, 1)
+      QP(2, ix, 0) = QP(2, ix, 1)
+      QP(3, ix, 0) = -QP(3, ix, 1)
+      QP(4, ix, 0) = QP(4, ix, 1)
+    END IF
+    QP(1, ix, NY+1) = QP(1, ix, NY)
+    QP(2, ix, NY+1) = QP(2, ix, NY)
+    QP(3, ix, NY+1) = QP(3, ix, NY)
+    QP(4, ix, NY+1) = QP(4, ix, NY)
+  END DO
+END SUBROUTINE
+
+! spatial operator RHS = -dF/dx - dG/dy via Rusanov interface fluxes
+SUBROUTINE EULRHS(Q, NX, NY, DX, DY, E0, E1, QINL, QINB, RHS)
+  USE Cons
+  IMPLICIT REAL*8 (A-H,O-Z)
+  INTEGER NX, NY, E0, E1
+  REAL*8 Q(4, NX, NY), RHS(4, NX, NY), QINL(4), QINB(4)
+  REAL*8 QP(4, 0:NX+1, 0:NY+1)
+  REAL*8 FX(4, NX+1, NY), FY(4, NX, NY+1)
+
+  CALL PRIMBC(Q, NX, NY, E0, E1, QINL, QINB, QP)
+
+  ! x-direction fluxes at the NX+1 vertical interfaces
+  DO iy = 1, NY
+    DO i = 1, NX + 1
+      RL = QP(1, i-1, iy)
+      UL = QP(2, i-1, iy)
+      VL = QP(3, i-1, iy)
+      PL = QP(4, i-1, iy)
+      RR = QP(1, i, iy)
+      UR = QP(2, i, iy)
+      VR = QP(3, i, iy)
+      PR = QP(4, i, iy)
+      EL = PL / (Gam - 1.D0) + 0.5D0 * RL * (UL*UL + VL*VL)
+      ER = PR / (Gam - 1.D0) + 0.5D0 * RR * (UR*UR + VR*VR)
+      CL = SQRT(Gam * PL / RL)
+      CR = SQRT(Gam * PR / RR)
+      SMAX = MAX(ABS(UL) + CL, ABS(UR) + CR)
+      FX(1, i, iy) = 0.5D0 * (RL*UL + RR*UR) - 0.5D0 * SMAX * (RR - RL)
+      FX(2, i, iy) = 0.5D0 * (RL*UL*UL + PL + RR*UR*UR + PR) &
+                   - 0.5D0 * SMAX * (RR*UR - RL*UL)
+      FX(3, i, iy) = 0.5D0 * (RL*UL*VL + RR*UR*VR) &
+                   - 0.5D0 * SMAX * (RR*VR - RL*VL)
+      FX(4, i, iy) = 0.5D0 * (UL*(EL + PL) + UR*(ER + PR)) &
+                   - 0.5D0 * SMAX * (ER - EL)
+    END DO
+  END DO
+
+  ! y-direction fluxes at the NY+1 horizontal interfaces
+  DO iy = 1, NY + 1
+    DO ix = 1, NX
+      RL = QP(1, ix, iy-1)
+      UL = QP(2, ix, iy-1)
+      VL = QP(3, ix, iy-1)
+      PL = QP(4, ix, iy-1)
+      RR = QP(1, ix, iy)
+      UR = QP(2, ix, iy)
+      VR = QP(3, ix, iy)
+      PR = QP(4, ix, iy)
+      EL = PL / (Gam - 1.D0) + 0.5D0 * RL * (UL*UL + VL*VL)
+      ER = PR / (Gam - 1.D0) + 0.5D0 * RR * (UR*UR + VR*VR)
+      CL = SQRT(Gam * PL / RL)
+      CR = SQRT(Gam * PR / RR)
+      SMAX = MAX(ABS(VL) + CL, ABS(VR) + CR)
+      FY(1, ix, iy) = 0.5D0 * (RL*VL + RR*VR) - 0.5D0 * SMAX * (RR - RL)
+      FY(2, ix, iy) = 0.5D0 * (RL*VL*UL + RR*VR*UR) &
+                    - 0.5D0 * SMAX * (RR*UR - RL*UL)
+      FY(3, ix, iy) = 0.5D0 * (RL*VL*VL + PL + RR*VR*VR + PR) &
+                    - 0.5D0 * SMAX * (RR*VR - RL*VL)
+      FY(4, ix, iy) = 0.5D0 * (VL*(EL + PL) + VR*(ER + PR)) &
+                    - 0.5D0 * SMAX * (ER - EL)
+    END DO
+  END DO
+
+  DO iy = 1, NY
+    DO ix = 1, NX
+      DO k = 1, 4
+        RHS(k, ix, iy) = (FX(k, ix, iy) - FX(k, ix+1, iy)) / DX &
+                       + (FY(k, ix, iy) - FY(k, ix, iy+1)) / DY
+      END DO
+    END DO
+  END DO
+END SUBROUTINE
+
+! CFL time step from the conservative state; result in DTOUT(1)
+SUBROUTINE GETDT2(Q, NX, NY, DX, DY, CFLN, DTOUT)
+  USE Cons
+  IMPLICIT REAL*8 (A-H,O-Z)
+  INTEGER NX, NY
+  REAL*8 Q(4, NX, NY), DTOUT(1)
+
+  EVmax = 0.D0
+  DO iy = 1, NY
+    DO ix = 1, NX
+      R = Q(1, ix, iy)
+      U = Q(2, ix, iy) / R
+      V = Q(3, ix, iy) / R
+      P = (Gam - 1.D0) * (Q(4, ix, iy) - 0.5D0 * R * (U*U + V*V))
+      C = SQRT(Gam * P / R)
+      EV = (ABS(U) + C) / DX + (ABS(V) + C) / DY
+      EVmax = MAX(EV, EVmax)
+    END DO
+  END DO
+  DTOUT(1) = CFLN / EVmax
+END SUBROUTINE
+
+! one TVD-RK3 step, updating Q in place
+SUBROUTINE STEP(Q, NX, NY, DT, DX, DY, E0, E1, QINL, QINB)
+  USE Cons
+  IMPLICIT REAL*8 (A-H,O-Z)
+  INTEGER NX, NY, E0, E1
+  REAL*8 Q(4, NX, NY), QINL(4), QINB(4)
+  REAL*8 Q1(4, NX, NY), Q2(4, NX, NY), RHS(4, NX, NY)
+
+  CALL EULRHS(Q, NX, NY, DX, DY, E0, E1, QINL, QINB, RHS)
+  Q1 = Q + DT * RHS
+  CALL EULRHS(Q1, NX, NY, DX, DY, E0, E1, QINL, QINB, RHS)
+  Q2 = 0.75D0 * Q + 0.25D0 * (Q1 + DT * RHS)
+  CALL EULRHS(Q2, NX, NY, DX, DY, E0, E1, QINL, QINB, RHS)
+  Q = Q / 3.D0 + (2.D0 / 3.D0) * (Q2 + DT * RHS)
+END SUBROUTINE
+
+! time loop: NSTEPS CFL-limited RK3 steps
+SUBROUTINE SIMULATE(Q, NX, NY, NSTEPS, DX, DY, CFLN, E0, E1, QINL, QINB)
+  USE Cons
+  IMPLICIT REAL*8 (A-H,O-Z)
+  INTEGER NX, NY, NSTEPS, E0, E1
+  REAL*8 Q(4, NX, NY), QINL(4), QINB(4)
+  REAL*8 DTA(1)
+
+  DO s = 1, NSTEPS
+    CALL GETDT2(Q, NX, NY, DX, DY, CFLN, DTA)
+    CALL STEP(Q, NX, NY, DTA(1), DX, DY, E0, E1, QINL, QINB)
+  END DO
+END SUBROUTINE

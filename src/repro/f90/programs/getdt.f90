@@ -1,0 +1,47 @@
+! The paper's Section 4.2 GetDT, reproduced verbatim (modulo the
+! surrounding module definitions it references): the CFL time-step
+! computation over the primitive-variable array QP, whose layout is
+! QP(1,ix,iy) = Ux, QP(2,..) = Uy, QP(3,..) = Pc, QP(4,..) = Rc.
+!
+! The host sizes the active window through IXmax/IYmax and reads the
+! result from Vars' DT.  The nested loop is a MAX-reduction; the
+! auto-paralleliser needs -reduction to parallelise it.
+
+MODULE Cons
+  IMPLICIT REAL*8 (A-H,O-Z)
+  REAL*8, PARAMETER :: Gam = 1.4D0
+  REAL*8 :: CFL = 0.5D0
+  REAL*8 :: Dx = 1.D0
+  REAL*8 :: Dy = 1.D0
+END MODULE
+
+MODULE Vars
+  INTEGER :: IXmin = 1
+  INTEGER :: IXmax = 1
+  INTEGER :: IYmin = 1
+  INTEGER :: IYmax = 1
+  REAL*8 QP(4, 400, 400)
+  REAL*8 DT
+END MODULE
+
+SUBROUTINE GetDT
+  USE Cons
+  USE Vars
+  IMPLICIT REAL*8 (A-H,O-Z)
+
+  EVmax = 0.d0
+  DO iy=IYmin,IYmax
+    DO ix=IXmin,IXmax
+      Ux = QP(1,ix,iy)
+      Uy = QP(2,ix,iy)
+      Pc = QP(3,ix,iy)
+      Rc = QP(4,ix,iy)
+      C = SQRT(Gam*Pc/Rc)
+      EV = (ABS(Ux)+C)/Dx+(ABS(Uy)+C)/Dy
+      EVmax = MAX(EV,EVmax)
+    END DO
+  END DO
+
+  DT = CFL/EVmax
+
+END SUBROUTINE

@@ -1,0 +1,189 @@
+"""Regeneration of every figure in the paper, as data + text rendering.
+
+* :func:`figure1_sod`        — the three Sod-tube snapshots (Fig. 1),
+  with the exact Riemann solution and error norms;
+* :func:`figure2_schematic`  — the flow-configuration schematic (Fig. 2)
+  as a labelled text diagram of the boundary layout actually used;
+* :func:`figure3_interaction`— the 2-D shock-interaction snapshot
+  (Fig. 3): density field + quantitative structure diagnostics;
+* :func:`figure4_scaling`    — the wall-clock-vs-cores comparison
+  (Fig. 4), via the measured-trace + machine-model methodology of
+  :mod:`repro.perf.scaling`.
+
+The benchmark harness calls these; examples print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import viz
+from repro.euler import diagnostics, exact_riemann_solve, problems
+from repro.euler.problems import SOD
+from repro.euler.solver import SolverConfig
+from repro.perf.scaling import ScalingResult, TwoChannelWorkload, figure4_experiment
+
+
+@dataclass
+class SodSnapshot:
+    time: float
+    x: np.ndarray
+    density: np.ndarray
+    exact_density: np.ndarray
+
+    @property
+    def l1_error(self) -> float:
+        dx = float(self.x[1] - self.x[0])
+        return diagnostics.l1_error(self.density, self.exact_density, dx)
+
+
+@dataclass
+class Figure1Result:
+    snapshots: List[SodSnapshot]
+
+    def render(self) -> str:
+        parts = []
+        for snap in self.snapshots:
+            parts.append(
+                viz.ascii_profile(
+                    snap.x,
+                    snap.density,
+                    label=f"Sod density at t = {snap.time:.3f} (L1 error {snap.l1_error:.4f})",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def figure1_sod(
+    n_cells: int = 400,
+    times: Tuple[float, ...] = (0.05, 0.10, 0.15),
+    config: Optional[SolverConfig] = None,
+) -> Figure1Result:
+    """Fig. 1: the expanding Sod shock wave at three instants."""
+    config = config or SolverConfig()  # WENO-3 + characteristic + RK3
+    solver, x = problems.sod(n_cells, config)
+    snapshots: List[SodSnapshot] = []
+    for time in sorted(times):
+        solver.run(t_end=time)
+        exact = exact_riemann_solve(SOD.left, SOD.right, x, time, SOD.x_diaphragm)
+        snapshots.append(
+            SodSnapshot(
+                time=time,
+                x=x.copy(),
+                density=solver.primitive[:, 0].copy(),
+                exact_density=exact[:, 0],
+            )
+        )
+    return Figure1Result(snapshots)
+
+
+def figure2_schematic(n: int = 32, h: float = 16.0) -> str:
+    """Fig. 2: the flow configuration, as the boundary map actually used."""
+    _, setup = problems.two_channel(n_cells=n, h=h)
+    dx = setup.dx
+    exit_lo = int(round(setup.exit_start / dx))
+    exit_hi = int(round(setup.exit_stop / dx))
+    width = 48
+    header = (
+        f"computational domain {setup.domain_size:g} x {setup.domain_size:g}"
+        f" (= 2h x 2h, h = {setup.h:g}), Ms = {setup.mach}\n"
+        f"left/bottom walls with channel exit sections on cells"
+        f" [{exit_lo}, {exit_hi}) of {n}"
+    )
+    rows = []
+    for j in reversed(range(n)):
+        left = "I" if exit_lo <= j < exit_hi else "W"
+        rows.append(left + "." * (width - 2) + "t")
+    bottom = "".join(
+        "I" if exit_lo <= int(i * n / width) < exit_hi else "W" for i in range(width)
+    )
+    legend = "W = solid wall, I = supersonic inflow (post-shock state), t = transmissive"
+    return "\n".join([header] + rows + [bottom, legend])
+
+
+@dataclass
+class Figure3Result:
+    primitive: np.ndarray
+    setup: problems.TwoChannelSetup
+    time: float
+    steps: int
+    shock_radius: float
+    shock_circularity: float
+    symmetry_error: float
+    disturbed_fraction: float
+    max_density_ratio: float
+
+    def render(self) -> str:
+        stats = (
+            f"t = {self.time:.3f} after {self.steps} steps; primary front radius"
+            f" {self.shock_radius:.1f} (circularity spread {self.shock_circularity:.3f});"
+            f" diagonal symmetry error {self.symmetry_error:.2e};"
+            f" max density ratio {self.max_density_ratio:.2f}"
+        )
+        return stats + "\n" + viz.ascii_field(
+            self.primitive[..., 0], label="density"
+        )
+
+
+def figure3_interaction(
+    n_cells: int = 100,
+    mach: float = 2.2,
+    steps: Optional[int] = None,
+    config: Optional[SolverConfig] = None,
+) -> Figure3Result:
+    """Fig. 3: snapshot of the two-channel shock interaction.
+
+    Defaults are scaled down from the paper's 400x400 so the snapshot
+    is computable in seconds; pass ``n_cells=400`` for full scale.
+    """
+    config = config or SolverConfig(riemann="hllc", reconstruction="weno3")
+    h = n_cells / 2.0  # dx = 1, as in the paper
+    solver, setup = problems.two_channel(n_cells=n_cells, h=h, mach=mach, config=config)
+    if steps is None:
+        # long enough (t ~ 1.5 h / shock speed) for the primary fronts to
+        # meet and the Mach stem to form on the diagonal
+        steps = int(round(1.5 * n_cells))
+    solver.run(max_steps=steps)
+    primitive = solver.primitive
+    exit_centre = (setup.exit_start + setup.exit_stop) / 2.0
+    radius, spread = diagnostics.shock_front_radius(
+        primitive, origin=(0.0, exit_centre), dx=setup.dx, p_ambient=setup.p0
+    )
+    return Figure3Result(
+        primitive=primitive,
+        setup=setup,
+        time=solver.time,
+        steps=solver.steps,
+        shock_radius=radius,
+        shock_circularity=spread,
+        symmetry_error=diagnostics.symmetry_error(primitive),
+        disturbed_fraction=diagnostics.disturbed_fraction(primitive, setup.p0),
+        max_density_ratio=float(primitive[..., 0].max() / setup.rho0),
+    )
+
+
+def figure4_scaling(
+    grid: int = 400,
+    steps: int = 1000,
+    workload: Optional[TwoChannelWorkload] = None,
+) -> ScalingResult:
+    """Fig. 4: simulated wall clock of SaC vs Fortran over 1..16 cores."""
+    return figure4_experiment(grid=grid, steps=steps, workload=workload)
+
+
+def render_figure4(result: ScalingResult) -> str:
+    from repro.perf.scaling import format_scaling_table
+
+    cores = [p.cores for p in result.points]
+    chart = viz.ascii_series(
+        [
+            ("SaC", cores, [p.sac_seconds for p in result.points]),
+            ("F90", cores, [p.fortran_seconds for p in result.points]),
+        ],
+        label=f"Fig. 4: wall clock vs cores ({result.grid}x{result.grid})",
+        log_y=True,
+    )
+    return format_scaling_table(result) + "\n\n" + chart

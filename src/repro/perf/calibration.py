@@ -1,0 +1,106 @@
+"""Calibration record for the simulated machine.
+
+The constants in :mod:`repro.perf.machine` and the sync models are not
+fitted to published numbers (the paper's Fig. 4 prints no axis values
+in the text); they are chosen so the model reproduces the figure's
+*qualitative assertions*, which are also what the benchmark asserts:
+
+1. 400x400, 1 core: Fortran is several times faster than SaC
+   ("SaC was much slower than Fortran when run on just one core");
+2. 400x400: Fortran's time *rises* as cores are added
+   ("as the number of cores increased performance degraded");
+3. 400x400: SaC's time falls monotonically with cores and crosses
+   below Fortran's within the 16-core machine;
+4. 2000x2000: Fortran improves for small core counts and degrades
+   beyond ~5 ("able to scale slightly with small numbers of cores but
+   after just five cores it started to suffer").
+
+:func:`verify_calibration` re-checks all four facts and is run by the
+test-suite, so any constant change that breaks the shape fails CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.perf.scaling import (
+    ScalingResult,
+    TwoChannelWorkload,
+    figure4_experiment,
+    measure_fortran_trace,
+    measure_sac_trace,
+)
+
+
+@dataclass
+class CalibrationCheck:
+    claim: str
+    holds: bool
+    detail: str
+
+
+def verify_calibration(
+    workload: Optional[TwoChannelWorkload] = None,
+) -> List[CalibrationCheck]:
+    """Evaluate the four Fig. 4 shape facts against the current model."""
+    workload = workload or TwoChannelWorkload(measure_grid=16, measure_steps=1)
+    sac_trace = measure_sac_trace(workload)
+    fortran_trace = measure_fortran_trace(workload)
+    small = figure4_experiment(
+        400, 1000, workload=workload, sac_trace=sac_trace, fortran_trace=fortran_trace
+    )
+    large = figure4_experiment(
+        2000, 1000, workload=workload, sac_trace=sac_trace, fortran_trace=fortran_trace
+    )
+    return [
+        _check_one_core_gap(small),
+        _check_fortran_degrades(small),
+        _check_sac_scales_and_crosses(small),
+        _check_large_grid(large),
+    ]
+
+
+def _check_one_core_gap(result: ScalingResult) -> CalibrationCheck:
+    sac_1 = result.points[0].sac_seconds
+    fortran_1 = result.points[0].fortran_seconds
+    ratio = sac_1 / fortran_1
+    return CalibrationCheck(
+        "1 core: SaC much slower than Fortran (400x400)",
+        2.0 <= ratio <= 30.0,
+        f"SaC/Fortran single-core ratio = {ratio:.1f}",
+    )
+
+
+def _check_fortran_degrades(result: ScalingResult) -> CalibrationCheck:
+    times = [p.fortran_seconds for p in result.points]
+    holds = times[-1] > times[0] and min(times) == times[0]
+    return CalibrationCheck(
+        "400x400: Fortran degrades as cores are added",
+        holds,
+        f"F(1)={times[0]:.1f}s F(16)={times[-1]:.1f}s min at"
+        f" {times.index(min(times)) + 1} cores",
+    )
+
+
+def _check_sac_scales_and_crosses(result: ScalingResult) -> CalibrationCheck:
+    times = [p.sac_seconds for p in result.points]
+    monotone = all(b <= a * 1.001 for a, b in zip(times, times[1:]))
+    crossover = result.crossover_cores()
+    return CalibrationCheck(
+        "400x400: SaC scales and overtakes Fortran",
+        monotone and crossover is not None and crossover <= 16,
+        f"S(1)={times[0]:.1f}s S(16)={times[-1]:.1f}s crossover={crossover}",
+    )
+
+
+def _check_large_grid(result: ScalingResult) -> CalibrationCheck:
+    times = [p.fortran_seconds for p in result.points]
+    best = times.index(min(times)) + 1
+    holds = 2 <= best <= 6 and times[-1] > min(times)
+    return CalibrationCheck(
+        "2000x2000: Fortran scales slightly, then suffers after ~5 cores",
+        holds,
+        f"Fortran minimum at {best} cores; F(16)/F(min) ="
+        f" {times[-1] / min(times):.2f}",
+    )

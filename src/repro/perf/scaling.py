@@ -1,0 +1,199 @@
+"""The paper's Fig. 4 experiment: wall clock vs. core count.
+
+Methodology
+-----------
+The paper times 1000 steps of the 2-D simulation on a 400x400 grid for
+1..16 cores, for SaC and auto-parallelised Fortran.  We cannot run 2009
+binaries, so the experiment is *measure structure, model hardware*:
+
+1. run the real SaC pipeline (compile + vectorised backend) and the
+   real Fortran pipeline (parse + autopar + interpreter) on a small
+   instance of the same workload, recording an execution trace —
+   the per-step sequence of parallel regions with their work;
+2. scale the per-step trace to the target grid and step count (the
+   region *structure* per step is grid-size independent; region sizes
+   scale with the cell count);
+3. replay the scaled trace on the simulated 16-core Opteron under each
+   language's runtime model (spin-lock vs fork/join, locality).
+
+The result reproduces the figure's shape: Fortran fastest on one core,
+degrading as cores are added; SaC slower on one core but scaling, with
+a crossover at a few cores.  ``grid=2000`` reproduces the Section 5
+text (Fortran scales slightly to ~5 cores, then degrades).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.euler.rankine_hugoniot import post_shock_state
+from repro.f90 import FortranOptions
+from repro.f90 import api as f90_api
+from repro.perf.machine import (
+    LanguageRuntime,
+    MachineModel,
+    fortran_runtime,
+    sac_runtime,
+)
+from repro.sac import CompilerOptions
+from repro.sac import api as sac_api
+from repro.sac.runtime.profiler import ExecutionTrace
+
+
+@dataclass
+class ScalingPoint:
+    cores: int
+    sac_seconds: float
+    fortran_seconds: float
+
+
+@dataclass
+class ScalingResult:
+    """One Fig.-4-style experiment."""
+
+    grid: int
+    steps: int
+    points: List[ScalingPoint]
+    sac_regions_per_step: float
+    fortran_regions_per_step: float
+
+    def sac_curve(self) -> List[Tuple[int, float]]:
+        return [(p.cores, p.sac_seconds) for p in self.points]
+
+    def fortran_curve(self) -> List[Tuple[int, float]]:
+        return [(p.cores, p.fortran_seconds) for p in self.points]
+
+    def crossover_cores(self) -> Optional[int]:
+        """Smallest core count at which SaC beats Fortran, if any."""
+        for point in self.points:
+            if point.sac_seconds < point.fortran_seconds:
+                return point.cores
+        return None
+
+
+@dataclass
+class TwoChannelWorkload:
+    """The Fig. 4 workload at measurement scale."""
+
+    measure_grid: int = 24
+    measure_steps: int = 2
+    mach: float = 2.2
+    cfl: float = 0.5
+
+    def host_setup(self):
+        """Initial state and boundary parameters on the measurement grid."""
+        n = self.measure_grid
+        h = n / 2.0  # dx = 1, like the paper's h = 200 on 400 cells
+        dx = 2.0 * h / n
+        post = post_shock_state(self.mach)
+        e0 = int(round(0.5 * h / dx))
+        e1 = int(round(1.5 * h / dx))
+        qin_left = np.array([post.rho, post.velocity, 0.0, post.p])
+        qin_bottom = np.array([post.rho, 0.0, post.velocity, post.p])
+        rho0, p0 = 1.0, 1.0
+        energy0 = p0 / 0.4
+        q0 = np.zeros((n, n, 4))
+        q0[..., 0] = rho0
+        q0[..., 3] = energy0
+        return q0, dx, e0, e1, qin_left, qin_bottom
+
+
+def measure_sac_trace(workload: TwoChannelWorkload, optimize: bool = True) -> ExecutionTrace:
+    """Per-measured-run trace of the SaC 2-D solver."""
+    options = CompilerOptions(optimize=optimize, trace=True)
+    program = sac_api.compile_file("euler2d.sac", options)
+    q0, dx, e0, e1, qin_left, qin_bottom = workload.host_setup()
+    program.run(
+        "simulate", q0, workload.measure_steps, dx, dx, workload.cfl,
+        e0, e1, qin_left, qin_bottom,
+    )
+    return program.trace
+
+
+def measure_fortran_trace(workload: TwoChannelWorkload, autopar: bool = True) -> ExecutionTrace:
+    """Per-measured-run trace of the Fortran 2-D solver."""
+    options = FortranOptions(autopar=autopar, trace=True)
+    program = f90_api.compile_file("euler2d.f90", options)
+    q0, dx, e0, e1, qin_left, qin_bottom = workload.host_setup()
+    q_fortran = np.ascontiguousarray(np.moveaxis(q0, -1, 0))
+    n = workload.measure_grid
+    program.call(
+        "SIMULATE", q_fortran, n, n, workload.measure_steps, dx, dx,
+        workload.cfl, e0, e1, qin_left, qin_bottom,
+    )
+    return program.trace
+
+
+def figure4_experiment(
+    grid: int = 400,
+    steps: int = 1000,
+    cores: Optional[List[int]] = None,
+    workload: Optional[TwoChannelWorkload] = None,
+    machine: Optional[MachineModel] = None,
+    sac: Optional[LanguageRuntime] = None,
+    fortran: Optional[LanguageRuntime] = None,
+    sac_trace: Optional[ExecutionTrace] = None,
+    fortran_trace: Optional[ExecutionTrace] = None,
+) -> ScalingResult:
+    """Regenerate the paper's Fig. 4 data (or the 2000x2000 variant).
+
+    Pre-measured traces can be passed in to sweep several grids from
+    one measurement.
+    """
+    workload = workload or TwoChannelWorkload()
+    machine = machine or MachineModel()
+    sac = sac or sac_runtime()
+    fortran = fortran or fortran_runtime()
+    cores = cores or list(range(1, machine.cores + 1))
+    if grid < workload.measure_grid:
+        raise ConfigurationError("target grid smaller than the measured grid")
+
+    if sac_trace is None:
+        sac_trace = measure_sac_trace(workload)
+    if fortran_trace is None:
+        fortran_trace = measure_fortran_trace(workload)
+
+    element_factor = (grid / workload.measure_grid) ** 2
+    repetitions = max(1, round(steps / workload.measure_steps))
+    sac_scaled = sac_trace.scaled(element_factor, repetitions)
+    fortran_scaled = fortran_trace.scaled(element_factor, repetitions)
+
+    points = [
+        ScalingPoint(
+            cores=count,
+            sac_seconds=machine.run_trace(sac_scaled, sac, count).total,
+            fortran_seconds=machine.run_trace(fortran_scaled, fortran, count).total,
+        )
+        for count in cores
+    ]
+    return ScalingResult(
+        grid=grid,
+        steps=steps,
+        points=points,
+        sac_regions_per_step=sac_trace.parallel_region_count / workload.measure_steps,
+        fortran_regions_per_step=fortran_trace.parallel_region_count / workload.measure_steps,
+    )
+
+
+def format_scaling_table(result: ScalingResult) -> str:
+    """The Fig. 4 series as a printable table."""
+    lines = [
+        f"wall clock (simulated seconds), {result.grid}x{result.grid} grid,"
+        f" {result.steps} time steps",
+        f"{'cores':>5}  {'SaC':>12}  {'Fortran-90':>12}",
+    ]
+    for point in result.points:
+        lines.append(
+            f"{point.cores:>5}  {point.sac_seconds:>12.2f}  {point.fortran_seconds:>12.2f}"
+        )
+    crossover = result.crossover_cores()
+    lines.append(
+        f"crossover: SaC overtakes Fortran at {crossover} cores"
+        if crossover
+        else "crossover: none in range"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Real wall-clock measurement harness.
+
+Complements the simulated-machine results with actual timings of the
+executors on the host (used by ``pytest-benchmark`` and by
+EXPERIMENTS.md's supplementary table).  Python cannot reproduce a
+16-core 2009 Opteron, but relative effects — the optimiser's impact on
+the SaC backend, interpreter-vs-backend gaps — are real measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass
+class Timing:
+    label: str
+    seconds: float
+    repeats: int
+
+    @property
+    def per_call(self) -> float:
+        return self.seconds / max(1, self.repeats)
+
+
+def measure(label: str, fn: Callable[[], None], repeats: int = 3, warmup: int = 1) -> Timing:
+    """Best-of-``repeats`` wall time of ``fn`` after ``warmup`` calls."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return Timing(label, best, 1)
+
+
+def compare(timings: List[Timing]) -> str:
+    """Human-readable relative comparison, fastest first."""
+    ordered = sorted(timings, key=lambda t: t.per_call)
+    fastest = ordered[0].per_call or 1e-12
+    lines = [f"{'label':<40} {'seconds':>10} {'relative':>9}"]
+    for timing in ordered:
+        lines.append(
+            f"{timing.label:<40} {timing.per_call:>10.4f} {timing.per_call / fastest:>8.1f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""A miniature SaC (Single-Assignment C) — the paper's language.
+
+Pipeline: :mod:`lexer` / :mod:`parser` (front end) →
+:mod:`typecheck` (shape subtyping + specialisation) →
+:mod:`opt` (inlining, constant folding, CSE, with-loop folding,
+with-loop unrolling, DCE, memory reuse) →
+:mod:`interp` (reference semantics) or :mod:`eval.numpy_backend`
+(vectorised, multithreaded, trace-recording executor).
+
+Entry point: :func:`repro.sac.api.compile_source` /
+:func:`repro.sac.api.compile_file`.
+"""
+
+from repro.sac.api import (
+    CompilerOptions,
+    SacProgram,
+    compile_file,
+    compile_source,
+    load_program_source,
+    paper_options,
+)
+
+__all__ = [
+    "CompilerOptions",
+    "SacProgram",
+    "compile_file",
+    "compile_source",
+    "load_program_source",
+    "paper_options",
+]

@@ -1,0 +1,164 @@
+"""Public compile-and-run API for the SaC pipeline.
+
+Typical use::
+
+    from repro.sac import api
+
+    program = api.compile_file("euler2d.sac", api.CompilerOptions(threads=4))
+    result = program.run("step", q, 0.5)
+
+:class:`CompilerOptions` mirrors the sac2c invocation the paper's
+benchmark table records (``-maxoptcyc 100 -O3 -mt -maxwlur 20
+-nofoldparallel -DDIM=2``): optimisation cycles, unroll budget,
+multithreading, parallel-fold suppression and ``-D`` style defines.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SacError
+from repro.sac import ast
+from repro.sac.parser import parse_module
+from repro.sac.typecheck import Specialization, TypeChecker
+from repro.sac.types import SacType
+from repro.sac.interp import Interpreter
+from repro.sac.eval.numpy_backend import NumpyEvaluator
+from repro.sac.eval.scheduler import SchedulerOptions
+from repro.sac.opt import PipelineOptions, PipelineReport, optimize_module
+from repro.sac.opt.util import copy_stmt
+from repro.sac.runtime.profiler import ExecutionTrace
+from repro.sac import values as V
+
+
+@dataclass
+class CompilerOptions:
+    """sac2c-style compilation switches."""
+
+    optimize: bool = True            # -O3 / -O0
+    max_cycles: int = 100            # -maxoptcyc 100
+    max_unroll: int = 20             # -maxwlur 20
+    threads: int = 1                 # -mt -numthreads
+    parallel_folds: bool = False     # absence of -nofoldparallel
+    defines: Dict[str, object] = field(default_factory=dict)  # -DNAME=value
+    typecheck: bool = True
+    trace: bool = False              # record an ExecutionTrace while running
+    fold_max_uses: int = 2
+    fold_max_body_size: int = 120
+
+    def pipeline_options(self) -> PipelineOptions:
+        return PipelineOptions(
+            optimize=self.optimize,
+            max_cycles=self.max_cycles,
+            max_unroll=self.max_unroll,
+            fold_max_uses=self.fold_max_uses,
+            fold_max_body_size=self.fold_max_body_size,
+        )
+
+
+def paper_options(dim: int = 2, threads: int = 1) -> CompilerOptions:
+    """The exact flags of the paper's Section 5 table:
+    ``-maxoptcyc 100 -O3 -mt -DDIM=<n> -nofoldparallel -maxwlur 20``."""
+    return CompilerOptions(
+        optimize=True,
+        max_cycles=100,
+        max_unroll=20,
+        threads=threads,
+        parallel_folds=False,
+        defines={"DIM": dim},
+    )
+
+
+class SacProgram:
+    """A compiled SaC module ready to run."""
+
+    def __init__(self, module: ast.Module, options: CompilerOptions,
+                 report: PipelineReport, checker: Optional[TypeChecker]):
+        self.module = module
+        self.options = options
+        self.report = report
+        self.checker = checker
+        self.trace = ExecutionTrace(enabled=options.trace)
+        self._executor = NumpyEvaluator(
+            module,
+            defines=options.defines,
+            trace=self.trace,
+            scheduler=SchedulerOptions(
+                threads=options.threads,
+                parallel_folds=options.parallel_folds,
+            ),
+        )
+        self._reference: Optional[Interpreter] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, function: str, *args):
+        """Run ``function`` on host arguments through the NumPy backend."""
+        if self.checker is not None:
+            arg_types = [V.type_of(V.to_value(a)) for a in args]
+            self.checker.check_entry(function, arg_types)
+        return self._executor.call(function, *args)
+
+    def run_reference(self, function: str, *args):
+        """Run through the slow reference interpreter (semantics oracle)."""
+        if self._reference is None:
+            self._reference = Interpreter(self.module, self.options.defines)
+        return self._reference.call(function, *args)
+
+    @property
+    def specializations(self) -> Dict[Tuple[str, Tuple[str, ...]], Specialization]:
+        """Function instances created by shape specialisation so far."""
+        if self.checker is None:
+            return {}
+        return dict(self.checker.specializations)
+
+    def reset_trace(self) -> None:
+        self.trace.clear()
+
+    def function_names(self) -> Sequence[str]:
+        return [f.name for f in self.module.functions]
+
+
+def compile_source(
+    source: str, options: Optional[CompilerOptions] = None
+) -> SacProgram:
+    """Front end + checker + optimiser: source text to runnable program."""
+    options = options or CompilerOptions()
+    module = parse_module(source)
+    checker: Optional[TypeChecker] = None
+    if options.typecheck:
+        checker = TypeChecker(module, options.defines)
+        checker.check_all()
+    report = optimize_module(module, options.pipeline_options())
+    if options.typecheck:
+        # re-check after optimisation so annotations exist on new nodes and
+        # any pass bug that breaks typing is caught at compile time
+        checker = TypeChecker(module, options.defines)
+        checker.check_all()
+    return SacProgram(module, options, report, checker)
+
+
+def compile_file(name: str, options: Optional[CompilerOptions] = None) -> SacProgram:
+    """Compile one of the bundled programs (``repro/sac/programs/*.sac``)
+    or a path on disk."""
+    source = load_program_source(name)
+    return compile_source(source, options)
+
+
+def load_program_source(name: str) -> str:
+    """Source text of a bundled program, or of a file path."""
+    try:
+        resource = importlib.resources.files("repro.sac") / "programs" / name
+        if resource.is_file():
+            return resource.read_text()
+    except (ModuleNotFoundError, FileNotFoundError, TypeError):
+        pass
+    try:
+        with open(name, "r") as handle:
+            return handle.read()
+    except OSError as error:
+        raise SacError(f"cannot load SaC program {name!r}: {error}") from None

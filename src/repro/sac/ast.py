@@ -1,0 +1,360 @@
+"""Abstract syntax tree for the SaC subset.
+
+Nodes are plain dataclasses; every node carries a :class:`Span` for
+diagnostics.  The two constructs the paper singles out (Section 2) are
+:class:`WithLoop` (the data-parallel array definition) and the C-style
+:class:`For` recurrence; set notation ``{ [i,j] -> e }`` is kept as its
+own node (:class:`SetComprehension`) until the lowering pass turns it
+into a with-loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.sac.source import Span, UNKNOWN_SPAN
+
+
+# --------------------------------------------------------------------------
+# types (syntactic)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    """A syntactic type: base name plus a shape specification.
+
+    ``dims`` is a list of ``int`` (known extent) and/or ``"."``
+    (known-dimension, unknown extent), or the strings ``"+"`` (unknown
+    dimensionality, at least 1) / ``"*"`` (anything, including scalar)
+    — SaC's AKS/AKD/AUD hierarchy.  A scalar is ``dims == []``.
+    """
+
+    base: str
+    dims: Union[List[object], str] = field(default_factory=list)
+    span: Span = UNKNOWN_SPAN
+
+    def __str__(self) -> str:
+        if self.dims == []:
+            return self.base
+        if isinstance(self.dims, str):
+            return f"{self.base}[{self.dims}]"
+        inner = ",".join(str(d) for d in self.dims)
+        return f"{self.base}[{inner}]"
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    span: Span
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class DoubleLit(Expr):
+    value: float
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class Var(Expr):
+    name: str
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class ArrayLit(Expr):
+    """Bracketed vector/array literal ``[e1, e2, ...]``."""
+
+    elements: List[Expr]
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operator; arithmetic ones map elementwise over arrays."""
+
+    op: str
+    left: Expr
+    right: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class UnOp(Expr):
+    op: str  # '-' | '!'
+    operand: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary conditional — in SaC, IF is an expression."""
+
+    condition: Expr
+    then: Expr
+    otherwise: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class Call(Expr):
+    """Function application, optionally module-qualified (``MathArray::fabs``)."""
+
+    name: str
+    args: List[Expr]
+    module: Optional[str] = None
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class Index(Expr):
+    """Array selection ``a[i, j]`` or ``a[iv]`` (vector index).
+
+    With fewer indices than dimensions the result is a subarray, as in
+    SaC's ``sel``.
+    """
+
+    array: Expr
+    indices: List[Expr]
+    span: Span = UNKNOWN_SPAN
+
+
+# --------------------------------------------------------------------------
+# with-loops
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Generator:
+    """One partition ``(lower <= iv < upper) : body`` of a with-loop.
+
+    ``index_vars`` is either a list of scalar names (``[i, j]``) or a
+    single-element list with a vector variable name.  ``lower`` /
+    ``upper`` of ``None`` mean the ``.`` default (whole index space).
+    ``*_inclusive`` records whether ``<=`` was used on that side.
+    """
+
+    index_vars: List[str]
+    vector_var: bool
+    lower: Optional[Expr]
+    upper: Optional[Expr]
+    lower_inclusive: bool
+    upper_inclusive: bool
+    body: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class GenArray:
+    """``genarray(shape, default)`` with-loop operation."""
+
+    shape: Expr
+    default: Optional[Expr]
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class ModArray:
+    """``modarray(array)`` with-loop operation."""
+
+    array: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class Fold:
+    """``fold(op, neutral)`` with-loop operation; op is +, *, max or min."""
+
+    op: str
+    neutral: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+WithOperation = Union[GenArray, ModArray, Fold]
+
+
+@dataclass
+class WithLoop(Expr):
+    generators: List[Generator]
+    operation: WithOperation
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class SetComprehension(Expr):
+    """Set notation ``{ [i,j] -> e }`` / ``{ iv -> e }``.
+
+    ``bound`` is the optional explicit shape from the extended form
+    ``{ [i,j] -> e | [i,j] < shape }``; without it the shape is
+    inferred from the indexings inside the body (lowering pass).
+    """
+
+    index_vars: List[str]
+    vector_var: bool
+    body: Expr
+    bound: Optional[Expr] = None
+    span: Span = UNKNOWN_SPAN
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for statement nodes."""
+
+    span: Span
+
+
+@dataclass
+class Assign(Stmt):
+    """(Re-)definition of a variable — a new binding, never mutation."""
+
+    name: str
+    expr: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class If(Stmt):
+    """Statement-level conditional.
+
+    Per the paper's Section 2, this is really an expression: the type
+    checker requires any variable used after the If to be defined by
+    *both* branches (or before the If).
+    """
+
+    condition: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt]
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class For(Stmt):
+    """C-style for loop — SaC's recurrence construct."""
+
+    init: Assign
+    condition: Expr
+    update: Assign
+    body: List[Stmt]
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr
+    body: List[Stmt]
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class Return(Stmt):
+    expr: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+# --------------------------------------------------------------------------
+# top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    type: TypeExpr
+    name: str
+
+
+@dataclass
+class Function:
+    name: str
+    return_type: TypeExpr
+    params: List[Param]
+    body: List[Stmt]
+    inline: bool = False
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class TypeDef:
+    """``typedef double[4] fluid_cv;`` — a structural array alias."""
+
+    name: str
+    definition: TypeExpr
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class GlobalDef:
+    """Top-level constant: ``double GAM = 1.4;``."""
+
+    type: TypeExpr
+    name: str
+    expr: Expr
+    span: Span = UNKNOWN_SPAN
+
+
+@dataclass
+class Module:
+    name: str
+    uses: List[str]
+    typedefs: List[TypeDef]
+    globals: List[GlobalDef]
+    functions: List[Function]
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression (pre-order)."""
+    yield expr
+    children: List[Expr] = []
+    if isinstance(expr, ArrayLit):
+        children = expr.elements
+    elif isinstance(expr, BinOp):
+        children = [expr.left, expr.right]
+    elif isinstance(expr, UnOp):
+        children = [expr.operand]
+    elif isinstance(expr, Cond):
+        children = [expr.condition, expr.then, expr.otherwise]
+    elif isinstance(expr, Call):
+        children = expr.args
+    elif isinstance(expr, Index):
+        children = [expr.array] + expr.indices
+    elif isinstance(expr, WithLoop):
+        for generator in expr.generators:
+            if generator.lower is not None:
+                children.append(generator.lower)
+            if generator.upper is not None:
+                children.append(generator.upper)
+            children.append(generator.body)
+        operation = expr.operation
+        if isinstance(operation, GenArray):
+            children.append(operation.shape)
+            if operation.default is not None:
+                children.append(operation.default)
+        elif isinstance(operation, ModArray):
+            children.append(operation.array)
+        elif isinstance(operation, Fold):
+            children.append(operation.neutral)
+    elif isinstance(expr, SetComprehension):
+        children = [expr.body] + ([expr.bound] if expr.bound is not None else [])
+    for child in children:
+        yield from walk_expr(child)

@@ -1,0 +1,19 @@
+"""Executors: the reference interpreter lives in ``repro.sac.interp``;
+this package holds the vectorising NumPy backend and its scheduler."""
+
+from repro.sac.eval.numpy_backend import Batched, NumpyEvaluator
+from repro.sac.eval.scheduler import (
+    SchedulerOptions,
+    WithLoopScheduler,
+    box_elements,
+    split_bounds,
+)
+
+__all__ = [
+    "Batched",
+    "NumpyEvaluator",
+    "SchedulerOptions",
+    "WithLoopScheduler",
+    "box_elements",
+    "split_bounds",
+]

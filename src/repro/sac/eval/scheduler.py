@@ -1,0 +1,134 @@
+"""Multithreaded with-loop scheduler.
+
+Splits a with-loop's index space along its outermost axis into one
+chunk per worker (static scheduling, like the SaC pthread backend) and
+executes the chunks on real Python threads joined by a
+:class:`SpinBarrier`.  NumPy kernels release the GIL, so large chunks
+do overlap; small loops are executed inline because parallelising them
+costs more than they are worth — the scheduler applies a minimum
+elements-per-thread threshold, again mirroring the real runtime.
+
+Fold with-loops are only parallelised when ``parallel_folds`` is
+enabled; the paper's benchmark passes ``-nofoldparallel``, so the
+default here is serial folds (which also keeps floating-point results
+bit-identical to the reference interpreter).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SacRuntimeError
+from repro.sac.runtime.spinlock import SpinBarrier
+
+#: Below this many elements per worker a loop runs inline.
+MIN_ELEMENTS_PER_THREAD = 1024
+
+Bounds = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+@dataclass
+class SchedulerOptions:
+    threads: int = 1
+    parallel_folds: bool = False  # the paper passes -nofoldparallel
+    min_elements_per_thread: int = MIN_ELEMENTS_PER_THREAD
+
+
+def split_bounds(lower: Sequence[int], upper: Sequence[int], parts: int) -> List[Bounds]:
+    """Static partition of a box along axis 0 into up to ``parts`` chunks."""
+    if not lower:
+        return [(tuple(lower), tuple(upper))]
+    extent = upper[0] - lower[0]
+    if extent <= 0:
+        return []
+    parts = max(1, min(parts, extent))
+    base = extent // parts
+    remainder = extent % parts
+    chunks: List[Bounds] = []
+    start = lower[0]
+    for part in range(parts):
+        size = base + (1 if part < remainder else 0)
+        if size == 0:
+            continue
+        chunk_lower = (start,) + tuple(lower[1:])
+        chunk_upper = (start + size,) + tuple(upper[1:])
+        chunks.append((chunk_lower, chunk_upper))
+        start += size
+    return chunks
+
+
+def box_elements(lower: Sequence[int], upper: Sequence[int]) -> int:
+    total = 1
+    for low, high in zip(lower, upper):
+        total *= max(0, high - low)
+    return total
+
+
+class WithLoopScheduler:
+    """Runs chunk evaluators across a worker team."""
+
+    def __init__(self, options: Optional[SchedulerOptions] = None):
+        self.options = options or SchedulerOptions()
+
+    def run(
+        self,
+        lower: Tuple[int, ...],
+        upper: Tuple[int, ...],
+        evaluate_chunk: Callable[[Tuple[int, ...], Tuple[int, ...]], None],
+        is_fold: bool = False,
+    ) -> int:
+        """Execute ``evaluate_chunk`` over a partition of [lower, upper).
+
+        Returns the number of workers actually used.  ``evaluate_chunk``
+        must write its results into pre-allocated shared storage (the
+        chunks are disjoint, so no locking is needed — single
+        assignment at work).
+        """
+        threads = self.options.threads
+        elements = box_elements(lower, upper)
+        if (
+            threads <= 1
+            or (is_fold and not self.options.parallel_folds)
+            or elements < self.options.min_elements_per_thread * 2
+        ):
+            evaluate_chunk(lower, upper)
+            return 1
+
+        max_workers = max(
+            1, min(threads, elements // self.options.min_elements_per_thread)
+        )
+        chunks = split_bounds(lower, upper, max_workers)
+        if len(chunks) <= 1:
+            evaluate_chunk(lower, upper)
+            return 1
+
+        barrier = SpinBarrier(len(chunks))
+        errors: List[BaseException] = []
+        error_lock = threading.Lock()
+
+        def worker(chunk: Bounds) -> None:
+            try:
+                evaluate_chunk(chunk[0], chunk[1])
+            except BaseException as error:  # noqa: BLE001 - reported below
+                with error_lock:
+                    errors.append(error)
+            finally:
+                barrier.wait()
+
+        team = [
+            threading.Thread(target=worker, args=(chunk,), daemon=True)
+            for chunk in chunks[1:]
+        ]
+        for thread in team:
+            thread.start()
+        worker(chunks[0])
+        for thread in team:
+            thread.join()
+        if errors:
+            first = errors[0]
+            if isinstance(first, SacRuntimeError):
+                raise first
+            raise SacRuntimeError(f"worker failed: {first}") from first
+        return len(chunks)

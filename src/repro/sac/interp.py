@@ -1,0 +1,552 @@
+"""Reference interpreter for the SaC subset (AST level).
+
+This is the *semantic definition* of the language: simple, direct and
+slow.  The optimising pipeline and the NumPy backend are validated
+against it — every optimisation must leave a program's interpreted
+meaning unchanged, which the property-based tests check by running both
+executors on the same inputs.
+
+Evaluation notes
+----------------
+* arithmetic maps elementwise over arrays with NumPy broadcasting (the
+  paper: "small arithmetic expressions in SaC can operate on whole
+  arrays"); ``/`` and ``%`` on ints truncate towards zero, C-style;
+* a with-loop's generators are iterated in row-major order; genarray
+  without a default requires its generators to cover the index space;
+* set notation bounds, when not given explicitly, are inferred from the
+  plain indexings of the body exactly as described in
+  :func:`infer_set_bounds`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SacRuntimeError
+from repro.sac import ast
+from repro.sac import stdlib
+from repro.sac import values as V
+
+#: SaC-level call depth bound; kept well under Python's own recursion
+#: limit (each SaC frame costs several interpreter frames)
+MAX_CALL_DEPTH = 64
+
+
+class _ReturnSignal(Exception):
+    """Internal control flow for ``return``."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+def binary_op(op: str, left, right):
+    """Elementwise binary operation with SaC/C semantics."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if np.issubdtype(left.dtype, np.integer) and np.issubdtype(
+            right.dtype, np.integer
+        ):
+            if np.any(right == 0):
+                raise SacRuntimeError("integer division by zero")
+            quotient = np.trunc(left / right)
+            return quotient.astype(np.int64)[()] if quotient.ndim == 0 else quotient.astype(np.int64)
+        return left / right
+    if op == "%":
+        if np.any(np.asarray(right) == 0):
+            raise SacRuntimeError("modulo by zero")
+        return np.fmod(left, right)
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "&&":
+        return np.logical_and(left, right)
+    if op == "||":
+        return np.logical_or(left, right)
+    raise SacRuntimeError(f"unknown binary operator {op!r}")
+
+
+def unary_op(op: str, operand):
+    operand = np.asarray(operand)
+    if op == "-":
+        return -operand
+    if op == "!":
+        return np.logical_not(operand)
+    raise SacRuntimeError(f"unknown unary operator {op!r}")
+
+
+def _scalar_bool(value, context: str) -> bool:
+    array = np.asarray(value)
+    if array.ndim != 0:
+        raise SacRuntimeError(f"{context}: condition must be a scalar, got shape {array.shape}")
+    return bool(array)
+
+
+class Interpreter:
+    """Evaluates a checked (or unchecked) SaC module."""
+
+    def __init__(self, module: ast.Module, defines: Optional[Dict[str, object]] = None):
+        self.module = module
+        self.functions: Dict[str, ast.Function] = {}
+        for function in module.functions:
+            if function.name in self.functions:
+                raise SacRuntimeError(f"duplicate function {function.name!r}")
+            self.functions[function.name] = function
+        self.globals: Dict[str, np.ndarray] = {}
+        for name, value in (defines or {}).items():
+            self.globals[name] = V.to_value(value)
+        for definition in module.globals:
+            self.globals[definition.name] = self.eval_expr(
+                definition.expr, dict(self.globals)
+            )
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def call(self, name: str, *host_args):
+        """Call a SaC function with host (Python/NumPy) arguments."""
+        function = self.functions.get(name)
+        if function is None:
+            raise SacRuntimeError(f"no function named {name!r}")
+        args = [V.to_value(a) for a in host_args]
+        return self.call_function(function, args)
+
+    def call_function(self, function: ast.Function, args: Sequence[np.ndarray]):
+        if len(args) != len(function.params):
+            raise SacRuntimeError(
+                f"{function.name}: expected {len(function.params)} arguments,"
+                f" got {len(args)}"
+            )
+        if self._depth >= MAX_CALL_DEPTH:
+            raise SacRuntimeError(f"call depth exceeded in {function.name!r}")
+        env: Dict[str, np.ndarray] = dict(self.globals)
+        for param, arg in zip(function.params, args):
+            env[param.name] = arg
+        self._depth += 1
+        try:
+            self.exec_block(function.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        finally:
+            self._depth -= 1
+        raise SacRuntimeError(f"{function.name}: fell off the end without return")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def exec_block(self, statements: List[ast.Stmt], env: Dict) -> None:
+        for statement in statements:
+            self.exec_stmt(statement, env)
+
+    def exec_stmt(self, statement: ast.Stmt, env: Dict) -> None:
+        if isinstance(statement, ast.Assign):
+            env[statement.name] = self.eval_expr(statement.expr, env)
+        elif isinstance(statement, ast.Return):
+            raise _ReturnSignal(self.eval_expr(statement.expr, env))
+        elif isinstance(statement, ast.If):
+            if _scalar_bool(self.eval_expr(statement.condition, env), "if"):
+                self.exec_block(statement.then_body, env)
+            else:
+                self.exec_block(statement.else_body, env)
+        elif isinstance(statement, ast.For):
+            env[statement.init.name] = self.eval_expr(statement.init.expr, env)
+            while _scalar_bool(self.eval_expr(statement.condition, env), "for"):
+                self.exec_block(statement.body, env)
+                env[statement.update.name] = self.eval_expr(statement.update.expr, env)
+        elif isinstance(statement, ast.While):
+            while _scalar_bool(self.eval_expr(statement.condition, env), "while"):
+                self.exec_block(statement.body, env)
+        else:
+            raise SacRuntimeError(f"unknown statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def eval_expr(self, expr: ast.Expr, env: Dict):
+        if isinstance(expr, ast.IntLit):
+            return np.int64(expr.value)
+        if isinstance(expr, ast.DoubleLit):
+            return np.float64(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return np.bool_(expr.value)
+        if isinstance(expr, ast.Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise SacRuntimeError(
+                    f"{expr.span}: undefined variable {expr.name!r}"
+                ) from None
+        if isinstance(expr, ast.ArrayLit):
+            elements = [self.eval_expr(e, env) for e in expr.elements]
+            if not elements:
+                return np.zeros(0, dtype=np.int64)
+            return np.stack([np.asarray(e) for e in elements])
+        if isinstance(expr, ast.BinOp):
+            left = self.eval_expr(expr.left, env)
+            right = self.eval_expr(expr.right, env)
+            return self.apply_binop(expr.op, left, right)
+        if isinstance(expr, ast.UnOp):
+            return self.apply_unop(expr.op, self.eval_expr(expr.operand, env))
+        if isinstance(expr, ast.Cond):
+            if _scalar_bool(self.eval_expr(expr.condition, env), "?:"):
+                return self.eval_expr(expr.then, env)
+            return self.eval_expr(expr.otherwise, env)
+        if isinstance(expr, ast.Index):
+            array = self.eval_expr(expr.array, env)
+            indices = [self.eval_expr(i, env) for i in expr.indices]
+            return self._select(array, indices, expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, env)
+        if isinstance(expr, ast.WithLoop):
+            return self.eval_with_loop(expr, env)
+        if isinstance(expr, ast.SetComprehension):
+            return self.eval_set_comprehension(expr, env)
+        raise SacRuntimeError(f"unknown expression {type(expr).__name__}")
+
+    def _select(self, array, indices, expr: ast.Index):
+        if len(indices) == 1:
+            iv = indices[0]
+        else:
+            iv = np.asarray([int(np.asarray(i)) for i in indices], dtype=np.int64)
+        try:
+            return stdlib.BUILTINS["sel"](iv, array)
+        except SacRuntimeError as error:
+            raise SacRuntimeError(f"{expr.span}: {error}") from None
+
+    def _call(self, expr: ast.Call, env: Dict):
+        function = self.functions.get(expr.name)
+        if function is not None and expr.module is None:
+            args = [self.eval_expr(a, env) for a in expr.args]
+            return self.call_function(function, args)
+        builtin = stdlib.lookup(expr.name, expr.module)
+        if builtin is None:
+            raise SacRuntimeError(f"{expr.span}: unknown function {expr.name!r}")
+        if builtin.arity is not None and builtin.arity != len(expr.args):
+            raise SacRuntimeError(
+                f"{expr.span}: {expr.name} expects {builtin.arity} arguments,"
+                f" got {len(expr.args)}"
+            )
+        args = [self.eval_expr(a, env) for a in expr.args]
+        return self.apply_builtin(builtin, args)
+
+    # ------------------------------------------------------------------
+    # operator hooks (the NumPy backend overrides these to record trace
+    # regions; the reference interpreter just applies the operation)
+    # ------------------------------------------------------------------
+
+    def apply_binop(self, op: str, left, right):
+        return binary_op(op, left, right)
+
+    def apply_unop(self, op: str, operand):
+        return unary_op(op, operand)
+
+    def apply_builtin(self, builtin, args):
+        return builtin(*args)
+
+    # ------------------------------------------------------------------
+    # with-loops
+    # ------------------------------------------------------------------
+
+    def eval_with_loop(self, expr: ast.WithLoop, env: Dict):
+        operation = expr.operation
+        if isinstance(operation, ast.GenArray):
+            frame = V.as_index_vector(
+                self.eval_expr(operation.shape, env), "genarray shape"
+            )
+            default = (
+                self.eval_expr(operation.default, env)
+                if operation.default is not None
+                else None
+            )
+            return self._eval_genarray(expr, frame, default, env)
+        if isinstance(operation, ast.ModArray):
+            source = np.asarray(self.eval_expr(operation.array, env))
+            result = source.copy()
+            rank = self._generator_rank(expr.generators, default=source.ndim)
+            for iv, value in self._generate(expr.generators, source.shape[:rank], env):
+                result[iv] = value
+            return result
+        if isinstance(operation, ast.Fold):
+            return self._eval_fold(expr, operation, env)
+        raise SacRuntimeError("unknown with-loop operation")
+
+    def _eval_genarray(self, expr, frame, default, env):
+        first_value = None
+        updates = []
+        for iv, value in self._generate(expr.generators, frame, env):
+            if first_value is None:
+                first_value = np.asarray(value)
+            updates.append((iv, value))
+        if first_value is None and default is None:
+            raise SacRuntimeError(
+                f"{expr.span}: empty genarray with no default"
+            )
+        element = first_value if first_value is not None else np.asarray(default)
+        shape = tuple(frame) + element.shape
+        if default is not None:
+            result = np.broadcast_to(np.asarray(default), shape).astype(element.dtype).copy()
+        else:
+            result = np.zeros(shape, dtype=element.dtype)
+        for iv, value in updates:
+            result[iv] = value
+        return result
+
+    def _eval_fold(self, expr, operation: ast.Fold, env: Dict):
+        accumulator = np.asarray(self.eval_expr(operation.neutral, env))
+        frame = self._fold_frame(expr.generators, env)
+        for iv, value in self._generate(expr.generators, frame, env):
+            accumulator = self._fold_combine(operation.op, accumulator, value)
+        return accumulator
+
+    @staticmethod
+    def _fold_combine(op: str, accumulator, value):
+        if op == "+":
+            return accumulator + value
+        if op == "*":
+            return accumulator * value
+        if op == "max":
+            return np.maximum(accumulator, value)
+        if op == "min":
+            return np.minimum(accumulator, value)
+        raise SacRuntimeError(f"unknown fold operator {op!r}")
+
+    @staticmethod
+    def _generator_rank(generators: List[ast.Generator], default: int) -> int:
+        for generator in generators:
+            if not generator.vector_var:
+                return len(generator.index_vars)
+            if generator.lower is not None or generator.upper is not None:
+                continue
+        return default
+
+    def _fold_frame(self, generators, env) -> Tuple[int, ...]:
+        """Fold has no frame array, so bounds must come from the generators."""
+        for generator in generators:
+            if generator.upper is None:
+                raise SacRuntimeError(
+                    f"{generator.span}: fold generators need explicit bounds"
+                )
+        # frame big enough for all generators (used only as the '.' default,
+        # which explicit bounds make unnecessary here)
+        return ()
+
+    def _generate(self, generators, frame, env):
+        """Yield (index_tuple, body_value) for every generator, in order."""
+        for generator in generators:
+            lower, upper = self._bounds(generator, frame, env)
+            rank = len(lower)
+            if not generator.vector_var and len(generator.index_vars) != rank:
+                raise SacRuntimeError(
+                    f"{generator.span}: {len(generator.index_vars)} index variables"
+                    f" for a rank-{rank} index space"
+                )
+            for iv in _index_space(lower, upper):
+                local = env  # SaC scoping: index vars shadow, body can read env
+                saved = {}
+                names = generator.index_vars
+                if generator.vector_var:
+                    saved[names[0]] = local.get(names[0])
+                    local[names[0]] = np.asarray(iv, dtype=np.int64)
+                else:
+                    for name, position in zip(names, iv):
+                        saved[name] = local.get(name)
+                        local[name] = np.int64(position)
+                try:
+                    value = self.eval_expr(generator.body, local)
+                finally:
+                    for name, old in saved.items():
+                        if old is None:
+                            local.pop(name, None)
+                        else:
+                            local[name] = old
+                yield iv, value
+
+    def _bounds(self, generator: ast.Generator, frame, env):
+        if generator.lower is None:
+            lower = [0] * len(frame)
+        else:
+            lower = list(
+                V.as_index_vector(self.eval_expr(generator.lower, env), "lower bound")
+            )
+            if generator.lower_inclusive is False:
+                lower = [b + 1 for b in lower]
+        if generator.upper is None:
+            upper = list(frame)
+        else:
+            upper = list(
+                V.as_index_vector(self.eval_expr(generator.upper, env), "upper bound")
+            )
+            if generator.upper_inclusive:
+                upper = [b + 1 for b in upper]
+        if len(lower) != len(upper):
+            if generator.lower is None:
+                lower = [0] * len(upper)
+            elif generator.upper is None:
+                upper = list(frame)[: len(lower)]
+        if len(lower) != len(upper):
+            raise SacRuntimeError(
+                f"{generator.span}: bound ranks differ ({len(lower)} vs {len(upper)})"
+            )
+        return tuple(lower), tuple(upper)
+
+    # ------------------------------------------------------------------
+    # set notation
+    # ------------------------------------------------------------------
+
+    def eval_set_comprehension(self, expr: ast.SetComprehension, env: Dict):
+        if expr.bound is not None:
+            frame = V.as_index_vector(self.eval_expr(expr.bound, env), "set bound")
+            if expr.vector_var and len(expr.index_vars) == 1:
+                rank = len(frame)
+            else:
+                rank = len(expr.index_vars)
+                if len(frame) != rank:
+                    raise SacRuntimeError(
+                        f"{expr.span}: bound rank {len(frame)} != {rank} index vars"
+                    )
+        else:
+            frame = infer_set_bounds(expr, env, self)
+        generator = ast.Generator(
+            index_vars=expr.index_vars,
+            vector_var=expr.vector_var,
+            lower=None,
+            upper=None,
+            lower_inclusive=True,
+            upper_inclusive=False,
+            body=expr.body,
+            span=expr.span,
+        )
+        loop = ast.WithLoop(
+            generators=[generator],
+            operation=ast.GenArray(
+                shape=ast.ArrayLit([ast.IntLit(int(f)) for f in frame], expr.span),
+                default=None,
+                span=expr.span,
+            ),
+            span=expr.span,
+        )
+        return self.eval_with_loop(loop, env)
+
+
+def infer_set_bounds(expr: ast.SetComprehension, env: Dict, interp: Interpreter):
+    """Infer the index space of set notation from the body's indexings.
+
+    Rule: for every plain indexing ``a[..., v, ...]`` where ``v`` is a
+    set variable at axis ``k``, axis ``k``'s extent of ``a`` bounds
+    ``v``; for a vector variable ``iv``, every ``a[iv]`` bounds ``iv``
+    by the leading extents of ``a`` and fixes its length to the
+    *smallest* rank among such arrays.  Extents are min-combined.
+    Raises when a variable gets no bound (use the explicit ``| iv <
+    shape`` form then).
+    """
+    set_vars = set(expr.index_vars)
+    array_cache: Dict[int, np.ndarray] = {}
+
+    def shape_of_array(node: ast.Expr):
+        key = id(node)
+        if key not in array_cache:
+            array_cache[key] = np.asarray(interp.eval_expr(node, env))
+        return array_cache[key].shape
+
+    if expr.vector_var:
+        name = expr.index_vars[0]
+        rank: Optional[int] = None
+        extents: List[int] = []
+        for node in ast.walk_expr(expr.body):
+            if (
+                isinstance(node, ast.Index)
+                and len(node.indices) == 1
+                and isinstance(node.indices[0], ast.Var)
+                and node.indices[0].name == name
+            ):
+                if _mentions(node.array, set_vars):
+                    continue
+                shape = shape_of_array(node.array)
+                rank = len(shape) if rank is None else min(rank, len(shape))
+        if rank is None:
+            raise SacRuntimeError(
+                f"{expr.span}: cannot infer bounds for set variable {name!r}"
+            )
+        extents = [np.inf] * rank  # type: ignore[list-item]
+        for node in ast.walk_expr(expr.body):
+            if (
+                isinstance(node, ast.Index)
+                and len(node.indices) == 1
+                and isinstance(node.indices[0], ast.Var)
+                and node.indices[0].name == name
+                and not _mentions(node.array, set_vars)
+            ):
+                shape = shape_of_array(node.array)
+                for axis in range(rank):
+                    extents[axis] = min(extents[axis], shape[axis])
+        return tuple(int(e) for e in extents)
+
+    bounds: Dict[str, int] = {}
+    for node in ast.walk_expr(expr.body):
+        if not isinstance(node, ast.Index) or _mentions(node.array, set_vars):
+            continue
+        for axis, index in enumerate(node.indices):
+            if isinstance(index, ast.Var) and index.name in set_vars:
+                shape = shape_of_array(node.array)
+                if axis >= len(shape):
+                    continue
+                current = bounds.get(index.name)
+                extent = int(shape[axis])
+                bounds[index.name] = extent if current is None else min(current, extent)
+    missing = [v for v in expr.index_vars if v not in bounds]
+    if missing:
+        raise SacRuntimeError(
+            f"{expr.span}: cannot infer bounds for set variable(s) {missing};"
+            " use the explicit '| [i,...] < shape' form"
+        )
+    return tuple(bounds[v] for v in expr.index_vars)
+
+
+def _mentions(expr: ast.Expr, names) -> bool:
+    return any(
+        isinstance(node, ast.Var) and node.name in names for node in ast.walk_expr(expr)
+    )
+
+
+def _index_space(lower: Tuple[int, ...], upper: Tuple[int, ...]):
+    """Row-major iteration of the half-open box [lower, upper)."""
+    if len(lower) == 0:
+        yield ()
+        return
+    if any(u <= l for l, u in zip(lower, upper)):
+        return
+    ranges = [range(l, u) for l, u in zip(lower, upper)]
+    indices = [r.start for r in ranges]
+    rank = len(ranges)
+    while True:
+        yield tuple(indices)
+        axis = rank - 1
+        while axis >= 0:
+            indices[axis] += 1
+            if indices[axis] < ranges[axis].stop:
+                break
+            indices[axis] = ranges[axis].start
+            axis -= 1
+        if axis < 0:
+            return

@@ -1,0 +1,166 @@
+"""Lexer for the SaC subset.
+
+Tokenises the C-like surface syntax the paper shows: with-loops, set
+notation ``{ [i,j] -> e }``, array types ``double[.,.]`` / ``t[+]``,
+qualified names ``MathArray::fabs``, and the usual C operators.
+Comments are ``//`` and ``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SacSyntaxError
+from repro.sac.source import Span
+
+KEYWORDS = {
+    "module",
+    "use",
+    "typedef",
+    "inline",
+    "return",
+    "if",
+    "else",
+    "for",
+    "while",
+    "do",
+    "with",
+    "genarray",
+    "modarray",
+    "fold",
+    "true",
+    "false",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_OPERATORS = [
+    "::",
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+]
+
+SINGLE_OPERATORS = set("+-*/%<>=!?:,;()[]{}.&|")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'ident' | 'keyword' | 'int' | 'double' | 'op' | 'eof'
+    text: str
+    span: Span
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise ``source``; raises :class:`SacSyntaxError` on bad input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal position, line, column
+        for _ in range(count):
+            if position < length and source[position] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            position += 1
+
+    while position < length:
+        char = source[position]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", position):
+            while position < length and source[position] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", position):
+            start = Span(line, column)
+            advance(2)
+            while position < length and not source.startswith("*/", position):
+                advance(1)
+            if position >= length:
+                raise SacSyntaxError("unterminated block comment", start.line, start.column)
+            advance(2)
+            continue
+
+        span = Span(line, column)
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[position:end]
+            advance(end - position)
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, span)
+            continue
+
+        if char.isdigit():
+            yield _number(source, position, span, advance)
+            continue
+
+        matched = False
+        for operator in MULTI_OPERATORS:
+            if source.startswith(operator, position):
+                advance(len(operator))
+                yield Token("op", operator, span)
+                matched = True
+                break
+        if matched:
+            continue
+
+        if char in SINGLE_OPERATORS:
+            advance(1)
+            yield Token("op", char, span)
+            continue
+
+        raise SacSyntaxError(f"unexpected character {char!r}", line, column)
+
+    yield Token("eof", "", Span(line, column))
+
+
+def _number(source: str, position: int, span: Span, advance) -> Token:
+    """Scan an int or floating literal (1, 2.5, 1e-3, 0.5d0-style rejected)."""
+    length = len(source)
+    end = position
+    while end < length and source[end].isdigit():
+        end += 1
+    is_double = False
+    if end < length and source[end] == "." and (end + 1 >= length or source[end + 1] != "."):
+        # not part of a '..' or a lone dot in types
+        if end + 1 < length and (source[end + 1].isdigit() or not (source[end + 1].isalpha())):
+            is_double = True
+            end += 1
+            while end < length and source[end].isdigit():
+                end += 1
+    if end < length and source[end] in "eE":
+        probe = end + 1
+        if probe < length and source[probe] in "+-":
+            probe += 1
+        if probe < length and source[probe].isdigit():
+            is_double = True
+            end = probe
+            while end < length and source[end].isdigit():
+                end += 1
+    text = source[position:end]
+    advance(end - position)
+    return Token("double" if is_double else "int", text, span)

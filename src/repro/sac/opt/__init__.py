@@ -1,0 +1,30 @@
+"""AST-level optimisation passes of the SaC pipeline."""
+
+from repro.sac.opt.pipeline import (
+    PipelineOptions,
+    PipelineReport,
+    optimize_module,
+)
+from repro.sac.opt.inline import inline_functions
+from repro.sac.opt.constfold import fold_constants
+from repro.sac.opt.cse import eliminate_common_subexpressions
+from repro.sac.opt.dce import eliminate_dead_code
+from repro.sac.opt.fwdsub import forward_substitute
+from repro.sac.opt.wlf import FoldOptions, fold_with_loops
+from repro.sac.opt.wlur import unroll_with_loops
+from repro.sac.opt.memreuse import annotate_memory_reuse
+
+__all__ = [
+    "PipelineOptions",
+    "PipelineReport",
+    "optimize_module",
+    "inline_functions",
+    "fold_constants",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "forward_substitute",
+    "FoldOptions",
+    "fold_with_loops",
+    "unroll_with_loops",
+    "annotate_memory_reuse",
+]

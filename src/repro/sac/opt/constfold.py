@@ -1,0 +1,199 @@
+"""Constant folding and algebraic simplification.
+
+Folds literal arithmetic (including int-vector arithmetic through
+array literals), selections from array literals, conditionals with
+literal conditions, and the type-preserving identities ``x+0``,
+``x-0``, ``x*1``, ``x/1``.  Runs inside with-loop bodies too, which is
+what makes folded with-loops cheap after WLF substitutes indices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sac import ast
+
+
+class ConstFolder:
+    def __init__(self):
+        self.changes = 0
+
+    # -- statements --------------------------------------------------------
+
+    def fold_block(self, statements: List[ast.Stmt]) -> List[ast.Stmt]:
+        result: List[ast.Stmt] = []
+        for statement in statements:
+            folded = self.fold_stmt(statement)
+            if isinstance(folded, list):
+                result.extend(folded)
+            else:
+                result.append(folded)
+        return result
+
+    def fold_stmt(self, statement: ast.Stmt):
+        if isinstance(statement, ast.Assign):
+            statement.expr = self.fold(statement.expr)
+            return statement
+        if isinstance(statement, ast.Return):
+            statement.expr = self.fold(statement.expr)
+            return statement
+        if isinstance(statement, ast.If):
+            statement.condition = self.fold(statement.condition)
+            statement.then_body = self.fold_block(statement.then_body)
+            statement.else_body = self.fold_block(statement.else_body)
+            if isinstance(statement.condition, ast.BoolLit):
+                self.changes += 1
+                return (
+                    statement.then_body
+                    if statement.condition.value
+                    else statement.else_body
+                )
+            return statement
+        if isinstance(statement, ast.For):
+            statement.init.expr = self.fold(statement.init.expr)
+            statement.condition = self.fold(statement.condition)
+            statement.update.expr = self.fold(statement.update.expr)
+            statement.body = self.fold_block(statement.body)
+            return statement
+        if isinstance(statement, ast.While):
+            statement.condition = self.fold(statement.condition)
+            statement.body = self.fold_block(statement.body)
+            return statement
+        return statement
+
+    # -- expressions -------------------------------------------------------
+
+    def fold(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.BinOp):
+            expr.left = self.fold(expr.left)
+            expr.right = self.fold(expr.right)
+            return self._fold_binop(expr)
+        if isinstance(expr, ast.UnOp):
+            expr.operand = self.fold(expr.operand)
+            literal = _literal_value(expr.operand)
+            if literal is not None and expr.op == "-":
+                self.changes += 1
+                return _make_literal(-literal, expr.span)
+            if isinstance(expr.operand, ast.BoolLit) and expr.op == "!":
+                self.changes += 1
+                return ast.BoolLit(not expr.operand.value, expr.span)
+            return expr
+        if isinstance(expr, ast.Cond):
+            expr.condition = self.fold(expr.condition)
+            expr.then = self.fold(expr.then)
+            expr.otherwise = self.fold(expr.otherwise)
+            if isinstance(expr.condition, ast.BoolLit):
+                self.changes += 1
+                return expr.then if expr.condition.value else expr.otherwise
+            return expr
+        if isinstance(expr, ast.ArrayLit):
+            expr.elements = [self.fold(e) for e in expr.elements]
+            return expr
+        if isinstance(expr, ast.Call):
+            expr.args = [self.fold(a) for a in expr.args]
+            return expr
+        if isinstance(expr, ast.Index):
+            expr.array = self.fold(expr.array)
+            expr.indices = [self.fold(i) for i in expr.indices]
+            # [a, b, c][1] --> b  (appears after WLF index substitution)
+            if (
+                isinstance(expr.array, ast.ArrayLit)
+                and len(expr.indices) == 1
+                and isinstance(expr.indices[0], ast.IntLit)
+            ):
+                position = expr.indices[0].value
+                if 0 <= position < len(expr.array.elements):
+                    self.changes += 1
+                    return expr.array.elements[position]
+            return expr
+        if isinstance(expr, ast.WithLoop):
+            for generator in expr.generators:
+                if generator.lower is not None:
+                    generator.lower = self.fold(generator.lower)
+                if generator.upper is not None:
+                    generator.upper = self.fold(generator.upper)
+                generator.body = self.fold(generator.body)
+            operation = expr.operation
+            if isinstance(operation, ast.GenArray):
+                operation.shape = self.fold(operation.shape)
+                if operation.default is not None:
+                    operation.default = self.fold(operation.default)
+            elif isinstance(operation, ast.ModArray):
+                operation.array = self.fold(operation.array)
+            else:
+                operation.neutral = self.fold(operation.neutral)
+            return expr
+        if isinstance(expr, ast.SetComprehension):
+            expr.body = self.fold(expr.body)
+            if expr.bound is not None:
+                expr.bound = self.fold(expr.bound)
+            return expr
+        return expr
+
+    def _fold_binop(self, expr: ast.BinOp) -> ast.Expr:
+        left_literal = _literal_value(expr.left)
+        right_literal = _literal_value(expr.right)
+        if left_literal is not None and right_literal is not None:
+            from repro.sac.interp import binary_op
+            from repro.errors import SacRuntimeError
+
+            try:
+                value = binary_op(expr.op, left_literal, right_literal)
+            except SacRuntimeError:
+                return expr  # e.g. division by zero: leave for runtime
+            self.changes += 1
+            return _make_literal(value, expr.span)
+
+        # type-preserving identities only (never change array-ness)
+        if expr.op in ("+", "-") and _is_zero(right_literal):
+            self.changes += 1
+            return expr.left
+        if expr.op == "+" and _is_zero(left_literal):
+            self.changes += 1
+            return expr.right
+        if expr.op in ("*", "/") and _is_one(right_literal):
+            self.changes += 1
+            return expr.left
+        if expr.op == "*" and _is_one(left_literal):
+            self.changes += 1
+            return expr.right
+        return expr
+
+
+def _literal_value(expr: ast.Expr):
+    if isinstance(expr, ast.IntLit):
+        return np.int64(expr.value)
+    if isinstance(expr, ast.DoubleLit):
+        return np.float64(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return np.bool_(expr.value)
+    return None
+
+
+def _is_zero(literal) -> bool:
+    return literal is not None and literal.dtype != np.bool_ and literal == 0
+
+
+def _is_one(literal) -> bool:
+    return literal is not None and literal.dtype != np.bool_ and literal == 1
+
+
+def _make_literal(value, span) -> ast.Expr:
+    array = np.asarray(value)
+    if array.ndim != 0:
+        raise TypeError("constant folding only produces scalars")
+    if array.dtype == np.bool_:
+        return ast.BoolLit(bool(array), span)
+    if np.issubdtype(array.dtype, np.integer):
+        return ast.IntLit(int(array), span)
+    return ast.DoubleLit(float(array), span)
+
+
+def fold_constants(module: ast.Module) -> int:
+    """Fold constants in every function; returns the number of rewrites."""
+    folder = ConstFolder()
+    for function in module.functions:
+        function.body = folder.fold_block(function.body)
+    return folder.changes

@@ -1,0 +1,59 @@
+"""Common-subexpression elimination (statement level).
+
+Within a straight-line segment, when two definitions have structurally
+identical right-hand sides and none of the free variables involved was
+re-bound in between, the later one is replaced by a reference to the
+earlier result.  Purity makes this unconditionally sound; it pairs
+with inlining, which tends to create duplicated accessor expressions
+(``p(qp)`` expanding to the same selection in several places).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sac import ast
+from repro.sac.opt import util
+
+
+def eliminate_common_subexpressions(module: ast.Module) -> int:
+    changes = 0
+    for function in module.functions:
+        changes += _run_block(function.body)
+    return changes
+
+
+def _run_block(statements: List[ast.Stmt]) -> int:
+    changes = 0
+    for statement in statements:
+        if isinstance(statement, ast.If):
+            changes += _run_block(statement.then_body)
+            changes += _run_block(statement.else_body)
+        elif isinstance(statement, (ast.For, ast.While)):
+            changes += _run_block(statement.body)
+
+    available: Dict[Tuple, str] = {}
+    dependents: Dict[str, List[Tuple]] = {}
+    for statement in statements:
+        if not isinstance(statement, ast.Assign):
+            # control flow: invalidate everything (its bodies may rebind)
+            available.clear()
+            dependents.clear()
+            continue
+        key = util.expr_key(statement.expr)
+        hit = available.get(key)
+        if hit is not None and not isinstance(statement.expr, ast.Var):
+            statement.expr = ast.Var(hit, statement.expr.span)
+            changes += 1
+            key = util.expr_key(statement.expr)
+        # re-binding statement.name invalidates keys that mention it
+        for stale_key in dependents.pop(statement.name, []):
+            available.pop(stale_key, None)
+        stale = [k for k, v in available.items() if v == statement.name]
+        for k in stale:
+            available.pop(k, None)
+        if not isinstance(statement.expr, (ast.IntLit, ast.DoubleLit, ast.BoolLit)):
+            available[key] = statement.name
+            for free in util.free_vars(statement.expr):
+                dependents.setdefault(free, []).append(key)
+    return changes

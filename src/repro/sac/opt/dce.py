@@ -1,0 +1,67 @@
+"""Dead-code elimination.
+
+Removes definitions whose variable is never read anywhere in the
+function.  Conservative and repeatable: each round peels the outermost
+layer of a dead chain, and the pipeline iterates passes to a fixpoint
+anyway.  Purity guarantees deleting a definition cannot change
+behaviour (there is nothing to observe but the value).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.sac import ast
+from repro.sac.opt import util
+
+
+def eliminate_dead_code(module: ast.Module) -> int:
+    changes = 0
+    for function in module.functions:
+        reads = set(util.count_uses(function.body))
+        changes += _sweep(function.body, reads)
+    return changes
+
+
+def _sweep(statements: List[ast.Stmt], reads: Set[str]) -> int:
+    changes = 0
+    kept: List[ast.Stmt] = []
+    for statement in statements:
+        if isinstance(statement, ast.Assign) and statement.name not in reads:
+            changes += 1
+            continue
+        if isinstance(statement, ast.If):
+            changes += _sweep(statement.then_body, reads)
+            changes += _sweep(statement.else_body, reads)
+            if not statement.then_body and not statement.else_body:
+                changes += 1
+                continue
+        elif isinstance(statement, (ast.For, ast.While)):
+            # loop-carried variables are read by the next iteration even if
+            # the textual read count outside is zero; only sweep the body
+            # of reads that occur nowhere at all
+            changes += _sweep(statement.body, reads | _loop_carried(statement))
+        kept.append(statement)
+    statements[:] = kept
+    return changes
+
+
+def _loop_carried(statement) -> Set[str]:
+    """Names assigned in a loop: kept alive across iterations."""
+    names: Set[str] = set()
+
+    def collect(statements):
+        for inner in statements:
+            if isinstance(inner, ast.Assign):
+                names.add(inner.name)
+            elif isinstance(inner, ast.If):
+                collect(inner.then_body)
+                collect(inner.else_body)
+            elif isinstance(inner, (ast.For, ast.While)):
+                collect(inner.body)
+
+    collect(statement.body)
+    if isinstance(statement, ast.For):
+        names.add(statement.init.name)
+        names.add(statement.update.name)
+    return names

@@ -1,0 +1,188 @@
+"""Forward substitution of single-use definitions.
+
+Within a straight-line statement segment, a definition read exactly
+once — at a use site *not* under a with-loop binder — is substituted
+into its use and removed.  This is the pass that "collates the many
+small operations on the arrays into fewer larger operations" (the
+paper's Section 5 explanation for SaC's scalability): chains of small
+elementwise definitions collapse into one big expression the backend
+evaluates as a single parallel region.
+
+Soundness conditions checked per candidate:
+
+* exactly one read in the whole function, located in a *later*
+  statement of the same segment;
+* no free variable of the definition is reassigned between definition
+  and use (bindings are immutable but names can be re-bound);
+* the use is not inside a with-loop/set-notation body, a conditional
+  branch, or a loop (those would duplicate or repeat the work —
+  with-loop folding handles the binder case properly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sac import ast
+from repro.sac.opt import util
+
+
+def forward_substitute(module: ast.Module) -> int:
+    changes = 0
+    for function in module.functions:
+        changes += _run_block(function.body, function)
+    return changes
+
+
+def _run_block(statements: List[ast.Stmt], function: ast.Function) -> int:
+    changes = 0
+    # recurse into nested blocks first
+    for statement in statements:
+        if isinstance(statement, ast.If):
+            changes += _run_block(statement.then_body, function)
+            changes += _run_block(statement.else_body, function)
+        elif isinstance(statement, (ast.For, ast.While)):
+            changes += _run_block(statement.body, function)
+
+    # split into straight-line segments at control-flow statements
+    segment: List[int] = []
+    for position, statement in enumerate(statements):
+        if isinstance(statement, (ast.Assign, ast.Return)):
+            segment.append(position)
+        else:
+            changes += _run_segment(statements, segment, function)
+            segment = []
+    changes += _run_segment(statements, segment, function)
+
+    # drop statements marked dead by substitution
+    statements[:] = [s for s in statements if not getattr(s, "_dead", False)]
+    return changes
+
+
+def _run_segment(
+    statements: List[ast.Stmt], segment: List[int], function: ast.Function
+) -> int:
+    if len(segment) < 2:
+        return 0
+    changes = 0
+    total_uses = util.count_uses(function.body)
+    for producer_position in segment[:-1]:
+        producer = statements[producer_position]
+        if not isinstance(producer, ast.Assign) or getattr(producer, "_dead", False):
+            continue
+        name = producer.name
+        if total_uses.get(name, 0) != 1:
+            continue
+        use = _find_single_segment_use(statements, segment, producer_position, name)
+        if use is None:
+            continue
+        consumer_position = use
+        # re-binding of any free var of the producer between def and use?
+        producer_frees = util.free_vars(producer.expr) | {name}
+        blocked = False
+        for middle in segment:
+            if producer_position < middle < consumer_position:
+                middle_statement = statements[middle]
+                if (
+                    isinstance(middle_statement, ast.Assign)
+                    and not getattr(middle_statement, "_dead", False)
+                    and middle_statement.name in producer_frees
+                ):
+                    blocked = True
+                    break
+        if blocked:
+            continue
+        consumer = statements[consumer_position]
+        replaced = _substitute_unbound(consumer, name, producer.expr)
+        if replaced:
+            producer._dead = True  # type: ignore[attr-defined]
+            changes += 1
+            total_uses = util.count_uses(function.body)
+    return changes
+
+
+def _find_single_segment_use(
+    statements, segment, producer_position, name
+) -> Optional[int]:
+    """Position of the unique reader if it is in this segment, else None."""
+    found: Optional[int] = None
+    for position in segment:
+        if position <= producer_position:
+            continue
+        statement = statements[position]
+        if getattr(statement, "_dead", False):
+            continue
+        expr = statement.expr if isinstance(statement, (ast.Assign, ast.Return)) else None
+        if expr is None:
+            continue
+        reads = util._read_occurrences(expr).count(name)
+        if reads:
+            if reads > 1 or found is not None:
+                return None
+            found = position
+    return found
+
+
+def _substitute_unbound(
+    statement: ast.Stmt, name: str, replacement: ast.Expr
+) -> bool:
+    """Replace the single read of ``name`` if it is not under a binder.
+
+    Returns False (and leaves the statement unchanged) when the only
+    read sits inside a with-loop/set body or a conditional branch.
+    """
+    assert isinstance(statement, (ast.Assign, ast.Return))
+    done = {"ok": False}
+
+    def visit(node: ast.Expr, shadowed: bool) -> ast.Expr:
+        if isinstance(node, ast.Var):
+            if node.name == name and not shadowed:
+                done["ok"] = True
+                return util.copy_expr(replacement)
+            return node
+        if isinstance(node, ast.ArrayLit):
+            node.elements = [visit(e, shadowed) for e in node.elements]
+            return node
+        if isinstance(node, ast.BinOp):
+            node.left = visit(node.left, shadowed)
+            node.right = visit(node.right, shadowed)
+            return node
+        if isinstance(node, ast.UnOp):
+            node.operand = visit(node.operand, shadowed)
+            return node
+        if isinstance(node, ast.Cond):
+            node.condition = visit(node.condition, shadowed)
+            # branches evaluate conditionally: do not push work into them
+            return node
+        if isinstance(node, ast.Call):
+            node.args = [visit(a, shadowed) for a in node.args]
+            return node
+        if isinstance(node, ast.Index):
+            node.array = visit(node.array, shadowed)
+            node.indices = [visit(i, shadowed) for i in node.indices]
+            return node
+        if isinstance(node, ast.WithLoop):
+            for generator in node.generators:
+                if generator.lower is not None:
+                    generator.lower = visit(generator.lower, shadowed)
+                if generator.upper is not None:
+                    generator.upper = visit(generator.upper, shadowed)
+                # generator bodies: binder context, skip
+            operation = node.operation
+            if isinstance(operation, ast.GenArray):
+                operation.shape = visit(operation.shape, shadowed)
+                if operation.default is not None:
+                    operation.default = visit(operation.default, shadowed)
+            elif isinstance(operation, ast.ModArray):
+                operation.array = visit(operation.array, shadowed)
+            else:
+                operation.neutral = visit(operation.neutral, shadowed)
+            return node
+        if isinstance(node, ast.SetComprehension):
+            if node.bound is not None:
+                node.bound = visit(node.bound, shadowed)
+            return node
+        return node
+
+    statement.expr = visit(statement.expr, False)
+    return done["ok"]

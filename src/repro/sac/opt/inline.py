@@ -1,0 +1,271 @@
+"""Function inlining.
+
+SaC's ``inline`` keyword is a request the paper's code uses liberally
+(both shown functions are ``inline``).  Two forms are handled:
+
+* **expression functions** — a body that is a single ``return``:
+  substituted directly at every call site, even inside with-loop
+  bodies (pure languages make this always sound);
+* **statement functions** — assignments followed by a final return:
+  the body is alpha-renamed and spliced in front of the statement
+  containing the call, so this form only fires for calls *not* under a
+  with-loop binder.
+
+Inlining is what exposes cross-function with-loop chains to the
+folding pass — without it the paper's "collate many small operations"
+effect cannot happen across abstraction boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sac import ast
+from repro.sac.opt import util
+
+_MAX_INLINE_DEPTH = 10
+
+
+def _is_expression_function(function: ast.Function) -> bool:
+    return len(function.body) == 1 and isinstance(function.body[0], ast.Return)
+
+
+def _is_statement_function(function: ast.Function) -> bool:
+    """Assign* Return — no early returns, no control flow with returns."""
+    if not function.body or not isinstance(function.body[-1], ast.Return):
+        return False
+    for statement in function.body[:-1]:
+        if not isinstance(statement, (ast.Assign, ast.If, ast.For, ast.While)):
+            return False
+        if _contains_return(statement):
+            return False
+    return True
+
+
+def _contains_return(statement: ast.Stmt) -> bool:
+    if isinstance(statement, ast.Return):
+        return True
+    if isinstance(statement, ast.If):
+        return any(_contains_return(s) for s in statement.then_body + statement.else_body)
+    if isinstance(statement, (ast.For, ast.While)):
+        return any(_contains_return(s) for s in statement.body)
+    return False
+
+
+class Inliner:
+    """Inlines ``inline`` functions of one module into each other."""
+
+    def __init__(self, functions: Dict[str, ast.Function]):
+        self.functions = functions
+        self.changes = 0
+
+    def run(self) -> int:
+        for function in self.functions.values():
+            function.body = self._inline_block(function.body, depth=0)
+        return self.changes
+
+    # -- statement walking ------------------------------------------------
+
+    def _inline_block(self, statements: List[ast.Stmt], depth: int) -> List[ast.Stmt]:
+        result: List[ast.Stmt] = []
+        for statement in statements:
+            result.extend(self._inline_stmt(statement, depth))
+        return result
+
+    def _inline_stmt(self, statement: ast.Stmt, depth: int) -> List[ast.Stmt]:
+        prelude: List[ast.Stmt] = []
+        if isinstance(statement, ast.Assign):
+            statement.expr = self._inline_expr(statement.expr, prelude, depth, under_binder=False)
+        elif isinstance(statement, ast.Return):
+            statement.expr = self._inline_expr(statement.expr, prelude, depth, under_binder=False)
+        elif isinstance(statement, ast.If):
+            statement.condition = self._inline_expr(
+                statement.condition, prelude, depth, under_binder=False
+            )
+            statement.then_body = self._inline_block(statement.then_body, depth)
+            statement.else_body = self._inline_block(statement.else_body, depth)
+        elif isinstance(statement, ast.For):
+            statement.init.expr = self._inline_expr(
+                statement.init.expr, prelude, depth, under_binder=False
+            )
+            # condition/update re-evaluate per iteration: only expression
+            # inlining (no hoisting) is sound there
+            statement.condition = self._inline_expr(
+                statement.condition, [], depth, under_binder=True
+            )
+            statement.update.expr = self._inline_expr(
+                statement.update.expr, [], depth, under_binder=True
+            )
+            statement.body = self._inline_block(statement.body, depth)
+        elif isinstance(statement, ast.While):
+            statement.condition = self._inline_expr(
+                statement.condition, [], depth, under_binder=True
+            )
+            statement.body = self._inline_block(statement.body, depth)
+        return prelude + [statement]
+
+    # -- expression walking -----------------------------------------------
+
+    def _inline_expr(
+        self,
+        expr: ast.Expr,
+        prelude: List[ast.Stmt],
+        depth: int,
+        under_binder: bool,
+    ) -> ast.Expr:
+        recurse = lambda e, binder=under_binder: self._inline_expr(e, prelude, depth, binder)
+
+        if isinstance(expr, ast.Call) and expr.module is None:
+            expr.args = [recurse(a) for a in expr.args]
+            target = self.functions.get(expr.name)
+            if (
+                target is not None
+                and target.inline
+                and depth < _MAX_INLINE_DEPTH
+            ):
+                replacement = self._try_inline_call(expr, target, prelude, depth, under_binder)
+                if replacement is not None:
+                    self.changes += 1
+                    return self._inline_expr(replacement, prelude, depth + 1, under_binder)
+            return expr
+        if isinstance(expr, ast.BinOp):
+            expr.left = recurse(expr.left)
+            expr.right = recurse(expr.right)
+            return expr
+        if isinstance(expr, ast.UnOp):
+            expr.operand = recurse(expr.operand)
+            return expr
+        if isinstance(expr, ast.Cond):
+            expr.condition = recurse(expr.condition)
+            # branches evaluate conditionally: no hoisting out of them
+            expr.then = self._inline_expr(expr.then, [], depth, True)
+            expr.otherwise = self._inline_expr(expr.otherwise, [], depth, True)
+            return expr
+        if isinstance(expr, ast.ArrayLit):
+            expr.elements = [recurse(e) for e in expr.elements]
+            return expr
+        if isinstance(expr, ast.Index):
+            expr.array = recurse(expr.array)
+            expr.indices = [recurse(i) for i in expr.indices]
+            return expr
+        if isinstance(expr, ast.WithLoop):
+            for generator in expr.generators:
+                if generator.lower is not None:
+                    generator.lower = recurse(generator.lower)
+                if generator.upper is not None:
+                    generator.upper = recurse(generator.upper)
+                generator.body = self._inline_expr(generator.body, [], depth, True)
+            operation = expr.operation
+            if isinstance(operation, ast.GenArray):
+                operation.shape = recurse(operation.shape)
+                if operation.default is not None:
+                    operation.default = recurse(operation.default)
+            elif isinstance(operation, ast.ModArray):
+                operation.array = recurse(operation.array)
+            else:
+                operation.neutral = recurse(operation.neutral)
+            return expr
+        if isinstance(expr, ast.SetComprehension):
+            expr.body = self._inline_expr(expr.body, [], depth, True)
+            if expr.bound is not None:
+                expr.bound = recurse(expr.bound)
+            return expr
+        return expr
+
+    def _try_inline_call(
+        self,
+        call: ast.Call,
+        target: ast.Function,
+        prelude: List[ast.Stmt],
+        depth: int,
+        under_binder: bool,
+    ) -> Optional[ast.Expr]:
+        if len(call.args) != len(target.params):
+            return None  # arity errors are the checker's business
+        if _is_expression_function(target):
+            mapping = {
+                param.name: arg for param, arg in zip(target.params, call.args)
+            }
+            body = target.body[0]
+            assert isinstance(body, ast.Return)
+            return util.substitute(util.copy_expr(body.expr), mapping)
+        if under_binder or not _is_statement_function(target):
+            return None
+        # statement function: alpha-rename locals, splice assignments
+        renaming: Dict[str, str] = {}
+        for statement in target.body:
+            for name in _assigned_names(statement):
+                if name not in renaming:
+                    renaming[name] = util.fresh_name(name)
+        mapping: Dict[str, ast.Expr] = {
+            old: ast.Var(new) for old, new in renaming.items()
+        }
+        for param, arg in zip(target.params, call.args):
+            temp = util.fresh_name(param.name)
+            prelude.append(ast.Assign(temp, util.copy_expr(arg), call.span))
+            mapping[param.name] = ast.Var(temp)
+        for statement in target.body[:-1]:
+            prelude.append(_rename_stmt(util.copy_stmt(statement), mapping, renaming))
+        final = target.body[-1]
+        assert isinstance(final, ast.Return)
+        return util.substitute(util.copy_expr(final.expr), mapping)
+
+
+def _assigned_names(statement: ast.Stmt) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(statement, ast.Assign):
+        names.add(statement.name)
+    elif isinstance(statement, ast.If):
+        for inner in statement.then_body + statement.else_body:
+            names |= _assigned_names(inner)
+    elif isinstance(statement, ast.For):
+        names.add(statement.init.name)
+        names.add(statement.update.name)
+        for inner in statement.body:
+            names |= _assigned_names(inner)
+    elif isinstance(statement, ast.While):
+        for inner in statement.body:
+            names |= _assigned_names(inner)
+    return names
+
+
+def _rename_stmt(statement: ast.Stmt, mapping, renaming) -> ast.Stmt:
+    if isinstance(statement, ast.Assign):
+        return ast.Assign(
+            renaming.get(statement.name, statement.name),
+            util.substitute(statement.expr, mapping),
+            statement.span,
+        )
+    if isinstance(statement, ast.If):
+        return ast.If(
+            util.substitute(statement.condition, mapping),
+            [_rename_stmt(s, mapping, renaming) for s in statement.then_body],
+            [_rename_stmt(s, mapping, renaming) for s in statement.else_body],
+            statement.span,
+        )
+    if isinstance(statement, ast.For):
+        init = _rename_stmt(statement.init, mapping, renaming)
+        update = _rename_stmt(statement.update, mapping, renaming)
+        assert isinstance(init, ast.Assign) and isinstance(update, ast.Assign)
+        return ast.For(
+            init,
+            util.substitute(statement.condition, mapping),
+            update,
+            [_rename_stmt(s, mapping, renaming) for s in statement.body],
+            statement.span,
+        )
+    if isinstance(statement, ast.While):
+        return ast.While(
+            util.substitute(statement.condition, mapping),
+            [_rename_stmt(s, mapping, renaming) for s in statement.body],
+            statement.span,
+        )
+    if isinstance(statement, ast.Return):
+        return ast.Return(util.substitute(statement.expr, mapping), statement.span)
+    raise TypeError(f"unknown statement {type(statement).__name__}")
+
+
+def inline_functions(module: ast.Module) -> int:
+    """Run the inliner over a module; returns the number of calls inlined."""
+    functions = {f.name: f for f in module.functions}
+    return Inliner(functions).run()

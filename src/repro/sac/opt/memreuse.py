@@ -1,0 +1,111 @@
+"""Memory-reuse analysis.
+
+SaC's reference-counting runtime updates arrays in place whenever the
+consumed array's reference count is one — the paper's Section 2:
+"liberates the programmer from implementation concerns, such as the
+efficiency of memory access and space management".  The static shadow
+of that here: a ``modarray`` with-loop whose source
+
+* is a local definition (never a parameter — the host may still hold
+  the buffer),
+* was created fresh (with-loop, arithmetic, set notation — not a view
+  like ``drop``/``take``/``reshape`` or an alias like a bare variable),
+* and is never read again after the modarray,
+
+is annotated ``reuse_in_place = True``.  The NumPy backend then mutates
+the buffer instead of copying it, and the cost model skips the copy
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.sac import ast
+from repro.sac.opt import util
+
+_FRESH_RHS = (ast.WithLoop, ast.SetComprehension, ast.BinOp, ast.UnOp, ast.ArrayLit)
+
+#: builtins that return freshly allocated arrays (not views / aliases)
+_FRESH_BUILTINS = {
+    "fabs", "sqrt", "exp", "log", "sin", "cos", "abs", "sign",
+    "min", "max", "pow", "genarray", "modarray", "tod",
+}
+
+
+def annotate_memory_reuse(module: ast.Module) -> int:
+    changes = 0
+    for function in module.functions:
+        changes += _annotate_function(function)
+    return changes
+
+
+def _is_fresh(expr: ast.Expr) -> bool:
+    if isinstance(expr, _FRESH_RHS):
+        return True
+    if isinstance(expr, ast.Call) and expr.name in _FRESH_BUILTINS:
+        return True
+    return False
+
+
+def _annotate_function(function: ast.Function) -> int:
+    changes = 0
+    fresh_locals: Set[str] = set()
+    statements = function.body
+
+    for position, statement in enumerate(statements):
+        if isinstance(statement, ast.Assign):
+            if _is_fresh(statement.expr):
+                fresh_locals.add(statement.name)
+            else:
+                fresh_locals.discard(statement.name)
+        elif not isinstance(statement, ast.Return):
+            # control flow: freshness tracking across it is not attempted
+            fresh_locals.clear()
+            continue
+
+        expr = statement.expr if isinstance(statement, (ast.Assign, ast.Return)) else None
+        if expr is None:
+            continue
+        loop = expr if isinstance(expr, ast.WithLoop) else None
+        if (
+            loop is None
+            or not isinstance(loop.operation, ast.ModArray)
+            or not isinstance(loop.operation.array, ast.Var)
+        ):
+            continue
+        source = loop.operation.array.name
+        if source not in fresh_locals:
+            continue
+        reads_after = 0
+        for later in statements[position + 1:]:
+            reads_after += _reads_in_stmt(later, source)
+        reads_in_this = util._read_occurrences(expr).count(source)
+        if reads_after == 0 and reads_in_this == 1:
+            if not getattr(loop, "reuse_in_place", False):
+                loop.reuse_in_place = True  # type: ignore[attr-defined]
+                changes += 1
+        # the buffer is consumed either way
+        fresh_locals.discard(source)
+    return changes
+
+
+def _reads_in_stmt(statement: ast.Stmt, name: str) -> int:
+    count = 0
+    if isinstance(statement, (ast.Assign, ast.Return)):
+        count += util._read_occurrences(statement.expr).count(name)
+    elif isinstance(statement, ast.If):
+        count += util._read_occurrences(statement.condition).count(name)
+        for inner in statement.then_body + statement.else_body:
+            count += _reads_in_stmt(inner, name)
+    elif isinstance(statement, ast.For):
+        count += util._read_occurrences(statement.init.expr).count(name)
+        count += util._read_occurrences(statement.condition).count(name)
+        count += util._read_occurrences(statement.update.expr).count(name)
+        for inner in statement.body:
+            count += _reads_in_stmt(inner, name)
+    elif isinstance(statement, ast.While):
+        count += util._read_occurrences(statement.condition).count(name)
+        for inner in statement.body:
+            count += _reads_in_stmt(inner, name)
+    return count

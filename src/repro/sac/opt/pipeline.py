@@ -1,0 +1,113 @@
+"""The optimisation pipeline.
+
+Mirrors sac2c's driver: an initial inlining phase, then repeated
+*optimisation cycles* (constant folding, CSE, forward substitution,
+with-loop folding, with-loop unrolling, dead-code elimination) until a
+fixpoint or ``max_cycles`` (the paper passes ``-maxoptcyc 100``), and a
+final memory-reuse analysis.  A :class:`PipelineReport` records what
+each pass did per cycle — benchmarks and tests read it to show, e.g.,
+how many with-loops were folded out of the Euler step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sac import ast
+from repro.sac.opt.constfold import fold_constants
+from repro.sac.opt.cse import eliminate_common_subexpressions
+from repro.sac.opt.dce import eliminate_dead_code
+from repro.sac.opt.fwdsub import forward_substitute
+from repro.sac.opt.inline import inline_functions
+from repro.sac.opt.memreuse import annotate_memory_reuse
+from repro.sac.opt.wlf import FoldOptions, fold_with_loops
+from repro.sac.opt.wlur import unroll_with_loops
+from repro.sac.opt.util import block_key
+
+
+@dataclass
+class PipelineOptions:
+    """Optimisation switches, named after their sac2c counterparts."""
+
+    optimize: bool = True           # -O3 vs -O0 (master switch)
+    max_cycles: int = 100           # -maxoptcyc
+    max_unroll: int = 20            # -maxwlur
+    inline: bool = True
+    constant_folding: bool = True
+    cse: bool = True
+    forward_substitution: bool = True
+    with_loop_folding: bool = True
+    with_loop_unrolling: bool = True
+    dead_code_elimination: bool = True
+    memory_reuse: bool = True
+    fold_max_uses: int = 2
+    fold_max_body_size: int = 120
+
+
+@dataclass
+class PipelineReport:
+    """What the pipeline did: pass name -> total rewrites."""
+
+    cycles_run: int = 0
+    inlined_calls: int = 0
+    pass_totals: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str, count: int) -> None:
+        if count:
+            self.pass_totals[name] = self.pass_totals.get(name, 0) + count
+
+    @property
+    def total_rewrites(self) -> int:
+        return self.inlined_calls + sum(self.pass_totals.values())
+
+
+def optimize_module(
+    module: ast.Module, options: Optional[PipelineOptions] = None
+) -> PipelineReport:
+    """Run the pipeline in place; returns the report."""
+    options = options or PipelineOptions()
+    report = PipelineReport()
+    if not options.optimize:
+        return report
+
+    if options.inline:
+        report.inlined_calls = inline_functions(module)
+
+    fold_options = FoldOptions(
+        max_uses=options.fold_max_uses,
+        max_body_size=options.fold_max_body_size,
+    )
+
+    previous = _module_key(module)
+    for cycle in range(options.max_cycles):
+        report.cycles_run = cycle + 1
+        if options.constant_folding:
+            report.record("constant_folding", fold_constants(module))
+        if options.cse:
+            report.record("cse", eliminate_common_subexpressions(module))
+        if options.forward_substitution:
+            report.record("forward_substitution", forward_substitute(module))
+        if options.with_loop_folding:
+            report.record("with_loop_folding", fold_with_loops(module, fold_options))
+        if options.with_loop_unrolling:
+            report.record(
+                "with_loop_unrolling",
+                unroll_with_loops(module, options.max_unroll),
+            )
+        if options.dead_code_elimination:
+            report.record("dead_code_elimination", eliminate_dead_code(module))
+        current = _module_key(module)
+        if current == previous:
+            break
+        previous = current
+
+    if options.memory_reuse:
+        report.record("memory_reuse", annotate_memory_reuse(module))
+    return report
+
+
+def _module_key(module: ast.Module):
+    return tuple(
+        (function.name, block_key(function.body)) for function in module.functions
+    )

@@ -1,0 +1,371 @@
+"""With-loop folding (WLF) — SaC's signature optimisation.
+
+When one with-loop (or set-notation expression) produces an array that
+later with-loops merely select from, the selection is replaced by the
+producer's body with the indices substituted:
+
+    f  = { iv -> flux(q[iv]) };
+    dq = { iv -> f[iv + 1] - f[iv] };          // consumer
+
+folds to
+
+    dq = { iv -> flux(q[iv + 1]) - flux(q[iv]) };
+
+eliminating the intermediate array entirely — no allocation, no second
+pass over memory, one parallel region instead of two.  The paper's
+Section 4.1 points at exactly this ("to materialise each array in
+memory would be expensive ... SaC's functional underpinnings allow it
+to avoid some unnecessary calculations, memory allocation and memory
+copies").
+
+Folding conditions (conservative):
+
+* the producer is a single-generator, full-cover, no-default genarray
+  with-loop or a set-notation expression;
+* every use of the produced variable in the function is a selection
+  ``x[...]`` deep enough to reach the element (so the substituted body
+  means the selected value), located after the producer in the same
+  straight-line segment with no interfering re-bindings;
+* no use site sits under a binder that captures one of the producer
+  body's free variables;
+* the duplicated body stays within a size budget
+  (``max_uses`` x ``max_body_size``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sac import ast
+from repro.sac.opt import util
+
+
+@dataclass
+class FoldOptions:
+    max_uses: int = 2
+    max_body_size: int = 120
+
+
+@dataclass
+class _Producer:
+    name: str
+    index_vars: List[str]
+    vector_var: bool
+    frame_rank: Optional[int]  # len(index_vars) for scalar vars
+    body: ast.Expr
+    free_in_body: Set[str]
+
+
+def fold_with_loops(module: ast.Module, options: Optional[FoldOptions] = None) -> int:
+    options = options or FoldOptions()
+    changes = 0
+    for function in module.functions:
+        changes += _run_block(function.body, function, options)
+    return changes
+
+
+def _run_block(statements: List[ast.Stmt], function, options) -> int:
+    changes = 0
+    for statement in statements:
+        if isinstance(statement, ast.If):
+            changes += _run_block(statement.then_body, function, options)
+            changes += _run_block(statement.else_body, function, options)
+        elif isinstance(statement, (ast.For, ast.While)):
+            changes += _run_block(statement.body, function, options)
+
+    segment: List[int] = []
+    for position, statement in enumerate(statements):
+        if isinstance(statement, (ast.Assign, ast.Return)):
+            segment.append(position)
+        else:
+            changes += _run_segment(statements, segment, function, options)
+            segment = []
+    changes += _run_segment(statements, segment, function, options)
+    return changes
+
+
+def _expr_size(expr: ast.Expr) -> int:
+    return sum(1 for _ in ast.walk_expr(expr))
+
+
+def _producer_of(statement: ast.Stmt) -> Optional[_Producer]:
+    if not isinstance(statement, ast.Assign):
+        return None
+    expr = statement.expr
+    if isinstance(expr, ast.SetComprehension):
+        frame_rank = None if expr.vector_var else len(expr.index_vars)
+        annotation = getattr(expr, "sac_type", None)
+        if expr.vector_var and annotation is not None:
+            body_type = getattr(expr.body, "sac_type", None)
+            if (
+                annotation.ndim is not None
+                and body_type is not None
+                and body_type.ndim is not None
+            ):
+                frame_rank = annotation.ndim - body_type.ndim
+        return _Producer(
+            statement.name,
+            list(expr.index_vars),
+            expr.vector_var,
+            frame_rank,
+            expr.body,
+            util.free_vars(expr.body, set(expr.index_vars)),
+        )
+    if isinstance(expr, ast.WithLoop) and isinstance(expr.operation, ast.GenArray):
+        if len(expr.generators) != 1 or expr.operation.default is not None:
+            return None
+        generator = expr.generators[0]
+        if not _full_cover(generator, expr.operation.shape):
+            return None
+        frame_rank = (
+            None if generator.vector_var else len(generator.index_vars)
+        )
+        if generator.vector_var:
+            shape_lit = expr.operation.shape
+            if isinstance(shape_lit, ast.ArrayLit):
+                frame_rank = len(shape_lit.elements)
+        return _Producer(
+            statement.name,
+            list(generator.index_vars),
+            generator.vector_var,
+            frame_rank,
+            generator.body,
+            util.free_vars(generator.body, set(generator.index_vars)),
+        )
+    return None
+
+
+def _full_cover(generator: ast.Generator, shape: ast.Expr) -> bool:
+    lower_ok = generator.lower is None or (
+        isinstance(generator.lower, ast.ArrayLit)
+        and all(
+            isinstance(e, ast.IntLit) and e.value == 0
+            for e in generator.lower.elements
+        )
+        and generator.lower_inclusive
+    )
+    upper_ok = generator.upper is None or (
+        not generator.upper_inclusive
+        and util.expr_key(generator.upper) == util.expr_key(shape)
+    )
+    return lower_ok and upper_ok
+
+
+def _run_segment(statements, segment, function, options: FoldOptions) -> int:
+    if len(segment) < 2:
+        return 0
+    changes = 0
+    for producer_position in list(segment[:-1]):
+        producer_statement = statements[producer_position]
+        producer = _producer_of(producer_statement)
+        if producer is None:
+            continue
+        if _expr_size(producer.body) > options.max_body_size:
+            continue
+        uses = _collect_uses(function.body, producer.name)
+        if not uses or len(uses) > options.max_uses:
+            continue
+        # every use must be a foldable selection in this segment, after
+        # the producer, with no interfering rebinding
+        plan: List[Tuple[ast.Stmt, ast.Index, Tuple[str, ...]]] = []
+        feasible = True
+        for use in uses:
+            statement_of_use, index_node, binders = use
+            position = _position_of(statements, segment, statement_of_use)
+            if (
+                index_node is None
+                or position is None
+                or position <= producer_position
+            ):
+                feasible = False
+                break
+            if producer.free_in_body & set(binders):
+                feasible = False
+                break
+            if _rebinding_between(
+                statements, segment, producer_position, position,
+                producer.free_in_body | {producer.name},
+            ):
+                feasible = False
+                break
+            if not _mappable(index_node, producer):
+                feasible = False
+                break
+            plan.append((statement_of_use, index_node, binders))
+        if not feasible:
+            continue
+        for statement_of_use, index_node, _ in plan:
+            _fold_at(statement_of_use, index_node, producer)
+            changes += 1
+        producer_statement._folded = True  # type: ignore[attr-defined]
+    return changes
+
+
+def _position_of(statements, segment, statement) -> Optional[int]:
+    for position in segment:
+        if statements[position] is statement:
+            return position
+    return None
+
+
+def _rebinding_between(statements, segment, start, stop, names) -> bool:
+    for middle in segment:
+        if start < middle < stop:
+            candidate = statements[middle]
+            if isinstance(candidate, ast.Assign) and candidate.name in names:
+                return True
+    return False
+
+
+def _collect_uses(block: List[ast.Stmt], name: str):
+    """All reads of ``name``: (statement, Index-node-or-None, binders)."""
+    uses = []
+
+    def scan_expr(statement, node: ast.Expr, binders: Tuple[str, ...], parent_index):
+        if isinstance(node, ast.Var):
+            if node.name == name and name not in binders:
+                uses.append((statement, parent_index, binders))
+            return
+        if isinstance(node, ast.Index):
+            if isinstance(node.array, ast.Var):
+                # the Var directly under an Index: report the Index itself
+                if node.array.name == name and name not in binders:
+                    uses.append((statement, node, binders))
+            else:
+                scan_expr(statement, node.array, binders, None)
+            for index in node.indices:
+                scan_expr(statement, index, binders, None)
+            return
+        if isinstance(node, ast.WithLoop):
+            for generator in node.generators:
+                inner = binders + tuple(generator.index_vars)
+                if generator.lower is not None:
+                    scan_expr(statement, generator.lower, binders, None)
+                if generator.upper is not None:
+                    scan_expr(statement, generator.upper, binders, None)
+                scan_expr(statement, generator.body, inner, None)
+            operation = node.operation
+            if isinstance(operation, ast.GenArray):
+                scan_expr(statement, operation.shape, binders, None)
+                if operation.default is not None:
+                    scan_expr(statement, operation.default, binders, None)
+            elif isinstance(operation, ast.ModArray):
+                scan_expr(statement, operation.array, binders, None)
+            else:
+                scan_expr(statement, operation.neutral, binders, None)
+            return
+        if isinstance(node, ast.SetComprehension):
+            inner = binders + tuple(node.index_vars)
+            scan_expr(statement, node.body, inner, None)
+            if node.bound is not None:
+                scan_expr(statement, node.bound, binders, None)
+            return
+        for child in _children(node):
+            scan_expr(statement, child, binders, None)
+
+    def scan_stmt(statement: ast.Stmt):
+        if isinstance(statement, (ast.Assign, ast.Return)):
+            scan_expr(statement, statement.expr, (), None)
+        elif isinstance(statement, ast.If):
+            scan_expr(statement, statement.condition, (), None)
+            for inner in statement.then_body + statement.else_body:
+                scan_stmt(inner)
+        elif isinstance(statement, ast.For):
+            scan_expr(statement, statement.init.expr, (), None)
+            scan_expr(statement, statement.condition, (), None)
+            scan_expr(statement, statement.update.expr, (), None)
+            for inner in statement.body:
+                scan_stmt(inner)
+        elif isinstance(statement, ast.While):
+            scan_expr(statement, statement.condition, (), None)
+            for inner in statement.body:
+                scan_stmt(inner)
+
+    for statement in block:
+        scan_stmt(statement)
+    return uses
+
+
+def _children(node: ast.Expr):
+    if isinstance(node, ast.ArrayLit):
+        return node.elements
+    if isinstance(node, ast.BinOp):
+        return [node.left, node.right]
+    if isinstance(node, ast.UnOp):
+        return [node.operand]
+    if isinstance(node, ast.Cond):
+        return [node.condition, node.then, node.otherwise]
+    if isinstance(node, ast.Call):
+        return node.args
+    return []
+
+
+def _index_is_scalar(index: ast.Expr) -> bool:
+    annotation = getattr(index, "sac_type", None)
+    if annotation is not None:
+        return annotation.is_scalar
+    # unannotated (pass-created) nodes: literals and arithmetic of scalars
+    if isinstance(index, ast.IntLit):
+        return True
+    if isinstance(index, ast.BinOp):
+        return _index_is_scalar(index.left) and _index_is_scalar(index.right)
+    if isinstance(index, ast.UnOp):
+        return _index_is_scalar(index.operand)
+    if isinstance(index, ast.Index):
+        # iv[0] style: scalar if the inner array is a rank-1 index vector
+        return True
+    return False
+
+
+def _mappable(index_node: ast.Index, producer: _Producer) -> bool:
+    indices = index_node.indices
+    if not producer.vector_var:
+        rank = len(producer.index_vars)
+        if len(indices) < rank:
+            return False
+        return all(_index_is_scalar(i) for i in indices[:rank])
+    # vector-var producer
+    if producer.frame_rank is not None:
+        if len(indices) == 1 and not _index_is_scalar(indices[0]):
+            return True  # x[iv2]: direct vector mapping
+        if len(indices) >= producer.frame_rank and all(
+            _index_is_scalar(i) for i in indices[: producer.frame_rank]
+        ):
+            return True
+        return False
+    # unknown frame rank: only the direct single-vector form is safe
+    return len(indices) == 1 and not _index_is_scalar(indices[0])
+
+
+def _fold_at(statement, index_node: ast.Index, producer: _Producer) -> None:
+    """Rewrite ``x[...]`` in place into the mapped producer body."""
+    indices = index_node.indices
+    if not producer.vector_var:
+        rank = len(producer.index_vars)
+        mapping = {
+            var: indices[position]
+            for position, var in enumerate(producer.index_vars)
+        }
+        remainder = indices[rank:]
+    else:
+        var = producer.index_vars[0]
+        if len(indices) == 1 and not _index_is_scalar(indices[0]):
+            mapping = {var: indices[0]}
+            remainder = []
+        else:
+            rank = producer.frame_rank or len(indices)
+            mapping = {var: ast.ArrayLit(list(indices[:rank]), index_node.span)}
+            remainder = indices[rank:]
+    body = util.substitute(util.copy_expr(producer.body), mapping)
+    if remainder:
+        body = ast.Index(body, list(remainder), index_node.span)
+    # splice: turn the Index node into the body in place
+    _become(index_node, body)
+
+
+def _become(node: ast.Expr, replacement: ast.Expr) -> None:
+    """In-place morph of one AST node into another (same object identity)."""
+    node.__class__ = replacement.__class__
+    node.__dict__.clear()
+    node.__dict__.update(replacement.__dict__)

@@ -1,0 +1,196 @@
+"""With-loop unrolling (the ``-maxwlur`` option).
+
+Tiny with-loops — index spaces of at most ``max_unroll`` elements with
+statically known bounds — are replaced by explicit array literals (for
+genarray) or chained combining expressions (for fold).  The paper's
+benchmark invocation passes ``-maxwlur 20``; small vector arithmetic
+such as per-axis spacing computations is where this pays off, since a
+2-element parallel loop costs far more in scheduling than in work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sac import ast
+from repro.sac.opt import util
+from repro.sac.interp import _index_space
+
+
+def unroll_with_loops(module: ast.Module, max_unroll: int = 20) -> int:
+    changes = 0
+    unroller = _Unroller(max_unroll)
+    for function in module.functions:
+        function.body = [unroller.visit_stmt(s) for s in function.body]
+    return unroller.changes
+
+
+class _Unroller:
+    def __init__(self, max_unroll: int):
+        self.max_unroll = max_unroll
+        self.changes = 0
+
+    def visit_stmt(self, statement: ast.Stmt) -> ast.Stmt:
+        if isinstance(statement, (ast.Assign, ast.Return)):
+            statement.expr = self.visit(statement.expr)
+        elif isinstance(statement, ast.If):
+            statement.condition = self.visit(statement.condition)
+            statement.then_body = [self.visit_stmt(s) for s in statement.then_body]
+            statement.else_body = [self.visit_stmt(s) for s in statement.else_body]
+        elif isinstance(statement, ast.For):
+            statement.init.expr = self.visit(statement.init.expr)
+            statement.condition = self.visit(statement.condition)
+            statement.update.expr = self.visit(statement.update.expr)
+            statement.body = [self.visit_stmt(s) for s in statement.body]
+        elif isinstance(statement, ast.While):
+            statement.condition = self.visit(statement.condition)
+            statement.body = [self.visit_stmt(s) for s in statement.body]
+        return statement
+
+    def visit(self, expr: ast.Expr) -> ast.Expr:
+        # bottom-up
+        if isinstance(expr, ast.ArrayLit):
+            expr.elements = [self.visit(e) for e in expr.elements]
+            return expr
+        if isinstance(expr, ast.BinOp):
+            expr.left = self.visit(expr.left)
+            expr.right = self.visit(expr.right)
+            return expr
+        if isinstance(expr, ast.UnOp):
+            expr.operand = self.visit(expr.operand)
+            return expr
+        if isinstance(expr, ast.Cond):
+            expr.condition = self.visit(expr.condition)
+            expr.then = self.visit(expr.then)
+            expr.otherwise = self.visit(expr.otherwise)
+            return expr
+        if isinstance(expr, ast.Call):
+            expr.args = [self.visit(a) for a in expr.args]
+            return expr
+        if isinstance(expr, ast.Index):
+            expr.array = self.visit(expr.array)
+            expr.indices = [self.visit(i) for i in expr.indices]
+            return expr
+        if isinstance(expr, ast.SetComprehension):
+            expr.body = self.visit(expr.body)
+            if expr.bound is not None:
+                expr.bound = self.visit(expr.bound)
+            return expr
+        if isinstance(expr, ast.WithLoop):
+            for generator in expr.generators:
+                if generator.lower is not None:
+                    generator.lower = self.visit(generator.lower)
+                if generator.upper is not None:
+                    generator.upper = self.visit(generator.upper)
+                generator.body = self.visit(generator.body)
+            operation = expr.operation
+            if isinstance(operation, ast.GenArray):
+                operation.shape = self.visit(operation.shape)
+                if operation.default is not None:
+                    operation.default = self.visit(operation.default)
+            elif isinstance(operation, ast.ModArray):
+                operation.array = self.visit(operation.array)
+            else:
+                operation.neutral = self.visit(operation.neutral)
+            return self._try_unroll(expr)
+        return expr
+
+    # ------------------------------------------------------------------
+
+    def _try_unroll(self, expr: ast.WithLoop) -> ast.Expr:
+        operation = expr.operation
+        if len(expr.generators) != 1:
+            return expr
+        generator = expr.generators[0]
+
+        if isinstance(operation, ast.GenArray):
+            frame = _const_vector(operation.shape)
+            if frame is None or len(frame) != 1:
+                return expr  # rank-1 unrolling only
+            bounds = self._static_bounds(generator, frame)
+            if bounds is None:
+                return expr
+            lower, upper = bounds
+            if lower != (0,) or upper != tuple(frame):
+                return expr  # partial cover: the default region survives
+            if frame[0] > self.max_unroll:
+                return expr
+            elements = [
+                self._body_at(generator, (position,)) for position in range(frame[0])
+            ]
+            self.changes += 1
+            return ast.ArrayLit(elements, expr.span)
+
+        if isinstance(operation, ast.Fold):
+            bounds = self._static_bounds(generator, None)
+            if bounds is None:
+                return expr
+            lower, upper = bounds
+            total = 1
+            for l, u in zip(lower, upper):
+                total *= max(0, u - l)
+            if total == 0 or total > self.max_unroll:
+                return expr
+            # left-associated from the neutral element, exactly like the
+            # interpreter's fold order (float addition is not associative,
+            # and the backends must agree bit-for-bit with the reference)
+            combined: ast.Expr = operation.neutral
+            for iv in _index_space(lower, upper):
+                term = self._body_at(generator, iv)
+                combined = _combine(operation.op, combined, term, expr.span)
+            self.changes += 1
+            return combined
+
+        return expr
+
+    def _static_bounds(self, generator: ast.Generator, frame):
+        lower = (
+            (0,) * (len(frame) if frame is not None else 0)
+            if generator.lower is None
+            else _const_vector(generator.lower)
+        )
+        if generator.lower is not None and lower is not None and not generator.lower_inclusive:
+            lower = tuple(b + 1 for b in lower)
+        if generator.upper is None:
+            upper = tuple(frame) if frame is not None else None
+        else:
+            upper = _const_vector(generator.upper)
+            if upper is not None and generator.upper_inclusive:
+                upper = tuple(b + 1 for b in upper)
+        if lower is None or upper is None:
+            return None
+        if generator.lower is None and frame is None:
+            lower = (0,) * len(upper)
+        if len(lower) != len(upper):
+            return None
+        if not generator.vector_var and len(generator.index_vars) != len(lower):
+            return None
+        return tuple(lower), tuple(upper)
+
+    def _body_at(self, generator: ast.Generator, iv) -> ast.Expr:
+        if generator.vector_var:
+            mapping = {
+                generator.index_vars[0]: ast.ArrayLit(
+                    [ast.IntLit(int(i)) for i in iv], generator.span
+                )
+            }
+        else:
+            mapping = {
+                var: ast.IntLit(int(i))
+                for var, i in zip(generator.index_vars, iv)
+            }
+        return util.substitute(util.copy_expr(generator.body), mapping)
+
+
+def _const_vector(expr: ast.Expr):
+    if isinstance(expr, ast.ArrayLit) and all(
+        isinstance(e, ast.IntLit) for e in expr.elements
+    ):
+        return tuple(e.value for e in expr.elements)
+    return None
+
+
+def _combine(op: str, left: ast.Expr, right: ast.Expr, span) -> ast.Expr:
+    if op in ("+", "*"):
+        return ast.BinOp(op, left, right, span)
+    return ast.Call(op, [left, right], None, span)  # max / min builtins

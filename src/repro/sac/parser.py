@@ -1,0 +1,507 @@
+"""Recursive-descent parser for the SaC subset.
+
+Produces the AST of :mod:`repro.sac.ast`.  The grammar covers what the
+paper's code excerpts use — with-loops with multiple generators, set
+notation, array types with ``.``/``+``/``*`` shape specs, qualified
+stdlib calls (``MathArray::fabs``), ``inline`` functions, typedefs and
+top-level constants — plus the usual C expression grammar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SacSyntaxError
+from repro.sac import ast
+from repro.sac.lexer import Token, tokenize
+
+FOLD_OPERATORS = {"+", "*", "max", "min"}
+
+
+class Parser:
+    """One-token-lookahead recursive descent parser."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> SacSyntaxError:
+        token = token or self.current
+        return SacSyntaxError(message, token.span.line, token.span.column)
+
+    def expect_op(self, text: str) -> Token:
+        if not self.current.is_op(text):
+            raise self.error(f"expected {text!r}, found {self.current.text!r}")
+        return self.advance()
+
+    def expect_keyword(self, text: str) -> Token:
+        if not self.current.is_keyword(text):
+            raise self.error(f"expected keyword {text!r}, found {self.current.text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise self.error(f"expected identifier, found {self.current.text!r}")
+        return self.advance()
+
+    def accept_op(self, text: str) -> bool:
+        if self.current.is_op(text):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        name = "main"
+        if self.current.is_keyword("module"):
+            self.advance()
+            name = self.expect_ident().text
+            self.expect_op(";")
+
+        uses: List[str] = []
+        typedefs: List[ast.TypeDef] = []
+        globals_: List[ast.GlobalDef] = []
+        functions: List[ast.Function] = []
+
+        while self.current.kind != "eof":
+            if self.current.is_keyword("use"):
+                self.advance()
+                uses.append(self.expect_ident().text)
+                self.expect_op(";")
+            elif self.current.is_keyword("typedef"):
+                span = self.advance().span
+                definition = self.parse_type()
+                alias = self.expect_ident().text
+                self.expect_op(";")
+                typedefs.append(ast.TypeDef(alias, definition, span))
+            else:
+                self._parse_global_or_function(globals_, functions)
+
+        return ast.Module(name, uses, typedefs, globals_, functions)
+
+    def _parse_global_or_function(self, globals_, functions) -> None:
+        inline = False
+        span = self.current.span
+        if self.current.is_keyword("inline"):
+            inline = True
+            self.advance()
+        declared_type = self.parse_type()
+        name = self.expect_ident().text
+        if self.current.is_op("="):
+            if inline:
+                raise self.error("a global constant cannot be 'inline'")
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(";")
+            globals_.append(ast.GlobalDef(declared_type, name, expr, span))
+            return
+        self.expect_op("(")
+        params: List[ast.Param] = []
+        if not self.current.is_op(")"):
+            while True:
+                param_type = self.parse_type()
+                param_name = self.expect_ident().text
+                params.append(ast.Param(param_type, param_name))
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        body = self.parse_block()
+        functions.append(
+            ast.Function(name, declared_type, params, body, inline, span)
+        )
+
+    # ------------------------------------------------------------------
+    # types
+    # ------------------------------------------------------------------
+
+    def parse_type(self) -> ast.TypeExpr:
+        """``base`` optionally followed by ``[dims]`` / ``[+]`` / ``[*]``."""
+        base_token = self.expect_ident()
+        dims: object = []
+        if self.current.is_op("["):
+            self.advance()
+            if self.current.is_op("+") or self.current.is_op("*"):
+                dims = self.advance().text
+            else:
+                entries: List[object] = []
+                while True:
+                    if self.current.is_op("."):
+                        self.advance()
+                        entries.append(".")
+                    elif self.current.kind == "int":
+                        entries.append(int(self.advance().text))
+                    else:
+                        raise self.error(
+                            "array dimension must be an integer or '.'"
+                        )
+                    if not self.accept_op(","):
+                        break
+                dims = entries
+            self.expect_op("]")
+        return ast.TypeExpr(base_token.text, dims, base_token.span)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect_op("{")
+        statements: List[ast.Stmt] = []
+        while not self.current.is_op("}"):
+            if self.current.kind == "eof":
+                raise self.error("unterminated block")
+            statements.append(self.parse_stmt())
+        self.expect_op("}")
+        return statements
+
+    def parse_block_or_stmt(self) -> List[ast.Stmt]:
+        if self.current.is_op("{"):
+            return self.parse_block()
+        return [self.parse_stmt()]
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.current
+        if token.is_keyword("return"):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(";")
+            return ast.Return(expr, token.span)
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.kind == "ident" and self.peek().is_op("="):
+            assign = self._parse_assign()
+            self.expect_op(";")
+            return assign
+        raise self.error(f"expected a statement, found {token.text!r}")
+
+    def _parse_assign(self) -> ast.Assign:
+        name_token = self.expect_ident()
+        self.expect_op("=")
+        expr = self.parse_expr()
+        return ast.Assign(name_token.text, expr, name_token.span)
+
+    def _parse_if(self) -> ast.If:
+        span = self.expect_keyword("if").span
+        self.expect_op("(")
+        condition = self.parse_expr()
+        self.expect_op(")")
+        then_body = self.parse_block_or_stmt()
+        else_body: List[ast.Stmt] = []
+        if self.current.is_keyword("else"):
+            self.advance()
+            else_body = self.parse_block_or_stmt()
+        return ast.If(condition, then_body, else_body, span)
+
+    def _parse_for(self) -> ast.For:
+        span = self.expect_keyword("for").span
+        self.expect_op("(")
+        init = self._parse_assign()
+        self.expect_op(";")
+        condition = self.parse_expr()
+        self.expect_op(";")
+        update = self._parse_assign()
+        self.expect_op(")")
+        body = self.parse_block_or_stmt()
+        return ast.For(init, condition, update, body, span)
+
+    def _parse_while(self) -> ast.While:
+        span = self.expect_keyword("while").span
+        self.expect_op("(")
+        condition = self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_block_or_stmt()
+        return ast.While(condition, body, span)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        condition = self._parse_or()
+        if self.current.is_op("?"):
+            span = self.advance().span
+            then = self.parse_expr()
+            self.expect_op(":")
+            otherwise = self.parse_expr()
+            return ast.Cond(condition, then, otherwise, span)
+        return condition
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.current.is_op("||"):
+            span = self.advance().span
+            left = ast.BinOp("||", left, self._parse_and(), span)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while self.current.is_op("&&"):
+            span = self.advance().span
+            left = ast.BinOp("&&", left, self._parse_comparison(), span)
+        return left
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if self.current.is_op(op):
+                span = self.advance().span
+                return ast.BinOp(op, left, self._parse_additive(), span)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.current.is_op("+") or self.current.is_op("-"):
+            op_token = self.advance()
+            left = ast.BinOp(
+                op_token.text, left, self._parse_multiplicative(), op_token.span
+            )
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while (
+            self.current.is_op("*")
+            or self.current.is_op("/")
+            or self.current.is_op("%")
+        ):
+            op_token = self.advance()
+            left = ast.BinOp(op_token.text, left, self._parse_unary(), op_token.span)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.current.is_op("-") or self.current.is_op("!"):
+            op_token = self.advance()
+            return ast.UnOp(op_token.text, self._parse_unary(), op_token.span)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self.current.is_op("["):
+            span = self.advance().span
+            indices = [self.parse_expr()]
+            while self.accept_op(","):
+                indices.append(self.parse_expr())
+            self.expect_op("]")
+            expr = ast.Index(expr, indices, span)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(int(token.text), token.span)
+        if token.kind == "double":
+            self.advance()
+            return ast.DoubleLit(float(token.text), token.span)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.BoolLit(True, token.span)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.BoolLit(False, token.span)
+        if token.is_keyword("with"):
+            return self._parse_with_loop()
+        if token.is_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if token.is_op("["):
+            self.advance()
+            elements: List[ast.Expr] = []
+            if not self.current.is_op("]"):
+                elements.append(self.parse_expr())
+                while self.accept_op(","):
+                    elements.append(self.parse_expr())
+            self.expect_op("]")
+            return ast.ArrayLit(elements, token.span)
+        if token.is_op("{"):
+            return self._parse_set_comprehension()
+        if token.kind == "ident":
+            return self._parse_name_or_call()
+        if (
+            token.kind == "keyword"
+            and token.text in ("genarray", "modarray")
+            and self.peek().is_op("(")
+        ):
+            # the stdlib *functions* genarray/modarray share their names
+            # with the with-loop operations; here they are ordinary calls
+            self.advance()
+            self.expect_op("(")
+            args = [self.parse_expr()]
+            while self.accept_op(","):
+                args.append(self.parse_expr())
+            self.expect_op(")")
+            return ast.Call(token.text, args, None, token.span)
+        raise self.error(f"expected an expression, found {token.text!r}")
+
+    def _parse_name_or_call(self) -> ast.Expr:
+        name_token = self.expect_ident()
+        module: Optional[str] = None
+        name = name_token.text
+        if self.current.is_op("::"):
+            self.advance()
+            module = name
+            name = self.expect_ident().text
+        if self.current.is_op("("):
+            self.advance()
+            args: List[ast.Expr] = []
+            if not self.current.is_op(")"):
+                args.append(self.parse_expr())
+                while self.accept_op(","):
+                    args.append(self.parse_expr())
+            self.expect_op(")")
+            return ast.Call(name, args, module, name_token.span)
+        if module is not None:
+            raise self.error("qualified names must be function calls", name_token)
+        return ast.Var(name, name_token.span)
+
+    # ------------------------------------------------------------------
+    # with-loops and set notation
+    # ------------------------------------------------------------------
+
+    def _parse_with_loop(self) -> ast.WithLoop:
+        span = self.expect_keyword("with").span
+        self.expect_op("{")
+        generators: List[ast.Generator] = []
+        while not self.current.is_op("}"):
+            generators.append(self._parse_generator())
+        self.expect_op("}")
+        self.expect_op(":")
+        operation = self._parse_with_operation()
+        if not generators and not isinstance(operation, ast.ModArray):
+            # genarray with no generators is legal only when a default exists
+            if isinstance(operation, ast.GenArray) and operation.default is None:
+                raise self.error("genarray with no generators needs a default", None)
+        return ast.WithLoop(generators, operation, span)
+
+    def _parse_generator(self) -> ast.Generator:
+        span = self.expect_op("(").span
+        # bounds parse at additive precedence so the generator's own
+        # <= / < relations are not swallowed as comparisons
+        lower = None if self.accept_op(".") else self._parse_additive()
+        lower_inclusive = self._parse_relation()
+        index_vars, vector_var = self._parse_index_spec()
+        upper_inclusive = self._parse_relation(upper=True)
+        upper = None if self.accept_op(".") else self._parse_additive()
+        self.expect_op(")")
+        self.expect_op(":")
+        body = self.parse_expr()
+        self.expect_op(";")
+        return ast.Generator(
+            index_vars,
+            vector_var,
+            lower,
+            upper,
+            lower_inclusive,
+            upper_inclusive,
+            body,
+            span,
+        )
+
+    def _parse_relation(self, upper: bool = False) -> bool:
+        """Consume ``<=`` or ``<``; returns True when inclusive."""
+        if self.accept_op("<="):
+            return True
+        if self.accept_op("<"):
+            return False
+        raise self.error("expected '<' or '<=' in generator")
+
+    def _parse_index_spec(self):
+        if self.current.is_op("["):
+            self.advance()
+            names = [self.expect_ident().text]
+            while self.accept_op(","):
+                names.append(self.expect_ident().text)
+            self.expect_op("]")
+            return names, False
+        return [self.expect_ident().text], True
+
+    def _parse_with_operation(self):
+        token = self.current
+        if token.is_keyword("genarray"):
+            self.advance()
+            self.expect_op("(")
+            shape = self.parse_expr()
+            default = None
+            if self.accept_op(","):
+                default = self.parse_expr()
+            self.expect_op(")")
+            return ast.GenArray(shape, default, token.span)
+        if token.is_keyword("modarray"):
+            self.advance()
+            self.expect_op("(")
+            array = self.parse_expr()
+            self.expect_op(")")
+            return ast.ModArray(array, token.span)
+        if token.is_keyword("fold"):
+            self.advance()
+            self.expect_op("(")
+            if self.current.is_op("+") or self.current.is_op("*"):
+                fold_op = self.advance().text
+            elif self.current.kind == "ident" and self.current.text in FOLD_OPERATORS:
+                fold_op = self.advance().text
+            else:
+                raise self.error("fold operator must be +, *, max or min")
+            self.expect_op(",")
+            neutral = self.parse_expr()
+            self.expect_op(")")
+            return ast.Fold(fold_op, neutral, token.span)
+        raise self.error("expected genarray, modarray or fold")
+
+    def _parse_set_comprehension(self) -> ast.SetComprehension:
+        span = self.expect_op("{").span
+        index_vars, vector_var = self._parse_index_spec()
+        self.expect_op("->")
+        body = self.parse_expr()
+        bound: Optional[ast.Expr] = None
+        if self.accept_op("|"):
+            bound_vars, bound_vector = self._parse_index_spec()
+            if bound_vars != index_vars or bound_vector != vector_var:
+                raise self.error("bound clause must repeat the index variables")
+            self.expect_op("<")
+            bound = self.parse_expr()
+        self.expect_op("}")
+        return ast.SetComprehension(index_vars, vector_var, body, bound, span)
+
+
+def parse_module(source: str) -> ast.Module:
+    """Parse a complete SaC module from source text."""
+    return Parser(source).parse_module()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (used by tests and the REPL-ish API)."""
+    parser = Parser(source)
+    expr = parser.parse_expr()
+    if parser.current.kind != "eof":
+        raise parser.error("trailing input after expression")
+    return expr

@@ -1,0 +1,16 @@
+"""Runtime support: profiling traces and the pthread-style sync models."""
+
+from repro.sac.runtime.profiler import ExecutionTrace, Region
+from repro.sac.runtime.spinlock import (
+    ForkJoinSyncModel,
+    SpinBarrier,
+    SpinSyncModel,
+)
+
+__all__ = [
+    "ExecutionTrace",
+    "Region",
+    "ForkJoinSyncModel",
+    "SpinBarrier",
+    "SpinSyncModel",
+]

@@ -1,0 +1,19 @@
+"""Source locations and diagnostics for the SaC front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """A (line, column) position in a source file; 1-based like editors."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+UNKNOWN_SPAN = Span(0, 0)

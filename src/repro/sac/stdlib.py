@@ -1,0 +1,220 @@
+"""Builtin functions — the slice of the SaC standard library the
+paper's code uses (``Array`` operations, ``Math``/``MathArray``).
+
+Each builtin has a value-level implementation (used by the interpreter
+and as the semantic reference for the backends) and, where its result
+shape is a function of argument shapes, a *shape rule* used by the type
+checker.  All array arguments follow SaC conventions, e.g.
+``drop([1], a)`` drops one leading element, ``drop([-1], a)`` one
+trailing element; ``take([-2], a)`` takes the last two.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SacRuntimeError, SacTypeError
+from repro.sac import values as V
+
+# type alias: shape rule gets arg (base, dims-or-None) pairs, returns the same.
+ShapeIn = Tuple[str, Optional[Tuple[Optional[int], ...]]]
+
+
+def _drop(amount, array) -> np.ndarray:
+    array = np.asarray(array)
+    counts = V.as_index_vector(amount, "drop")
+    if len(counts) > array.ndim:
+        raise SacRuntimeError(
+            f"drop: {len(counts)} counts for a rank-{array.ndim} array"
+        )
+    slices = []
+    for count, extent in zip(counts, array.shape):
+        if abs(count) > extent:
+            raise SacRuntimeError(f"drop: count {count} exceeds extent {extent}")
+        if count >= 0:
+            slices.append(slice(count, None))
+        else:
+            slices.append(slice(None, extent + count))
+    return array[tuple(slices)]
+
+
+def _take(amount, array) -> np.ndarray:
+    array = np.asarray(array)
+    counts = V.as_index_vector(amount, "take")
+    if len(counts) > array.ndim:
+        raise SacRuntimeError(
+            f"take: {len(counts)} counts for a rank-{array.ndim} array"
+        )
+    slices = []
+    for count, extent in zip(counts, array.shape):
+        if abs(count) > extent:
+            raise SacRuntimeError(f"take: count {count} exceeds extent {extent}")
+        if count >= 0:
+            slices.append(slice(None, count))
+        else:
+            slices.append(slice(extent + count, None))
+    return array[tuple(slices)]
+
+
+def _sel(index, array) -> np.ndarray:
+    """SaC ``sel(iv, a)``: select element or subarray by index vector."""
+    array = np.asarray(array)
+    iv = V.as_index_vector(index, "sel")
+    if len(iv) > array.ndim:
+        raise SacRuntimeError(f"sel: rank-{len(iv)} index into rank-{array.ndim} array")
+    for position, (i, extent) in enumerate(zip(iv, array.shape)):
+        if not 0 <= i < extent:
+            raise SacRuntimeError(
+                f"sel: index {i} out of bounds for axis {position} (extent {extent})"
+            )
+    return array[iv]
+
+
+def _modarray_fn(array, index, value) -> np.ndarray:
+    """Functional update: copy of ``array`` with ``array[iv] = value``."""
+    array = np.asarray(array)
+    iv = V.as_index_vector(index, "modarray")
+    result = array.copy()
+    result[iv] = value
+    return result
+
+
+def _reshape(shape, array) -> np.ndarray:
+    target = V.as_index_vector(shape, "reshape")
+    array = np.asarray(array)
+    if int(np.prod(target)) != array.size:
+        raise SacRuntimeError(
+            f"reshape: cannot reshape {array.size} elements to {target}"
+        )
+    return array.reshape(target)
+
+
+def _genarray_fn(shape, default) -> np.ndarray:
+    extents = V.as_index_vector(shape, "genarray")
+    default = np.asarray(default)
+    return np.broadcast_to(default, tuple(extents) + default.shape).copy()
+
+
+def _shape(array) -> np.ndarray:
+    return np.asarray(np.asarray(array).shape, dtype=np.int64)
+
+
+def _dim(array):
+    return np.int64(np.asarray(array).ndim)
+
+
+def _tod(value):
+    return np.asarray(value, dtype=np.float64)[()]
+
+
+def _toi(value):
+    return np.asarray(np.trunc(np.asarray(value, dtype=np.float64))).astype(np.int64)[()]
+
+
+def _elementwise(fn):
+    def wrapped(*args):
+        return fn(*[np.asarray(a) for a in args])
+
+    return wrapped
+
+
+# --------------------------------------------------------------------------
+# shape rules for the checker (dims=None means unknown rank)
+# --------------------------------------------------------------------------
+
+
+def _same_shape_rule(args):
+    base, dims = args[0]
+    return base, dims
+
+
+def _double_same_shape_rule(args):
+    _, dims = args[0]
+    return "double", dims
+
+
+def _scalar_rule_base_first(args):
+    base, _ = args[0]
+    return base, ()
+
+
+def _shape_rule_shape(args):
+    _, dims = args[0]
+    if dims is None:
+        return "int", (None,)
+    return "int", (len(dims),)
+
+
+def _binary_broadcast_rule(args):
+    (base_a, dims_a), (base_b, dims_b) = args
+    from repro.sac.types import join_base
+
+    base = join_base(base_a, base_b)
+    if dims_a is None or dims_b is None:
+        return base, None
+    return base, dims_a if len(dims_a) >= len(dims_b) else dims_b
+
+
+class Builtin:
+    """A builtin with its implementation and optional checker shape rule."""
+
+    def __init__(self, name: str, impl: Callable, shape_rule=None, arity=None):
+        self.name = name
+        self.impl = impl
+        self.shape_rule = shape_rule
+        self.arity = arity
+
+    def __call__(self, *args):
+        return self.impl(*args)
+
+
+BUILTINS: Dict[str, Builtin] = {}
+
+
+def _register(name: str, impl, shape_rule=None, arity=None) -> None:
+    BUILTINS[name] = Builtin(name, impl, shape_rule, arity)
+
+
+_register("dim", _dim, lambda args: ("int", ()), 1)
+_register("shape", _shape, _shape_rule_shape, 1)
+_register("sel", _sel, None, 2)
+_register("drop", _drop, None, 2)
+_register("take", _take, None, 2)
+_register("reshape", _reshape, None, 2)
+_register("modarray", _modarray_fn, None, 3)
+_register("genarray", _genarray_fn, None, 2)
+
+_register("sum", _elementwise(np.sum), _scalar_rule_base_first, 1)
+_register("prod", _elementwise(np.prod), _scalar_rule_base_first, 1)
+_register("maxval", _elementwise(np.max), _scalar_rule_base_first, 1)
+_register("minval", _elementwise(np.min), _scalar_rule_base_first, 1)
+
+_register("abs", _elementwise(np.abs), _same_shape_rule, 1)
+_register("fabs", _elementwise(np.abs), _double_same_shape_rule, 1)
+_register("sqrt", _elementwise(np.sqrt), _double_same_shape_rule, 1)
+_register("exp", _elementwise(np.exp), _double_same_shape_rule, 1)
+_register("log", _elementwise(np.log), _double_same_shape_rule, 1)
+_register("sin", _elementwise(np.sin), _double_same_shape_rule, 1)
+_register("cos", _elementwise(np.cos), _double_same_shape_rule, 1)
+_register("sign", _elementwise(np.sign), _same_shape_rule, 1)
+
+_register("min", _elementwise(np.minimum), _binary_broadcast_rule, 2)
+_register("max", _elementwise(np.maximum), _binary_broadcast_rule, 2)
+_register("pow", _elementwise(np.power), _binary_broadcast_rule, 2)
+
+_register("transpose", _elementwise(np.transpose), None, 1)
+_register("tod", _tod, lambda args: ("double", args[0][1]), 1)
+_register("toi", _toi, lambda args: ("int", args[0][1]), 1)
+
+#: Module names accepted in ``use`` declarations / qualified calls.
+KNOWN_MODULES = {"Array", "ArrayBasics", "Math", "MathArray", "StdIO", "fluid"}
+
+
+def lookup(name: str, module: Optional[str] = None) -> Optional[Builtin]:
+    """Find a builtin; module qualifiers are accepted but not namespaced
+    (the subset's stdlib is flat, like using every module at once)."""
+    if module is not None and module not in KNOWN_MODULES:
+        raise SacTypeError(f"unknown module {module!r}")
+    return BUILTINS.get(name)

@@ -1,0 +1,48 @@
+"""Symbol tables for the SaC type checker.
+
+SaC function bodies have a single flat scope (bindings are
+definitions, not mutations); with-loop index variables shadow inside
+generator bodies.  :class:`Scope` models exactly that: a chain of
+frames with lookup walking outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class Scope:
+    """One lexical frame; ``parent`` chains to the enclosing frame."""
+
+    bindings: Dict[str, object] = field(default_factory=dict)
+    parent: Optional["Scope"] = None
+
+    def child(self) -> "Scope":
+        return Scope(parent=self)
+
+    def define(self, name: str, info: object) -> None:
+        self.bindings[name] = info
+
+    def lookup(self, name: str) -> Optional[object]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def names(self) -> Iterator[str]:
+        """All visible names, innermost first."""
+        seen = set()
+        scope: Optional[Scope] = self
+        while scope is not None:
+            for name in scope.bindings:
+                if name not in seen:
+                    seen.add(name)
+                    yield name
+            scope = scope.parent

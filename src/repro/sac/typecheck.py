@@ -1,0 +1,884 @@
+"""Type and shape checker with call-site specialisation.
+
+This is the phase the paper's Section 2/4 claims hinge on: rank-generic
+functions (``fluid_pv[+]``) are *specialised* per concrete call-site
+shape, so "no penalty is paid for the generic type" and the same body
+serves 1-D and 2-D data.  The checker runs an abstract interpreter over
+the shape domain:
+
+* every expression is annotated (``node.sac_type``) with a
+  :class:`~repro.sac.types.SacType`, which may be partially known;
+* compile-time constants (int scalars and small int vectors — shapes,
+  bounds, drop/take counts) are propagated so genarray frames and
+  drop/take results get exact shapes;
+* user calls are checked per distinct argument-type tuple and cached —
+  the specialisation table is part of the public result
+  (:attr:`TypeChecker.specializations`), and tests assert that e.g.
+  ``getDt`` acquires one 1-D and one 2-D instance;
+* the conditional-definition rule is enforced: a variable defined in
+  only one branch of an ``if`` is poisoned and may not be used after
+  (the paper: "control flow through conditionals can affect whether a
+  variable is defined; however this is not valid SaC code").
+
+The checker only *rejects* provable errors; where shapes cannot be
+determined statically it degrades to AKD/AUD types and leaves the rest
+to the runtime, like a gradual shape system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SacTypeError
+from repro.sac import ast
+from repro.sac import stdlib
+from repro.sac.symtab import Scope
+from repro.sac.types import (
+    BOOL,
+    INT,
+    SacType,
+    TypedefEnv,
+    array_of,
+    from_type_expr,
+    is_subtype,
+    join_base,
+    register_typedef,
+    scalar,
+)
+
+_MAX_WIDENING_ROUNDS = 5
+
+
+@dataclass(frozen=True)
+class Abstract:
+    """Abstract value: a type plus, when known, the constant value."""
+
+    type: SacType
+    const: Optional[np.ndarray] = None
+
+    @property
+    def const_index_vector(self) -> Optional[Tuple[int, ...]]:
+        """The constant as an index/shape vector, if it is one."""
+        if self.const is None:
+            return None
+        array = np.asarray(self.const)
+        if array.ndim == 0 and np.issubdtype(array.dtype, np.integer):
+            return (int(array),)
+        if array.ndim == 1 and np.issubdtype(array.dtype, np.integer):
+            return tuple(int(v) for v in array)
+        return None
+
+
+class _Poisoned:
+    """Marks a variable defined in only one branch of an if."""
+
+    def __init__(self, name: str, span):
+        self.name = name
+        self.span = span
+
+
+def join_types(a: SacType, b: SacType, span=None) -> SacType:
+    """Least upper bound used when control flow merges definitions."""
+    if a == b:
+        return a
+    if a.base != b.base:
+        raise SacTypeError(
+            f"{span or ''}: cannot merge {a} with {b} (different base types)"
+        )
+    dims_a, dims_b = a.full_dims(), b.full_dims()
+    if dims_a is not None and dims_b is not None:
+        if len(dims_a) == len(dims_b):
+            merged = tuple(
+                x if x == y else None for x, y in zip(dims_a, dims_b)
+            )
+            return SacType(a.base, merged)
+        min_rank = min(len(dims_a), len(dims_b))
+        return SacType(a.base, None, min_dim=min(min_rank, 1))
+    min_dim = min(
+        a.min_dim if a.dims is None else (a.ndim or 0),
+        b.min_dim if b.dims is None else (b.ndim or 0),
+    )
+    return SacType(a.base, None, min_dim=min(min_dim, 1))
+
+
+@dataclass
+class Specialization:
+    """One checked instance of a function for concrete argument types."""
+
+    function: ast.Function
+    arg_types: Tuple[SacType, ...]
+    return_type: SacType
+
+
+class TypeChecker:
+    """Checks a module given entry-point argument types."""
+
+    def __init__(self, module: ast.Module, defines: Optional[Dict[str, object]] = None):
+        self.module = module
+        self.typedefs = TypedefEnv()
+        for typedef in module.typedefs:
+            register_typedef(typedef.name, typedef.definition, self.typedefs)
+        self.functions: Dict[str, ast.Function] = {}
+        for function in module.functions:
+            if function.name in self.functions:
+                raise SacTypeError(f"duplicate function {function.name!r}")
+            if stdlib.lookup(function.name) is not None:
+                raise SacTypeError(
+                    f"function {function.name!r} shadows a builtin"
+                )
+            self.functions[function.name] = function
+        self.specializations: Dict[Tuple[str, Tuple[str, ...]], Specialization] = {}
+        self._in_progress: Dict[Tuple[str, Tuple[str, ...]], SacType] = {}
+
+        self.global_types: Dict[str, Abstract] = {}
+        for name, value in (defines or {}).items():
+            array = np.asarray(value)
+            base = (
+                "bool"
+                if array.dtype == np.bool_
+                else "int"
+                if np.issubdtype(array.dtype, np.integer)
+                else "double"
+            )
+            self.global_types[name] = Abstract(
+                array_of(base, array.shape), array
+            )
+        for definition in module.globals:
+            scope = Scope(dict(self.global_types))
+            inferred = self.check_expr(definition.expr, scope)
+            declared = from_type_expr(definition.type, self.typedefs)
+            self._require_subtype(inferred.type, declared, definition.span, definition.name)
+            self.global_types[definition.name] = inferred
+
+    # ------------------------------------------------------------------
+    # entry / functions
+    # ------------------------------------------------------------------
+
+    def check_all(self) -> None:
+        """Check every function against its *declared* parameter types.
+
+        This is the compile-time pass: it annotates every expression
+        (with possibly partial types) and rejects provable errors even
+        before any concrete call-site shapes are known.  Call-site
+        specialisation still happens later through :meth:`check_entry`.
+        """
+        for function in self.functions.values():
+            declared = tuple(
+                from_type_expr(param.type, self.typedefs)
+                for param in function.params
+            )
+            self._check_call(function, declared, span=function.span)
+
+    def check_entry(self, name: str, arg_types: Sequence[SacType]) -> SacType:
+        """Check (and specialise) an entry function for the given arg types."""
+        function = self.functions.get(name)
+        if function is None:
+            raise SacTypeError(f"no function named {name!r}")
+        return self._check_call(function, tuple(arg_types), span=function.span)
+
+    def _check_call(
+        self, function: ast.Function, arg_types: Tuple[SacType, ...], span
+    ) -> SacType:
+        if len(arg_types) != len(function.params):
+            raise SacTypeError(
+                f"{span}: {function.name} expects {len(function.params)}"
+                f" arguments, got {len(arg_types)}"
+            )
+        declared_return = from_type_expr(function.return_type, self.typedefs)
+        for arg_type, param in zip(arg_types, function.params):
+            declared = from_type_expr(param.type, self.typedefs)
+            if not _may_be_subtype(arg_type, declared):
+                raise SacTypeError(
+                    f"{span}: argument {param.name!r} of {function.name}:"
+                    f" {arg_type} is not a {declared}"
+                )
+        key = (function.name, tuple(str(t) for t in arg_types))
+        cached = self.specializations.get(key)
+        if cached is not None:
+            return cached.return_type
+        if key in self._in_progress:  # recursion: trust the signature
+            return self._in_progress[key]
+        self._in_progress[key] = declared_return
+        try:
+            scope = Scope(dict(self.global_types))
+            for param, arg_type in zip(function.params, arg_types):
+                scope.define(param.name, Abstract(arg_type))
+            returns: List[SacType] = []
+            self._check_block(function.body, scope, returns)
+            if not returns:
+                raise SacTypeError(
+                    f"{function.span}: {function.name} never returns"
+                )
+            inferred = returns[0]
+            for other in returns[1:]:
+                inferred = join_types(inferred, other, function.span)
+            self._require_subtype(
+                inferred, declared_return, function.span, f"return of {function.name}"
+            )
+        finally:
+            del self._in_progress[key]
+        self.specializations[key] = Specialization(function, arg_types, inferred)
+        return inferred
+
+    def _require_subtype(self, have: SacType, want: SacType, span, what: str) -> None:
+        if not _may_be_subtype(have, want):
+            raise SacTypeError(f"{span}: {what}: {have} is not a {want}")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _check_block(self, statements, scope: Scope, returns: List[SacType]) -> None:
+        for statement in statements:
+            self._check_stmt(statement, scope, returns)
+
+    def _check_stmt(self, statement, scope: Scope, returns: List[SacType]) -> None:
+        if isinstance(statement, ast.Assign):
+            if statement.name in self.global_types:
+                # module constants are immutable; allowing local shadowing
+                # would also break substitution-based inlining
+                raise SacTypeError(
+                    f"{statement.span}: cannot shadow module constant"
+                    f" {statement.name!r}"
+                )
+            scope.define(statement.name, self.check_expr(statement.expr, scope))
+        elif isinstance(statement, ast.Return):
+            returns.append(self.check_expr(statement.expr, scope).type)
+        elif isinstance(statement, ast.If):
+            self._check_if(statement, scope, returns)
+        elif isinstance(statement, (ast.For, ast.While)):
+            self._check_loop(statement, scope, returns)
+        else:
+            raise SacTypeError(f"unknown statement {type(statement).__name__}")
+
+    def _check_if(self, statement: ast.If, scope: Scope, returns) -> None:
+        condition = self.check_expr(statement.condition, scope)
+        if condition.type.base != "bool" or not condition.type.is_scalar:
+            raise SacTypeError(
+                f"{statement.span}: if condition must be scalar bool,"
+                f" got {condition.type}"
+            )
+        then_scope = Scope(dict(scope.bindings), scope.parent)
+        else_scope = Scope(dict(scope.bindings), scope.parent)
+        self._check_block(statement.then_body, then_scope, returns)
+        self._check_block(statement.else_body, else_scope, returns)
+
+        before = set(scope.bindings)
+        then_new = set(then_scope.bindings)
+        else_new = set(else_scope.bindings)
+        for name in then_new | else_new:
+            in_then = name in then_scope.bindings
+            in_else = name in else_scope.bindings
+            if in_then and in_else:
+                a = then_scope.bindings[name]
+                b = else_scope.bindings[name]
+                if isinstance(a, _Poisoned) or isinstance(b, _Poisoned):
+                    scope.bindings[name] = _Poisoned(name, statement.span)
+                    continue
+                merged = join_types(a.type, b.type, statement.span)
+                const = (
+                    a.const
+                    if a.const is not None
+                    and b.const is not None
+                    and np.array_equal(a.const, b.const)
+                    else None
+                )
+                scope.bindings[name] = Abstract(merged, const)
+            elif name in before:
+                # redefined on one path only: type may have changed
+                survivor = (then_scope if in_then else else_scope).bindings[name]
+                if isinstance(survivor, _Poisoned):
+                    scope.bindings[name] = survivor
+                else:
+                    scope.bindings[name] = Abstract(
+                        join_types(
+                            survivor.type, scope.bindings[name].type, statement.span
+                        )
+                    )
+            else:
+                scope.bindings[name] = _Poisoned(name, statement.span)
+
+    def _check_loop(self, statement, scope: Scope, returns) -> None:
+        if isinstance(statement, ast.For):
+            scope.define(
+                statement.init.name, self.check_expr(statement.init.expr, scope)
+            )
+        for _ in range(_MAX_WIDENING_ROUNDS):
+            condition = self.check_expr(statement.condition, scope)
+            if condition.type.base != "bool" or not condition.type.is_scalar:
+                raise SacTypeError(
+                    f"{statement.span}: loop condition must be scalar bool,"
+                    f" got {condition.type}"
+                )
+            body_scope = Scope(dict(scope.bindings), scope.parent)
+            self._check_block(statement.body, body_scope, returns)
+            if isinstance(statement, ast.For):
+                body_scope.define(
+                    statement.update.name,
+                    self.check_expr(statement.update.expr, body_scope),
+                )
+            changed = False
+            for name, info in body_scope.bindings.items():
+                if isinstance(info, _Poisoned):
+                    scope.bindings[name] = info
+                    continue
+                old = scope.bindings.get(name)
+                if old is None:
+                    # defined only inside the loop body: poisoned after,
+                    # since the loop may run zero times
+                    scope.bindings[name] = _Poisoned(name, statement.span)
+                    continue
+                if isinstance(old, _Poisoned):
+                    continue
+                merged = join_types(old.type, info.type, statement.span)
+                new = Abstract(
+                    merged,
+                    old.const
+                    if old.const is not None
+                    and info.const is not None
+                    and np.array_equal(old.const, info.const)
+                    else None,
+                )
+                if new != old:
+                    scope.bindings[name] = new
+                    changed = True
+            if not changed:
+                return
+        raise SacTypeError(
+            f"{statement.span}: loop types failed to stabilise"
+        )
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def check_expr(self, expr: ast.Expr, scope: Scope) -> Abstract:
+        result = self._check_expr(expr, scope)
+        expr.sac_type = result.type  # annotation consumed by lowering/backends
+        return result
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope) -> Abstract:
+        if isinstance(expr, ast.IntLit):
+            return Abstract(INT, np.int64(expr.value))
+        if isinstance(expr, ast.DoubleLit):
+            return Abstract(scalar("double"), np.float64(expr.value))
+        if isinstance(expr, ast.BoolLit):
+            return Abstract(BOOL, np.bool_(expr.value))
+        if isinstance(expr, ast.Var):
+            info = scope.lookup(expr.name)
+            if info is None:
+                raise SacTypeError(f"{expr.span}: undefined variable {expr.name!r}")
+            if isinstance(info, _Poisoned):
+                raise SacTypeError(
+                    f"{expr.span}: variable {expr.name!r} may be undefined"
+                    f" (defined in only one branch at {info.span})"
+                )
+            return info
+        if isinstance(expr, ast.ArrayLit):
+            return self._check_array_lit(expr, scope)
+        if isinstance(expr, ast.BinOp):
+            return self._check_binop(expr, scope)
+        if isinstance(expr, ast.UnOp):
+            operand = self.check_expr(expr.operand, scope)
+            if expr.op == "!":
+                if operand.type.base != "bool":
+                    raise SacTypeError(f"{expr.span}: '!' needs bool operand")
+                return Abstract(operand.type)
+            const = None if operand.const is None else -np.asarray(operand.const)
+            return Abstract(operand.type, const)
+        if isinstance(expr, ast.Cond):
+            condition = self.check_expr(expr.condition, scope)
+            if condition.type.base != "bool" or not condition.type.is_scalar:
+                raise SacTypeError(f"{expr.span}: '?:' condition must be scalar bool")
+            then = self.check_expr(expr.then, scope)
+            otherwise = self.check_expr(expr.otherwise, scope)
+            return Abstract(join_types(then.type, otherwise.type, expr.span))
+        if isinstance(expr, ast.Index):
+            return self._check_index(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._check_call_expr(expr, scope)
+        if isinstance(expr, ast.WithLoop):
+            return self._check_with_loop(expr, scope)
+        if isinstance(expr, ast.SetComprehension):
+            return self._check_set_comprehension(expr, scope)
+        raise SacTypeError(f"unknown expression {type(expr).__name__}")
+
+    def _check_array_lit(self, expr: ast.ArrayLit, scope: Scope) -> Abstract:
+        if not expr.elements:
+            return Abstract(array_of("int", (0,)), np.zeros(0, dtype=np.int64))
+        elements = [self.check_expr(e, scope) for e in expr.elements]
+        base = elements[0].type.base
+        for element in elements[1:]:
+            base = join_base(base, element.type.base)
+        element_dims = elements[0].type.full_dims()
+        for element in elements[1:]:
+            other = element.type.full_dims()
+            if element_dims is not None and other is not None:
+                if len(element_dims) != len(other):
+                    raise SacTypeError(
+                        f"{expr.span}: array literal elements have different ranks"
+                    )
+                element_dims = tuple(
+                    x if x == y else None for x, y in zip(element_dims, other)
+                )
+            else:
+                element_dims = None
+        if element_dims is None:
+            result_type = SacType(base, None, min_dim=1)
+        else:
+            result_type = SacType(base, (len(elements),) + tuple(element_dims))
+        consts = [e.const for e in elements]
+        const = None
+        if all(c is not None for c in consts):
+            const = np.stack([np.asarray(c) for c in consts])
+        return Abstract(result_type, const)
+
+    def _check_binop(self, expr: ast.BinOp, scope: Scope) -> Abstract:
+        left = self.check_expr(expr.left, scope)
+        right = self.check_expr(expr.right, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            for side in (left, right):
+                if side.type.base != "bool":
+                    raise SacTypeError(f"{expr.span}: {op} needs bool operands")
+            result_base = "bool"
+        elif op in ("==", "!=", "<", "<=", ">", ">="):
+            join_base(left.type.base, right.type.base)  # just validates
+            result_base = "bool"
+        else:
+            result_base = join_base(left.type.base, right.type.base)
+            if result_base == "bool":
+                raise SacTypeError(f"{expr.span}: arithmetic on bool values")
+
+        dims = _broadcast_dims(left.type, right.type, expr.span)
+        result_type = SacType(result_base, dims) if dims is not None else SacType(
+            result_base, None, min_dim=1
+        )
+        const = None
+        if left.const is not None and right.const is not None:
+            from repro.errors import SacRuntimeError
+            from repro.sac.interp import binary_op
+
+            try:
+                const = binary_op(op, left.const, right.const)
+            except SacRuntimeError:
+                const = None  # e.g. division by zero: a runtime matter
+        return Abstract(result_type, const)
+
+    def _check_index(self, expr: ast.Index, scope: Scope) -> Abstract:
+        array = self.check_expr(expr.array, scope)
+        index_infos = [self.check_expr(i, scope) for i in expr.indices]
+        if len(expr.indices) == 1:
+            index = index_infos[0]
+            if index.type.is_scalar:
+                depth: Optional[int] = 1
+            elif index.type.ndim == 1:
+                full = index.type.full_dims()
+                depth = full[0] if full is not None else None
+            else:
+                raise SacTypeError(
+                    f"{expr.span}: index must be scalar or vector, got {index.type}"
+                )
+            if index.type.base != "int":
+                raise SacTypeError(f"{expr.span}: index must be int, got {index.type.base}")
+        else:
+            for info in index_infos:
+                if not info.type.is_scalar or info.type.base != "int":
+                    raise SacTypeError(
+                        f"{expr.span}: multi-indices must be scalar ints"
+                    )
+            depth = len(expr.indices)
+
+        array_dims = array.type.full_dims()
+        if array_dims is None:
+            result_type = SacType(array.type.base, None, min_dim=0)
+        elif depth is None:
+            result_type = SacType(array.type.base, None, min_dim=0)
+        else:
+            if depth > len(array_dims):
+                raise SacTypeError(
+                    f"{expr.span}: rank-{depth} index into {array.type}"
+                )
+            result_type = SacType(array.type.base, tuple(array_dims[depth:]))
+        const = None
+        if array.const is not None and all(i.const is not None for i in index_infos):
+            from repro.sac.interp import Interpreter  # reuse sel semantics
+
+            iv = (
+                index_infos[0].const
+                if len(index_infos) == 1
+                else np.asarray([int(i.const) for i in index_infos])
+            )
+            try:
+                const = stdlib.BUILTINS["sel"](iv, array.const)
+            except Exception:
+                const = None
+        return Abstract(result_type, const)
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    def _check_call_expr(self, expr: ast.Call, scope: Scope) -> Abstract:
+        args = [self.check_expr(a, scope) for a in expr.args]
+        function = self.functions.get(expr.name)
+        if function is not None and expr.module is None:
+            result = self._check_call(
+                function, tuple(a.type for a in args), expr.span
+            )
+            return Abstract(result)
+        builtin = stdlib.lookup(expr.name, expr.module)
+        if builtin is None:
+            raise SacTypeError(f"{expr.span}: unknown function {expr.name!r}")
+        if builtin.arity is not None and builtin.arity != len(args):
+            raise SacTypeError(
+                f"{expr.span}: {expr.name} expects {builtin.arity} arguments,"
+                f" got {len(args)}"
+            )
+        return self._builtin_result(expr, builtin, args)
+
+    def _builtin_result(self, expr, builtin, args: List[Abstract]) -> Abstract:
+        name = builtin.name
+        # constant-fold any builtin whose arguments are all known
+        if all(a.const is not None for a in args):
+            try:
+                value = builtin(*[a.const for a in args])
+                return Abstract(_type_of_const(value), np.asarray(value))
+            except Exception:
+                pass
+
+        if name == "shape":
+            ndim = args[0].type.ndim
+            if args[0].type.shape is not None:
+                shape = np.asarray(args[0].type.shape, dtype=np.int64)
+                return Abstract(array_of("int", (len(shape),)), shape)
+            dims = (ndim,) if ndim is not None else (None,)
+            return Abstract(SacType("int", dims))
+        if name == "dim":
+            ndim = args[0].type.ndim
+            const = None if ndim is None else np.int64(ndim)
+            return Abstract(INT, const)
+        if name in ("sum", "prod", "maxval", "minval"):
+            return Abstract(scalar(args[0].type.base))
+        if name in ("fabs", "sqrt", "exp", "log", "sin", "cos"):
+            return Abstract(SacType("double", args[0].type.dims, args[0].type.min_dim, args[0].type.suffix))
+        if name in ("abs", "sign"):
+            return Abstract(args[0].type)
+        if name in ("min", "max", "pow"):
+            dims = _broadcast_dims(args[0].type, args[1].type, expr.span)
+            base = join_base(args[0].type.base, args[1].type.base)
+            if name == "pow":
+                base = "double"
+            result = SacType(base, dims) if dims is not None else SacType(base, None, min_dim=0)
+            return Abstract(result)
+        if name == "tod":
+            return Abstract(SacType("double", args[0].type.dims, args[0].type.min_dim, args[0].type.suffix))
+        if name == "toi":
+            return Abstract(SacType("int", args[0].type.dims, args[0].type.min_dim, args[0].type.suffix))
+        if name in ("drop", "take"):
+            return self._drop_take_type(name, expr, args)
+        if name == "sel":
+            return self._sel_type(expr, args[1], args[0])
+        if name == "reshape":
+            target = args[0].const_index_vector
+            if target is not None:
+                return Abstract(SacType(args[1].type.base, tuple(target)))
+            length = None
+            full = args[0].type.full_dims()
+            if full is not None and len(full) == 1:
+                length = full[0]
+            if length is not None:
+                return Abstract(SacType(args[1].type.base, (None,) * int(length)))
+            return Abstract(SacType(args[1].type.base, None, min_dim=0))
+        if name == "genarray":
+            frame = args[0].const_index_vector
+            element = args[1].type
+            element_dims = element.full_dims()
+            if frame is not None and element_dims is not None:
+                return Abstract(SacType(element.base, tuple(frame) + tuple(element_dims)))
+            full = args[0].type.full_dims()
+            if full is not None and len(full) == 1 and full[0] is not None and element_dims is not None:
+                return Abstract(
+                    SacType(element.base, (None,) * int(full[0]) + tuple(element_dims))
+                )
+            return Abstract(SacType(element.base, None, min_dim=0))
+        if name == "modarray":
+            return Abstract(args[0].type)
+        if name == "transpose":
+            dims = args[0].type.full_dims()
+            if dims is not None:
+                return Abstract(SacType(args[0].type.base, tuple(reversed(dims))))
+            return Abstract(args[0].type)
+        # unknown shape behaviour: fall back to the registered rule or AUD
+        if builtin.shape_rule is not None:
+            base, dims = builtin.shape_rule(
+                [(a.type.base, a.type.full_dims()) for a in args]
+            )
+            if dims is None:
+                return Abstract(SacType(base, None, min_dim=0))
+            return Abstract(SacType(base, tuple(dims)))
+        return Abstract(SacType(args[0].type.base, None, min_dim=0))
+
+    def _sel_type(self, expr, array: Abstract, index: Abstract) -> Abstract:
+        array_dims = array.type.full_dims()
+        depth = None
+        if index.type.is_scalar:
+            depth = 1
+        else:
+            full = index.type.full_dims()
+            if full is not None and len(full) == 1:
+                depth = full[0]
+        if array_dims is None or depth is None:
+            return Abstract(SacType(array.type.base, None, min_dim=0))
+        if depth > len(array_dims):
+            raise SacTypeError(f"{expr.span}: rank-{depth} sel into {array.type}")
+        return Abstract(SacType(array.type.base, tuple(array_dims[depth:])))
+
+    def _drop_take_type(self, name, expr, args: List[Abstract]) -> Abstract:
+        counts = args[0].const_index_vector
+        array_type = args[1].type
+        dims = array_type.full_dims()
+        if dims is None:
+            return Abstract(SacType(array_type.base, None, min_dim=array_type.min_dim))
+        if counts is not None:
+            if len(counts) > len(dims):
+                raise SacTypeError(
+                    f"{expr.span}: {name} of {len(counts)} axes from {array_type}"
+                )
+            new_dims: List[Optional[int]] = []
+            for axis, extent in enumerate(dims):
+                if axis >= len(counts):
+                    new_dims.append(extent)
+                elif extent is None:
+                    new_dims.append(None)
+                else:
+                    count = counts[axis]
+                    if abs(count) > extent:
+                        raise SacTypeError(
+                            f"{expr.span}: {name} count {count} exceeds extent {extent}"
+                        )
+                    new_dims.append(
+                        extent - abs(count) if name == "drop" else abs(count)
+                    )
+            return Abstract(SacType(array_type.base, tuple(new_dims)))
+        return Abstract(SacType(array_type.base, (None,) * len(dims)))
+
+    # ------------------------------------------------------------------
+    # with-loops / set notation
+    # ------------------------------------------------------------------
+
+    def _check_with_loop(self, expr: ast.WithLoop, scope: Scope) -> Abstract:
+        operation = expr.operation
+        if isinstance(operation, ast.GenArray):
+            shape_info = self.check_expr(operation.shape, scope)
+            frame = shape_info.const_index_vector
+            frame_rank = len(frame) if frame is not None else _vector_length(shape_info)
+            default_info = (
+                self.check_expr(operation.default, scope)
+                if operation.default is not None
+                else None
+            )
+            body_type = self._check_generators(expr.generators, frame, frame_rank, scope)
+            element = body_type
+            if default_info is not None:
+                element = (
+                    default_info.type
+                    if element is None
+                    else join_types(element, default_info.type, expr.span)
+                )
+            if element is None:
+                raise SacTypeError(
+                    f"{expr.span}: cannot type an empty genarray without default"
+                )
+            element_dims = element.full_dims()
+            if frame is not None and element_dims is not None:
+                return Abstract(SacType(element.base, tuple(frame) + tuple(element_dims)))
+            if frame_rank is not None and element_dims is not None:
+                return Abstract(
+                    SacType(element.base, (None,) * frame_rank + tuple(element_dims))
+                )
+            return Abstract(SacType(element.base, None, min_dim=0))
+        if isinstance(operation, ast.ModArray):
+            source = self.check_expr(operation.array, scope)
+            # a modarray generator may index a *prefix* of the array's axes
+            # (assigning subarrays), so its rank is not pinned to the frame
+            self._check_generators(expr.generators, None, None, scope)
+            return Abstract(source.type)
+        if isinstance(operation, ast.Fold):
+            neutral = self.check_expr(operation.neutral, scope)
+            body_type = self._check_generators(expr.generators, None, None, scope)
+            result = neutral.type
+            if body_type is not None:
+                result = join_types(result, body_type, expr.span)
+            return Abstract(result)
+        raise SacTypeError("unknown with-loop operation")
+
+    def _check_generators(
+        self,
+        generators: List[ast.Generator],
+        frame: Optional[Tuple[int, ...]],
+        frame_rank: Optional[int],
+        scope: Scope,
+    ) -> Optional[SacType]:
+        body_type: Optional[SacType] = None
+        for generator in generators:
+            rank = frame_rank
+            for bound in (generator.lower, generator.upper):
+                if bound is None:
+                    continue
+                info = self.check_expr(bound, scope)
+                if info.type.base != "int":
+                    raise SacTypeError(
+                        f"{generator.span}: generator bounds must be int vectors"
+                    )
+                length = info.const_index_vector
+                if length is not None:
+                    rank = len(length) if rank is None else rank
+            if not generator.vector_var:
+                if rank is not None and rank != len(generator.index_vars):
+                    raise SacTypeError(
+                        f"{generator.span}: {len(generator.index_vars)} index"
+                        f" variables for a rank-{rank} index space"
+                    )
+                rank = len(generator.index_vars)
+            body_scope = scope.child()
+            if generator.vector_var:
+                vector_dims = (rank,) if rank is not None else (None,)
+                body_scope.define(
+                    generator.index_vars[0], Abstract(SacType("int", vector_dims))
+                )
+            else:
+                for name in generator.index_vars:
+                    body_scope.define(name, Abstract(INT))
+            this_type = self.check_expr(generator.body, body_scope).type
+            body_type = (
+                this_type
+                if body_type is None
+                else join_types(body_type, this_type, generator.span)
+            )
+        return body_type
+
+    def _check_set_comprehension(self, expr: ast.SetComprehension, scope: Scope) -> Abstract:
+        frame: Optional[Tuple[int, ...]] = None
+        frame_rank: Optional[int] = None
+        if expr.bound is not None:
+            info = self.check_expr(expr.bound, scope)
+            frame = info.const_index_vector
+            frame_rank = len(frame) if frame is not None else _vector_length(info)
+        else:
+            frame_rank = self._infer_set_rank(expr, scope)
+        if not expr.vector_var:
+            frame_rank = len(expr.index_vars)
+        body_scope = scope.child()
+        if expr.vector_var:
+            vector_dims = (frame_rank,) if frame_rank is not None else (None,)
+            body_scope.define(expr.index_vars[0], Abstract(SacType("int", vector_dims)))
+        else:
+            for name in expr.index_vars:
+                body_scope.define(name, Abstract(INT))
+        body = self.check_expr(expr.body, body_scope)
+        element_dims = body.type.full_dims()
+        if frame is not None and element_dims is not None:
+            return Abstract(SacType(body.type.base, tuple(frame) + tuple(element_dims)))
+        if frame_rank is not None and element_dims is not None:
+            return Abstract(
+                SacType(body.type.base, (None,) * frame_rank + tuple(element_dims))
+            )
+        return Abstract(SacType(body.type.base, None, min_dim=0))
+
+    def _infer_set_rank(self, expr: ast.SetComprehension, scope: Scope) -> Optional[int]:
+        """Static mirror of the interpreter's bound inference (rank only)."""
+        if not expr.vector_var:
+            return len(expr.index_vars)
+        name = expr.index_vars[0]
+        rank: Optional[int] = None
+        for node in ast.walk_expr(expr.body):
+            if (
+                isinstance(node, ast.Index)
+                and len(node.indices) == 1
+                and isinstance(node.indices[0], ast.Var)
+                and node.indices[0].name == name
+                and isinstance(node.array, ast.Var)
+            ):
+                info = scope.lookup(node.array.name)
+                if isinstance(info, Abstract):
+                    ndim = info.type.ndim
+                    if ndim is not None:
+                        rank = ndim if rank is None else min(rank, ndim)
+        return rank
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+
+def _may_be_subtype(have: SacType, want: SacType) -> bool:
+    """True unless ``have`` provably fails to be a ``want``.
+
+    Partial types (AKD/AUD) pass when some concrete refinement could be
+    a subtype; the runtime re-checks concretely.
+    """
+    if have.base != want.base:
+        return False
+    if is_subtype(have, want):
+        return True
+    have_dims, want_dims = have.full_dims(), want.full_dims()
+    if have_dims is None or want_dims is None:
+        # at least one side has unknown rank: compatible unless the known
+        # rank contradicts a minimum
+        if have_dims is not None and want.dims is None:
+            return len(have_dims) >= want.min_dim + len(want.suffix)
+        return True
+    if len(have_dims) != len(want_dims):
+        return False
+    return all(
+        h is None or w is None or h == w for h, w in zip(have_dims, want_dims)
+    )
+
+
+def _broadcast_dims(left: SacType, right: SacType, span):
+    """Result dims of an elementwise op (scalar/array and array/array)."""
+    left_dims, right_dims = left.full_dims(), right.full_dims()
+    if left_dims == ():
+        return right_dims
+    if right_dims == ():
+        return left_dims
+    if left_dims is None or right_dims is None:
+        return None
+    # NumPy-style trailing broadcast (a strict SaC would require equality;
+    # the relaxation is documented in the README)
+    result: List[Optional[int]] = []
+    for offset in range(1, max(len(left_dims), len(right_dims)) + 1):
+        l = left_dims[-offset] if offset <= len(left_dims) else 1
+        r = right_dims[-offset] if offset <= len(right_dims) else 1
+        if l is None or r is None:
+            result.append(None)
+        elif l == r or l == 1 or r == 1:
+            result.append(max(l, r))
+        else:
+            raise SacTypeError(
+                f"{span}: shapes {left} and {right} do not broadcast"
+            )
+    return tuple(reversed(result))
+
+
+def _vector_length(info: Abstract) -> Optional[int]:
+    full = info.type.full_dims()
+    if full is not None and len(full) == 1 and full[0] is not None:
+        return int(full[0])
+    return None
+
+
+def _type_of_const(value) -> SacType:
+    array = np.asarray(value)
+    if array.dtype == np.bool_:
+        base = "bool"
+    elif np.issubdtype(array.dtype, np.integer):
+        base = "int"
+    else:
+        base = "double"
+    return array_of(base, array.shape)

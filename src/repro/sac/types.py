@@ -1,0 +1,199 @@
+"""SaC's array type system with shape subtyping.
+
+The paper (Section 2) leans on "an elaborate system of array subtyping":
+code written against ``fluid_pv[+]`` (unknown dimensionality) is reused
+for 1-D and 2-D data with no penalty because the compiler specialises
+it per call-site shape.  The hierarchy implemented here is the standard
+SaC one:
+
+* **AKS** — array of known shape, e.g. ``double[400,400]``
+* **AKD** — known dimensionality, unknown extents, e.g. ``double[.,.]``
+* **AUD** — unknown dimensionality: ``double[+]`` (rank >= 1) and
+  ``double[*]`` (anything, including scalars)
+
+with ``AKS <= AKD <= AUD[+] <= AUD[*]``.  User ``typedef``\\ s such as
+``typedef double[4] fluid_cv`` add known *trailing* extents that nest
+inside outer shape specs (``fluid_cv[.]`` is ``double[., 4]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SacTypeError
+from repro.sac.ast import TypeExpr
+
+BASE_TYPES = ("double", "int", "bool")
+
+#: Promotion order for mixed arithmetic.
+_BASE_RANK = {"bool": 0, "int": 1, "double": 2}
+
+
+@dataclass(frozen=True)
+class SacType:
+    """A (possibly partially known) array type.
+
+    ``dims``    — tuple of extents for the *outer* part of the shape;
+                  an entry of ``None`` means "known dimension, unknown
+                  extent".  ``dims is None`` means unknown
+                  dimensionality (AUD).
+    ``min_dim`` — for AUD types: the minimum number of outer dimensions
+                  (1 for ``[+]``, 0 for ``[*]``).  Ignored otherwise.
+    ``suffix``  — known trailing extents contributed by typedefs.
+    """
+
+    base: str
+    dims: Optional[Tuple[Optional[int], ...]] = ()
+    min_dim: int = 0
+    suffix: Tuple[int, ...] = ()
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def is_aud(self) -> bool:
+        return self.dims is None
+
+    @property
+    def is_akd(self) -> bool:
+        return self.dims is not None and any(d is None for d in self.dims)
+
+    @property
+    def is_aks(self) -> bool:
+        return self.dims is not None and all(d is not None for d in self.dims)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.dims == () and self.suffix == ()
+
+    @property
+    def ndim(self) -> Optional[int]:
+        """Rank if known, else None."""
+        if self.dims is None:
+            return None
+        return len(self.dims) + len(self.suffix)
+
+    @property
+    def shape(self) -> Optional[Tuple[int, ...]]:
+        """Concrete shape for AKS types, else None."""
+        if self.is_aks:
+            return tuple(self.dims) + self.suffix  # type: ignore[arg-type]
+        return None
+
+    def full_dims(self) -> Optional[Tuple[Optional[int], ...]]:
+        """dims + suffix for known-rank types."""
+        if self.dims is None:
+            return None
+        return tuple(self.dims) + self.suffix
+
+    def __str__(self) -> str:
+        if self.is_scalar:
+            return self.base
+        if self.dims is None:
+            mark = "+" if self.min_dim >= 1 else "*"
+            inner = ",".join([mark] + [str(s) for s in self.suffix])
+            return f"{self.base}[{inner}]"
+        entries = [("." if d is None else str(d)) for d in self.full_dims()]
+        return f"{self.base}[{','.join(entries)}]"
+
+
+def scalar(base: str) -> SacType:
+    return SacType(base, ())
+
+
+def array_of(base: str, shape: Tuple[int, ...]) -> SacType:
+    """AKS array type with a concrete shape (scalar when shape is empty)."""
+    return SacType(base, tuple(shape))
+
+
+DOUBLE = scalar("double")
+INT = scalar("int")
+BOOL = scalar("bool")
+
+
+def is_subtype(sub: SacType, sup: SacType) -> bool:
+    """Shape-subtyping check: every value of ``sub`` is a value of ``sup``."""
+    if sub.base != sup.base:
+        return False
+    sub_dims = sub.full_dims()
+    if sup.dims is None:
+        # supertype is AUD: rank bound + trailing extents must match
+        if sub_dims is None:
+            return (
+                sub.min_dim >= sup.min_dim
+                and len(sub.suffix) >= len(sup.suffix)
+                and (sup.suffix == sub.suffix[len(sub.suffix) - len(sup.suffix):]
+                     if sup.suffix else True)
+            )
+        if len(sub_dims) < sup.min_dim + len(sup.suffix):
+            return False
+        if sup.suffix:
+            tail = sub_dims[len(sub_dims) - len(sup.suffix):]
+            return tuple(tail) == sup.suffix
+        return True
+    if sub_dims is None:
+        return False  # can't promise a fixed rank from an AUD value
+    sup_dims = sup.full_dims()
+    if len(sub_dims) != len(sup_dims):
+        return False
+    for have, want in zip(sub_dims, sup_dims):
+        if want is not None and have != want:
+            return False
+    return True
+
+
+def join_base(a: str, b: str) -> str:
+    """Base type of mixed arithmetic (bool < int < double)."""
+    if a not in _BASE_RANK or b not in _BASE_RANK:
+        raise SacTypeError(f"cannot combine base types {a!r} and {b!r}")
+    return a if _BASE_RANK[a] >= _BASE_RANK[b] else b
+
+
+@dataclass
+class TypedefEnv:
+    """Resolved ``typedef`` table: alias -> (base, trailing shape)."""
+
+    entries: Dict[str, Tuple[str, Tuple[int, ...]]] = field(default_factory=dict)
+
+    def define(self, name: str, base: str, suffix: Tuple[int, ...]) -> None:
+        if name in BASE_TYPES:
+            raise SacTypeError(f"cannot redefine base type {name!r}")
+        if name in self.entries:
+            raise SacTypeError(f"duplicate typedef {name!r}")
+        self.entries[name] = (base, suffix)
+
+    def resolve_base(self, name: str) -> Tuple[str, Tuple[int, ...]]:
+        """Resolve a type name to (base, trailing extents)."""
+        if name in BASE_TYPES:
+            return name, ()
+        if name in self.entries:
+            return self.entries[name]
+        raise SacTypeError(f"unknown type {name!r}")
+
+
+def from_type_expr(expr: TypeExpr, typedefs: TypedefEnv) -> SacType:
+    """Semantic type of a syntactic type, expanding typedefs."""
+    base, suffix = typedefs.resolve_base(expr.base)
+    if isinstance(expr.dims, str):
+        if expr.dims == "+":
+            return SacType(base, None, min_dim=1, suffix=suffix)
+        if expr.dims == "*":
+            return SacType(base, None, min_dim=0, suffix=suffix)
+        raise SacTypeError(f"bad shape spec {expr.dims!r}")
+    dims = tuple(None if d == "." else int(d) for d in expr.dims)
+    return SacType(base, dims, suffix=suffix)
+
+
+def register_typedef(name: str, definition: TypeExpr, typedefs: TypedefEnv) -> None:
+    """Install ``typedef <definition> <name>;`` — the definition must be AKS."""
+    inner = from_type_expr(definition, typedefs)
+    if not inner.is_aks:
+        raise SacTypeError(
+            f"typedef {name!r} must have a fully known shape, got {inner}"
+        )
+    typedefs.define(name, inner.base, inner.shape or ())
+
+
+def concrete_type(base: str, shape: Tuple[int, ...]) -> SacType:
+    """AKS type of a runtime value."""
+    return SacType(base, tuple(int(s) for s in shape))

@@ -1,0 +1,116 @@
+"""Text rendering of flow fields — the library's stand-in for the
+paper's Figs. 1 and 3 plots.
+
+Everything renders to plain strings so examples and benchmark logs can
+show the wave structure without a plotting stack: 1-D profiles as
+braille-free ASCII line charts, 2-D scalar fields as shaded character
+maps (density maps like Fig. 3's schlieren-style picture).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: light-to-dark shading ramp for 2-D field maps
+SHADES = " .:-=+*#%@"
+
+
+def ascii_profile(
+    x: np.ndarray,
+    values: np.ndarray,
+    height: int = 16,
+    width: int = 72,
+    label: str = "",
+) -> str:
+    """Render a 1-D profile (e.g. the Sod tube's density) as ASCII art."""
+    x = np.asarray(x, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if x.shape != values.shape or x.ndim != 1:
+        raise ValueError("ascii_profile needs two equal-length 1-D arrays")
+    lo = float(values.min())
+    hi = float(values.max())
+    span = hi - lo if hi > lo else 1.0
+
+    columns = np.linspace(0, len(x) - 1, width).round().astype(int)
+    sampled = values[columns]
+    rows = np.clip(((sampled - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for column, row in enumerate(rows):
+        grid[height - 1 - row][column] = "*"
+    lines = ["".join(row) for row in grid]
+    header = f"{label}  [{lo:.4g} .. {hi:.4g}]" if label else f"[{lo:.4g} .. {hi:.4g}]"
+    return "\n".join([header] + lines)
+
+
+def ascii_field(
+    field: np.ndarray,
+    width: int = 64,
+    height: Optional[int] = None,
+    label: str = "",
+) -> str:
+    """Render a 2-D scalar field (e.g. density) as a shaded character map.
+
+    Index convention matches the solver: ``field[i, j]`` is the cell at
+    ``x_i, y_j``; the rendering puts y upward, x rightward (the paper's
+    Fig. 2/3 orientation).
+    """
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ValueError("ascii_field needs a 2-D array")
+    nx, ny = field.shape
+    if height is None:
+        height = max(1, width * ny // (2 * nx))  # terminal cells are ~2x tall
+    xs = np.linspace(0, nx - 1, width).round().astype(int)
+    ys = np.linspace(ny - 1, 0, height).round().astype(int)
+    lo = float(field.min())
+    hi = float(field.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for j in ys:
+        row = field[xs, j]
+        shades = np.clip(
+            ((row - lo) / span * (len(SHADES) - 1)).round().astype(int),
+            0,
+            len(SHADES) - 1,
+        )
+        lines.append("".join(SHADES[s] for s in shades))
+    header = f"{label}  [{lo:.4g} .. {hi:.4g}]" if label else f"[{lo:.4g} .. {hi:.4g}]"
+    return "\n".join([header] + lines)
+
+
+def ascii_series(
+    series: Sequence[tuple],
+    height: int = 14,
+    width: int = 60,
+    label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render several (name, xs, ys) series as one ASCII chart
+    (used for the Fig. 4 scaling curves)."""
+    markers = "ox+#*"
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for _, _, ys in series])
+    if log_y:
+        all_y = np.log10(all_y)
+    lo, hi = float(all_y.min()), float(all_y.max())
+    span = hi - lo if hi > lo else 1.0
+    all_x = np.concatenate([np.asarray(xs, dtype=float) for _, xs, _ in series])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    x_span = x_hi - x_lo if x_hi > x_lo else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, xs, ys) in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            value = np.log10(y) if log_y else y
+            column = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((value - lo) / span * (height - 1)))
+            grid[height - 1 - row][column] = marker
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, (name, _, _) in enumerate(series)
+    )
+    header = f"{label}  ({legend})" if label else f"({legend})"
+    scale = " [log10 y]" if log_y else ""
+    return "\n".join([header + scale] + ["".join(row) for row in grid])

@@ -1,0 +1,103 @@
+"""Boundary conditions as ghost-cell fills."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.euler.boundary import (
+    BoundarySet2D,
+    EdgeSpec,
+    ReflectiveWall,
+    SupersonicInflow,
+    Transmissive,
+    all_transmissive_2d,
+    transmissive_1d,
+)
+
+
+def _padded_1d(interior, ghost_cells):
+    padded = np.zeros((interior.shape[0] + 2 * ghost_cells,) + interior.shape[1:])
+    padded[ghost_cells:-ghost_cells] = interior
+    return padded
+
+
+class TestTransmissive:
+    def test_copies_edge_cell(self):
+        interior = np.arange(12.0).reshape(4, 3)
+        padded = _padded_1d(interior, 2)
+        Transmissive().fill(padded, 2)
+        np.testing.assert_allclose(padded[0], interior[0])
+        np.testing.assert_allclose(padded[1], interior[0])
+
+    def test_high_end_via_flip(self):
+        interior = np.arange(12.0).reshape(4, 3)
+        padded = _padded_1d(interior, 2)
+        Transmissive().fill(padded[::-1], 2)
+        np.testing.assert_allclose(padded[-1], interior[-1])
+
+
+class TestReflectiveWall:
+    def test_mirrors_and_negates_normal_velocity(self):
+        interior = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        padded = _padded_1d(interior, 2)
+        ReflectiveWall().fill(padded, 2)
+        # ghost layer 1 mirrors interior cell 0; layer 0 mirrors cell 1
+        np.testing.assert_allclose(padded[1], [1.0, -2.0, 3.0])
+        np.testing.assert_allclose(padded[0], [4.0, -5.0, 6.0])
+
+    def test_wall_at_high_end(self):
+        interior = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        padded = _padded_1d(interior, 1)
+        ReflectiveWall().fill(padded[::-1], 1)
+        np.testing.assert_allclose(padded[-1], [4.0, -5.0, 6.0])
+
+
+class TestSupersonicInflow:
+    def test_pins_state(self):
+        interior = np.ones((3, 4))
+        padded = _padded_1d(interior, 2)
+        SupersonicInflow([2.0, 3.0, 0.0, 5.0]).fill(padded, 2)
+        np.testing.assert_allclose(padded[0], [2.0, 3.0, 0.0, 5.0])
+        np.testing.assert_allclose(padded[1], [2.0, 3.0, 0.0, 5.0])
+
+
+class TestEdgeSpec:
+    def test_segments_partition_the_edge(self):
+        # padded array for an x-sweep: (cells, edge_length, fields)
+        padded = np.zeros((4, 6, 4))
+        padded[1:3] = 1.0
+        spec = EdgeSpec()
+        spec.add(0, 2, SupersonicInflow([9.0, 9.0, 9.0, 9.0]))
+        spec.add(2, None, ReflectiveWall())
+        spec.fill(padded, 1)
+        np.testing.assert_allclose(padded[0, :2], 9.0)
+        # wall part mirrors interior with negated field 1
+        np.testing.assert_allclose(padded[0, 2:, 1], -1.0)
+        np.testing.assert_allclose(padded[0, 2:, 0], 1.0)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EdgeSpec().fill(np.zeros((4, 6, 4)), 1)
+
+    def test_uniform_helper(self):
+        spec = EdgeSpec.uniform(Transmissive())
+        padded = np.zeros((4, 6, 4))
+        padded[1] = 7.0
+        spec.fill(padded, 1)
+        np.testing.assert_allclose(padded[0], 7.0)
+
+
+class TestBoundarySets:
+    def test_for_axis(self):
+        bset = all_transmissive_2d()
+        low, high = bset.for_axis(0)
+        assert low is bset.left and high is bset.right
+        low, high = bset.for_axis(1)
+        assert low is bset.bottom and high is bset.top
+        with pytest.raises(ConfigurationError):
+            bset.for_axis(2)
+
+    def test_transmissive_1d_helper(self):
+        bset = transmissive_1d()
+        assert isinstance(bset.low, Transmissive)
+        assert isinstance(bset.high, Transmissive)

@@ -1,0 +1,122 @@
+"""Flow-structure diagnostics used by the figure benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.euler import diagnostics
+from repro.euler.exact_riemann import RiemannState
+from repro.euler.problems import SOD
+
+
+class TestJumps1D:
+    def test_finds_a_step(self):
+        x = np.linspace(0, 1, 101)
+        field = np.where(x < 0.4, 1.0, 0.2)
+        jumps = diagnostics.find_jumps_1d(x, field)
+        assert len(jumps) == 1
+        assert jumps[0] == pytest.approx(0.4, abs=0.02)
+
+    def test_flat_field_has_no_jumps(self):
+        x = np.linspace(0, 1, 50)
+        assert diagnostics.find_jumps_1d(x, np.ones(50)) == []
+
+    def test_two_jumps(self):
+        x = np.linspace(0, 1, 201)
+        field = np.where(x < 0.3, 1.0, np.where(x < 0.7, 0.6, 0.1))
+        jumps = diagnostics.find_jumps_1d(x, field)
+        assert len(jumps) == 2
+
+    def test_l1_error(self):
+        a = np.ones(10)
+        b = np.zeros(10)
+        assert diagnostics.l1_error(a, b, 0.1) == pytest.approx(1.0)
+
+
+class TestExactWaveSpeeds:
+    def test_sod_wave_ordering(self):
+        speeds = diagnostics.exact_wave_speeds(SOD.left, SOD.right)
+        assert (
+            speeds.rarefaction_head
+            < speeds.rarefaction_tail
+            < speeds.contact
+            < speeds.shock
+        )
+
+    def test_sod_shock_speed_value(self):
+        """Known Sod shock speed ~1.7522."""
+        speeds = diagnostics.exact_wave_speeds(SOD.left, SOD.right)
+        assert speeds.shock == pytest.approx(1.7522, abs=2e-4)
+
+    def test_rarefaction_head_is_acoustic(self):
+        speeds = diagnostics.exact_wave_speeds(SOD.left, SOD.right)
+        assert speeds.rarefaction_head == pytest.approx(-SOD.left.sound_speed())
+
+
+class TestSymmetry:
+    def test_symmetric_field_scores_zero(self):
+        prim = np.zeros((8, 8, 4))
+        prim[..., 0] = 1.0
+        prim[2, 5, 1] = 0.3   # u at (2,5)
+        prim[5, 2, 2] = 0.3   # v at the mirrored cell
+        assert diagnostics.symmetry_error(prim) == pytest.approx(0.0)
+
+    def test_asymmetric_field_detected(self):
+        prim = np.zeros((8, 8, 4))
+        prim[2, 5, 0] = 1.0
+        assert diagnostics.symmetry_error(prim) == pytest.approx(1.0)
+
+    def test_requires_square(self):
+        with pytest.raises(ConfigurationError):
+            diagnostics.symmetry_error(np.zeros((4, 6, 4)))
+
+
+class TestShockFront:
+    def test_circular_front_measured(self):
+        n = 60
+        x, y = np.meshgrid(np.arange(n) + 0.5, np.arange(n) + 0.5, indexing="ij")
+        radius = np.sqrt(x**2 + y**2)
+        prim = np.zeros((n, n, 4))
+        prim[..., 0] = 1.0
+        prim[..., 3] = np.where(radius < 20.0, 3.0, 1.0)
+        mean, spread = diagnostics.shock_front_radius(
+            prim, origin=(0.0, 0.0), dx=1.0
+        )
+        assert mean == pytest.approx(20.0, abs=1.0)
+        assert spread < 0.05
+
+    def test_no_front_returns_zero(self):
+        prim = np.zeros((10, 10, 4))
+        prim[..., 0] = 1.0
+        prim[..., 3] = 1.0
+        mean, spread = diagnostics.shock_front_radius(prim, (0.0, 0.0), 1.0)
+        assert mean == 0.0
+
+    def test_elliptic_front_has_larger_spread(self):
+        n = 60
+        x, y = np.meshgrid(np.arange(n) + 0.5, np.arange(n) + 0.5, indexing="ij")
+        prim = np.zeros((n, n, 4))
+        prim[..., 0] = 1.0
+        prim[..., 3] = np.where(np.sqrt((x / 2) ** 2 + y**2) < 15.0, 3.0, 1.0)
+        _, spread = diagnostics.shock_front_radius(prim, (0.0, 0.0), 1.0)
+        assert spread > 0.15
+
+
+class TestFieldHelpers:
+    def test_diagonal_profile(self):
+        prim = np.zeros((5, 5, 4))
+        prim[np.arange(5), np.arange(5), 0] = np.arange(5)
+        profile = diagnostics.diagonal_profile(prim)
+        np.testing.assert_allclose(profile[:, 0], np.arange(5))
+
+    def test_mach_number_field(self):
+        prim = np.array([[[1.4, np.sqrt(1.4), 0.0, 1.0]]])
+        mach = diagnostics.mach_number_field(prim)
+        # c = sqrt(1.4 * 1 / 1.4) = 1 -> M = sqrt(1.4)
+        assert mach[0, 0] == pytest.approx(np.sqrt(1.4))
+
+    def test_disturbed_fraction(self):
+        prim = np.zeros((4, 4, 4))
+        prim[..., 3] = 1.0
+        prim[0, 0, 3] = 2.0
+        assert diagnostics.disturbed_fraction(prim, 1.0) == pytest.approx(1 / 16)

@@ -1,0 +1,145 @@
+"""Equation of state and conservative/primitive conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PhysicsError
+from repro.euler import eos, state
+from repro.euler.constants import GAMMA
+
+positive = st.floats(min_value=0.05, max_value=50.0)
+velocity = st.floats(min_value=-20.0, max_value=20.0)
+
+
+class TestEos:
+    def test_pressure_energy_round_trip_scalar(self):
+        rho, u, p = 1.3, 0.4, 2.1
+        energy = eos.total_energy(rho, u * u, p)
+        assert eos.pressure(rho, 0.5 * rho * u * u, energy) == pytest.approx(p)
+
+    def test_sound_speed_air(self):
+        # standard atmosphere-ish numbers: c = sqrt(1.4 * p / rho)
+        assert eos.sound_speed(1.0, 1.0) == pytest.approx(np.sqrt(1.4))
+
+    def test_sound_speed_elementwise(self):
+        rho = np.array([1.0, 4.0])
+        p = np.array([1.0, 1.0])
+        c = eos.sound_speed(rho, p)
+        assert c[1] == pytest.approx(c[0] / 2.0)
+
+    def test_enthalpy_definition(self):
+        rho, u, p = 2.0, 1.0, 3.0
+        energy = eos.total_energy(rho, u * u, p)
+        assert eos.enthalpy(rho, u * u, p) == pytest.approx((energy + p) / rho)
+
+    def test_internal_energy(self):
+        assert eos.internal_energy(2.0, 0.8) == pytest.approx(0.8 / (0.4 * 2.0))
+
+    def test_entropy_constant_under_isentropic_change(self):
+        rho1, p1 = 1.0, 1.0
+        rho2 = 2.0
+        p2 = p1 * (rho2 / rho1) ** GAMMA
+        assert eos.entropy(rho1, p1) == pytest.approx(eos.entropy(rho2, p2))
+
+    @given(rho=positive, u=velocity, p=positive)
+    @settings(max_examples=50)
+    def test_energy_pressure_inverse_property(self, rho, u, p):
+        energy = eos.total_energy(rho, u * u, p)
+        recovered = eos.pressure(rho, 0.5 * rho * u * u, energy)
+        assert recovered == pytest.approx(p, rel=1e-12)
+
+
+class TestStateConversions:
+    def test_ndim_of(self):
+        assert state.ndim_of(np.zeros((5, 3))) == 1
+        assert state.ndim_of(np.zeros((5, 6, 4))) == 2
+        with pytest.raises(PhysicsError):
+            state.ndim_of(np.zeros((5, 5)))
+
+    def test_round_trip_1d(self, rng):
+        prim = np.empty((30, 3))
+        prim[:, 0] = rng.uniform(0.1, 5, 30)
+        prim[:, 1] = rng.normal(0, 2, 30)
+        prim[:, 2] = rng.uniform(0.1, 5, 30)
+        back = state.primitive_from_conservative(state.conservative_from_primitive(prim))
+        np.testing.assert_allclose(back, prim, rtol=1e-13)
+
+    def test_round_trip_2d(self, rng):
+        prim = np.empty((8, 9, 4))
+        prim[..., 0] = rng.uniform(0.1, 5, (8, 9))
+        prim[..., 1] = rng.normal(0, 2, (8, 9))
+        prim[..., 2] = rng.normal(0, 2, (8, 9))
+        prim[..., 3] = rng.uniform(0.1, 5, (8, 9))
+        back = state.primitive_from_conservative(state.conservative_from_primitive(prim))
+        np.testing.assert_allclose(back, prim, rtol=1e-13)
+
+    def test_conservative_fields_1d(self):
+        prim = np.array([[2.0, 3.0, 1.0]])
+        cons = state.conservative_from_primitive(prim)
+        assert cons[0, 0] == pytest.approx(2.0)        # rho
+        assert cons[0, 1] == pytest.approx(6.0)        # rho u
+        assert cons[0, 2] == pytest.approx(1.0 / 0.4 + 9.0)  # E
+
+    def test_physical_flux_1d_matches_formula(self):
+        prim = np.array([[1.2, 0.7, 1.5]])
+        flux = state.physical_flux(prim)
+        rho, u, p = prim[0]
+        energy = eos.total_energy(rho, u * u, p)
+        np.testing.assert_allclose(
+            flux[0], [rho * u, rho * u * u + p, u * (energy + p)]
+        )
+
+    def test_physical_flux_2d_y_direction(self):
+        prim = np.array([[[1.0, 0.3, 0.9, 2.0]]])
+        flux = state.physical_flux(prim, axis_field=2)
+        rho, u, v, p = prim[0, 0]
+        energy = eos.total_energy(rho, u * u + v * v, p)
+        np.testing.assert_allclose(
+            flux[0, 0],
+            [rho * v, rho * v * u, rho * v * v + p, v * (energy + p)],
+        )
+
+    def test_physical_flux_bad_axis(self):
+        with pytest.raises(PhysicsError):
+            state.physical_flux(np.zeros((2, 2, 4)) + 1.0, axis_field=3)
+
+    def test_validate_state_rejects_negative_density(self):
+        bad = np.array([[-1.0, 0.0, 1.0]])
+        with pytest.raises(PhysicsError, match="density"):
+            state.validate_state(bad)
+
+    def test_validate_state_rejects_nan(self):
+        bad = np.array([[1.0, np.nan, 1.0]])
+        with pytest.raises(PhysicsError, match="non-finite"):
+            state.validate_state(bad)
+
+    def test_validate_state_accepts_good(self):
+        state.validate_state(np.array([[1.0, 0.0, 1.0]]))
+
+    def test_swap_velocity_axes(self):
+        prim = np.array([[[1.0, 2.0, 3.0, 4.0]]])
+        swapped = state.swap_velocity_axes(prim)
+        np.testing.assert_allclose(swapped[0, 0], [1.0, 3.0, 2.0, 4.0])
+        with pytest.raises(PhysicsError):
+            state.swap_velocity_axes(np.ones((3, 3)))
+
+    def test_totals(self):
+        cons = state.conservative_from_primitive(
+            np.array([[1.0, 1.0, 1.0], [2.0, -1.0, 1.0]])
+        )
+        assert state.total_mass(cons) == pytest.approx(3.0)
+        assert state.total_momentum(cons)[0] == pytest.approx(1.0 - 2.0)
+        assert state.total_energy_sum(cons) == pytest.approx(cons[:, 2].sum())
+
+    @given(
+        rho=positive, u=velocity, v=velocity, p=positive
+    )
+    @settings(max_examples=50)
+    def test_round_trip_property_2d(self, rho, u, v, p):
+        prim = np.array([[[rho, u, v, p]]])
+        back = state.primitive_from_conservative(
+            state.conservative_from_primitive(prim)
+        )
+        np.testing.assert_allclose(back, prim, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,78 @@
+"""Rankine-Hugoniot relations (the 2-D experiment's inflow states)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.euler import rankine_hugoniot as rh
+from repro.euler import eos
+
+mach_numbers = st.floats(min_value=1.01, max_value=10.0)
+
+
+class TestPostShockState:
+    def test_paper_mach_22(self):
+        """Ms = 2.2 into (rho, p) = (1, 1): textbook normal-shock values."""
+        post = rh.post_shock_state(2.2)
+        assert post.p == pytest.approx(1 + 2.8 / 2.4 * (2.2**2 - 1), rel=1e-12)
+        assert post.rho == pytest.approx(2.4 * 2.2**2 / (0.4 * 2.2**2 + 2), rel=1e-12)
+        assert post.shock_speed == pytest.approx(2.2 * np.sqrt(1.4), rel=1e-12)
+
+    def test_flow_behind_ms22_is_supersonic(self):
+        """The paper relies on this: 'At this value of Ms the flow behind
+        the shock waves is supersonic so that the flow variables in the
+        exit sections are not changed'."""
+        assert rh.post_shock_state(2.2).is_supersonic_inflow()
+
+    def test_weak_shock_is_subsonic_behind(self):
+        assert not rh.post_shock_state(1.1).is_supersonic_inflow()
+
+    def test_mach_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rh.post_shock_state(1.0)
+
+    def test_strong_shock_density_limit(self):
+        """rho2/rho1 -> (gamma+1)/(gamma-1) = 6 as Ms -> infinity."""
+        post = rh.post_shock_state(100.0)
+        assert post.rho == pytest.approx(6.0, rel=1e-3)
+
+    @given(mach=mach_numbers)
+    @settings(max_examples=60)
+    def test_jump_conditions_hold(self, mach):
+        post = rh.post_shock_state(mach)
+        mass, momentum, energy = rh.hugoniot_residual(
+            (1.0, 0.0, 1.0),
+            (post.rho, post.velocity, post.p),
+            post.shock_speed,
+        )
+        assert mass == pytest.approx(0.0, abs=1e-9)
+        assert momentum == pytest.approx(0.0, abs=1e-9)
+        assert energy == pytest.approx(0.0, abs=1e-8)
+
+    @given(mach=mach_numbers)
+    @settings(max_examples=60)
+    def test_pressure_ratio_round_trip(self, mach):
+        post = rh.post_shock_state(mach)
+        recovered = rh.shock_mach_from_pressure_ratio(post.p / 1.0)
+        assert recovered == pytest.approx(mach, rel=1e-10)
+
+    @given(mach=mach_numbers)
+    @settings(max_examples=40)
+    def test_compression_and_entropy_increase(self, mach):
+        post = rh.post_shock_state(mach)
+        assert post.rho > 1.0
+        assert post.p > 1.0
+        assert post.velocity > 0.0
+        assert eos.entropy(post.rho, post.p) > eos.entropy(1.0, 1.0)
+
+    def test_pressure_ratio_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rh.shock_mach_from_pressure_ratio(0.9)
+
+    def test_scaling_with_upstream_state(self):
+        base = rh.post_shock_state(2.2, rho0=1.0, p0=1.0)
+        scaled = rh.post_shock_state(2.2, rho0=2.0, p0=3.0)
+        assert scaled.p / 3.0 == pytest.approx(base.p, rel=1e-12)
+        assert scaled.rho / 2.0 == pytest.approx(base.rho, rel=1e-12)

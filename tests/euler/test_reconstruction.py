@@ -1,0 +1,169 @@
+"""Reconstruction schemes and slope limiters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.euler.reconstruction import (
+    get_limiter,
+    get_scheme,
+    reconstruct_component,
+    stencil_views,
+)
+from repro.euler.reconstruction.limiters import LIMITERS, mc, minmod, minmod3, superbee, van_leer
+
+slopes = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+class TestLimiters:
+    @pytest.mark.parametrize("name", sorted(LIMITERS))
+    def test_zero_on_sign_disagreement(self, name):
+        limiter = get_limiter(name)
+        assert limiter(np.float64(1.0), np.float64(-2.0)) == 0.0
+        assert limiter(np.float64(-1.0), np.float64(2.0)) == 0.0
+
+    @pytest.mark.parametrize("name", sorted(LIMITERS))
+    def test_symmetry(self, name):
+        limiter = get_limiter(name)
+        a, b = np.float64(0.7), np.float64(2.0)
+        assert limiter(a, b) == pytest.approx(limiter(b, a))
+
+    @pytest.mark.parametrize("name", sorted(LIMITERS))
+    def test_exact_on_uniform_slope(self, name):
+        limiter = get_limiter(name)
+        assert limiter(np.float64(1.5), np.float64(1.5)) == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("name", sorted(LIMITERS))
+    @given(a=slopes, b=slopes)
+    @settings(max_examples=40)
+    def test_tvd_bound(self, name, a, b):
+        """Every classical limiter satisfies |phi| <= 2 min(|a|, |b|)."""
+        limiter = get_limiter(name)
+        value = limiter(np.float64(a), np.float64(b))
+        assert abs(value) <= 2.0 * min(abs(a), abs(b)) + 1e-12
+
+    def test_minmod_picks_smaller(self):
+        assert minmod(np.float64(1.0), np.float64(3.0)) == 1.0
+
+    def test_superbee_is_least_dissipative(self):
+        a, b = np.float64(1.0), np.float64(2.0)
+        assert superbee(a, b) >= minmod(a, b)
+        assert superbee(a, b) >= van_leer(a, b)
+
+    def test_mc_between_minmod_and_superbee(self):
+        a, b = np.float64(1.0), np.float64(1.8)
+        assert minmod(a, b) <= mc(a, b) <= superbee(a, b)
+
+    def test_minmod3(self):
+        assert minmod3(np.float64(2.0), np.float64(1.0), np.float64(3.0)) == 1.0
+        assert minmod3(np.float64(2.0), np.float64(-1.0), np.float64(3.0)) == 0.0
+
+    def test_unknown_limiter(self):
+        with pytest.raises(ConfigurationError):
+            get_limiter("albada")
+
+
+class TestStencilViews:
+    def test_alignment(self):
+        padded = np.arange(10.0)
+        views = stencil_views(padded, ghost_cells=2)
+        assert len(views) == 4
+        # interior cells 2..7 -> 7 faces; view k at face j = cell j-2+k... check
+        faces = len(padded) - 2 * 2 + 1
+        for view in views:
+            assert view.shape[0] == faces
+        # face 0 is between cells 1 and 2 (0-based in padded)
+        assert views[1][0] == padded[1]
+        assert views[2][0] == padded[2]
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            stencil_views(np.arange(3.0), ghost_cells=2)
+
+
+@pytest.mark.parametrize("name", ["pc", "tvd2", "tvd3", "weno3"])
+class TestSchemesShared:
+    def test_constant_data_reproduced(self, name):
+        scheme = get_scheme(name)
+        padded = np.full(12, 3.5)
+        left, right = reconstruct_component(scheme, padded, scheme.ghost_cells)
+        np.testing.assert_allclose(left, 3.5)
+        np.testing.assert_allclose(right, 3.5)
+
+    def test_face_count(self, name):
+        scheme = get_scheme(name)
+        interior = 8
+        padded = np.arange(float(interior + 2 * scheme.ghost_cells))
+        left, right = reconstruct_component(scheme, padded, scheme.ghost_cells)
+        assert left.shape[0] == interior + 1
+        assert right.shape[0] == interior + 1
+
+    def test_monotone_data_stays_bounded(self, name, rng):
+        """No new extrema: face states within the data range (TVD/ENO)."""
+        scheme = get_scheme(name)
+        data = np.sort(rng.uniform(0, 1, 16))
+        left, right = reconstruct_component(scheme, data, scheme.ghost_cells)
+        assert left.min() >= data.min() - 1e-9
+        assert left.max() <= data.max() + 1e-9
+        assert right.min() >= data.min() - 1e-9
+        assert right.max() <= data.max() + 1e-9
+
+    def test_vector_fields_supported(self, name, rng):
+        scheme = get_scheme(name)
+        data = rng.uniform(1, 2, (16, 3))
+        left, right = reconstruct_component(scheme, data, scheme.ghost_cells)
+        assert left.shape == (16 - 2 * scheme.ghost_cells + 1, 3)
+        assert right.shape == left.shape
+
+
+class TestSchemeAccuracy:
+    def test_pc_is_first_order(self):
+        data = np.arange(10.0)
+        scheme = get_scheme("pc")
+        left, right = reconstruct_component(scheme, data, 1)
+        # PC: left state at a face is the left cell average itself
+        np.testing.assert_allclose(left, data[:-1])
+        np.testing.assert_allclose(right, data[1:])
+
+    @pytest.mark.parametrize("name", ["tvd2", "tvd3"])
+    def test_linear_data_reconstructed_exactly(self, name):
+        data = 2.0 + 0.5 * np.arange(14.0)
+        scheme = get_scheme(name)
+        left, right = reconstruct_component(scheme, data, scheme.ghost_cells)
+        ng = scheme.ghost_cells
+        # exact face value of a linear function: cell average + slope/2
+        expected_left = data[ng - 1 : len(data) - ng] + 0.25
+        np.testing.assert_allclose(left, expected_left, rtol=1e-12)
+        expected_right = data[ng : len(data) - ng + 1] - 0.25
+        np.testing.assert_allclose(right, expected_right, rtol=1e-12)
+
+    def test_weno3_linear_data_nearly_exact(self):
+        data = 2.0 + 0.5 * np.arange(14.0)
+        scheme = get_scheme("weno3")
+        left, right = reconstruct_component(scheme, data, 2)
+        expected_left = data[1:-2] + 0.25
+        np.testing.assert_allclose(left, expected_left, rtol=1e-6)
+
+    def test_weno3_rejects_discontinuous_stencil(self):
+        """Across a jump the downwind stencil gets ~zero weight, so the
+        reconstructed state hugs the smooth side (no overshoot)."""
+        data = np.where(np.arange(16) < 8, 1.0, 10.0)
+        scheme = get_scheme("weno3")
+        left, right = reconstruct_component(scheme, data.astype(float), 2)
+        assert left.max() <= 10.0 + 1e-9
+        assert left.min() >= 1.0 - 1e-9
+
+    def test_tvd2_limiter_selection_changes_result(self, rng):
+        data = rng.uniform(0, 1, 16)
+        minmod_scheme = get_scheme("tvd2", "minmod")
+        superbee_scheme = get_scheme("tvd2", "superbee")
+        l1, _ = reconstruct_component(minmod_scheme, data, 2)
+        l2, _ = reconstruct_component(superbee_scheme, data, 2)
+        assert not np.allclose(l1, l2)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            get_scheme("weno5")

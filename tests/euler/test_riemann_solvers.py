@@ -1,0 +1,180 @@
+"""Approximate Riemann solvers: consistency, dissipation, agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.euler import state
+from repro.euler.riemann import (
+    RIEMANN_SOLVERS,
+    get_riemann_solver,
+    hll_flux,
+    hllc_flux,
+    roe_flux,
+    rusanov_flux,
+)
+from repro.euler.riemann.hll import wave_speed_estimates
+from repro.euler.riemann.roe import roe_average
+
+ALL = sorted(RIEMANN_SOLVERS)
+
+prim_1d = st.tuples(
+    st.floats(min_value=0.2, max_value=5.0),
+    st.floats(min_value=-2.0, max_value=2.0),
+    st.floats(min_value=0.2, max_value=5.0),
+)
+
+
+def _state_1d(rho, u, p):
+    return np.array([[rho, u, p]])
+
+
+def _state_2d(rho, u, v, p):
+    return np.array([[rho, u, v, p]])
+
+
+class TestRegistry:
+    def test_known_solvers(self):
+        assert set(ALL) == {"rusanov", "hll", "hllc", "roe"}
+
+    def test_lookup(self):
+        assert get_riemann_solver("hllc") is hllc_flux
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown Riemann solver"):
+            get_riemann_solver("godunov")
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestConsistency:
+    """F(W, W) must equal the physical flux of W — for every solver."""
+
+    def test_consistency_1d(self, name):
+        w = _state_1d(1.3, 0.7, 2.0)
+        flux = RIEMANN_SOLVERS[name](w, w)
+        np.testing.assert_allclose(flux, state.physical_flux(w), rtol=1e-12, atol=1e-12)
+
+    def test_consistency_2d(self, name):
+        w = _state_2d(1.3, 0.7, -0.4, 2.0)
+        flux = RIEMANN_SOLVERS[name](w, w)
+        np.testing.assert_allclose(flux, state.physical_flux(w), rtol=1e-12, atol=1e-12)
+
+    @given(left=prim_1d)
+    @settings(max_examples=25, deadline=None)
+    def test_consistency_property(self, name, left):
+        w = _state_1d(*left)
+        flux = RIEMANN_SOLVERS[name](w, w)
+        np.testing.assert_allclose(
+            flux, state.physical_flux(w), rtol=1e-10, atol=1e-10
+        )
+
+
+@pytest.mark.parametrize("name", [n for n in ALL if n != "rusanov"])
+class TestUpwinding:
+    """Rusanov is excluded: it is only *approximately* upwind (its smax
+    overestimates the signal speed), which TestRusanovDissipation covers."""
+
+    def test_supersonic_right_moving_takes_left_flux(self, name):
+        left = _state_1d(1.0, 5.0, 1.0)   # Mach ~4 to the right
+        right = _state_1d(0.5, 5.0, 0.5)
+        flux = RIEMANN_SOLVERS[name](left, right)
+        np.testing.assert_allclose(
+            flux, state.physical_flux(left), rtol=1e-8, atol=1e-8
+        )
+
+    def test_supersonic_left_moving_takes_right_flux(self, name):
+        left = _state_1d(1.0, -5.0, 1.0)
+        right = _state_1d(0.5, -5.0, 0.5)
+        flux = RIEMANN_SOLVERS[name](left, right)
+        np.testing.assert_allclose(
+            flux, state.physical_flux(right), rtol=1e-8, atol=1e-8
+        )
+
+
+class TestRusanovDissipation:
+    def test_approximately_upwind_when_supersonic(self):
+        left = _state_1d(1.0, 5.0, 1.0)
+        right = _state_1d(0.5, 5.0, 0.5)
+        flux = rusanov_flux(left, right)
+        upwind = state.physical_flux(left)
+        # within the size of the jump times the dissipation coefficient
+        assert np.abs(flux - upwind).max() < 5.0
+
+    def test_dissipation_proportional_to_jump(self):
+        left = _state_1d(1.0, 0.0, 1.0)
+        small = _state_1d(0.9, 0.0, 1.0)
+        large = _state_1d(0.5, 0.0, 1.0)
+        f_small = rusanov_flux(left, small)
+        f_large = rusanov_flux(left, large)
+        assert abs(f_large[0, 0]) > abs(f_small[0, 0])
+
+
+class TestWaveSpeeds:
+    def test_davis_estimates_bracket(self):
+        left = _state_1d(1.0, 0.0, 1.0)
+        right = _state_1d(0.125, 0.0, 0.1)
+        s_left, s_right = wave_speed_estimates(left, right)
+        assert s_left[0] < 0 < s_right[0]
+
+    def test_roe_average_symmetric_states(self):
+        w = _state_1d(1.0, 0.5, 1.0)
+        velocities, enthalpy, sound = roe_average(w, w)
+        assert velocities[0][0] == pytest.approx(0.5)
+        # for equal states the Roe average is the state itself
+        from repro.euler import eos
+
+        assert enthalpy[0] == pytest.approx(float(eos.enthalpy(1.0, 0.25, 1.0)))
+
+
+class TestSolverAgreement:
+    """All solvers converge to the same answer on a resolved problem."""
+
+    @pytest.mark.parametrize("name", [n for n in ALL if n != "rusanov"])
+    def test_less_dissipative_than_rusanov_on_contact(self, name, rng):
+        # pure contact: rho jumps, u and p constant -> exact flux is known
+        left = _state_1d(1.0, 0.5, 1.0)
+        right = _state_1d(0.2, 0.5, 1.0)
+        exact = state.physical_flux(left) * 0  # placeholder for magnitude cmp
+        rus = rusanov_flux(left, right)
+        other = RIEMANN_SOLVERS[name](left, right)
+        # density flux: exact for a contact is rho*u upwinded; compare
+        # deviation from the upwind value (u > 0 -> left side)
+        upwind = state.physical_flux(left)[0, 0]
+        assert abs(other[0, 0] - upwind) <= abs(rus[0, 0] - upwind) + 1e-12
+
+    def test_hllc_resolves_stationary_contact_exactly(self):
+        left = _state_1d(1.0, 0.0, 1.0)
+        right = _state_1d(0.2, 0.0, 1.0)
+        flux = hllc_flux(left, right)
+        np.testing.assert_allclose(flux[0], [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_roe_resolves_stationary_contact_exactly(self):
+        left = _state_1d(1.0, 0.0, 1.0)
+        right = _state_1d(0.2, 0.0, 1.0)
+        flux = roe_flux(left, right)
+        # Harten's entropy fix perturbs u = 0 slightly; still ~exact
+        np.testing.assert_allclose(flux[0], [0.0, 1.0, 0.0], atol=1e-10)
+
+    def test_hll_smears_stationary_contact(self):
+        left = _state_1d(1.0, 0.0, 1.0)
+        right = _state_1d(0.2, 0.0, 1.0)
+        flux = hll_flux(left, right)
+        assert abs(flux[0, 0]) > 1e-3  # mass flux across a contact: HLL's flaw
+
+    def test_2d_shear_transported(self):
+        # tangential velocity jump across a face with normal flow
+        left = _state_2d(1.0, 1.0, 2.0, 1.0)
+        right = _state_2d(1.0, 1.0, -2.0, 1.0)
+        flux = hllc_flux(left, right)
+        # upwind side is left (u > 0): tangential momentum flux = rho*u*v_left
+        assert flux[0, 2] == pytest.approx(1.0 * 1.0 * 2.0, rel=1e-6)
+
+    def test_batched_shapes(self, rng):
+        left = np.abs(rng.normal(1, 0.1, (7, 5, 4))) + 0.5
+        right = np.abs(rng.normal(1, 0.1, (7, 5, 4))) + 0.5
+        left[..., 1:3] = rng.normal(0, 0.3, (7, 5, 2))
+        right[..., 1:3] = rng.normal(0, 0.3, (7, 5, 2))
+        for name in ALL:
+            assert RIEMANN_SOLVERS[name](left, right).shape == (7, 5, 4)

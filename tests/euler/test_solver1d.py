@@ -1,0 +1,147 @@
+"""End-to-end 1-D solver: Sod/Lax/123 against the exact solution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PhysicsError
+from repro.euler import exact_riemann_solve, problems, state
+from repro.euler.problems import LAX, SOD, TORO_123
+from repro.euler.solver import EulerSolver1D, SolverConfig, paper_benchmark_config
+from repro.euler.boundary import transmissive_1d
+
+
+class TestConfiguration:
+    def test_bad_variables_mode(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(variables="entropy")
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            EulerSolver1D(np.ones((4, 4)), 0.1, transmissive_1d())
+
+    def test_bad_dx(self):
+        with pytest.raises(ConfigurationError):
+            EulerSolver1D(np.ones((4, 3)), -0.1, transmissive_1d())
+
+    def test_paper_benchmark_config(self):
+        config = paper_benchmark_config()
+        assert config.reconstruction == "pc"
+        assert config.rk_order == 3
+
+    def test_run_needs_a_bound(self):
+        solver, _ = problems.sod(16)
+        with pytest.raises(ConfigurationError):
+            solver.run()
+
+
+class TestSodAccuracy:
+    @pytest.mark.parametrize(
+        "recon,variables,riemann,tolerance",
+        [
+            ("pc", "characteristic", "rusanov", 0.025),
+            ("tvd2", "characteristic", "hllc", 0.008),
+            ("tvd3", "characteristic", "hllc", 0.007),
+            ("weno3", "characteristic", "hllc", 0.008),
+            ("weno3", "primitive", "hll", 0.009),
+            ("tvd2", "conservative", "roe", 0.009),
+        ],
+    )
+    def test_density_error_small(self, recon, variables, riemann, tolerance):
+        config = SolverConfig(
+            reconstruction=recon, variables=variables, riemann=riemann, rk_order=3
+        )
+        solver, x = problems.sod(n_cells=200, config=config)
+        solver.run(t_end=0.2)
+        exact = exact_riemann_solve(SOD.left, SOD.right, x, 0.2, SOD.x_diaphragm)
+        error = np.abs(solver.primitive[:, 0] - exact[:, 0]).mean()
+        assert error < tolerance
+
+    def test_higher_order_beats_first_order(self):
+        errors = {}
+        for name in ("pc", "weno3"):
+            solver, x = problems.sod(200, SolverConfig(reconstruction=name))
+            solver.run(t_end=0.2)
+            exact = exact_riemann_solve(SOD.left, SOD.right, x, 0.2, SOD.x_diaphragm)
+            errors[name] = np.abs(solver.primitive[:, 0] - exact[:, 0]).mean()
+        assert errors["weno3"] < 0.5 * errors["pc"]
+
+    def test_refinement_reduces_error(self):
+        errors = []
+        for n in (100, 200):
+            solver, x = problems.sod(n)
+            solver.run(t_end=0.2)
+            exact = exact_riemann_solve(SOD.left, SOD.right, x, 0.2, SOD.x_diaphragm)
+            errors.append(np.abs(solver.primitive[:, 0] - exact[:, 0]).mean())
+        assert errors[1] < errors[0]
+
+    def test_solution_stays_physical(self):
+        solver, _ = problems.sod(150)
+        solver.run(t_end=0.2)
+        prim = solver.primitive
+        assert prim[:, 0].min() > 0
+        assert prim[:, 2].min() > 0
+
+
+class TestOtherProblems:
+    def test_lax(self):
+        solver, x = problems.riemann_problem_solver(LAX, 200)
+        solver.run(t_end=LAX.t_end)
+        exact = exact_riemann_solve(LAX.left, LAX.right, x, LAX.t_end, LAX.x_diaphragm)
+        assert np.abs(solver.primitive[:, 0] - exact[:, 0]).mean() < 0.03
+
+    def test_toro_123_near_vacuum(self):
+        solver, x = problems.riemann_problem_solver(TORO_123, 200)
+        solver.run(t_end=TORO_123.t_end)
+        exact = exact_riemann_solve(
+            TORO_123.left, TORO_123.right, x, TORO_123.t_end, TORO_123.x_diaphragm
+        )
+        assert np.abs(solver.primitive[:, 0] - exact[:, 0]).mean() < 0.02
+
+    def test_roe_fails_on_123_with_clear_error(self):
+        """A known limitation: Roe is not positivity-preserving near
+        vacuum — the solver must fail loudly, not silently corrupt."""
+        config = SolverConfig(reconstruction="tvd2", riemann="roe", rk_order=3)
+        solver, _ = problems.riemann_problem_solver(TORO_123, 200, config)
+        with pytest.raises(PhysicsError):
+            solver.run(t_end=TORO_123.t_end)
+
+    def test_registry(self):
+        assert set(problems.RIEMANN_PROBLEMS) == {"sod", "lax", "toro123"}
+
+    def test_too_few_cells(self):
+        with pytest.raises(ConfigurationError):
+            problems.riemann_problem_solver(SOD, 4)
+
+
+class TestConservation:
+    def test_interior_conservation_before_waves_reach_boundary(self):
+        solver, _ = problems.sod(200)
+        mass0 = state.total_mass(solver.u)
+        energy0 = state.total_energy_sum(solver.u)
+        solver.run(t_end=0.1)  # waves still inside the tube
+        assert state.total_mass(solver.u) == pytest.approx(mass0, rel=1e-12)
+        assert state.total_energy_sum(solver.u) == pytest.approx(energy0, rel=1e-12)
+
+    def test_run_result_bookkeeping(self):
+        solver, _ = problems.sod(32)
+        result = solver.run(t_end=0.05)
+        assert result.steps == solver.steps
+        assert result.time == pytest.approx(0.05)
+        assert result.time == pytest.approx(sum(result.dt_history))
+
+    def test_max_steps_bound(self):
+        solver, _ = problems.sod(32)
+        result = solver.run(max_steps=5)
+        assert result.steps == 5
+
+    def test_uniform_state_is_steady(self):
+        prim = np.tile(np.array([1.0, 0.0, 1.0]), (20, 1))
+        solver = EulerSolver1D(prim, 0.1, transmissive_1d())
+        solver.run(max_steps=10)
+        np.testing.assert_allclose(solver.primitive, prim, atol=1e-13)
+
+    def test_moving_uniform_state_stays_uniform(self):
+        prim = np.tile(np.array([1.0, 0.7, 1.0]), (20, 1))
+        solver = EulerSolver1D(prim, 0.1, transmissive_1d())
+        solver.run(max_steps=10)
+        np.testing.assert_allclose(solver.primitive, prim, atol=1e-12)

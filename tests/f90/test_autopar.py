@@ -1,0 +1,224 @@
+"""Dependence analysis and the auto-paralleliser."""
+
+import numpy as np
+import pytest
+
+from repro.f90 import ast
+from repro.f90.autopar import AutoparOptions, autoparallelize
+from repro.f90.depend import analyze_loop
+from repro.f90.parser import parse_program
+
+
+def first_loop(source):
+    unit = parse_program(source)
+    sub = next(iter(unit.subroutines.values()))
+    for statement in sub.body:
+        if isinstance(statement, ast.Do):
+            return statement, unit
+    raise AssertionError("no DO loop found")
+
+
+class TestDependenceAnalysis:
+    def test_independent_elementwise_loop_parallel(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, B, N)
+              INTEGER N
+              REAL*8 A(N), B(N)
+              DO i = 1, N
+                A(i) = B(i) * 2.D0
+              END DO
+            END
+            """
+        )
+        assert analyze_loop(loop).parallel
+
+    def test_stencil_read_is_loop_carried(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N)
+              DO i = 2, N
+                A(i) = A(i - 1) + 1.D0
+              END DO
+            END
+            """
+        )
+        analysis = analyze_loop(loop)
+        assert not analysis.parallel
+        assert "loop-carried" in analysis.reason
+
+    def test_offset_write_is_complex_subscript(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N)
+              DO i = 1, N - 1
+                A(i + 1) = 0.D0
+              END DO
+            END
+            """
+        )
+        analysis = analyze_loop(loop)
+        assert not analysis.parallel
+
+    def test_call_defeats_analysis(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N)
+              DO i = 1, N
+                CALL G(A)
+              END DO
+            END
+            """
+        )
+        analysis = analyze_loop(loop)
+        assert not analysis.parallel
+        assert "CALL" in analysis.reason
+
+    def test_private_scalars_allowed(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, B, N)
+              INTEGER N
+              REAL*8 A(N), B(N)
+              DO i = 1, N
+                T = B(i) * 2.D0
+                A(i) = T + 1.D0
+              END DO
+            END
+            """
+        )
+        analysis = analyze_loop(loop)
+        assert analysis.parallel
+        assert "T" in analysis.private_vars
+
+    def test_carried_scalar_rejected(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N)
+              S = 0.D0
+              DO i = 1, N
+                A(i) = S
+                S = S + 1.D0
+              END DO
+            END
+            """
+        )
+        analysis = analyze_loop(loop)
+        assert not analysis.parallel
+        assert "carried" in analysis.reason
+
+    def test_max_reduction_recognised(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N)
+              EVMAX = 0.D0
+              DO i = 1, N
+                EVMAX = MAX(A(i), EVMAX)
+              END DO
+            END
+            """
+        )
+        analysis = analyze_loop(loop)
+        assert analysis.parallel
+        assert analysis.reduction_vars == {"EVMAX": "MAX"}
+
+    def test_sum_reduction_recognised(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N)
+              S = 0.D0
+              DO i = 1, N
+                S = S + A(i)
+              END DO
+            END
+            """
+        )
+        analysis = analyze_loop(loop)
+        assert analysis.parallel
+        assert analysis.reduction_vars == {"S": "+"}
+
+    def test_nested_outer_parallel_with_inner_index(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, N, M)
+              INTEGER N, M
+              REAL*8 A(N, M)
+              DO iy = 1, M
+                DO ix = 1, N
+                  A(ix, iy) = 1.D0
+                END DO
+              END DO
+            END
+            """
+        )
+        analysis = analyze_loop(loop)
+        assert analysis.parallel
+        assert "IX" in analysis.private_vars
+
+    def test_section_write_in_loop_serial(self):
+        loop, _ = first_loop(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N)
+              DO i = 1, N
+                A(:) = 0.D0
+              END DO
+            END
+            """
+        )
+        assert not analyze_loop(loop).parallel
+
+
+class TestAutoparDriver:
+    GETDT = """
+    SUBROUTINE GETDT(QP, N, DT)
+      INTEGER N
+      REAL*8 QP(N, N), DT(1)
+      EVMAX = 0.D0
+      DO iy = 1, N
+        DO ix = 1, N
+          EV = QP(ix, iy) * 2.D0
+          EVMAX = MAX(EV, EVMAX)
+        END DO
+      END DO
+      DT(1) = 0.5D0 / EVMAX
+    END
+    """
+
+    def test_reduction_parallelised_with_flag(self):
+        unit = parse_program(self.GETDT)
+        report = autoparallelize(unit, AutoparOptions(reductions=True))
+        assert len(report.parallel_loops) == 2
+
+    def test_reduction_serial_without_flag(self):
+        """Without -reduction, Sun's compiler leaves GetDT serial."""
+        unit = parse_program(self.GETDT)
+        report = autoparallelize(unit, AutoparOptions(reductions=False))
+        outer = [r for label, r in report.serial_loops.items() if ":IY" in label]
+        assert outer and "reduction" in outer[0]
+
+    def test_disabled_marks_everything_serial(self):
+        unit = parse_program(self.GETDT)
+        report = autoparallelize(unit, AutoparOptions(enabled=False))
+        assert not report.parallel_loops
+        assert all("disabled" in r for r in report.serial_loops.values())
+
+    def test_annotations_written_to_ast(self):
+        unit = parse_program(self.GETDT)
+        autoparallelize(unit)
+        outer = unit.subroutines["GETDT"].body[1]
+        assert isinstance(outer, ast.Do) and outer.parallel
+        assert outer.reduction_vars == {"EVMAX": "MAX"}

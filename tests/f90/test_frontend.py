@@ -1,0 +1,188 @@
+"""Mini-F90 lexer and parser."""
+
+import pytest
+
+from repro.errors import FortranSyntaxError
+from repro.f90 import ast
+from repro.f90.lexer import logical_lines
+from repro.f90.parser import parse_program
+
+
+class TestLexer:
+    def test_case_insensitive_upper_normalised(self):
+        lines = logical_lines("Do iy=IYmin,iymax")
+        texts = [t.text for t in lines[0].tokens[:-1]]
+        assert texts == ["DO", "IY", "=", "IYMIN", ",", "IYMAX"]
+
+    def test_comment_stripped(self):
+        lines = logical_lines("x = 1 ! a comment")
+        assert len(lines[0].tokens) == 4  # x = 1 eof
+
+    def test_continuation_joined(self):
+        lines = logical_lines("x = 1 + &\n    2")
+        texts = [t.text for t in lines[0].tokens[:-1]]
+        assert texts == ["X", "=", "1", "+", "2"]
+
+    def test_semicolons_split(self):
+        lines = logical_lines("x = 1; y = 2")
+        assert len(lines) == 2
+
+    def test_d_exponent(self):
+        lines = logical_lines("x = 1.4d0 + 0.5D-3")
+        kinds = [(t.kind, t.text) for t in lines[0].tokens if t.kind == "real"]
+        assert kinds == [("real", "1.4E0"), ("real", "0.5E-3")]
+
+    def test_dotted_operators(self):
+        lines = logical_lines("IF (a .GE. b .AND. c .NE. d) THEN")
+        texts = [t.text for t in lines[0].tokens]
+        assert ">=" in texts and "AND" in texts and "/=" in texts
+
+    def test_integer_then_dot_operator(self):
+        lines = logical_lines("x = 1.AND.2")  # pathological but legal-ish
+        texts = [t.text for t in lines[0].tokens[:-1]]
+        assert texts == ["X", "=", "1", "AND", "2"]
+
+    def test_blank_and_empty_lines_dropped(self):
+        assert logical_lines("\n\n   \n") == []
+
+
+class TestParser:
+    def test_module_with_parameter(self):
+        unit = parse_program(
+            """
+            MODULE Cons
+              REAL*8, PARAMETER :: Gam = 1.4D0
+              INTEGER :: N = 4
+            END MODULE
+            """
+        )
+        module = unit.modules["CONS"]
+        assert module.decls[0].name == "GAM"
+        assert module.decls[0].parameter is not None
+
+    def test_f77_parameter_statement(self):
+        unit = parse_program(
+            """
+            MODULE Cons
+              PARAMETER (Gam = 1.4d0, CFL = 0.5d0)
+            END MODULE
+            """
+        )
+        names = [d.name for d in unit.modules["CONS"].decls]
+        assert names == ["GAM", "CFL"]
+
+    def test_subroutine_with_args_and_decls(self):
+        unit = parse_program(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N, 0:N+1)
+              A(1, 0) = 2.D0
+            END SUBROUTINE
+            """
+        )
+        sub = unit.subroutines["F"]
+        assert sub.args == ["A", "N"]
+        array = sub.decls[1]
+        assert array.name == "A"
+        assert array.dims[1].lower is not None  # 0: lower bound
+
+    def test_implicit_statement(self):
+        unit = parse_program(
+            """
+            SUBROUTINE F
+              IMPLICIT REAL*8 (A-H,O-Z)
+              X = 1.0
+            END
+            """
+        )
+        rule = unit.subroutines["F"].implicits[0]
+        assert rule.base == "REAL"
+        assert rule.covers("C") and not rule.covers("I")
+
+    def test_do_loop_variants(self):
+        unit = parse_program(
+            """
+            SUBROUTINE F
+              DO i = 1, 10
+                x = i
+              END DO
+              DO j = 10, 1, -1
+                y = j
+              ENDDO
+              DO WHILE (x > 0)
+                x = x - 1
+              END DO
+            END
+            """
+        )
+        body = unit.subroutines["F"].body
+        assert isinstance(body[0], ast.Do)
+        assert isinstance(body[1], ast.Do) and body[1].step is not None
+        assert isinstance(body[2], ast.DoWhile)
+
+    def test_block_if_elseif_else(self):
+        unit = parse_program(
+            """
+            SUBROUTINE F(X)
+              REAL*8 X
+              IF (X > 1) THEN
+                Y = 1
+              ELSE IF (X > 0) THEN
+                Y = 2
+              ELSE
+                Y = 3
+              END IF
+            END
+            """
+        )
+        node = unit.subroutines["F"].body[0]
+        assert isinstance(node, ast.If)
+        assert len(node.elif_blocks) == 1
+        assert len(node.else_body) == 1
+
+    def test_logical_if(self):
+        unit = parse_program(
+            """
+            SUBROUTINE F
+              IF (X > 0) Y = 1
+            END
+            """
+        )
+        node = unit.subroutines["F"].body[0]
+        assert isinstance(node, ast.If)
+        assert isinstance(node.then_body[0], ast.Assign)
+
+    def test_call_and_sections(self):
+        unit = parse_program(
+            """
+            SUBROUTINE F(A, B)
+              REAL*8 A(10), B(10)
+              CALL G(A, 3)
+              A(2:5) = B(2:5) * 2
+              A(:) = 0.D0
+            END
+            """
+        )
+        body = unit.subroutines["F"].body
+        assert isinstance(body[0], ast.Call)
+        section = body[1].target.subscripts[0]
+        assert section.is_range and section.lower is not None
+
+    def test_power_right_associative(self):
+        unit = parse_program("SUBROUTINE F\n x = 2 ** 3 ** 2\nEND")
+        expr = unit.subroutines["F"].body[0].expr
+        assert expr.op == "**"
+        assert isinstance(expr.right, ast.BinOp)  # 3 ** 2 grouped right
+
+    def test_unknown_top_level(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_program("PROGRAM main\nEND")
+
+    def test_use_unknown_module_caught_by_sema(self):
+        from repro.errors import FortranSemanticError
+        from repro.f90.sema import validate_program
+
+        unit = parse_program("SUBROUTINE F\n USE Nope\n X = 1\nEND")
+        with pytest.raises(FortranSemanticError):
+            validate_program(unit)

@@ -1,0 +1,307 @@
+"""Mini-F90 interpreter semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FortranRuntimeError
+from repro.f90.api import compile_source
+from repro.f90.api import FortranOptions
+
+
+def program(source, **kwargs):
+    return compile_source(source, FortranOptions(**kwargs))
+
+
+class TestScalars:
+    def test_implicit_typing(self):
+        p = program(
+            """
+            MODULE M
+              REAL*8 :: X = 0.D0
+              INTEGER :: I = 0
+            END MODULE
+            SUBROUTINE F
+              USE M
+              IMPLICIT REAL*8 (A-H,O-Z)
+              X = 7 / 2
+              I = 7 / 2
+            END
+            """
+        )
+        p.call("F")
+        # X is REAL: integer division happens first (both ints), giving 3
+        assert p.get("M", "X") == 3.0
+        assert p.get("M", "I") == 3
+
+    def test_integer_division_truncates(self):
+        p = program(
+            """
+            MODULE M
+              INTEGER :: I = 0
+            END MODULE
+            SUBROUTINE F
+              USE M
+              I = (-7) / 2
+            END
+            """
+        )
+        p.call("F")
+        assert p.get("M", "I") == -3
+
+    def test_power_operator(self):
+        p = program(
+            """
+            MODULE M
+              REAL*8 :: X = 0.D0
+            END MODULE
+            SUBROUTINE F
+              USE M
+              X = 2.D0 ** 10
+            END
+            """
+        )
+        p.call("F")
+        assert p.get("M", "X") == 1024.0
+
+    def test_scalar_args_by_value(self):
+        p = program(
+            """
+            MODULE M
+              REAL*8 :: OUT = 0.D0
+            END MODULE
+            SUBROUTINE F(X)
+              USE M
+              REAL*8 X
+              X = X + 1.D0
+              OUT = X
+            END
+            """
+        )
+        p.call("F", 5.0)
+        assert p.get("M", "OUT") == 6.0
+
+
+class TestArrays:
+    def test_custom_lower_bounds(self):
+        p = program(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(0:N+1)
+              A(0) = 1.D0
+              A(N+1) = 2.D0
+            END
+            """
+        )
+        a = np.zeros(6)
+        p.call("F", a, 4)
+        assert a[0] == 1.0 and a[5] == 2.0
+
+    def test_out_of_bounds_detected(self):
+        p = program(
+            """
+            SUBROUTINE F(A)
+              REAL*8 A(4)
+              A(5) = 1.D0
+            END
+            """
+        )
+        with pytest.raises(FortranRuntimeError, match="out of bounds"):
+            p.call("F", np.zeros(4))
+
+    def test_shape_mismatch_detected(self):
+        p = program(
+            """
+            SUBROUTINE F(A, N)
+              INTEGER N
+              REAL*8 A(N)
+              A(1) = 1.D0
+            END
+            """
+        )
+        with pytest.raises(FortranRuntimeError, match="shape"):
+            p.call("F", np.zeros(4), 5)
+
+    def test_whole_array_assignment(self):
+        p = program(
+            """
+            SUBROUTINE F(A, B)
+              REAL*8 A(5), B(5)
+              A = B * 2.D0 + 1.D0
+            END
+            """
+        )
+        a = np.zeros(5)
+        b = np.arange(5.0)
+        p.call("F", a, b)
+        np.testing.assert_allclose(a, b * 2 + 1)
+
+    def test_sections(self):
+        p = program(
+            """
+            SUBROUTINE F(A)
+              REAL*8 A(6)
+              A(2:4) = 9.D0
+            END
+            """
+        )
+        a = np.zeros(6)
+        p.call("F", a)
+        np.testing.assert_allclose(a, [0, 9, 9, 9, 0, 0])
+
+    def test_arrays_passed_by_reference_to_subroutines(self):
+        p = program(
+            """
+            SUBROUTINE INNER(B)
+              REAL*8 B(3)
+              B(1) = 99.D0
+            END
+            SUBROUTINE F(A)
+              REAL*8 A(3)
+              CALL INNER(A)
+            END
+            """
+        )
+        a = np.zeros(3)
+        p.call("F", a)
+        assert a[0] == 99.0
+
+    def test_local_array_allocated_per_call(self):
+        p = program(
+            """
+            MODULE M
+              REAL*8 :: OUT = 0.D0
+            END MODULE
+            SUBROUTINE F(N)
+              USE M
+              INTEGER N
+              REAL*8 TMP(N)
+              TMP = 1.D0
+              OUT = SUM(TMP)
+            END
+            """
+        )
+        p.call("F", 7)
+        assert p.get("M", "OUT") == 7.0
+
+
+class TestControlFlow:
+    def test_do_loop_sum(self):
+        p = program(
+            """
+            MODULE M
+              INTEGER :: TOTAL = 0
+            END MODULE
+            SUBROUTINE F(N)
+              USE M
+              INTEGER N
+              TOTAL = 0
+              DO I = 1, N
+                TOTAL = TOTAL + I
+              END DO
+            END
+            """
+        )
+        p.call("F", 5)
+        assert p.get("M", "TOTAL") == 15
+
+    def test_do_loop_step(self):
+        p = program(
+            """
+            MODULE M
+              INTEGER :: TOTAL = 0
+            END MODULE
+            SUBROUTINE F
+              USE M
+              TOTAL = 0
+              DO I = 10, 1, -2
+                TOTAL = TOTAL + I
+              END DO
+            END
+            """
+        )
+        p.call("F")
+        assert p.get("M", "TOTAL") == 10 + 8 + 6 + 4 + 2
+
+    def test_zero_trip_loop(self):
+        p = program(
+            """
+            MODULE M
+              INTEGER :: TOTAL = 99
+            END MODULE
+            SUBROUTINE F
+              USE M
+              DO I = 5, 1
+                TOTAL = 0
+              END DO
+            END
+            """
+        )
+        p.call("F")
+        assert p.get("M", "TOTAL") == 99
+
+    def test_if_elseif_else(self):
+        p = program(
+            """
+            MODULE M
+              INTEGER :: R = 0
+            END MODULE
+            SUBROUTINE F(X)
+              USE M
+              REAL*8 X
+              IF (X > 1.D0) THEN
+                R = 1
+              ELSE IF (X > 0.D0) THEN
+                R = 2
+              ELSE
+                R = 3
+              END IF
+            END
+            """
+        )
+        for value, expected in [(2.0, 1), (0.5, 2), (-1.0, 3)]:
+            p.call("F", value)
+            assert p.get("M", "R") == expected
+
+    def test_return_statement(self):
+        p = program(
+            """
+            MODULE M
+              INTEGER :: R = 0
+            END MODULE
+            SUBROUTINE F
+              USE M
+              R = 1
+              RETURN
+              R = 2
+            END
+            """
+        )
+        p.call("F")
+        assert p.get("M", "R") == 1
+
+    def test_intrinsics(self):
+        p = program(
+            """
+            MODULE M
+              REAL*8 :: R = 0.D0
+            END MODULE
+            SUBROUTINE F(A)
+              USE M
+              REAL*8 A(4)
+              R = SQRT(MAXVAL(A)) + ABS(-2.D0) + MAX(1.D0, 2.D0, 3.D0) + MIN(5.D0, 4.D0)
+            END
+            """
+        )
+        p.call("F", np.array([1.0, 16.0, 4.0, 9.0]))
+        assert p.get("M", "R") == pytest.approx(4.0 + 2.0 + 3.0 + 4.0)
+
+    def test_unknown_subroutine(self):
+        p = program("SUBROUTINE F\n CALL NOPE()\nEND")
+        with pytest.raises(FortranRuntimeError, match="unknown subroutine"):
+            p.call("F")
+
+    def test_undefined_read_rejected(self):
+        p = program("SUBROUTINE F\n X = Y + 1\nEND")
+        with pytest.raises(FortranRuntimeError, match="referenced before"):
+            p.call("F")

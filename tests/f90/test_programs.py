@@ -1,0 +1,119 @@
+"""The bundled Fortran programs, validated against the golden solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FortranError
+from repro.euler import problems
+from repro.euler.rankine_hugoniot import post_shock_state
+from repro.euler.solver import SolverConfig
+from repro.f90 import FortranOptions, compile_file, load_program_source
+
+
+class TestLoading:
+    def test_bundled_sources(self):
+        assert "GetDT" in load_program_source("getdt.f90")
+        assert "SIMULATE" in load_program_source("euler2d.f90")
+
+    def test_missing_file(self):
+        with pytest.raises(FortranError):
+            load_program_source("missing.f90")
+
+
+class TestGetDTProgram:
+    """The paper's Section 4.2 subroutine, verbatim."""
+
+    @pytest.fixture(scope="class")
+    def getdt(self):
+        return compile_file("getdt.f90")
+
+    def test_both_loops_parallelised(self, getdt):
+        assert len(getdt.autopar_report.parallel_loops) == 2
+        assert not getdt.autopar_report.serial_loops
+
+    def test_matches_formula(self, getdt, rng):
+        nx, ny = 10, 8
+        qp = getdt.get("VARS", "QP")
+        qp[:] = 0.0
+        qp[0, :nx, :ny] = rng.normal(0, 1, (nx, ny))
+        qp[1, :nx, :ny] = rng.normal(0, 1, (nx, ny))
+        qp[2, :nx, :ny] = rng.uniform(0.5, 2, (nx, ny))
+        qp[3, :nx, :ny] = rng.uniform(0.5, 2, (nx, ny))
+        getdt.set("VARS", "IXMAX", nx)
+        getdt.set("VARS", "IYMAX", ny)
+        getdt.set("CONS", "DX", 0.5)
+        getdt.set("CONS", "DY", 0.25)
+        getdt.call("GETDT")
+        c = np.sqrt(1.4 * qp[2, :nx, :ny] / qp[3, :nx, :ny])
+        ev = (np.abs(qp[0, :nx, :ny]) + c) / 0.5 + (np.abs(qp[1, :nx, :ny]) + c) / 0.25
+        assert getdt.get("VARS", "DT") == pytest.approx(0.5 / ev.max(), rel=1e-12)
+
+    def test_gam_is_parameter(self, getdt):
+        assert getdt.get("CONS", "GAM") == pytest.approx(1.4)
+
+
+class TestEuler2DProgram:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = SolverConfig(reconstruction="pc", riemann="rusanov", rk_order=3)
+        n = 12
+        solver, geometry = problems.two_channel(
+            n_cells=n, h=n / 2.0, mach=2.2, config=config
+        )
+        post = post_shock_state(2.2)
+        e0 = int(round(geometry.exit_start / geometry.dx))
+        e1 = int(round(geometry.exit_stop / geometry.dx))
+        qin_left = np.array([post.rho, post.velocity, 0.0, post.p])
+        qin_bottom = np.array([post.rho, 0.0, post.velocity, post.p])
+        return solver, geometry, n, e0, e1, qin_left, qin_bottom
+
+    def test_simulate_matches_golden(self, f90_euler2d, setup):
+        solver, geometry, n, e0, e1, qin_left, qin_bottom = setup
+        q = np.ascontiguousarray(np.moveaxis(solver.u.copy(), -1, 0))
+        f90_euler2d.call(
+            "SIMULATE", q, n, n, 3, geometry.dx, geometry.dx, 0.5,
+            e0, e1, qin_left, qin_bottom,
+        )
+        solver.run(max_steps=3)
+        expected = np.moveaxis(solver.u, -1, 0)
+        assert np.abs(q - expected).max() < 1e-12
+
+    def test_flux_loops_parallelised_time_loop_serial(self, f90_euler2d):
+        report = f90_euler2d.autopar_report
+        assert len(report.parallel_loops) >= 10
+        serial_reasons = list(report.serial_loops.values())
+        assert any("CALL" in reason for reason in serial_reasons)
+
+    def test_getdt2_matches_solver(self, f90_euler2d, setup):
+        solver, geometry, n, *_ = setup
+        q = np.ascontiguousarray(np.moveaxis(solver.u.copy(), -1, 0))
+        dt_out = np.zeros(1)
+        f90_euler2d.call("GETDT2", q, n, n, geometry.dx, geometry.dx, 0.5, dt_out)
+        assert dt_out[0] == pytest.approx(solver.compute_dt(), rel=1e-12)
+
+    def test_trace_recorded_when_enabled(self, setup):
+        solver, geometry, n, e0, e1, qin_left, qin_bottom = setup
+        program = compile_file("euler2d.f90", FortranOptions(trace=True))
+        q = np.ascontiguousarray(np.moveaxis(solver.u.copy(), -1, 0))
+        dt_out = np.zeros(1)
+        program.call("GETDT2", q, n, n, geometry.dx, geometry.dx, 0.5, dt_out)
+        assert program.trace.parallel_region_count >= 1
+        assert program.trace.serial_region_count >= 1
+        outer = [r for r in program.trace if r.kind == "parallel_do"]
+        assert outer[0].elements == n  # outer loop trips
+        assert outer[0].outer_iterations == n  # it is a nest
+
+    def test_sac_and_fortran_agree(self, f90_euler2d, sac_euler2d, setup):
+        """The headline cross-language check: identical physics."""
+        solver, geometry, n, e0, e1, qin_left, qin_bottom = setup
+        q0 = solver.u.copy()
+        q_sac = sac_euler2d.run(
+            "simulate", q0, 2, geometry.dx, geometry.dx, 0.5,
+            e0, e1, qin_left, qin_bottom,
+        )
+        q_f = np.ascontiguousarray(np.moveaxis(q0, -1, 0))
+        f90_euler2d.call(
+            "SIMULATE", q_f, n, n, 2, geometry.dx, geometry.dx, 0.5,
+            e0, e1, qin_left, qin_bottom,
+        )
+        assert np.abs(np.moveaxis(q_sac, -1, 0) - q_f).max() < 1e-12

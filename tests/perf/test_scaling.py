@@ -1,0 +1,99 @@
+"""The Fig. 4 experiment and its calibration facts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.calibration import verify_calibration
+from repro.perf.scaling import (
+    TwoChannelWorkload,
+    figure4_experiment,
+    format_scaling_table,
+    measure_fortran_trace,
+    measure_sac_trace,
+)
+
+WORKLOAD = TwoChannelWorkload(measure_grid=16, measure_steps=1)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return measure_sac_trace(WORKLOAD), measure_fortran_trace(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def fig4(traces):
+    sac_trace, fortran_trace = traces
+    return figure4_experiment(
+        400, 1000, workload=WORKLOAD, sac_trace=sac_trace, fortran_trace=fortran_trace
+    )
+
+
+class TestTraces:
+    def test_sac_trace_all_parallel(self, traces):
+        sac_trace, _ = traces
+        assert sac_trace.parallel_region_count == len(sac_trace)
+
+    def test_fortran_trace_has_nests_and_serial(self, traces):
+        _, fortran_trace = traces
+        assert fortran_trace.serial_region_count > 0
+        nests = [r for r in fortran_trace if r.outer_iterations > 0]
+        assert nests  # the flux loops are nests
+
+    def test_fortran_time_loop_not_parallel(self, traces):
+        """SIMULATE's outer loop contains CALLs -> stays serial, so no
+        single giant parallel region swallows the whole run."""
+        _, fortran_trace = traces
+        biggest = max(r.work for r in fortran_trace if r.is_parallel)
+        assert biggest < fortran_trace.total_work * 0.9
+
+
+class TestFigure4Shape(object):
+    """The paper's qualitative claims, asserted."""
+
+    def test_fortran_faster_on_one_core(self, fig4):
+        point = fig4.points[0]
+        assert point.fortran_seconds * 2 < point.sac_seconds
+
+    def test_fortran_degrades_with_cores(self, fig4):
+        times = [p.fortran_seconds for p in fig4.points]
+        assert times[-1] > times[0]
+
+    def test_sac_scales_monotonically(self, fig4):
+        times = [p.sac_seconds for p in fig4.points]
+        assert all(b <= a * 1.001 for a, b in zip(times, times[1:]))
+
+    def test_sac_overtakes_fortran(self, fig4):
+        assert fig4.crossover_cores() is not None
+
+    def test_sac_speedup_substantial(self, fig4):
+        times = [p.sac_seconds for p in fig4.points]
+        assert times[0] / times[-1] > 3.0
+
+    def test_large_grid_fortran_scales_then_suffers(self, traces):
+        sac_trace, fortran_trace = traces
+        result = figure4_experiment(
+            2000, 1000, workload=WORKLOAD,
+            sac_trace=sac_trace, fortran_trace=fortran_trace,
+        )
+        times = [p.fortran_seconds for p in result.points]
+        best = times.index(min(times)) + 1
+        assert 2 <= best <= 6          # "scale slightly with small numbers of cores"
+        assert times[-1] > min(times)  # "...started to suffer"
+
+    def test_format_table(self, fig4):
+        table = format_scaling_table(fig4)
+        assert "400x400" in table and "crossover" in table
+
+    def test_grid_smaller_than_measurement_rejected(self, traces):
+        sac_trace, fortran_trace = traces
+        with pytest.raises(ConfigurationError):
+            figure4_experiment(
+                8, 10, workload=WORKLOAD,
+                sac_trace=sac_trace, fortran_trace=fortran_trace,
+            )
+
+
+def test_calibration_checks_all_hold():
+    checks = verify_calibration(WORKLOAD)
+    failed = [c for c in checks if not c.holds]
+    assert not failed, "; ".join(f"{c.claim}: {c.detail}" for c in failed)

@@ -1,0 +1,276 @@
+"""Reference interpreter: the language's semantic definition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SacRuntimeError
+from repro.sac.interp import Interpreter, binary_op
+from repro.sac.parser import parse_module
+
+
+def run(source, function, *args, defines=None):
+    return Interpreter(parse_module(source), defines).call(function, *args)
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        assert run("int f() { return( 2 + 3 * 4 ); }", "f") == 14
+
+    def test_int_division_truncates_toward_zero(self):
+        assert run("int f() { return( 7 / 2 ); }", "f") == 3
+        assert run("int f() { return( -7 / 2 ); }", "f") == -3  # C semantics
+
+    def test_division_by_zero(self):
+        with pytest.raises(SacRuntimeError, match="division by zero"):
+            run("int f() { return( 1 / 0 ); }", "f")
+
+    def test_double_division(self):
+        assert run("double f() { return( 7.0 / 2.0 ); }", "f") == pytest.approx(3.5)
+
+    def test_modulo(self):
+        assert run("int f() { return( 7 % 3 ); }", "f") == 1
+
+    def test_comparisons_and_logic(self):
+        assert bool(run("bool f() { return( 1 < 2 && !(3 <= 2) ); }", "f"))
+
+    def test_ternary(self):
+        assert run("int f(int x) { return( x > 0 ? 1 : 2 ); }", "f", -5) == 2
+
+    def test_globals_evaluated_at_load(self):
+        source = "double G = 2.0 * 3.0; double f() { return( G ); }"
+        assert run(source, "f") == pytest.approx(6.0)
+
+    def test_defines_available(self):
+        assert run("int f() { return( DIM ); }", "f", defines={"DIM": 2}) == 2
+
+
+class TestControlFlow:
+    def test_for_loop(self):
+        source = """
+        int f(int n) {
+          total = 0;
+          for (i = 0; i < n; i = i + 1) { total = total + i; }
+          return( total );
+        }
+        """
+        assert run(source, "f", 5) == 10
+
+    def test_while_loop(self):
+        source = """
+        int f() {
+          x = 100;
+          while (x > 10) { x = x / 2; }
+          return( x );
+        }
+        """
+        assert run(source, "f") == 6
+
+    def test_if_else(self):
+        source = """
+        int f(int x) {
+          if (x > 0) { y = 1; } else { y = -1; }
+          return( y );
+        }
+        """
+        assert run(source, "f", 3) == 1
+        assert run(source, "f", -3) == -1
+
+    def test_recursion(self):
+        source = "int fib(int n) { return( n < 2 ? n : fib(n-1) + fib(n-2) ); }"
+        assert run(source, "fib", 10) == 55
+
+    def test_call_depth_limit(self):
+        source = "int f(int n) { return( f(n + 1) ); }"
+        with pytest.raises(SacRuntimeError, match="depth"):
+            run(source, "f", 0)
+
+    def test_missing_return_is_error(self):
+        source = "int f() { x = 1; }"
+        with pytest.raises(SacRuntimeError, match="without return"):
+            run(source, "f")
+
+    def test_array_condition_rejected(self):
+        source = "int f(bool[.] c) { if (c) { y = 1; } else { y = 2; } return( y ); }"
+        with pytest.raises(SacRuntimeError, match="scalar"):
+            run(source, "f", np.array([True, False]))
+
+
+class TestArrays:
+    def test_elementwise_whole_array(self):
+        result = run(
+            "double[.] f(double[.] a, double[.] b) { return( a - b * 2.0 + 1.0 ); }",
+            "f",
+            np.array([1.0, 2.0]),
+            np.array([0.5, 1.0]),
+        )
+        np.testing.assert_allclose(result, [1.0, 1.0])
+
+    def test_indexing_multi(self):
+        result = run(
+            "double f(double[.,.] m) { return( m[1, 0] ); }",
+            "f",
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+        )
+        assert result == 3.0
+
+    def test_vector_index(self):
+        result = run(
+            "double f(double[.,.] m, int[2] iv) { return( m[iv] ); }",
+            "f",
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+            np.array([0, 1]),
+        )
+        assert result == 2.0
+
+    def test_partial_index_returns_subarray(self):
+        result = run(
+            "double[.] f(double[.,.] m) { return( m[1] ); }",
+            "f",
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+        )
+        np.testing.assert_allclose(result, [3.0, 4.0])
+
+    def test_out_of_bounds(self):
+        with pytest.raises(SacRuntimeError, match="out of bounds"):
+            run("double f(double[.] a) { return( a[5] ); }", "f", np.zeros(3))
+
+    def test_array_literal_stacking(self):
+        result = run(
+            "double[.,.] f(double[.] a) { return( [a, a * 2.0] ); }",
+            "f",
+            np.array([1.0, 2.0]),
+        )
+        np.testing.assert_allclose(result, [[1, 2], [2, 4]])
+
+
+class TestWithLoops:
+    def test_genarray_with_default(self):
+        result = run(
+            """double[.] f() {
+                 return( with { ([1] <= [i] < [3]) : 9.0; } : genarray([5], 1.0) );
+               }""",
+            "f",
+        )
+        np.testing.assert_allclose(result, [1, 9, 9, 1, 1])
+
+    def test_genarray_element_arrays(self):
+        result = run(
+            """double[.,.] f() {
+                 return( with { ([0] <= [i] < [2]) : [tod(i), 1.0]; } : genarray([2], [0.0, 0.0]) );
+               }""",
+            "f",
+        )
+        np.testing.assert_allclose(result, [[0, 1], [1, 1]])
+
+    def test_modarray(self):
+        result = run(
+            """double[.] f(double[.] a) {
+                 return( with { ([1] <= [i] < [2]) : 42.0; } : modarray(a) );
+               }""",
+            "f",
+            np.zeros(4),
+        )
+        np.testing.assert_allclose(result, [0, 42, 0, 0])
+
+    def test_modarray_does_not_mutate_input(self):
+        source = """double[.] f(double[.] a) {
+          b = with { ([0] <= [i] < [1]) : 9.9; } : modarray(a);
+          return( a );
+        }"""
+        original = np.zeros(3)
+        result = run(source, "f", original)
+        np.testing.assert_allclose(result, 0.0)
+
+    def test_fold_sum(self):
+        result = run(
+            """double f(double[.] a) {
+                 n = shape(a)[0];
+                 return( with { ([0] <= [i] < [n]) : a[i]; } : fold(+, 0.0) );
+               }""",
+            "f",
+            np.array([1.0, 2.0, 3.5]),
+        )
+        assert result == pytest.approx(6.5)
+
+    def test_fold_max(self):
+        result = run(
+            """double f(double[.] a) {
+                 n = shape(a)[0];
+                 return( with { ([0] <= [i] < [n]) : a[i]; } : fold(max, 0.0) );
+               }""",
+            "f",
+            np.array([1.0, 5.0, 3.0]),
+        )
+        assert result == 5.0
+
+    def test_fold_requires_bounds(self):
+        with pytest.raises(SacRuntimeError, match="explicit bounds"):
+            run(
+                "double f(double[.] a) { return( with { (. <= iv < .) : 1.0; } : fold(+, 0.0) ); }",
+                "f",
+                np.zeros(3),
+            )
+
+    def test_inclusive_bounds(self):
+        result = run(
+            """double[.] f() {
+                 return( with { ([1] <= [i] <= [2]) : 1.0; } : genarray([4], 0.0) );
+               }""",
+            "f",
+        )
+        np.testing.assert_allclose(result, [0, 1, 1, 0])
+
+    def test_empty_genarray_without_default_rejected(self):
+        with pytest.raises(SacRuntimeError, match="default"):
+            run(
+                "double[.] f() { return( with { ([0] <= [i] < [0]) : 1.0; } : genarray([0]) ); }",
+                "f",
+            )
+
+
+class TestSetNotation:
+    def test_transpose(self):
+        m = np.arange(6.0).reshape(2, 3)
+        result = run(
+            "double[.,.] f(double[.,.] m) { return( { [i,j] -> m[j,i] } ); }", "f", m
+        )
+        np.testing.assert_allclose(result, m.T)
+
+    def test_vector_var_inference_uses_min_rank(self):
+        """d has rank 3, c rank 2: iv gets rank 2 (the paper's getDt)."""
+        d = np.ones((3, 4, 2))
+        c = np.ones((3, 4))
+        result = run(
+            "double[.,.] f(double[+] d, double[+] c) { return( { iv -> sum(d[iv]) + c[iv] } ); }",
+            "f",
+            d,
+            c,
+        )
+        assert result.shape == (3, 4)
+        np.testing.assert_allclose(result, 3.0)
+
+    def test_explicit_bound(self):
+        result = run(
+            "double[.] f(double[.] a) { return( { [i] -> a[i] * 2.0 | [i] < [2] } ); }",
+            "f",
+            np.array([1.0, 2.0, 3.0]),
+        )
+        np.testing.assert_allclose(result, [2.0, 4.0])
+
+    def test_uninferable_bounds_rejected(self):
+        with pytest.raises(SacRuntimeError, match="cannot infer"):
+            run("double[.] f(int n) { return( { [i] -> tod(i) } ); }", "f", 3)
+
+    def test_offset_indexing_bound_from_plain_use(self):
+        result = run(
+            "double[.] f(double[.] a) { return( { [i] -> a[i + 1] - a[i] | [i] < [3] } ); }",
+            "f",
+            np.array([1.0, 3.0, 6.0, 10.0]),
+        )
+        np.testing.assert_allclose(result, [2.0, 3.0, 4.0])
+
+
+class TestBinaryOpHelper:
+    def test_unknown_operator(self):
+        with pytest.raises(SacRuntimeError):
+            binary_op("@", 1, 2)

@@ -1,0 +1,84 @@
+"""SaC lexer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SacSyntaxError
+from repro.sac.lexer import tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]  # drop eof
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds_and_texts("with genarray foo module2")
+        assert tokens == [
+            ("keyword", "with"),
+            ("keyword", "genarray"),
+            ("ident", "foo"),
+            ("ident", "module2"),
+        ]
+
+    def test_int_literal(self):
+        assert kinds_and_texts("42") == [("int", "42")]
+
+    def test_double_literals(self):
+        assert kinds_and_texts("1.5") == [("double", "1.5")]
+        assert kinds_and_texts("1e-3") == [("double", "1e-3")]
+        assert kinds_and_texts("2.5e4") == [("double", "2.5e4")]
+
+    def test_multi_char_operators(self):
+        tokens = kinds_and_texts("a :: b -> c <= d && e")
+        operators = [t for k, t in tokens if k == "op"]
+        assert operators == ["::", "->", "<=", "&&"]
+
+    def test_dot_in_types(self):
+        # double[.,.] tokenises dots separately, not as numbers
+        tokens = kinds_and_texts("double[.,.]")
+        assert ("op", ".") in tokens
+
+    def test_line_comment(self):
+        assert kinds_and_texts("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds_and_texts("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SacSyntaxError, match="unterminated"):
+            tokenize("a /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SacSyntaxError):
+            tokenize("a $ b")
+
+    def test_spans_track_lines(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].span.line == 1
+        assert tokens[1].span.line == 2
+        assert tokens[1].span.column == 3
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_negative_handled_as_unary(self):
+        # '-1' is minus then int (the parser folds it)
+        assert kinds_and_texts("-1") == [("op", "-"), ("int", "1")]
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+@settings(max_examples=30)
+def test_integer_round_trip(value):
+    tokens = tokenize(str(value))
+    assert tokens[0].kind == "int"
+    assert int(tokens[0].text) == value
+
+
+@given(st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True))
+@settings(max_examples=30)
+def test_identifier_round_trip(name):
+    tokens = tokenize(name)
+    assert tokens[0].text == name
+    assert tokens[0].kind in ("ident", "keyword")

@@ -1,0 +1,469 @@
+"""The optimisation passes: each pass alone, then the pipeline.
+
+The master property — optimisation never changes meaning — is checked
+by running the reference interpreter on the original module and the
+NumPy backend on the optimised one, for a corpus of programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sac import ast
+from repro.sac.interp import Interpreter
+from repro.sac.eval.numpy_backend import NumpyEvaluator
+from repro.sac.parser import parse_module
+from repro.sac.typecheck import TypeChecker
+from repro.sac.opt import (
+    PipelineOptions,
+    annotate_memory_reuse,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    fold_with_loops,
+    forward_substitute,
+    inline_functions,
+    optimize_module,
+    unroll_with_loops,
+)
+from repro.sac.opt.util import count_uses, expr_key, free_vars, substitute
+
+
+def checked_module(source):
+    module = parse_module(source)
+    TypeChecker(module).check_all()
+    return module
+
+
+class TestUtil:
+    def test_expr_key_structural(self):
+        from repro.sac.parser import parse_expression
+
+        assert expr_key(parse_expression("a + b * 2")) == expr_key(
+            parse_expression("a + b * 2")
+        )
+        assert expr_key(parse_expression("a + b")) != expr_key(
+            parse_expression("b + a")
+        )
+
+    def test_free_vars_respect_binders(self):
+        from repro.sac.parser import parse_expression
+
+        expr = parse_expression("{ [i] -> a[i] + b | [i] < [n] }")
+        assert free_vars(expr) == {"a", "b", "n"}
+
+    def test_substitute_avoids_capture(self):
+        from repro.sac.parser import parse_expression
+
+        expr = parse_expression("{ [i] -> a[i] | [i] < [4] }")
+        replaced = substitute(expr, {"a": parse_expression("[i, i]")})
+        # the outer 'i' (free in the replacement) must not be captured
+        binder = replaced.index_vars[0]
+        assert binder != "i"
+
+    def test_count_uses(self):
+        module = parse_module("int f(int a) { b = a + a; return( b + a ); }")
+        uses = count_uses(module.functions[0].body)
+        assert uses == {"a": 3, "b": 1}
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        module = checked_module("int f() { return( 2 + 3 * 4 ); }")
+        assert fold_constants(module) > 0
+        assert isinstance(module.functions[0].body[0].expr, ast.IntLit)
+        assert module.functions[0].body[0].expr.value == 14
+
+    def test_identities(self):
+        module = checked_module("double f(double x) { return( x * 1.0 + 0.0 ); }")
+        fold_constants(module)
+        body = module.functions[0].body[0].expr
+        assert isinstance(body, ast.Var) and body.name == "x"
+
+    def test_literal_if_eliminated(self):
+        module = checked_module(
+            "int f() { if (true) { y = 1; } else { y = 2; } return( y ); }"
+        )
+        fold_constants(module)
+        kinds = [type(s).__name__ for s in module.functions[0].body]
+        assert "If" not in kinds
+
+    def test_array_literal_select_folds(self):
+        module = checked_module("int f() { return( [4, 5, 6][1] ); }")
+        fold_constants(module)
+        assert module.functions[0].body[0].expr.value == 5
+
+    def test_division_by_zero_left_for_runtime(self):
+        module = checked_module("int f() { return( 1 / 0 ); }")
+        fold_constants(module)  # must not raise
+        assert isinstance(module.functions[0].body[0].expr, ast.BinOp)
+
+
+class TestInlining:
+    def test_expression_function_inlined_everywhere(self):
+        source = """
+        inline double sq(double x) { return( x * x ); }
+        double[.] f(double[.] a) { return( { [i] -> sq(a[i]) | [i] < [4] } ); }
+        """
+        module = checked_module(source)
+        assert inline_functions(module) == 1
+        f = [fn for fn in module.functions if fn.name == "f"][0]
+        assert not any(
+            isinstance(node, ast.Call) and node.name == "sq"
+            for node in ast.walk_expr(f.body[0].expr)
+        )
+
+    def test_statement_function_spliced(self):
+        source = """
+        inline double helper(double x) { y = x + 1.0; return( y * 2.0 ); }
+        double f(double a) { return( helper(a) ); }
+        """
+        module = checked_module(source)
+        assert inline_functions(module) == 1
+        f = [fn for fn in module.functions if fn.name == "f"][0]
+        assert len(f.body) >= 2  # the spliced assignments plus return
+
+    def test_statement_function_not_inlined_under_binder(self):
+        source = """
+        inline double helper(double x) { y = x + 1.0; return( y * 2.0 ); }
+        double[.] f(double[.] a) { return( { [i] -> helper(a[i]) | [i] < [4] } ); }
+        """
+        module = checked_module(source)
+        assert inline_functions(module) == 0
+
+    def test_non_inline_function_untouched(self):
+        source = """
+        double helper(double x) { return( x + 1.0 ); }
+        double f(double a) { return( helper(a) ); }
+        """
+        module = checked_module(source)
+        assert inline_functions(module) == 0
+
+    def test_inlining_preserves_semantics(self):
+        source = """
+        inline double sq(double x) { return( x * x ); }
+        inline double[.] twice(double[.] v) { w = v + v; return( w ); }
+        double f(double[.] a) { return( sq(sum(twice(a))) ); }
+        """
+        module = checked_module(source)
+        reference = Interpreter(parse_module(source))
+        inline_functions(module)
+        arg = np.array([1.0, 2.5])
+        assert Interpreter(module).call("f", arg) == reference.call("f", arg)
+
+
+class TestCseDce:
+    def test_duplicate_rhs_shared(self):
+        source = """
+        double f(double x) {
+          a = sqrt(x + 1.0);
+          b = sqrt(x + 1.0);
+          return( a + b );
+        }
+        """
+        module = checked_module(source)
+        assert eliminate_common_subexpressions(module) == 1
+        second = module.functions[0].body[1].expr
+        assert isinstance(second, ast.Var) and second.name == "a"
+
+    def test_rebinding_invalidates(self):
+        source = """
+        double f(double x) {
+          a = x + 1.0;
+          x = 0.0;
+          b = x + 1.0;
+          return( a + b );
+        }
+        """
+        module = checked_module(source)
+        assert eliminate_common_subexpressions(module) == 0
+
+    def test_dead_assign_removed(self):
+        module = checked_module("int f() { waste = 1 + 2; return( 3 ); }")
+        assert eliminate_dead_code(module) == 1
+        assert len(module.functions[0].body) == 1
+
+    def test_dead_chain_removed_over_rounds(self):
+        module = checked_module(
+            "int f() { a = 1; b = a + 1; return( 7 ); }"
+        )
+        total = 0
+        for _ in range(3):
+            total += eliminate_dead_code(module)
+        assert total == 2
+        assert len(module.functions[0].body) == 1
+
+    def test_loop_carried_not_removed(self):
+        source = """
+        int f(int n) {
+          total = 0;
+          for (i = 0; i < n; i = i + 1) { total = total + 1; }
+          return( total );
+        }
+        """
+        module = checked_module(source)
+        eliminate_dead_code(module)
+        assert Interpreter(module).call("f", 4) == 4
+
+
+class TestForwardSubstitution:
+    def test_single_use_chain_collapses(self):
+        source = """
+        double[.] f(double[.] a) {
+          b = a + 1.0;
+          c = b * 2.0;
+          return( c );
+        }
+        """
+        module = checked_module(source)
+        assert forward_substitute(module) == 2
+        assert len(module.functions[0].body) == 1
+
+    def test_multi_use_not_substituted(self):
+        source = """
+        double f(double[.] a) {
+          b = a + 1.0;
+          return( sum(b) + maxval(b) );
+        }
+        """
+        module = checked_module(source)
+        assert forward_substitute(module) == 0
+
+    def test_rebinding_blocks_substitution(self):
+        source = """
+        double f(double x) {
+          a = x + 1.0;
+          x = 99.0;
+          return( a );
+        }
+        """
+        module = checked_module(source)
+        reference_value = Interpreter(parse_module(source)).call("f", 1.0)
+        forward_substitute(module)
+        assert Interpreter(module).call("f", 1.0) == reference_value
+
+
+class TestWithLoopFolding:
+    def test_stencil_folds(self):
+        source = """
+        double[.] f(double[.] q) {
+          g = { [i] -> q[i] * q[i] | [i] < [10] };
+          return( { [i] -> g[i + 1] - g[i] | [i] < [9] } );
+        }
+        """
+        module = checked_module(source)
+        assert fold_with_loops(module) == 2
+        # g is now dead
+        eliminate_dead_code(module)
+        assert len(module.functions[0].body) == 1
+
+    def test_folding_preserves_semantics(self):
+        source = """
+        double[.] f(double[.] q) {
+          g = { [i] -> q[i] * q[i] | [i] < [10] };
+          return( { [i] -> g[i + 1] - g[i] | [i] < [9] } );
+        }
+        """
+        module = checked_module(source)
+        reference = Interpreter(parse_module(source))
+        fold_with_loops(module)
+        arg = np.arange(10.0)
+        np.testing.assert_allclose(
+            Interpreter(module).call("f", arg), reference.call("f", arg)
+        )
+
+    def test_too_many_uses_not_folded(self):
+        source = """
+        double[.] f(double[.] q) {
+          g = { [i] -> q[i] * q[i] | [i] < [10] };
+          return( { [i] -> g[i] + g[i] + g[i] | [i] < [10] } );
+        }
+        """
+        module = checked_module(source)
+        assert fold_with_loops(module) == 0
+
+    def test_partial_cover_producer_not_folded(self):
+        source = """
+        double[.] f(double[.] q) {
+          g = with { ([2] <= [i] < [8]) : q[i]; } : genarray([10], 0.0);
+          return( { [i] -> g[i] | [i] < [10] } );
+        }
+        """
+        module = checked_module(source)
+        assert fold_with_loops(module) == 0
+
+    def test_whole_array_use_blocks_folding(self):
+        source = """
+        double f(double[.] q) {
+          g = { [i] -> q[i] * 2.0 | [i] < [10] };
+          return( sum(g) );
+        }
+        """
+        module = checked_module(source)
+        assert fold_with_loops(module) == 0
+
+
+class TestUnrolling:
+    def test_small_genarray_unrolls(self):
+        source = """
+        double[.] f(double s) {
+          return( with { ([0] <= [i] < [3]) : s * tod(i); } : genarray([3], 0.0) );
+        }
+        """
+        module = checked_module(source)
+        assert unroll_with_loops(module, max_unroll=20) == 1
+        assert isinstance(module.functions[0].body[0].expr, ast.ArrayLit)
+
+    def test_above_budget_kept(self):
+        source = """
+        double[.] f(double s) {
+          return( with { ([0] <= [i] < [30]) : s; } : genarray([30], 0.0) );
+        }
+        """
+        module = checked_module(source)
+        assert unroll_with_loops(module, max_unroll=20) == 0
+
+    def test_fold_unrolls_left_associated(self):
+        source = """
+        double f(double[.] a) {
+          return( with { ([0] <= [i] < [3]) : a[i]; } : fold(+, 0.0) );
+        }
+        """
+        module = checked_module(source)
+        reference = Interpreter(parse_module(source))
+        assert unroll_with_loops(module, max_unroll=20) == 1
+        arg = np.array([0.1, 0.2, 0.7])
+        assert Interpreter(module).call("f", arg) == reference.call("f", arg)
+
+
+class TestMemoryReuse:
+    def test_fresh_local_modarray_annotated(self):
+        source = """
+        double[.] f(double[.] a) {
+          b = a + 1.0;
+          c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(b);
+          return( c );
+        }
+        """
+        module = checked_module(source)
+        assert annotate_memory_reuse(module) == 1
+        loop = module.functions[0].body[1].expr
+        assert getattr(loop, "reuse_in_place", False)
+
+    def test_parameter_modarray_not_annotated(self):
+        source = """
+        double[.] f(double[.] a) {
+          c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(a);
+          return( c );
+        }
+        """
+        module = checked_module(source)
+        assert annotate_memory_reuse(module) == 0
+
+    def test_source_used_later_not_annotated(self):
+        source = """
+        double f(double[.] a) {
+          b = a + 1.0;
+          c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(b);
+          return( sum(b) + sum(c) );
+        }
+        """
+        module = checked_module(source)
+        assert annotate_memory_reuse(module) == 0
+
+    def test_view_source_not_annotated(self):
+        source = """
+        double[.] f(double[.] a) {
+          b = drop([1], a);
+          c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(b);
+          return( c );
+        }
+        """
+        module = checked_module(source)
+        assert annotate_memory_reuse(module) == 0
+
+
+CORPUS = [
+    (
+        """
+        double GAM = 1.4;
+        inline double[+] cs(double[+] p, double[+] r) { return( sqrt(GAM * p / r) ); }
+        double f(double[.,.] p, double[.,.] r) {
+          c = cs(p, r);
+          ev = { [i,j] -> fabs(c[i,j]) * 2.0 };
+          return( maxval(ev) );
+        }
+        """,
+        "f",
+        lambda rng: (rng.uniform(0.5, 2, (5, 6)), rng.uniform(0.5, 2, (5, 6))),
+    ),
+    (
+        """
+        inline fluid[.] diff(fluid[.] a, double d)
+        { return( (drop([1], a) - drop([-1], a)) / d ); }
+        typedef double[3] fluid;
+        fluid[.] f(fluid[.] q) {
+          g = { [i] -> [q[i,0], q[i,1] * 2.0, q[i,2]] | [i] < [8] };
+          return( diff(g, 0.5) );
+        }
+        """,
+        "f",
+        lambda rng: (rng.normal(0, 1, (8, 3)),),
+    ),
+    (
+        """
+        int f(int n) {
+          total = 0;
+          for (i = 0; i < n; i = i + 1) {
+            total = total + i * i;
+          }
+          return( total );
+        }
+        """,
+        "f",
+        lambda rng: (7,),
+    ),
+    (
+        """
+        double f(double[.] a) {
+          n = shape(a)[0];
+          s = with { ([0] <= [i] < [n]) : a[i] * a[i]; } : fold(+, 0.0);
+          m = with { ([0] <= [i] < [n]) : a[i]; } : fold(max, -1000.0);
+          return( s / (m + 1000.0) );
+        }
+        """,
+        "f",
+        lambda rng: (rng.normal(0, 1, 11),),
+    ),
+]
+
+
+@pytest.mark.parametrize("index", range(len(CORPUS)))
+def test_pipeline_preserves_semantics(index, rng):
+    """Optimised backend == unoptimised reference, whole corpus."""
+    source, entry, make_args = CORPUS[index]
+    reference = Interpreter(parse_module(source))
+    module = checked_module(source)
+    report = optimize_module(module, PipelineOptions())
+    TypeChecker(module).check_all()  # optimised module still type checks
+    backend = NumpyEvaluator(module)
+    for trial in range(3):
+        local = np.random.default_rng(100 + index * 10 + trial)
+        args = make_args(local)
+        expected = reference.call(entry, *args)
+        actual = backend.call(entry, *args)
+        np.testing.assert_allclose(actual, expected, rtol=1e-12, atol=1e-12)
+
+
+def test_pipeline_reaches_fixpoint_quickly():
+    source = CORPUS[0][0]
+    module = checked_module(source)
+    report = optimize_module(module, PipelineOptions(max_cycles=100))
+    assert report.cycles_run < 10  # converged, didn't spin to the cap
+
+
+def test_optimize_disabled_is_identity():
+    source = "double f(double x) { y = x + 0.0; return( y ); }"
+    module = checked_module(source)
+    report = optimize_module(module, PipelineOptions(optimize=False))
+    assert report.total_rewrites == 0
+    assert len(module.functions[0].body) == 2

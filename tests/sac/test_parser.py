@@ -1,0 +1,183 @@
+"""SaC parser: surface syntax to AST."""
+
+import pytest
+
+from repro.errors import SacSyntaxError
+from repro.sac import ast
+from repro.sac.parser import parse_expression, parse_module
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert expr.op == "<"
+
+    def test_logical_operators(self):
+        expr = parse_expression("a && b || c")
+        assert expr.op == "||"
+
+    def test_ternary(self):
+        expr = parse_expression("a > 0 ? 1 : 2")
+        assert isinstance(expr, ast.Cond)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, ast.UnOp) and expr.op == "-"
+
+    def test_indexing_forms(self):
+        multi = parse_expression("a[i, j]")
+        assert isinstance(multi, ast.Index) and len(multi.indices) == 2
+        vector = parse_expression("a[iv]")
+        assert len(vector.indices) == 1
+
+    def test_chained_index(self):
+        expr = parse_expression("qp[iv][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.array, ast.Index)
+
+    def test_array_literal(self):
+        expr = parse_expression("[1, -2, 3]")
+        assert isinstance(expr, ast.ArrayLit) and len(expr.elements) == 3
+
+    def test_qualified_call(self):
+        expr = parse_expression("MathArray::fabs(x)")
+        assert isinstance(expr, ast.Call)
+        assert expr.module == "MathArray" and expr.name == "fabs"
+
+    def test_qualified_name_without_call_rejected(self):
+        with pytest.raises(SacSyntaxError):
+            parse_expression("Math::pi")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SacSyntaxError):
+            parse_expression("1 + 2 junk")
+
+
+class TestWithLoops:
+    def test_genarray(self):
+        expr = parse_expression(
+            "with { ([0] <= iv < [10]) : 1.0; } : genarray([10], 0.0)"
+        )
+        assert isinstance(expr, ast.WithLoop)
+        assert isinstance(expr.operation, ast.GenArray)
+        generator = expr.generators[0]
+        assert generator.vector_var
+        assert generator.lower_inclusive and not generator.upper_inclusive
+
+    def test_scalar_index_vars(self):
+        expr = parse_expression(
+            "with { ([0,0] <= [i,j] < [4,4]) : i + j; } : genarray([4,4], 0)"
+        )
+        assert expr.generators[0].index_vars == ["i", "j"]
+        assert not expr.generators[0].vector_var
+
+    def test_dot_bounds(self):
+        expr = parse_expression("with { (. <= iv <= .) : 0.0; } : modarray(a)")
+        generator = expr.generators[0]
+        assert generator.lower is None and generator.upper is None
+        assert generator.upper_inclusive
+
+    def test_fold_with_operator(self):
+        expr = parse_expression("with { ([0] <= [i] < [4]) : a[i]; } : fold(+, 0.0)")
+        assert isinstance(expr.operation, ast.Fold)
+        assert expr.operation.op == "+"
+
+    def test_fold_max(self):
+        expr = parse_expression("with { ([0] <= [i] < [4]) : a[i]; } : fold(max, 0.0)")
+        assert expr.operation.op == "max"
+
+    def test_fold_bad_operator(self):
+        with pytest.raises(SacSyntaxError):
+            parse_expression("with { ([0] <= [i] < [4]) : a[i]; } : fold(-, 0.0)")
+
+    def test_multiple_generators(self):
+        expr = parse_expression(
+            "with { ([0] <= [i] < [2]) : 1.0; ([2] <= [i] < [4]) : 2.0; }"
+            " : genarray([4], 0.0)"
+        )
+        assert len(expr.generators) == 2
+
+
+class TestSetNotation:
+    def test_basic(self):
+        expr = parse_expression("{ [i,j] -> m[j,i] }")
+        assert isinstance(expr, ast.SetComprehension)
+        assert expr.index_vars == ["i", "j"]
+        assert expr.bound is None
+
+    def test_vector_var(self):
+        expr = parse_expression("{ iv -> a[iv] + 1.0 }")
+        assert expr.vector_var
+
+    def test_explicit_bound(self):
+        expr = parse_expression("{ [i] -> a[i] | [i] < [10] }")
+        assert expr.bound is not None
+
+    def test_bound_var_mismatch_rejected(self):
+        with pytest.raises(SacSyntaxError):
+            parse_expression("{ [i] -> a[i] | [j] < [10] }")
+
+
+class TestModules:
+    def test_full_module(self):
+        module = parse_module(
+            """
+            module demo;
+            use Math;
+            typedef double[4] fluid_cv;
+            double GAM = 1.4;
+            inline double f(double x) { return( x + 1.0 ); }
+            """
+        )
+        assert module.name == "demo"
+        assert module.uses == ["Math"]
+        assert module.typedefs[0].name == "fluid_cv"
+        assert module.globals[0].name == "GAM"
+        assert module.functions[0].inline
+
+    def test_module_header_optional(self):
+        module = parse_module("int f() { return( 1 ); }")
+        assert module.name == "main"
+
+    def test_statements(self):
+        module = parse_module(
+            """
+            int f(int n) {
+              total = 0;
+              for (i = 0; i < n; i = i + 1) { total = total + i; }
+              while (total > 100) { total = total - 1; }
+              if (total < 0) { total = 0; } else { total = total; }
+              return( total );
+            }
+            """
+        )
+        body = module.functions[0].body
+        kinds = [type(s).__name__ for s in body]
+        assert kinds == ["Assign", "For", "While", "If", "Return"]
+
+    def test_parameter_types(self):
+        module = parse_module("double f(double[.,.] m, fluid_cv[+] q) { return( 0.0 ); }")
+        params = module.functions[0].params
+        assert params[0].type.dims == [".", "."]
+        assert params[1].type.dims == "+"
+
+    def test_aks_type(self):
+        module = parse_module("double f(double[3,4] m) { return( 0.0 ); }")
+        assert module.functions[0].params[0].type.dims == [3, 4]
+
+    def test_inline_global_rejected(self):
+        with pytest.raises(SacSyntaxError):
+            parse_module("inline double X = 1.0;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(SacSyntaxError):
+            parse_module("int f() { return( 1 );")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SacSyntaxError):
+            parse_module("int f() { x = 1 return( x ); }")

@@ -1,0 +1,182 @@
+"""The bundled SaC programs: the paper's application, validated against
+the golden NumPy solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SacError
+from repro.euler import problems
+from repro.euler.problems import SOD
+from repro.euler.rankine_hugoniot import post_shock_state
+from repro.euler.solver import SolverConfig
+from repro.sac import CompilerOptions, compile_file, load_program_source, paper_options
+
+
+@pytest.fixture(scope="module")
+def pc_rusanov():
+    return SolverConfig(reconstruction="pc", riemann="rusanov", rk_order=3, cfl=0.5)
+
+
+class TestLoading:
+    def test_bundled_programs_exist(self):
+        for name in ("euler1d.sac", "euler2d.sac", "kernels.sac"):
+            assert "module" in load_program_source(name)
+
+    def test_missing_program(self):
+        with pytest.raises(SacError):
+            load_program_source("no_such_program.sac")
+
+    def test_paper_options_match_table(self):
+        options = paper_options(dim=2, threads=4)
+        assert options.max_cycles == 100       # -maxoptcyc 100
+        assert options.max_unroll == 20        # -maxwlur 20
+        assert not options.parallel_folds      # -nofoldparallel
+        assert options.defines["DIM"] == 2     # -DDIM=2
+        assert options.threads == 4            # -mt
+
+
+class TestEuler1D(object):
+    def test_matches_golden_solver_on_sod(self, sac_euler1d, pc_rusanov):
+        n = 64
+        solver, _ = problems.riemann_problem_solver(SOD, n, pc_rusanov)
+        q0 = solver.u.copy()
+        q_sac = sac_euler1d.run("simulateTo", q0, 0.08, 1.0 / n, 0.5)
+        solver.run(t_end=0.08)
+        assert np.abs(q_sac - solver.u).max() < 1e-12
+
+    def test_get_dt_matches(self, sac_euler1d, pc_rusanov):
+        n = 32
+        solver, _ = problems.riemann_problem_solver(SOD, n, pc_rusanov)
+        dt_sac = sac_euler1d.run("getDt", solver.u, 1.0 / n, 0.5)
+        assert dt_sac == pytest.approx(solver.compute_dt(), rel=1e-13)
+
+    def test_step_count_semantics(self, sac_euler1d, pc_rusanov):
+        n = 32
+        solver, _ = problems.riemann_problem_solver(SOD, n, pc_rusanov)
+        q0 = solver.u.copy()
+        q_sim = sac_euler1d.run("simulate", q0, 3, 1.0 / n, 0.5)
+        solver.run(max_steps=3)
+        assert np.abs(q_sim - solver.u).max() < 1e-12
+
+    def test_optimizer_fired(self, sac_euler1d):
+        report = sac_euler1d.report
+        assert report.inlined_calls > 0
+        assert report.pass_totals.get("forward_substitution", 0) > 0
+
+    def test_dfdx_kernel(self, sac_euler1d):
+        a = np.arange(15.0).reshape(5, 3)
+        result = sac_euler1d.run("dfDxNoBoundary", a, 0.5)
+        np.testing.assert_allclose(result, (a[1:] - a[:-1]) / 0.5)
+
+
+class TestEuler2D:
+    @pytest.fixture(scope="class")
+    def two_channel_setup(self, pc_rusanov_class):
+        n = 16
+        solver, setup = problems.two_channel(
+            n_cells=n, h=n / 2.0, mach=2.2, config=pc_rusanov_class
+        )
+        post = post_shock_state(2.2)
+        e0 = int(round(setup.exit_start / setup.dx))
+        e1 = int(round(setup.exit_stop / setup.dx))
+        qin_left = np.array([post.rho, post.velocity, 0.0, post.p])
+        qin_bottom = np.array([post.rho, 0.0, post.velocity, post.p])
+        return solver, setup, e0, e1, qin_left, qin_bottom
+
+    @pytest.fixture(scope="class")
+    def pc_rusanov_class(self):
+        return SolverConfig(reconstruction="pc", riemann="rusanov", rk_order=3, cfl=0.5)
+
+    def test_matches_golden_solver(self, sac_euler2d, two_channel_setup):
+        solver, setup, e0, e1, qin_left, qin_bottom = two_channel_setup
+        q0 = solver.u.copy()
+        q_sac = sac_euler2d.run(
+            "simulate", q0, 4, setup.dx, setup.dx, 0.5, e0, e1, qin_left, qin_bottom
+        )
+        solver.run(max_steps=4)
+        assert np.abs(q_sac - solver.u).max() < 1e-11
+
+    def test_with_loop_folding_fired(self, sac_euler2d):
+        assert sac_euler2d.report.pass_totals.get("with_loop_folding", 0) > 0
+
+    def test_get_dt_matches(self, sac_euler2d, two_channel_setup):
+        solver, setup, *_ = two_channel_setup
+        dt = sac_euler2d.run("getDt", solver.u.copy(), setup.dx, setup.dx, 0.5)
+        assert dt == pytest.approx(solver.compute_dt(), rel=1e-12)
+
+    def test_threaded_run_matches_serial(self, sac_euler2d, two_channel_setup):
+        from repro.sac import CompilerOptions, compile_file
+
+        solver, setup, e0, e1, qin_left, qin_bottom = two_channel_setup
+        q0 = solver.u.copy()
+        serial = sac_euler2d.run(
+            "step", q0, 0.1, setup.dx, setup.dx, e0, e1, qin_left, qin_bottom
+        )
+        threaded_program = compile_file(
+            "euler2d.sac", CompilerOptions(threads=4)
+        )
+        threaded_program._executor.scheduler.options.min_elements_per_thread = 8
+        threaded = threaded_program.run(
+            "step", q0, 0.1, setup.dx, setup.dx, e0, e1, qin_left, qin_bottom
+        )
+        np.testing.assert_array_equal(serial, threaded)
+
+    def test_unoptimized_matches_optimized(self, two_channel_setup):
+        from repro.sac import CompilerOptions, compile_file
+
+        solver, setup, e0, e1, qin_left, qin_bottom = two_channel_setup
+        q0 = solver.u.copy()
+        o0 = compile_file("euler2d.sac", CompilerOptions(optimize=False))
+        o3 = compile_file("euler2d.sac")
+        args = ("step", q0, 0.05, setup.dx, setup.dx, e0, e1, qin_left, qin_bottom)
+        np.testing.assert_allclose(o0.run(*args), o3.run(*args), rtol=1e-12)
+
+
+class TestKernels:
+    """The paper's Section 4 kernels, rank-generic over double[+]."""
+
+    @pytest.fixture(scope="class")
+    def kernels_2d(self):
+        return compile_file(
+            "kernels.sac",
+            CompilerOptions(defines={"DIM": 2, "DELTA": np.array([1.0, 1.0]), "CFL": 0.5}),
+        )
+
+    def test_getdt_2d_matches_fortran_formula(self, kernels_2d, rng):
+        nx, ny = 9, 7
+        qp = np.empty((nx, ny, 4))
+        qp[..., 0] = rng.normal(0, 1, (nx, ny))
+        qp[..., 1] = rng.normal(0, 1, (nx, ny))
+        qp[..., 2] = rng.uniform(0.5, 2, (nx, ny))
+        qp[..., 3] = rng.uniform(0.5, 2, (nx, ny))
+        dt = kernels_2d.run("getDt", qp)
+        c = np.sqrt(1.4 * qp[..., 2] / qp[..., 3])
+        ev = (np.abs(qp[..., 0]) + c) + (np.abs(qp[..., 1]) + c)
+        assert dt == pytest.approx(0.5 / ev.max(), rel=1e-12)
+
+    def test_getdt_1d_same_source(self, rng):
+        """The same source specialises to 1-D — the paper's reuse claim."""
+        program = compile_file(
+            "kernels.sac",
+            CompilerOptions(defines={"DIM": 1, "DELTA": np.array([0.5]), "CFL": 0.5}),
+        )
+        qp = np.empty((11, 3))
+        qp[:, 0] = rng.normal(0, 1, 11)
+        qp[:, 1] = rng.uniform(0.5, 2, 11)
+        qp[:, 2] = rng.uniform(0.5, 2, 11)
+        dt = program.run("getDt", qp)
+        c = np.sqrt(1.4 * qp[:, 1] / qp[:, 2])
+        assert dt == pytest.approx(0.5 / ((np.abs(qp[:, 0]) + c) / 0.5).max(), rel=1e-12)
+
+    def test_specialization_table_populated(self, kernels_2d, rng):
+        qp = np.ones((4, 4, 4))
+        qp[..., :2] = 0.1
+        kernels_2d.run("getDt", qp)
+        names = {name for name, _ in kernels_2d.specializations}
+        assert {"getDt", "u", "p", "rho"} <= names
+
+    def test_dfdx_matches_reference(self, kernels_2d, sac_euler1d):
+        a = np.arange(20.0).reshape(5, 4)
+        got = kernels_2d.run("dfDxNoBoundary", a, 2.0)
+        reference = kernels_2d.run_reference("dfDxNoBoundary", a, 2.0)
+        np.testing.assert_array_equal(got, reference)

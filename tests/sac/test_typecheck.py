@@ -1,0 +1,225 @@
+"""Type/shape checker with specialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SacTypeError
+from repro.sac.parser import parse_module
+from repro.sac.typecheck import TypeChecker
+from repro.sac.types import array_of, scalar
+
+
+def check(source, entry=None, arg_types=None, defines=None):
+    checker = TypeChecker(parse_module(source), defines)
+    if entry is not None:
+        return checker, checker.check_entry(entry, arg_types or [])
+    checker.check_all()
+    return checker, None
+
+
+class TestBasics:
+    def test_simple_function(self):
+        _, result = check("double f(double x) { return( x + 1.0 ); }", "f", [scalar("double")])
+        assert str(result) == "double"
+
+    def test_undefined_variable(self):
+        with pytest.raises(SacTypeError, match="undefined variable"):
+            check("double f() { return( y ); }", "f")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SacTypeError, match="expects"):
+            check("double f(double x) { return( x ); }", "f", [])
+
+    def test_base_type_mismatch_argument(self):
+        with pytest.raises(SacTypeError):
+            check("double f(double x) { return( x ); }", "f", [scalar("int")])
+
+    def test_return_type_checked(self):
+        with pytest.raises(SacTypeError):
+            check("int f(double x) { return( x ); }", "f", [scalar("double")])
+
+    def test_missing_return(self):
+        with pytest.raises(SacTypeError, match="never returns"):
+            check("double f(double x) { y = x; }", "f", [scalar("double")])
+
+    def test_duplicate_function(self):
+        with pytest.raises(SacTypeError, match="duplicate"):
+            check("int f() { return( 1 ); } int f() { return( 2 ); }")
+
+    def test_shadowing_builtin_rejected(self):
+        with pytest.raises(SacTypeError, match="shadows"):
+            check("double sqrt(double x) { return( x ); }")
+
+    def test_bool_arithmetic_rejected(self):
+        with pytest.raises(SacTypeError, match="arithmetic on bool"):
+            check("bool f(bool a, bool b) { return( a + b ); }",
+                  "f", [scalar("bool"), scalar("bool")])
+
+
+class TestShapeInference:
+    def test_drop_shapes(self):
+        _, result = check(
+            "double[.] f(double[10] a) { return( drop([1], a) - drop([-1], a) ); }",
+            "f",
+            [array_of("double", (10,))],
+        )
+        assert str(result) == "double[9]"
+
+    def test_shape_of_known_array_is_constant(self):
+        source = """
+        double[.] f(double[6] a) {
+          s = shape(a);
+          return( genarray(s, 0.0) );
+        }
+        """
+        _, result = check(source, "f", [array_of("double", (6,))])
+        assert str(result) == "double[6]"
+
+    def test_rank_mismatch_index(self):
+        with pytest.raises(SacTypeError):
+            check(
+                "double f(double[.] a) { return( a[1, 2] ); }",
+                "f",
+                [array_of("double", (5,))],
+            )
+
+    def test_partial_selection(self):
+        _, result = check(
+            "double[.] f(double[3,4] a) { return( a[1] ); }",
+            "f",
+            [array_of("double", (3, 4))],
+        )
+        assert str(result) == "double[4]"
+
+    def test_broadcast_incompatible_rejected(self):
+        with pytest.raises(SacTypeError, match="broadcast"):
+            check(
+                "double[.] f(double[3] a, double[4] b) { return( a + b ); }",
+                "f",
+                [array_of("double", (3,)), array_of("double", (4,))],
+            )
+
+    def test_scalar_array_broadcast(self):
+        _, result = check(
+            "double[.] f(double[3] a) { return( a * 2.0 ); }",
+            "f",
+            [array_of("double", (3,))],
+        )
+        assert str(result) == "double[3]"
+
+    def test_with_loop_type(self):
+        source = """
+        double[.,.] f(int n) {
+          return( with { ([0,0] <= [i,j] < [n,n]) : 1.0; } : genarray([n, n], 0.0) );
+        }
+        """
+        _, result = check(source, "f", [scalar("int")])
+        assert result.ndim == 2
+
+    def test_constant_frame_gives_aks(self):
+        source = "double[.] f() { return( with { ([0] <= [i] < [5]) : 1.0; } : genarray([5], 0.0) ); }"
+        _, result = check(source, "f")
+        assert str(result) == "double[5]"
+
+
+class TestConditionalDefinition:
+    def test_one_branch_definition_poisoned(self):
+        source = """
+        double f(double x) {
+          if (x > 0.0) { y = 1.0; }
+          return( y );
+        }
+        """
+        with pytest.raises(SacTypeError, match="may be undefined"):
+            check(source, "f", [scalar("double")])
+
+    def test_both_branches_ok(self):
+        source = """
+        double f(double x) {
+          if (x > 0.0) { y = 1.0; } else { y = 2.0; }
+          return( y );
+        }
+        """
+        check(source, "f", [scalar("double")])
+
+    def test_defined_before_if_survives(self):
+        source = """
+        double f(double x) {
+          y = 0.0;
+          if (x > 0.0) { y = 1.0; }
+          return( y );
+        }
+        """
+        check(source, "f", [scalar("double")])
+
+    def test_branch_types_join(self):
+        source = """
+        double[.] f(double[4] a, bool c) {
+          if (c) { y = drop([1], a); } else { y = drop([2], a); }
+          return( y );
+        }
+        """
+        checker, result = check(
+            source, "f", [array_of("double", (4,)), scalar("bool")]
+        )
+        assert str(result) == "double[.]"  # 3 vs 2 joins to unknown extent
+
+    def test_non_bool_condition(self):
+        with pytest.raises(SacTypeError, match="scalar bool"):
+            check("double f(double x) { if (x) { y = 1.0; } else { y = 2.0; } return( y ); }",
+                  "f", [scalar("double")])
+
+    def test_loop_defined_var_poisoned(self):
+        source = """
+        double f(int n) {
+          for (i = 0; i < n; i = i + 1) { y = 1.0; }
+          return( y );
+        }
+        """
+        with pytest.raises(SacTypeError, match="may be undefined"):
+            check(source, "f", [scalar("int")])
+
+
+class TestSpecialization:
+    SOURCE = """
+    double GAM = 1.4;
+    inline double getDt(double[+] p, double[+] r)
+    { return( maxval(sqrt(GAM * p / r)) ); }
+    double use1(double[.] p, double[.] r) { return( getDt(p, r) ); }
+    double use2(double[.,.] p, double[.,.] r) { return( getDt(p, r) ); }
+    """
+
+    def test_rank_generic_function_specialises(self):
+        checker = TypeChecker(parse_module(self.SOURCE))
+        checker.check_entry("use1", [array_of("double", (8,))] * 2)
+        checker.check_entry("use2", [array_of("double", (4, 4))] * 2)
+        getdt_instances = [k for k in checker.specializations if k[0] == "getDt"]
+        assert len(getdt_instances) == 2
+
+    def test_specialization_cached(self):
+        checker = TypeChecker(parse_module(self.SOURCE))
+        checker.check_entry("use1", [array_of("double", (8,))] * 2)
+        count = len(checker.specializations)
+        checker.check_entry("use1", [array_of("double", (8,))] * 2)
+        assert len(checker.specializations) == count
+
+    def test_recursion_supported(self):
+        source = """
+        int fact(int n) { return( n <= 1 ? 1 : n * fact(n - 1) ); }
+        """
+        _, result = check(source, "fact", [scalar("int")])
+        assert str(result) == "int"
+
+
+class TestDefines:
+    def test_define_visible_as_global(self):
+        source = "int f() { return( DIM + 1 ); }"
+        checker = TypeChecker(parse_module(source), defines={"DIM": 2})
+        assert str(checker.check_entry("f", [])) == "int"
+
+    def test_vector_define(self):
+        source = "double f() { return( sum(DELTA) ); }"
+        checker = TypeChecker(
+            parse_module(source), defines={"DELTA": np.array([0.5, 0.25])}
+        )
+        assert str(checker.check_entry("f", [])) == "double"

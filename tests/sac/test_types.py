@@ -1,0 +1,131 @@
+"""The SacType lattice: AKS <= AKD <= AUD and typedef suffixes."""
+
+import pytest
+
+from repro.errors import SacTypeError
+from repro.sac.ast import TypeExpr
+from repro.sac.types import (
+    SacType,
+    TypedefEnv,
+    array_of,
+    concrete_type,
+    from_type_expr,
+    is_subtype,
+    join_base,
+    register_typedef,
+    scalar,
+)
+
+
+@pytest.fixture
+def typedefs():
+    env = TypedefEnv()
+    register_typedef("fluid_cv", TypeExpr("double", [4]), env)
+    return env
+
+
+class TestConstruction:
+    def test_scalar(self):
+        t = scalar("double")
+        assert t.is_scalar and t.is_aks and t.ndim == 0
+
+    def test_aks(self):
+        t = array_of("double", (3, 4))
+        assert t.is_aks and not t.is_akd and t.shape == (3, 4)
+
+    def test_akd(self):
+        t = SacType("double", (None, 4))
+        assert t.is_akd and t.ndim == 2 and t.shape is None
+
+    def test_aud(self):
+        t = SacType("double", None, min_dim=1)
+        assert t.is_aud and t.ndim is None
+
+    def test_str_forms(self):
+        assert str(scalar("int")) == "int"
+        assert str(array_of("double", (3,))) == "double[3]"
+        assert str(SacType("double", (None, None))) == "double[.,.]"
+        assert str(SacType("double", None, min_dim=1)) == "double[+]"
+        assert str(SacType("double", None, min_dim=0)) == "double[*]"
+
+
+class TestSubtyping:
+    def test_aks_below_akd(self):
+        assert is_subtype(array_of("double", (3, 4)), SacType("double", (None, None)))
+
+    def test_akd_below_aud_plus(self):
+        assert is_subtype(SacType("double", (None,)), SacType("double", None, min_dim=1))
+
+    def test_scalar_below_star_not_plus(self):
+        star = SacType("double", None, min_dim=0)
+        plus = SacType("double", None, min_dim=1)
+        assert is_subtype(scalar("double"), star)
+        assert not is_subtype(scalar("double"), plus)
+
+    def test_rank_mismatch(self):
+        assert not is_subtype(array_of("double", (3,)), SacType("double", (None, None)))
+
+    def test_extent_mismatch(self):
+        assert not is_subtype(array_of("double", (3, 4)), SacType("double", (None, 5)))
+
+    def test_base_mismatch(self):
+        assert not is_subtype(array_of("int", (3,)), SacType("double", (None,)))
+
+    def test_reflexive(self):
+        t = array_of("double", (2, 2))
+        assert is_subtype(t, t)
+
+    def test_aud_not_below_akd(self):
+        assert not is_subtype(SacType("double", None, min_dim=1), SacType("double", (None,)))
+
+    def test_suffix_constrains_trailing_extent(self, typedefs):
+        fluid_plus = from_type_expr(TypeExpr("fluid_cv", "+"), typedefs)
+        assert is_subtype(array_of("double", (10, 4)), fluid_plus)
+        assert is_subtype(array_of("double", (5, 6, 4)), fluid_plus)
+        assert not is_subtype(array_of("double", (10, 3)), fluid_plus)
+        assert not is_subtype(array_of("double", (4,)), fluid_plus)  # needs rank >= 2
+
+
+class TestTypedefs:
+    def test_expansion(self, typedefs):
+        t = from_type_expr(TypeExpr("fluid_cv", ["."]), typedefs)
+        assert t.full_dims() == (None, 4)
+        assert t.base == "double"
+
+    def test_aks_expansion(self, typedefs):
+        t = from_type_expr(TypeExpr("fluid_cv", [10]), typedefs)
+        assert t.shape == (10, 4)
+
+    def test_bare_typedef(self, typedefs):
+        t = from_type_expr(TypeExpr("fluid_cv", []), typedefs)
+        assert t.shape == (4,)
+
+    def test_unknown_type(self, typedefs):
+        with pytest.raises(SacTypeError):
+            from_type_expr(TypeExpr("vec3", []), typedefs)
+
+    def test_duplicate_typedef_rejected(self, typedefs):
+        with pytest.raises(SacTypeError):
+            register_typedef("fluid_cv", TypeExpr("double", [5]), typedefs)
+
+    def test_redefining_base_type_rejected(self, typedefs):
+        with pytest.raises(SacTypeError):
+            register_typedef("double", TypeExpr("int", [2]), typedefs)
+
+    def test_typedef_must_be_aks(self, typedefs):
+        with pytest.raises(SacTypeError, match="fully known"):
+            register_typedef("vec", TypeExpr("double", ["."]), typedefs)
+
+
+class TestJoinBase:
+    def test_promotion_order(self):
+        assert join_base("int", "double") == "double"
+        assert join_base("bool", "int") == "int"
+        assert join_base("double", "double") == "double"
+
+    def test_unknown_base(self):
+        with pytest.raises(SacTypeError):
+            join_base("double", "complex")
+
+    def test_concrete_type(self):
+        assert concrete_type("double", (2, 3)).shape == (2, 3)

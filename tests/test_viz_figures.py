@@ -1,0 +1,80 @@
+"""Text rendering and the figure regeneration module."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.figures import (
+    figure1_sod,
+    figure2_schematic,
+    figure3_interaction,
+)
+from repro.euler.solver import SolverConfig
+
+
+class TestViz:
+    def test_profile_dimensions(self):
+        x = np.linspace(0, 1, 50)
+        art = viz.ascii_profile(x, np.sin(x * 6), height=8, width=40, label="sin")
+        lines = art.splitlines()
+        assert len(lines) == 9  # header + height
+        assert all(len(line) == 40 for line in lines[1:])
+        assert "sin" in lines[0]
+
+    def test_profile_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            viz.ascii_profile(np.arange(4), np.arange(5))
+
+    def test_field_shading_uses_range(self):
+        field = np.zeros((20, 20))
+        field[10:, :] = 1.0
+        art = viz.ascii_field(field, width=20)
+        assert "@" in art and " " in art
+
+    def test_field_rejects_1d(self):
+        with pytest.raises(ValueError):
+            viz.ascii_field(np.arange(5.0))
+
+    def test_flat_field_renders(self):
+        art = viz.ascii_field(np.ones((5, 5)), width=10)
+        assert art  # no division by zero on zero span
+
+    def test_series_chart(self):
+        art = viz.ascii_series(
+            [("a", [1, 2, 3], [1.0, 2.0, 3.0]), ("b", [1, 2, 3], [3.0, 2.0, 1.0])],
+            label="cmp",
+        )
+        assert "o=a" in art and "x=b" in art
+
+    def test_series_log_scale(self):
+        art = viz.ascii_series(
+            [("a", [1, 2], [1.0, 1000.0])], log_y=True
+        )
+        assert "log10" in art
+
+
+class TestFigures:
+    def test_figure1_errors_small_and_waves_move(self):
+        result = figure1_sod(n_cells=150, times=(0.05, 0.15))
+        assert len(result.snapshots) == 2
+        for snapshot in result.snapshots:
+            assert snapshot.l1_error < 0.02
+        # the disturbed region grows between snapshots
+        early, late = result.snapshots
+        early_spread = np.std(early.density)
+        assert "Sod density" in result.render()
+
+    def test_figure2_schematic_labels(self):
+        art = figure2_schematic()
+        assert "Ms = 2.2" in art
+        assert "W" in art and "I" in art
+
+    def test_figure3_structure(self):
+        result = figure3_interaction(
+            n_cells=32,
+            config=SolverConfig(reconstruction="pc", riemann="rusanov", rk_order=2),
+        )
+        assert result.symmetry_error < 1e-10
+        assert result.shock_radius > 0
+        assert result.max_density_ratio > 1.5
+        assert "density" in result.render()
