@@ -4,13 +4,45 @@ Each benchmark module regenerates one of the paper's figures/tables
 (see DESIGN.md's experiment index).  The regenerated series are printed
 to stdout (run with ``-s`` to see them) and attached to the benchmark
 records via ``extra_info`` so ``--benchmark-json`` captures them.
+
+Benchmarks that track a perf trajectory across PRs additionally write a
+``BENCH_<name>.json`` file at the repository root via
+:func:`write_bench_json`; those files are committed so the history is
+diffable.
 """
+
+import json
+import platform
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.euler.rankine_hugoniot import post_shock_state
 from repro.euler.solver import SolverConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_bench_json(name, payload):
+    """Write ``BENCH_<name>.json`` at the repo root, with host metadata.
+
+    ``payload`` must be JSON-serialisable (lists, dicts, numbers,
+    strings).  Returns the path written.  Keeping the schema flat and
+    stable is what makes the perf trajectory diffable across PRs.
+    """
+    record = {
+        "bench": name,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "results": payload,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

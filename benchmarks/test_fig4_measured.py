@@ -1,0 +1,117 @@
+"""F4b — the Fig. 4 workload *measured* on the repro.par runtime.
+
+The modeled experiment (``test_fig4_scaling.py``) replays traces on a
+simulated 2009 Opteron; this one runs the same two-channel problem for
+real: block decomposition, halo exchange, persistent worker team, spin
+vs fork/join barriers.  Assertions are about what must hold on any
+host:
+
+* every parallel run reproduces the serial reference field bit-for-bit
+  (<= 1e-12 is the acceptance bound; 0.0 observed),
+* halo traffic matches the decomposition structure,
+* the speedup trend is sane — worker counts never produce garbage or
+  negative rates.  Absolute speedup is host-bound (a single-core CI
+  runner with a GIL cannot beat serial; the paper's own figure is
+  likewise hardware-bound), so the trend assertions are deliberately
+  about consistency, not magnitude.
+
+The measured series lands in ``BENCH_fig4_measured.json`` at the repo
+root so the perf trajectory is tracked across PRs.  Grid and step count
+can be shrunk for CI smoke runs via ``REPRO_BENCH_GRID`` /
+``REPRO_BENCH_STEPS``.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.figures import render_figure4
+from repro.perf.scaling import figure4_measured, format_measured_table
+
+from conftest import write_bench_json
+
+GRID = int(os.environ.get("REPRO_BENCH_GRID", "32"))
+STEPS = int(os.environ.get("REPRO_BENCH_STEPS", "5"))
+WORKER_COUNTS = (1, 2, 4)
+BARRIERS = ("spin", "forkjoin")
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return figure4_measured(
+        grid=GRID, steps=STEPS, workers=WORKER_COUNTS, barriers=BARRIERS
+    )
+
+
+def test_fig4_measured_series_and_json(benchmark, measured):
+    """Regenerate the measured series; emit the cross-PR JSON record."""
+    benchmark.pedantic(
+        lambda: figure4_measured(
+            grid=GRID, steps=STEPS, workers=(1, 2), barriers=("forkjoin",),
+            validate=False,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_measured_table(measured))
+    print()
+    print(render_figure4(measured.to_scaling_result()))
+    payload = {
+        "grid": measured.grid,
+        "steps": measured.steps,
+        "serial_seconds": measured.serial_seconds,
+        "max_abs_error": measured.max_error(),
+        "points": [
+            {
+                "workers": p.workers,
+                "barrier": p.barrier,
+                "seconds": p.seconds,
+                "step_rate": p.step_rate,
+                "halo_exchanges": p.halo_exchanges,
+                "max_abs_error": p.max_abs_error,
+            }
+            for p in measured.points
+        ],
+        "speedups": {
+            barrier: dict(measured.speedups(barrier)) for barrier in BARRIERS
+        },
+    }
+    path = write_bench_json("fig4_measured", payload)
+    print(f"wrote {path}")
+    benchmark.extra_info["speedups"] = payload["speedups"]
+
+
+def test_measured_matches_serial_reference(measured):
+    """Acceptance: 1/2/4 workers x both barriers, <= 1e-12 max-abs error."""
+    assert len(measured.points) == len(WORKER_COUNTS) * len(BARRIERS)
+    for point in measured.points:
+        assert point.max_abs_error <= 1e-12, (
+            f"{point.workers} workers / {point.barrier}:"
+            f" error {point.max_abs_error}"
+        )
+
+
+def test_measured_halo_traffic_matches_structure(measured):
+    """Halo copies = RK stages x steps x directed neighbour links."""
+    from repro.par.partition import decompose
+
+    for point in measured.points:
+        links = decompose(GRID, GRID, workers=point.workers).neighbour_pairs()
+        assert point.halo_exchanges == 3 * STEPS * links
+
+
+def test_measured_speedup_trend_is_sane(measured):
+    """Rates are finite and positive; speedups are non-negative everywhere."""
+    for point in measured.points:
+        assert point.seconds > 0
+        assert math.isfinite(point.step_rate) and point.step_rate > 0
+    for barrier in BARRIERS:
+        speedups = measured.speedups(barrier)
+        assert [w for w, _ in speedups] == list(WORKER_COUNTS)
+        assert all(s > 0 for _, s in speedups)
+    # the kernel-sleeping barrier must stay within sight of serial even
+    # on a single-core host: catastrophic serialisation (e.g. a barrier
+    # busy-wait livelock) would push this far below 10%.
+    forkjoin_best = max(s for _, s in measured.speedups("forkjoin"))
+    assert forkjoin_best > 0.1

@@ -100,6 +100,39 @@ def sod(n_cells: int = 400, config: Optional[SolverConfig] = None):
     return riemann_problem_solver(SOD, n_cells, config)
 
 
+def sod_2d(
+    nx: int = 64,
+    ny: int = 16,
+    spec: RiemannProblemSpec = SOD,
+    config: Optional[SolverConfig] = None,
+) -> Tuple[EulerSolver2D, np.ndarray]:
+    """A planar Riemann problem on a 2-D grid (Sod by default).
+
+    The diaphragm is normal to x at ``x = x_diaphragm`` and the state is
+    uniform in y, so every row reproduces the 1-D solution — the 2-D
+    validation case used by the parallel-runtime tests (any y-coupling
+    or halo bug breaks the row-wise agreement immediately).  Returns the
+    solver and the x cell centres.
+    """
+    if nx < 8 or ny < 4:
+        raise ConfigurationError("sod_2d needs at least an 8x4 grid")
+    dx = 1.0 / nx
+    dy = 1.0 / ny
+    x = (np.arange(nx) + 0.5) * dx
+    primitive = np.empty((nx, ny, 4))
+    left_mask = x < spec.x_diaphragm
+    primitive[left_mask] = [spec.left.rho, spec.left.u, 0.0, spec.left.p]
+    primitive[~left_mask] = [spec.right.rho, spec.right.u, 0.0, spec.right.p]
+    boundaries = BoundarySet2D(
+        left=EdgeSpec.uniform(Transmissive()),
+        right=EdgeSpec.uniform(Transmissive()),
+        bottom=EdgeSpec.uniform(Transmissive()),
+        top=EdgeSpec.uniform(Transmissive()),
+    )
+    solver = EulerSolver2D(primitive, dx, dy, boundaries, config)
+    return solver, x
+
+
 @dataclass(frozen=True)
 class TwoChannelSetup:
     """Geometry and gas states of the 2-D problem (paper Fig. 2)."""

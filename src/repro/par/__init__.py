@@ -1,0 +1,42 @@
+"""Shared-memory domain-decomposition runtime (measured parallelism).
+
+``repro.perf`` *models* the paper's 16-core Opteron; this package
+*executes* the 2-D Euler solver on real worker threads: block
+decomposition with ghost-cell halo exchange, a persistent worker pool
+with pluggable spin vs fork/join barriers, a parallel ``GetDT``
+reduction, and :class:`ParallelSolver2D`, a bit-for-bit drop-in for the
+serial golden reference.  See DESIGN.md §3 and the measured mode of
+``repro.perf.scaling``.
+"""
+
+from repro.par.partition import (
+    DEFAULT_HALO,
+    Decomposition,
+    Subdomain,
+    choose_process_grid,
+    decompose,
+    split_extent,
+)
+from repro.par.halo import HaloExchanger, allocate_buffers, restrict_edge_spec
+from repro.par.pool import BARRIER_KINDS, BarrierAborted, CondBarrier, WorkerPool, make_barrier
+from repro.par.reduce import SlotReduction
+from repro.par.solver import ParallelSolver2D
+
+__all__ = [
+    "DEFAULT_HALO",
+    "Decomposition",
+    "Subdomain",
+    "choose_process_grid",
+    "decompose",
+    "split_extent",
+    "HaloExchanger",
+    "allocate_buffers",
+    "restrict_edge_spec",
+    "BARRIER_KINDS",
+    "BarrierAborted",
+    "CondBarrier",
+    "WorkerPool",
+    "make_barrier",
+    "SlotReduction",
+    "ParallelSolver2D",
+]

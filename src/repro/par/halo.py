@@ -1,0 +1,153 @@
+"""Ghost-cell (halo) exchange between neighbouring subdomains.
+
+Every subdomain keeps a *padded* primitive buffer of shape
+``(nx + 2*halo, ny + 2*halo, 4)``.  Per right-hand-side evaluation each
+worker writes its freshly computed primitive interior into its own
+buffer, the team synchronises, and then each worker *pulls* the strips
+it needs from its neighbours' interiors into its own halo — the
+shared-memory analogue of the ghost-cell messages in distributed PGAS
+Euler solvers.  Corner cells are never exchanged: the solver's
+dimensionally unsplit sweeps sum two 1-D stencils, so no cross terms
+reach into diagonal neighbours.
+
+Physical boundaries are *not* stored in the halo.  The serial solver
+applies :class:`repro.euler.boundary.EdgeSpec` fills to each oriented
+sweep array, and the parallel sweeps must reproduce that bit for bit,
+so exterior edges are filled per sweep through
+:func:`restrict_edge_spec` — the global edge specification windowed to
+the subdomain's extent along the edge, in local coordinates.
+
+The exchanger counts halo copies per subdomain (one count per
+neighbour strip pulled) so benchmarks can report communication volume
+alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.euler.boundary import EdgeSpec
+from repro.par.partition import Decomposition, Subdomain
+
+__all__ = ["HaloExchanger", "allocate_buffers", "restrict_edge_spec"]
+
+
+def allocate_buffers(decomposition: Decomposition, fields: int = 4) -> List[np.ndarray]:
+    """One padded primitive buffer per subdomain (halo layers on all sides)."""
+    halo = decomposition.halo
+    return [
+        np.zeros((sd.nx + 2 * halo, sd.ny + 2 * halo, fields))
+        for sd in decomposition.subdomains
+    ]
+
+
+def restrict_edge_spec(spec: EdgeSpec, start: int, stop: int) -> EdgeSpec:
+    """Window a global edge specification to ``[start, stop)``, re-based to 0.
+
+    The segments partition the along-edge axis in *global* cell indices;
+    a subdomain touching the physical edge only spans ``[start, stop)``
+    of it, so each intersecting segment is clipped and shifted into the
+    subdomain's local frame.
+    """
+    if stop <= start:
+        raise ConfigurationError(f"empty edge window [{start}, {stop})")
+    window = EdgeSpec()
+    for segment in spec.segments:
+        seg_stop = stop if segment.stop is None else min(segment.stop, stop)
+        seg_start = max(segment.start, start)
+        if seg_stop > seg_start:
+            window.add(seg_start - start, seg_stop - start, segment.condition)
+    if not window.segments:
+        raise ConfigurationError(
+            f"edge window [{start}, {stop}) not covered by any segment"
+        )
+    return window
+
+
+class HaloExchanger:
+    """Pull-based ghost-cell exchange over a set of padded buffers.
+
+    ``exchange(rank)`` is called by the worker that owns ``rank`` *after*
+    a team barrier has made every interior write visible; it copies the
+    ``halo``-wide strips adjacent to its block from each neighbour's
+    interior.  Neighbouring blocks share their along-edge extent by
+    construction (the decomposition is a tensor grid), so strips line up
+    without index arithmetic beyond the halo offset.
+    """
+
+    def __init__(self, decomposition: Decomposition, buffers: Sequence[np.ndarray]):
+        if len(buffers) != decomposition.workers:
+            raise ConfigurationError(
+                f"{decomposition.workers} subdomains but {len(buffers)} buffers"
+            )
+        halo = decomposition.halo
+        for sd, buffer in zip(decomposition.subdomains, buffers):
+            expected = (sd.nx + 2 * halo, sd.ny + 2 * halo)
+            if buffer.shape[:2] != expected:
+                raise ConfigurationError(
+                    f"subdomain {sd.rank}: buffer shape {buffer.shape[:2]}"
+                    f" does not match padded extent {expected}"
+                )
+        self.decomposition = decomposition
+        self.buffers = list(buffers)
+        #: Per-subdomain count of neighbour strips pulled (rank-indexed so
+        #: concurrent workers never write the same counter).
+        self.copy_counts = np.zeros(decomposition.workers, dtype=np.int64)
+
+    @property
+    def total_copies(self) -> int:
+        """Total neighbour strips copied since construction."""
+        return int(self.copy_counts.sum())
+
+    def exchange(self, rank: int) -> int:
+        """Fill subdomain ``rank``'s halo strips from its neighbours.
+
+        Returns the number of strips copied (0 for a lone subdomain).
+        """
+        h = self.decomposition.halo
+        sd = self.decomposition.subdomains[rank]
+        mine = self.buffers[rank]
+        copies = 0
+
+        if sd.left is not None:
+            other = self._neighbour(sd, sd.left, axis=0)
+            src = self.buffers[other.rank]
+            mine[0:h, h : h + sd.ny] = src[h + other.nx - h : h + other.nx, h : h + other.ny]
+            copies += 1
+        if sd.right is not None:
+            other = self._neighbour(sd, sd.right, axis=0)
+            src = self.buffers[other.rank]
+            mine[h + sd.nx : h + sd.nx + h, h : h + sd.ny] = src[h : h + h, h : h + other.ny]
+            copies += 1
+        if sd.bottom is not None:
+            other = self._neighbour(sd, sd.bottom, axis=1)
+            src = self.buffers[other.rank]
+            mine[h : h + sd.nx, 0:h] = src[h : h + other.nx, h + other.ny - h : h + other.ny]
+            copies += 1
+        if sd.top is not None:
+            other = self._neighbour(sd, sd.top, axis=1)
+            src = self.buffers[other.rank]
+            mine[h : h + sd.nx, h + sd.ny : h + sd.ny + h] = src[h : h + other.nx, h : h + h]
+            copies += 1
+
+        self.copy_counts[rank] += copies
+        return copies
+
+    def exchange_all(self) -> int:
+        """Serial exchange of every subdomain (used by tests)."""
+        return sum(self.exchange(rank) for rank in range(self.decomposition.workers))
+
+    def _neighbour(self, sd: Subdomain, other_rank: int, axis: int) -> Subdomain:
+        other = self.decomposition.subdomains[other_rank]
+        if axis == 0 and (other.y0, other.y1) != (sd.y0, sd.y1):
+            raise ConfigurationError(
+                f"x-neighbours {sd.rank}/{other.rank} do not share their y extent"
+            )
+        if axis == 1 and (other.x0, other.x1) != (sd.x0, sd.x1):
+            raise ConfigurationError(
+                f"y-neighbours {sd.rank}/{other.rank} do not share their x extent"
+            )
+        return other

@@ -1,0 +1,174 @@
+"""Block domain decomposition for the shared-memory parallel runtime.
+
+An ``Nx x Ny`` cell grid is cut into a ``px x py`` grid of rectangular
+subdomains (1-D decomposition is the ``py == 1`` special case).  Each
+subdomain records its half-open global cell ranges, its position in the
+process grid and the ranks of its four edge neighbours; the halo width
+says how many ghost layers :mod:`repro.par.halo` exchanges per side —
+it must cover the widest reconstruction stencil in play (WENO-3 and
+TVD-2/3 need two cells, hence the default of 2).
+
+The per-axis chunking is the *same implementation* the SaC with-loop
+scheduler uses for its axis-0 worker chunks
+(:func:`repro.sac.eval.scheduler.split_extent`, re-exported here): a
+static block partition with the remainder cells going to the leading
+chunks.  ``split_extent``'s ``min_size`` floor is driven with the halo
+width so no subdomain is ever narrower than the ghost strip it must
+serve to its neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sac.eval.scheduler import split_extent
+
+__all__ = [
+    "Subdomain",
+    "Decomposition",
+    "choose_process_grid",
+    "decompose",
+    "split_extent",
+]
+
+#: Default ghost-layer width: covers the WENO-3/TVD stencils (2 cells).
+DEFAULT_HALO = 2
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One rectangular block of the global grid owned by one worker."""
+
+    rank: int
+    coords: Tuple[int, int]  # (pi, pj) position in the process grid
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+    #: Ranks of the edge neighbours; ``None`` on a physical boundary.
+    left: Optional[int] = None
+    right: Optional[int] = None
+    bottom: Optional[int] = None
+    top: Optional[int] = None
+
+    @property
+    def nx(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def ny(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def cells(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def xslice(self) -> slice:
+        return slice(self.x0, self.x1)
+
+    @property
+    def yslice(self) -> slice:
+        return slice(self.y0, self.y1)
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A full block decomposition of an ``nx x ny`` grid."""
+
+    nx: int
+    ny: int
+    px: int
+    py: int
+    halo: int
+    subdomains: Tuple[Subdomain, ...]
+
+    @property
+    def workers(self) -> int:
+        return len(self.subdomains)
+
+    def neighbour_pairs(self) -> int:
+        """Number of directed neighbour links (= halo copies per exchange)."""
+        return sum(
+            (sd.left is not None)
+            + (sd.right is not None)
+            + (sd.bottom is not None)
+            + (sd.top is not None)
+            for sd in self.subdomains
+        )
+
+
+def choose_process_grid(workers: int, nx: int, ny: int) -> Tuple[int, int]:
+    """Near-square ``px x py`` factorisation of ``workers``.
+
+    The longer grid axis receives the larger factor so blocks stay as
+    square as possible (fewer halo cells per interior cell).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"need at least one worker, got {workers}")
+    best = (workers, 1)
+    for low in range(1, int(workers**0.5) + 1):
+        if workers % low == 0:
+            best = (workers // low, low)
+    hi, lo = best
+    return (hi, lo) if nx >= ny else (lo, hi)
+
+
+def decompose(
+    nx: int,
+    ny: int,
+    workers: Optional[int] = None,
+    px: Optional[int] = None,
+    py: Optional[int] = None,
+    halo: int = DEFAULT_HALO,
+) -> Decomposition:
+    """Cut an ``nx x ny`` grid into a ``px x py`` block decomposition.
+
+    Either ``workers`` (a near-square process grid is chosen) or an
+    explicit ``px``/``py`` pair must be given.  Axes too short for the
+    requested cuts get fewer: every subdomain keeps at least ``halo``
+    cells per axis so it can always feed its neighbour's ghost strip.
+    """
+    if nx < 1 or ny < 1:
+        raise ConfigurationError(f"grid must be at least 1x1, got {nx}x{ny}")
+    if halo < 1:
+        raise ConfigurationError(f"halo width must be at least 1, got {halo}")
+    if px is None and py is None:
+        if workers is None:
+            raise ConfigurationError("decompose() needs workers or px/py")
+        px, py = choose_process_grid(workers, nx, ny)
+    else:
+        px = px or 1
+        py = py or 1
+        if px < 1 or py < 1:
+            raise ConfigurationError(f"process grid must be positive, got {px}x{py}")
+
+    x_chunks = split_extent(0, nx, px, min_size=halo)
+    y_chunks = split_extent(0, ny, py, min_size=halo)
+    px, py = len(x_chunks), len(y_chunks)
+
+    def rank_of(pi: int, pj: int) -> int:
+        return pi * py + pj
+
+    subdomains: List[Subdomain] = []
+    for pi, (x0, x1) in enumerate(x_chunks):
+        for pj, (y0, y1) in enumerate(y_chunks):
+            subdomains.append(
+                Subdomain(
+                    rank=rank_of(pi, pj),
+                    coords=(pi, pj),
+                    x0=x0,
+                    x1=x1,
+                    y0=y0,
+                    y1=y1,
+                    left=rank_of(pi - 1, pj) if pi > 0 else None,
+                    right=rank_of(pi + 1, pj) if pi < px - 1 else None,
+                    bottom=rank_of(pi, pj - 1) if pj > 0 else None,
+                    top=rank_of(pi, pj + 1) if pj < py - 1 else None,
+                )
+            )
+    return Decomposition(
+        nx=nx, ny=ny, px=px, py=py, halo=halo, subdomains=tuple(subdomains)
+    )

@@ -1,0 +1,236 @@
+"""Persistent worker pool with pluggable barrier synchronisation.
+
+The paper's Fig. 4 asymmetry is a *synchronisation* story: SaC keeps a
+flat team of pthreads alive for the whole run and synchronises them by
+spinning on shared memory, while the auto-parallelised Fortran pays a
+kernel-assisted fork/join per parallel region.  ``repro.perf.machine``
+models that difference analytically; this module makes it *executable*:
+the same worker team can be driven by
+
+* ``"spin"`` — the existing :class:`repro.sac.runtime.spinlock.SpinBarrier`
+  (busy-wait on a generation counter, no kernel sleep), or
+* ``"forkjoin"`` (alias ``"condvar"``) — :class:`CondBarrier`, a
+  condition-variable barrier that puts waiters to sleep in the kernel
+  and wakes them on release, the fork/join idiom.
+
+NumPy kernels release the GIL, so the workers genuinely overlap on
+multicore hosts; the barrier flavour is a constructor toggle, which is
+what lets ``perf.scaling``'s measured mode put a spin curve and a
+fork/join curve side by side like the paper's Fig. 4 put SaC and
+Fortran.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sac.runtime.spinlock import BarrierAborted, SpinBarrier
+
+__all__ = [
+    "BarrierAborted",
+    "CondBarrier",
+    "WorkerPool",
+    "make_barrier",
+    "BARRIER_KINDS",
+]
+
+#: Spin budget for pool barriers.  Generous: a worker may legitimately
+#: spin through a sibling's whole sweep; 10M (the scheduler default)
+#: can be exceeded on large subdomains or oversubscribed hosts.
+POOL_MAX_SPINS = 200_000_000
+
+
+class CondBarrier:
+    """A reusable condition-variable barrier (kernel-assisted fork/join).
+
+    Same interface as :class:`SpinBarrier` (``wait``/``abort``), but
+    waiters sleep on a condvar — each release is a trip through the
+    kernel scheduler, the cost the paper blames for Fortran's
+    degradation ("added overhead of communication between the threads").
+    """
+
+    def __init__(self, parties: int):
+        if parties < 1:
+            raise ValueError("a barrier needs at least one party")
+        self.parties = parties
+        self._count = parties
+        self._generation = 0
+        self._aborted = False
+        self._cond = threading.Condition()
+
+    def wait(self) -> int:
+        """Sleep until all parties arrive; returns the generation passed."""
+        with self._cond:
+            if self._aborted:
+                raise BarrierAborted("condvar barrier aborted")
+            generation = self._generation
+            self._count -= 1
+            if self._count == 0:
+                self._count = self.parties
+                self._generation += 1
+                self._cond.notify_all()
+                return generation
+            while self._generation == generation and not self._aborted:
+                self._cond.wait()
+            if self._aborted:
+                raise BarrierAborted("condvar barrier aborted")
+            return generation
+
+    def abort(self) -> None:
+        """Poison the barrier and wake anyone currently sleeping."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+
+#: Barrier factories by name; "forkjoin" and "condvar" are synonyms.
+BARRIER_KINDS = {
+    "spin": lambda parties: SpinBarrier(parties, max_spins=POOL_MAX_SPINS),
+    "forkjoin": CondBarrier,
+    "condvar": CondBarrier,
+}
+
+
+def make_barrier(kind: str, parties: int):
+    """A fresh barrier of the named kind (``spin``/``forkjoin``/``condvar``)."""
+    try:
+        factory = BARRIER_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown barrier kind {kind!r} (have {sorted(BARRIER_KINDS)})"
+        ) from None
+    return factory(parties)
+
+
+class WorkerPool:
+    """A persistent team of workers driven round by round.
+
+    Like the SaC pthread runtime (and this repo's with-loop scheduler),
+    the *calling thread is worker 0*: :meth:`run` publishes one task — a
+    callable receiving the worker index — releases the team through a
+    start barrier, executes index 0 itself, and passes a completion
+    barrier once every worker has finished.  Only ``workers - 1``
+    threads exist.  All barriers (including team barriers handed out via
+    :meth:`team_barrier` for use *inside* a task, e.g. around a halo
+    exchange) are of the configured kind, so a whole solver step
+    synchronises either entirely by spinning or entirely through the
+    kernel.
+
+    A worker that raises aborts all registered barriers so its siblings
+    unwind instead of deadlocking; the first error is re-raised from
+    :meth:`run` and the pool is left unusable (``broken``).
+    """
+
+    def __init__(self, workers: int, barrier: str = "spin", name: str = "par"):
+        if workers < 1:
+            raise ConfigurationError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.barrier_kind = barrier
+        self._start = make_barrier(barrier, workers)
+        self._done = make_barrier(barrier, workers)
+        self._team_barriers: List[object] = [self._start, self._done]
+        self._task: Optional[Callable[[int], None]] = None
+        self._errors: List[BaseException] = []
+        self._error_lock = threading.Lock()
+        self._stop = False
+        self.broken = False
+        self.rounds = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(index,),
+                name=f"{name}-worker-{index}", daemon=True,
+            )
+            for index in range(1, workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop and join the team (idempotent)."""
+        if self._stop:
+            return
+        self._stop = True
+        try:
+            self._start.wait()
+        except BarrierAborted:
+            pass
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads = []
+
+    # -- running tasks -------------------------------------------------
+
+    def team_barrier(self):
+        """A fresh worker-only barrier for synchronising *inside* a task.
+
+        The barrier is registered with the pool so a failing worker
+        aborts it along with the start/done pair.
+        """
+        barrier = make_barrier(self.barrier_kind, self.workers)
+        self._team_barriers.append(barrier)
+        return barrier
+
+    def run(self, task: Callable[[int], None]) -> None:
+        """Execute ``task(worker_index)`` on every worker; block until done.
+
+        The calling thread executes index 0 itself (SaC's master thread
+        is a worker too), so a single-worker pool runs entirely inline.
+        """
+        if self.broken:
+            raise ConfigurationError("worker pool is broken after a failed round")
+        if self._stop:
+            raise ConfigurationError("worker pool has been shut down")
+        self._task = task
+        self._errors = []
+        try:
+            self._start.wait()
+            task(0)
+            self._done.wait()
+        except BarrierAborted:
+            pass  # a sibling failed mid-round; fall through to re-raise below
+        except BaseException as error:  # noqa: BLE001 - master's own share failed
+            with self._error_lock:
+                self._errors.append(error)
+            self._abort_all()
+        self.rounds += 1
+        if self._errors:
+            self.broken = True
+            self.shutdown()
+            raise self._errors[0]
+
+    def _abort_all(self) -> None:
+        for barrier in self._team_barriers:
+            barrier.abort()
+
+    def _worker_loop(self, index: int) -> None:
+        """Round loop for workers 1..N-1 (index 0 lives on the caller)."""
+        while True:
+            try:
+                self._start.wait()
+            except BarrierAborted:
+                return
+            if self._stop:
+                return
+            try:
+                self._task(index)
+            except BarrierAborted:
+                pass  # a sibling failed first; its error is the one to report
+            except BaseException as error:  # noqa: BLE001 - reported from run()
+                with self._error_lock:
+                    self._errors.append(error)
+                self._abort_all()
+                return
+            try:
+                self._done.wait()
+            except BarrierAborted:
+                return

@@ -1,0 +1,69 @@
+"""Parallel reductions over the worker team.
+
+The one reduction the solver needs is the paper's ``GetDT``: every
+subdomain computes the CFL-limited time step over its own cells and the
+global step is the minimum.  Like SaC's fold with-loops in the
+benchmark configuration (``-nofoldparallel``), the combine stage is
+deliberately tiny and deterministic: workers deposit one partial each
+into a fixed slot, and the caller combines the slots *after* the team
+has synchronised, so the result never depends on thread arrival order.
+
+Bit-exactness note: the serial solver computes ``CFL / max(EV)`` over
+the whole grid.  ``min`` over the per-subdomain ``CFL / max(EV_k)``
+values is the same number *bit for bit*, because correctly-rounded
+division is monotone in the denominator — the subdomain holding the
+global EV maximum contributes exactly the serial quotient and every
+other slot is ≥ it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SlotReduction", "REDUCE_OPS"]
+
+REDUCE_OPS: Dict[str, Callable[[np.ndarray], float]] = {
+    "min": lambda slots: float(np.min(slots)),
+    "max": lambda slots: float(np.max(slots)),
+    "sum": lambda slots: float(np.sum(slots)),
+}
+
+
+class SlotReduction:
+    """Deposit-then-combine reduction with one slot per worker.
+
+    ``deposit`` is data-race free by construction (each worker owns its
+    slot); ``combine`` must only be called once all workers have passed
+    a barrier after depositing.
+    """
+
+    def __init__(self, parties: int):
+        if parties < 1:
+            raise ConfigurationError(f"need at least one slot, got {parties}")
+        self.parties = parties
+        self._slots = np.empty(parties, dtype=float)
+        self._filled = np.zeros(parties, dtype=bool)
+
+    def deposit(self, index: int, value: float) -> None:
+        """Store worker ``index``'s partial result."""
+        self._slots[index] = value
+        self._filled[index] = True
+
+    def combine(self, op: str = "min") -> float:
+        """Combine all slots with the named op and reset for the next round."""
+        try:
+            reducer = REDUCE_OPS[op]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown reduction {op!r} (have {sorted(REDUCE_OPS)})"
+            ) from None
+        if not self._filled.all():
+            missing = np.flatnonzero(~self._filled).tolist()
+            raise ConfigurationError(f"reduction slots never deposited: {missing}")
+        result = reducer(self._slots)
+        self._filled[:] = False
+        return result

@@ -8,13 +8,18 @@ from repro.perf.machine import (
     sac_runtime,
 )
 from repro.perf.scaling import (
+    MeasuredPoint,
+    MeasuredScalingResult,
     ScalingPoint,
     ScalingResult,
     TwoChannelWorkload,
     figure4_experiment,
+    figure4_measured,
+    format_measured_table,
     format_scaling_table,
     measure_fortran_trace,
     measure_sac_trace,
+    run_scaling,
 )
 
 __all__ = [
@@ -23,11 +28,16 @@ __all__ = [
     "TimeBreakdown",
     "fortran_runtime",
     "sac_runtime",
+    "MeasuredPoint",
+    "MeasuredScalingResult",
     "ScalingPoint",
     "ScalingResult",
     "TwoChannelWorkload",
     "figure4_experiment",
+    "figure4_measured",
+    "format_measured_table",
     "format_scaling_table",
     "measure_fortran_trace",
     "measure_sac_trace",
+    "run_scaling",
 ]

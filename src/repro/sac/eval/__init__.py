@@ -7,6 +7,7 @@ from repro.sac.eval.scheduler import (
     WithLoopScheduler,
     box_elements,
     split_bounds,
+    split_extent,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "WithLoopScheduler",
     "box_elements",
     "split_bounds",
+    "split_extent",
 ]

@@ -36,27 +36,47 @@ class SchedulerOptions:
     min_elements_per_thread: int = MIN_ELEMENTS_PER_THREAD
 
 
+#: One contiguous half-open interval [lo, hi) of a partitioned extent.
+Interval = Tuple[int, int]
+
+
+def split_extent(lower: int, upper: int, parts: int, min_size: int = 1) -> List[Interval]:
+    """Static partition of the interval ``[lower, upper)`` into chunks.
+
+    The single chunking implementation shared by the with-loop scheduler
+    (axis-0 chunks, one per worker) and the domain-decomposition runtime
+    (:mod:`repro.par.partition`, which applies it per grid axis).  At
+    most ``parts`` contiguous chunks are produced, sizes differing by at
+    most one (the remainder goes to the leading chunks, like the SaC
+    static scheduler); no chunk is smaller than ``min_size`` (the
+    partitioner passes the halo width here so every subdomain can feed
+    its neighbours' ghost cells).  A zero or negative extent yields no
+    chunks.
+    """
+    extent = upper - lower
+    if extent <= 0:
+        return []
+    min_size = max(1, min_size)
+    parts = max(1, min(parts, extent // min_size if extent >= min_size else 1))
+    base = extent // parts
+    remainder = extent % parts
+    chunks: List[Interval] = []
+    start = lower
+    for part in range(parts):
+        size = base + (1 if part < remainder else 0)
+        chunks.append((start, start + size))
+        start += size
+    return chunks
+
+
 def split_bounds(lower: Sequence[int], upper: Sequence[int], parts: int) -> List[Bounds]:
     """Static partition of a box along axis 0 into up to ``parts`` chunks."""
     if not lower:
         return [(tuple(lower), tuple(upper))]
-    extent = upper[0] - lower[0]
-    if extent <= 0:
-        return []
-    parts = max(1, min(parts, extent))
-    base = extent // parts
-    remainder = extent % parts
-    chunks: List[Bounds] = []
-    start = lower[0]
-    for part in range(parts):
-        size = base + (1 if part < remainder else 0)
-        if size == 0:
-            continue
-        chunk_lower = (start,) + tuple(lower[1:])
-        chunk_upper = (start + size,) + tuple(upper[1:])
-        chunks.append((chunk_lower, chunk_upper))
-        start += size
-    return chunks
+    return [
+        ((lo,) + tuple(lower[1:]), (hi,) + tuple(upper[1:]))
+        for lo, hi in split_extent(lower[0], upper[0], parts)
+    ]
 
 
 def box_elements(lower: Sequence[int], upper: Sequence[int]) -> int:

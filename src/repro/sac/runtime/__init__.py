@@ -2,6 +2,7 @@
 
 from repro.sac.runtime.profiler import ExecutionTrace, Region
 from repro.sac.runtime.spinlock import (
+    BarrierAborted,
     ForkJoinSyncModel,
     SpinBarrier,
     SpinSyncModel,
@@ -10,6 +11,7 @@ from repro.sac.runtime.spinlock import (
 __all__ = [
     "ExecutionTrace",
     "Region",
+    "BarrierAborted",
     "ForkJoinSyncModel",
     "SpinBarrier",
     "SpinSyncModel",

@@ -21,11 +21,20 @@ import threading
 from dataclasses import dataclass
 
 
+class BarrierAborted(RuntimeError):
+    """Raised by an aborted barrier so peers unwind instead of deadlocking."""
+
+
 class SpinBarrier:
     """A reusable busy-wait barrier (sense-reversing, shared-memory only).
 
     All waiting is done by spinning on a generation counter; no kernel
     sleep is involved, mirroring the SaC pthread backend's design.
+
+    :meth:`abort` releases current waiters and poisons the barrier —
+    every released or subsequent :meth:`wait` raises
+    :class:`BarrierAborted`.  The worker pool uses this so one failing
+    worker cannot strand its siblings mid-step.
     """
 
     def __init__(self, parties: int, max_spins: int = 10_000_000):
@@ -35,11 +44,14 @@ class SpinBarrier:
         self.max_spins = max_spins
         self._count = parties
         self._generation = 0
+        self._aborted = False
         self._lock = threading.Lock()
 
     def wait(self) -> int:
         """Spin until all parties arrive; returns the generation passed."""
         with self._lock:
+            if self._aborted:
+                raise BarrierAborted("spin barrier aborted")
             generation = self._generation
             self._count -= 1
             if self._count == 0:
@@ -51,7 +63,16 @@ class SpinBarrier:
             spins += 1
             if spins > self.max_spins:
                 raise RuntimeError("spin barrier exceeded its spin budget")
+        if self._aborted:
+            raise BarrierAborted("spin barrier aborted")
         return generation
+
+    def abort(self) -> None:
+        """Poison the barrier and release anyone currently spinning."""
+        with self._lock:
+            self._aborted = True
+            self._count = self.parties
+            self._generation += 1
 
 
 @dataclass(frozen=True)

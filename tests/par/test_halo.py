@@ -1,0 +1,132 @@
+"""Halo exchange and physical-boundary windowing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.euler.boundary import (
+    EdgeSpec,
+    ReflectiveWall,
+    SupersonicInflow,
+    Transmissive,
+)
+from repro.par.halo import HaloExchanger, allocate_buffers, restrict_edge_spec
+from repro.par.partition import decompose
+
+
+def fill_with_global_field(decomposition, buffers, field):
+    """Write each subdomain's window of a global (nx, ny, k) field."""
+    h = decomposition.halo
+    for sd, buffer in zip(decomposition.subdomains, buffers):
+        buffer[h : h + sd.nx, h : h + sd.ny] = field[sd.xslice, sd.yslice]
+
+
+@given(
+    nx=st.integers(6, 40),
+    ny=st.integers(6, 40),
+    px=st.integers(1, 4),
+    py=st.integers(1, 4),
+    halo=st.integers(1, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_exchange_reproduces_global_neighbour_windows(nx, ny, px, py, halo):
+    """After one exchange, every halo strip equals the global field there."""
+    decomp = decompose(nx, ny, px=px, py=py, halo=halo)
+    rng = np.random.default_rng(nx * 1000 + ny * 10 + halo)
+    field = rng.standard_normal((nx, ny, 4))
+    buffers = allocate_buffers(decomp)
+    fill_with_global_field(decomp, buffers, field)
+    exchanger = HaloExchanger(decomp, buffers)
+    copied = exchanger.exchange_all()
+    assert copied == decomp.neighbour_pairs()
+    assert exchanger.total_copies == copied
+
+    h = decomp.halo
+    for sd, buffer in zip(decomp.subdomains, buffers):
+        if sd.left is not None:
+            np.testing.assert_array_equal(
+                buffer[0:h, h : h + sd.ny], field[sd.x0 - h : sd.x0, sd.yslice]
+            )
+        if sd.right is not None:
+            np.testing.assert_array_equal(
+                buffer[h + sd.nx :, h : h + sd.ny],
+                field[sd.x1 : sd.x1 + h, sd.yslice],
+            )
+        if sd.bottom is not None:
+            np.testing.assert_array_equal(
+                buffer[h : h + sd.nx, 0:h], field[sd.xslice, sd.y0 - h : sd.y0]
+            )
+        if sd.top is not None:
+            np.testing.assert_array_equal(
+                buffer[h : h + sd.nx, h + sd.ny :],
+                field[sd.xslice, sd.y1 : sd.y1 + h],
+            )
+
+
+def test_exchange_counter_accumulates_per_round():
+    decomp = decompose(8, 8, px=2, py=1, halo=2)
+    buffers = allocate_buffers(decomp)
+    exchanger = HaloExchanger(decomp, buffers)
+    for round_number in range(1, 4):
+        exchanger.exchange_all()
+        assert exchanger.total_copies == 2 * round_number
+
+
+def test_buffer_shape_mismatch_rejected():
+    decomp = decompose(8, 8, px=2, py=1, halo=2)
+    buffers = allocate_buffers(decomp)
+    buffers[0] = np.zeros((3, 3, 4))
+    with pytest.raises(ConfigurationError):
+        HaloExchanger(decomp, buffers)
+
+
+class TestRestrictEdgeSpec:
+    def test_uniform_spec_windows_to_single_segment(self):
+        spec = EdgeSpec.uniform(Transmissive())
+        window = restrict_edge_spec(spec, 10, 20)
+        assert len(window.segments) == 1
+        assert (window.segments[0].start, window.segments[0].stop) == (0, 10)
+
+    def test_piecewise_spec_clips_and_rebases(self):
+        wall = ReflectiveWall()
+        inflow = SupersonicInflow([1.0, 2.0, 0.0, 3.0])
+        spec = EdgeSpec().add(0, 6, wall).add(6, 18, inflow).add(18, None, wall)
+        window = restrict_edge_spec(spec, 4, 21)
+        spans = [(s.start, s.stop, s.condition) for s in window.segments]
+        assert spans == [(0, 2, wall), (2, 14, inflow), (14, 17, wall)]
+
+    def test_window_inside_one_segment(self):
+        inflow = SupersonicInflow([1.0, 2.0, 0.0, 3.0])
+        spec = EdgeSpec().add(0, 6, ReflectiveWall()).add(6, 18, inflow)
+        window = restrict_edge_spec(spec, 8, 12)
+        assert [(s.start, s.stop) for s in window.segments] == [(0, 4)]
+        assert window.segments[0].condition is inflow
+
+    def test_windowed_fill_matches_global_fill(self):
+        """Filling a subdomain's window equals the global fill, windowed."""
+        rng = np.random.default_rng(7)
+        ng, n = 2, 16
+        spec = (
+            EdgeSpec()
+            .add(0, 5, ReflectiveWall())
+            .add(5, 11, SupersonicInflow([2.0, 3.0, 0.0, 4.0]))
+            .add(11, None, Transmissive())
+        )
+        padded_global = rng.standard_normal((8, n, 4))
+        reference = padded_global.copy()
+        spec.fill(reference, ng)
+        for start, stop in [(0, 7), (4, 12), (9, 16)]:
+            window = padded_global[:, start:stop].copy()
+            restrict_edge_spec(spec, start, stop).fill(window, ng)
+            np.testing.assert_array_equal(window, reference[:, start:stop])
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            restrict_edge_spec(EdgeSpec.uniform(Transmissive()), 5, 5)
+
+    def test_uncovered_window_rejected(self):
+        spec = EdgeSpec().add(0, 4, Transmissive())
+        with pytest.raises(ConfigurationError):
+            restrict_edge_spec(spec, 6, 9)

@@ -1,0 +1,147 @@
+"""Worker pool, barrier flavours, and the slot reduction."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.par.pool import BarrierAborted, CondBarrier, WorkerPool, make_barrier
+from repro.par.reduce import SlotReduction
+from repro.sac.runtime.spinlock import SpinBarrier
+
+BARRIERS = ["spin", "forkjoin"]
+
+
+@pytest.mark.parametrize("kind", BARRIERS)
+class TestWorkerPool:
+    def test_every_worker_runs_each_round(self, kind):
+        with WorkerPool(4, barrier=kind) as pool:
+            hits = np.zeros(4, dtype=int)
+            for _ in range(3):
+                pool.run(lambda index: hits.__setitem__(index, hits[index] + 1))
+            assert hits.tolist() == [3, 3, 3, 3]
+            assert pool.rounds == 3
+
+    def test_team_barrier_keeps_phases_ordered(self, kind):
+        with WorkerPool(3, barrier=kind) as pool:
+            team = pool.team_barrier()
+            log = []
+            lock = threading.Lock()
+
+            def task(index):
+                with lock:
+                    log.append(("a", index))
+                team.wait()
+                with lock:
+                    log.append(("b", index))
+
+            pool.run(task)
+        phases = [phase for phase, _ in log]
+        assert phases[:3] == ["a"] * 3 and phases[3:] == ["b"] * 3
+
+    def test_worker_error_propagates_and_breaks_pool(self, kind):
+        pool = WorkerPool(3, barrier=kind)
+        team = pool.team_barrier()
+
+        def task(index):
+            if index == 1:
+                raise ValueError("boom")
+            team.wait()  # would deadlock without abort support
+
+        with pytest.raises(ValueError, match="boom"):
+            pool.run(task)
+        assert pool.broken
+        with pytest.raises(ConfigurationError):
+            pool.run(lambda index: None)
+
+    def test_shutdown_is_idempotent(self, kind):
+        pool = WorkerPool(2, barrier=kind)
+        pool.run(lambda index: None)
+        pool.shutdown()
+        pool.shutdown()
+
+
+class TestBarriers:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_barrier("mutex", 2)
+
+    def test_condvar_alias(self):
+        assert isinstance(make_barrier("condvar", 2), CondBarrier)
+
+    @pytest.mark.parametrize("cls", [SpinBarrier, CondBarrier])
+    def test_abort_releases_a_waiter(self, cls):
+        barrier = cls(2)
+        failures = []
+
+        def waiter():
+            try:
+                barrier.wait()
+            except BarrierAborted:
+                failures.append("aborted")
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        barrier.abort()
+        thread.join(timeout=10.0)
+        assert failures == ["aborted"]
+        with pytest.raises(BarrierAborted):
+            barrier.wait()
+
+    @pytest.mark.parametrize("kind", BARRIERS)
+    def test_barrier_is_reusable_across_generations(self, kind):
+        barrier = make_barrier(kind, 2)
+        generations = []
+
+        def partner():
+            for _ in range(3):
+                generations.append(barrier.wait())
+
+        thread = threading.Thread(target=partner, daemon=True)
+        thread.start()
+        for _ in range(3):
+            barrier.wait()
+        thread.join(timeout=10.0)
+        assert sorted(generations) == [0, 1, 2]
+
+
+class TestSlotReduction:
+    def test_min_max_sum(self):
+        slots = SlotReduction(3)
+        for index, value in enumerate([3.0, 1.0, 2.0]):
+            slots.deposit(index, value)
+        assert slots.combine("max") == 3.0
+        for index, value in enumerate([3.0, 1.0, 2.0]):
+            slots.deposit(index, value)
+        assert slots.combine("sum") == 6.0
+
+    def test_min_matches_serial_getdt_quotient(self):
+        # min over cfl/ev_k equals cfl/max(ev_k) bit for bit
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            evs = rng.uniform(0.1, 50.0, size=4)
+            cfl = rng.uniform(0.1, 1.0)
+            slots = SlotReduction(4)
+            for index, ev in enumerate(evs):
+                slots.deposit(index, cfl / ev)
+            assert slots.combine("min") == cfl / evs.max()
+
+    def test_missing_deposit_detected(self):
+        slots = SlotReduction(2)
+        slots.deposit(0, 1.0)
+        with pytest.raises(ConfigurationError, match=r"\[1\]"):
+            slots.combine("min")
+
+    def test_combine_resets_for_next_round(self):
+        slots = SlotReduction(1)
+        slots.deposit(0, 1.0)
+        slots.combine("min")
+        with pytest.raises(ConfigurationError):
+            slots.combine("min")
+
+    def test_unknown_op_rejected(self):
+        slots = SlotReduction(1)
+        slots.deposit(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            slots.combine("mean")
