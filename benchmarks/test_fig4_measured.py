@@ -70,6 +70,7 @@ def test_fig4_measured_series_and_json(benchmark, measured):
                 "step_rate": p.step_rate,
                 "halo_exchanges": p.halo_exchanges,
                 "max_abs_error": p.max_abs_error,
+                "phase_seconds": p.phase_seconds,
             }
             for p in measured.points
         ],

@@ -1,0 +1,140 @@
+"""Step-rate benchmark: the StepEngine against the allocating seed path.
+
+The paper credits much of SaC's edge to compiler-managed memory reuse;
+this benchmark measures what the :class:`~repro.euler.engine.StepEngine`
+buys the NumPy solver in the same currency — steps per second and bytes
+allocated per step — on the paper's benchmark method (RK3 + piecewise
+constant reconstruction) and the two-channel workload.
+
+Acceptance (ISSUE 2): on a 200x200 grid the engine path must deliver at
+least 1.3x the seed step rate and allocate at least 10x less per step,
+while staying bit-for-bit identical.  Step rate is timed *without*
+tracemalloc; allocation is the tracemalloc peak-over-baseline of one
+warmed-up step.  The series lands in ``BENCH_steprate.json`` at the
+repo root so the trajectory is tracked across PRs.  Grid and step count
+can be shrunk for CI smoke runs via ``REPRO_STEPRATE_GRID`` /
+``REPRO_STEPRATE_STEPS`` (the speedup bar only applies from 128 cells
+up — tiny grids are dominated by Python dispatch, not allocator
+traffic).
+"""
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.euler import problems
+from repro.euler.solver import paper_benchmark_config
+
+from conftest import write_bench_json
+
+GRID = int(os.environ.get("REPRO_STEPRATE_GRID", "96"))
+STEPS = int(os.environ.get("REPRO_STEPRATE_STEPS", "10"))
+SPEEDUP_FLOOR = 1.3
+ALLOCATION_RATIO_FLOOR = 10.0
+
+
+def _solver(use_engine):
+    solver, _ = problems.two_channel(
+        n_cells=GRID, h=GRID / 2.0, config=paper_benchmark_config()
+    )
+    if not use_engine:
+        solver.engine = None
+    return solver
+
+
+def _timed_steps(solver, steps):
+    """Steps/s over ``steps`` steps after one warmup step (no tracemalloc)."""
+    solver.step()
+    start = time.perf_counter()
+    for _ in range(steps):
+        solver.step()
+    return steps / (time.perf_counter() - start)
+
+
+def _step_allocation(solver):
+    """Tracemalloc peak-over-baseline of one step after two warmup steps."""
+    solver.step()
+    solver.step()
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    solver.step()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak - baseline
+
+
+@pytest.fixture(scope="module")
+def steprate():
+    engine_solver = _solver(use_engine=True)
+    seed_solver = _solver(use_engine=False)
+    engine_rate = _timed_steps(engine_solver, STEPS)
+    seed_rate = _timed_steps(seed_solver, STEPS)
+    # both solvers took the same steps from the same state, dt=None each
+    max_abs_difference = float(np.max(np.abs(engine_solver.u - seed_solver.u)))
+    engine_bytes = _step_allocation(engine_solver)
+    seed_bytes = _step_allocation(seed_solver)
+    return {
+        "grid": GRID,
+        "steps": STEPS,
+        "engine_steps_per_second": engine_rate,
+        "seed_steps_per_second": seed_rate,
+        "speedup": engine_rate / seed_rate,
+        "engine_step_bytes": engine_bytes,
+        "seed_step_bytes": seed_bytes,
+        "allocation_ratio": seed_bytes / max(engine_bytes, 1),
+        "max_abs_difference": max_abs_difference,
+        "engine_counters": engine_solver.engine.counters(),
+    }
+
+
+def test_steprate_json(benchmark, steprate):
+    """Emit the cross-PR record; benchmark one engine step for the harness."""
+    solver = _solver(use_engine=True)
+    solver.step()
+    benchmark.pedantic(solver.step, rounds=1, iterations=max(1, STEPS // 2))
+    print()
+    print(
+        f"steprate {GRID}x{GRID}: engine"
+        f" {steprate['engine_steps_per_second']:.2f} steps/s, seed"
+        f" {steprate['seed_steps_per_second']:.2f} steps/s"
+        f" ({steprate['speedup']:.2f}x); allocation"
+        f" {steprate['engine_step_bytes']} vs {steprate['seed_step_bytes']}"
+        f" bytes/step ({steprate['allocation_ratio']:.0f}x less)"
+    )
+    path = write_bench_json("steprate", steprate)
+    print(f"wrote {path}")
+    benchmark.extra_info["speedup"] = steprate["speedup"]
+    benchmark.extra_info["allocation_ratio"] = steprate["allocation_ratio"]
+
+
+def test_engine_path_is_bit_for_bit(steprate):
+    assert steprate["max_abs_difference"] == 0.0
+
+
+def test_engine_allocates_an_order_less(steprate):
+    assert steprate["allocation_ratio"] >= ALLOCATION_RATIO_FLOOR, (
+        f"engine allocates {steprate['engine_step_bytes']} bytes/step,"
+        f" seed {steprate['seed_step_bytes']} — ratio below 10x"
+    )
+
+
+def test_engine_step_rate(steprate):
+    """>= 1.3x from 128 cells up; tiny smoke grids only need sanity."""
+    if GRID >= 128:
+        assert steprate["speedup"] >= SPEEDUP_FLOOR
+    else:
+        assert steprate["speedup"] > 0.5
+
+
+def test_counters_consistent_with_run(steprate):
+    counters = steprate["engine_counters"]
+    # 1 warmup + STEPS timed + 2 allocation warmups + 1 measured step
+    assert counters["steps"] == STEPS + 4
+    assert counters["rhs_evaluations"] == 3 * (STEPS + 4)
+    assert counters["primitive_conversions"] == 3 * (STEPS + 4)
+    assert counters["scratch_bytes"] > 0
+    assert all(value >= 0.0 for value in counters["seconds"].values())

@@ -1,0 +1,353 @@
+"""StepEngine — one preallocated stepping core under all the solvers.
+
+The paper attributes much of SaC's performance to compiler-managed
+memory reuse; the golden NumPy solver originally allocated ~10 fresh
+arrays per Runge-Kutta stage (integrator temporaries, padded sweep
+buffers, face fluxes, primitive round trips).  :class:`StepEngine`
+owns, per (grid shape, :class:`~repro.euler.solver.SolverConfig`), a
+:class:`~repro.euler.workspace.Workspace` of preallocated buffers and
+advances the conservative state through ``out=``-parameterised kernels
+whose in-place formulations perform the identical sequence of rounded
+floating-point operations as the allocating seed path — results are
+bit-for-bit equal, only the allocator traffic is gone.
+
+`EulerSolver1D`/`EulerSolver2D` drive one engine over the whole grid;
+:class:`~repro.par.solver.ParallelSolver2D` drives one engine per rank
+(each with its own workspace, so ranks share no scratch memory) through
+the lower-level :meth:`sweep_axis0`/:meth:`sweep_axis1`/:meth:`integrate`
+interface.
+
+The engine also keeps per-phase wall-clock counters (boundary fill,
+reconstruction, Riemann fluxes, flux differencing, Runge-Kutta combine,
+primitive conversion, dt reduction) plus conversion/step counts and the
+scratch footprint in bytes; ``perf.scaling`` measured mode and
+``benchmarks/test_steprate.py`` record them.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.euler import state
+from repro.euler.reconstruction import (
+    reconstruct_characteristic,
+    reconstruct_component,
+)
+from repro.euler.rk import get_integrator_into
+from repro.euler.riemann import get_riemann_solver
+from repro.euler.reconstruction import get_scheme
+from repro.euler.timestep import get_dt
+from repro.euler.workspace import Workspace
+
+__all__ = ["StepEngine", "PHASES"]
+
+#: Phase keys of the engine's wall-clock counters.
+PHASES = ("convert", "bc", "reconstruct", "riemann", "difference", "rk", "dt")
+
+#: Field permutation of ``swap_velocity_axes`` for 4-field states.
+_SWAP_FIELDS = ((0, 0), (1, 2), (2, 1), (3, 3))
+
+#: In-place spatial operator: ``rhs_into(u, out, first_stage)``.
+RhsInto = Callable[[np.ndarray, np.ndarray, bool], None]
+
+
+class StepEngine:
+    """Preallocated Godunov stepping core for one grid shape and config.
+
+    ``grid_shape`` is the full state shape — ``(N, 3)`` in 1-D or
+    ``(Nx, Ny, 4)`` in 2-D; ``spacing`` the matching cell sizes.
+    ``boundaries`` (a ``BoundarySet1D``/``BoundarySet2D``) is required
+    for the serial :meth:`rhs`/:meth:`step` interface and may be omitted
+    when the sweeps are driven externally (the parallel solver fills
+    exterior edges through windowed specs instead).
+    """
+
+    def __init__(
+        self,
+        grid_shape: Sequence[int],
+        spacing: Sequence[float],
+        config,
+        boundaries=None,
+    ):
+        self.grid_shape = tuple(int(extent) for extent in grid_shape)
+        nfields = self.grid_shape[-1]
+        if nfields == 3:
+            self.ndim = 1
+        elif nfields == 4:
+            self.ndim = 2
+        else:
+            raise ConfigurationError(
+                f"state arrays must have 3 or 4 fields, got {nfields}"
+            )
+        if len(self.grid_shape) != self.ndim + 1:
+            raise ConfigurationError(
+                f"grid shape {self.grid_shape} inconsistent with {self.ndim}-D state"
+            )
+        self.spacing = tuple(float(s) for s in spacing)
+        if len(self.spacing) != self.ndim:
+            raise ConfigurationError(
+                f"{self.ndim}-D engine needs {self.ndim} spacings, got {len(self.spacing)}"
+            )
+        self.config = config
+        self.boundaries = boundaries
+        self.scheme = get_scheme(config.reconstruction, config.limiter)
+        self.riemann = get_riemann_solver(config.riemann)
+        self.ghost_cells = self.scheme.ghost_cells
+        self.integrator_into = get_integrator_into(config.rk_order)
+        self.workspace = Workspace()
+        self.seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        self.steps_taken = 0
+        self.rhs_evaluations = 0
+        self.primitive_conversions = 0
+        self._fresh_primitive = False
+        self._primitive_target: Optional[np.ndarray] = None
+
+    # -- counters -------------------------------------------------------
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Bytes currently held by this engine's workspace."""
+        return self.workspace.nbytes
+
+    def counters(self) -> Dict[str, object]:
+        """Snapshot of all phase/operation counters (JSON-friendly)."""
+        return {
+            "steps": self.steps_taken,
+            "rhs_evaluations": self.rhs_evaluations,
+            "primitive_conversions": self.primitive_conversions,
+            "scratch_bytes": self.scratch_bytes,
+            "seconds": dict(self.seconds),
+        }
+
+    # -- primitive scratch ---------------------------------------------
+
+    def primitive_into(
+        self, u: np.ndarray, target: Optional[np.ndarray] = None, reuse: bool = False
+    ) -> np.ndarray:
+        """Convert ``u`` to primitive variables in a reusable buffer.
+
+        With ``reuse=True`` a conversion freshly produced by
+        :meth:`compute_dt` into the *same* target buffer is consumed
+        instead of recomputed — the dt/stage-1 deduplication the
+        engine's conversion counter verifies (one conversion per RK
+        stage, not two).
+        """
+        if target is None:
+            target = self.workspace.array("engine.primitive", self.grid_shape)
+        if reuse and self._fresh_primitive and self._primitive_target is target:
+            self._fresh_primitive = False
+            return target
+        self._fresh_primitive = False
+        started = perf_counter()
+        state.primitive_from_conservative(
+            u, self.config.gamma, out=target, work=self.workspace
+        )
+        self.seconds["convert"] += perf_counter() - started
+        self.primitive_conversions += 1
+        self._primitive_target = target
+        return target
+
+    def compute_dt(
+        self, u: np.ndarray, target: Optional[np.ndarray] = None
+    ) -> float:
+        """CFL time step from ``u``; leaves the primitive scratch fresh."""
+        primitive = self.primitive_into(u, target=target)
+        self._fresh_primitive = True
+        started = perf_counter()
+        dt = get_dt(
+            primitive,
+            self.spacing,
+            self.config.cfl,
+            self.config.gamma,
+            work=self.workspace,
+        )
+        self.seconds["dt"] += perf_counter() - started
+        return dt
+
+    # -- sweeps ---------------------------------------------------------
+
+    def _face_fluxes(self, padded: np.ndarray) -> np.ndarray:
+        """Riemann fluxes at the interior faces of a padded sweep array."""
+        ws = self.workspace
+        ng = self.ghost_cells
+        faces_shape = (padded.shape[0] - 2 * ng + 1,) + padded.shape[1:]
+        flux = ws.array("engine.flux", faces_shape)
+        left = ws.array("engine.left", faces_shape)
+        right = ws.array("engine.right", faces_shape)
+        gamma = self.config.gamma
+        mode = self.config.variables
+        started = perf_counter()
+        if mode == "characteristic":
+            reconstruct_characteristic(
+                self.scheme, padded, gamma, out=(left, right), work=ws
+            )
+        elif mode == "primitive":
+            reconstruct_component(
+                self.scheme, padded, ng, out=(left, right), work=ws
+            )
+        else:  # conservative
+            padded_cons = ws.array("engine.padded_cons", padded.shape)
+            state.conservative_from_primitive(padded, gamma, out=padded_cons, work=ws)
+            cons_left = ws.array("engine.cons_left", faces_shape)
+            cons_right = ws.array("engine.cons_right", faces_shape)
+            reconstruct_component(
+                self.scheme, padded_cons, ng, out=(cons_left, cons_right), work=ws
+            )
+            state.primitive_from_conservative(cons_left, gamma, out=left, work=ws)
+            state.primitive_from_conservative(cons_right, gamma, out=right, work=ws)
+        self.seconds["reconstruct"] += perf_counter() - started
+        started = perf_counter()
+        self.riemann(left, right, gamma, out=flux, work=ws)
+        self.seconds["riemann"] += perf_counter() - started
+        return flux
+
+    def _fill_boundaries(self, padded: np.ndarray, low_spec, high_spec) -> None:
+        ng = self.ghost_cells
+        started = perf_counter()
+        if low_spec is not None:
+            low_spec.fill(padded, ng)
+        if high_spec is not None:
+            high_spec.fill(padded[::-1], ng)
+        self.seconds["bc"] += perf_counter() - started
+
+    def sweep_axis0(
+        self,
+        padded: np.ndarray,
+        low_spec,
+        high_spec,
+        spacing: float,
+        out: np.ndarray,
+    ) -> None:
+        """Axis-0 sweep: fill edges, flux, difference — *writes* ``out``."""
+        self._fill_boundaries(padded, low_spec, high_spec)
+        flux = self._face_fluxes(padded)
+        started = perf_counter()
+        np.subtract(flux[1:], flux[:-1], out=out)
+        np.negative(out, out=out)
+        np.divide(out, spacing, out=out)
+        self.seconds["difference"] += perf_counter() - started
+
+    def sweep_axis1(
+        self,
+        oriented_padded: np.ndarray,
+        low_spec,
+        high_spec,
+        spacing: float,
+        out: np.ndarray,
+    ) -> None:
+        """Axis-1 sweep on an oriented padded array — *accumulates* into ``out``.
+
+        ``oriented_padded`` is in sweep layout (axis 1 of the grid along
+        its axis 0, velocity fields swapped, see :meth:`orient_into`);
+        the contribution is added back in global layout without
+        materialising the un-oriented copy the seed path makes.
+        """
+        self._fill_boundaries(oriented_padded, low_spec, high_spec)
+        flux = self._face_fluxes(oriented_padded)
+        started = perf_counter()
+        contribution = self.workspace.array(
+            "engine.contribution_y", (flux.shape[0] - 1,) + flux.shape[1:]
+        )
+        np.subtract(flux[1:], flux[:-1], out=contribution)
+        np.negative(contribution, out=contribution)
+        np.divide(contribution, spacing, out=contribution)
+        transposed = np.transpose(contribution, (1, 0, 2))
+        for field_out, field_src in _SWAP_FIELDS:
+            np.add(out[..., field_out], transposed[..., field_src], out=out[..., field_out])
+        self.seconds["difference"] += perf_counter() - started
+
+    @staticmethod
+    def orient_into(window: np.ndarray, target: np.ndarray) -> None:
+        """``target[j, i, f] = window[i, j, swap(f)]`` — the y-sweep layout."""
+        transposed = np.transpose(window, (1, 0, 2))
+        for field_out, field_src in _SWAP_FIELDS:
+            np.copyto(target[..., field_out], transposed[..., field_src])
+
+    # -- serial driver interface ---------------------------------------
+
+    def rhs(
+        self, u: np.ndarray, out: np.ndarray, use_cached_primitive: bool = False
+    ) -> np.ndarray:
+        """Spatial operator L(U) into ``out`` (needs ``boundaries``)."""
+        if self.boundaries is None:
+            raise ConfigurationError("engine built without boundaries cannot run rhs()")
+        self.rhs_evaluations += 1
+        ws = self.workspace
+        ng = self.ghost_cells
+        primitive = self.primitive_into(u, reuse=use_cached_primitive)
+        started = perf_counter()
+        state.validate_state(primitive, f"{self.ndim}-D solver state", work=ws)
+        self.seconds["convert"] += perf_counter() - started
+        if self.ndim == 1:
+            n = primitive.shape[0]
+            padded = ws.array("engine.padded_x", (n + 2 * ng,) + primitive.shape[1:])
+            started = perf_counter()
+            padded[ng : ng + n] = primitive
+            self.seconds["bc"] += perf_counter() - started
+            self.sweep_axis0(
+                padded, self.boundaries.low, self.boundaries.high, self.spacing[0], out
+            )
+            return out
+        nx, ny = primitive.shape[:2]
+        padded = ws.array("engine.padded_x", (nx + 2 * ng, ny, 4))
+        started = perf_counter()
+        padded[ng : ng + nx] = primitive
+        self.seconds["bc"] += perf_counter() - started
+        low_spec, high_spec = self.boundaries.for_axis(0)
+        self.sweep_axis0(padded, low_spec, high_spec, self.spacing[0], out)
+        padded_y = ws.array("engine.padded_y", (ny + 2 * ng, nx, 4))
+        started = perf_counter()
+        self.orient_into(primitive, padded_y[ng : ng + ny])
+        self.seconds["bc"] += perf_counter() - started
+        low_spec, high_spec = self.boundaries.for_axis(1)
+        self.sweep_axis1(padded_y, low_spec, high_spec, self.spacing[1], out)
+        return out
+
+    def integrate(self, u: np.ndarray, dt: float, rhs_into: RhsInto) -> np.ndarray:
+        """Advance ``u`` in place by one Runge-Kutta step.
+
+        ``rhs_into(v, out, first_stage)`` must write L(v) into ``out``;
+        ``first_stage`` is True exactly once so drivers can reuse the
+        dt-fresh primitive conversion.  Time not spent inside the other
+        counted phases is booked as the Runge-Kutta combine ("rk").
+        """
+        stage_flag = [True]
+
+        def callback(v: np.ndarray, out: np.ndarray) -> None:
+            first = stage_flag[0]
+            stage_flag[0] = False
+            rhs_into(v, out, first)
+
+        inner_before = self._inner_seconds()
+        started = perf_counter()
+        self.integrator_into(u, dt, callback, self.workspace)
+        elapsed = perf_counter() - started
+        self.seconds["rk"] += elapsed - (self._inner_seconds() - inner_before)
+        self.steps_taken += 1
+        self._fresh_primitive = False
+        return u
+
+    def step(self, u: np.ndarray, dt: Optional[float] = None) -> float:
+        """One serial time step, in place on ``u``; returns the dt used."""
+        if dt is None:
+            dt = self.compute_dt(u)
+        self.integrate(
+            u,
+            dt,
+            lambda v, out, first: self.rhs(v, out, use_cached_primitive=first),
+        )
+        return dt
+
+    def _inner_seconds(self) -> float:
+        seconds = self.seconds
+        return (
+            seconds["convert"]
+            + seconds["bc"]
+            + seconds["reconstruct"]
+            + seconds["riemann"]
+            + seconds["difference"]
+        )

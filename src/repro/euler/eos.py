@@ -5,6 +5,10 @@ The paper closes the Euler system with a perfect gas law (its Eq. 3):
     p = (gamma - 1) * (E - rho * (u^2 + v^2) / 2)
 
 All functions here are elementwise and accept scalars or NumPy arrays.
+The hot-path functions additionally take ``out=`` (and, where an
+intermediate is needed, ``scratch=``) buffers; the in-place formulations
+perform the *same rounded operations in the same order* as the
+allocating expressions, so results are bit-for-bit identical.
 """
 
 from __future__ import annotations
@@ -14,24 +18,43 @@ import numpy as np
 from repro.euler.constants import GAMMA
 
 
-def pressure(rho, kinetic_energy_density, total_energy, gamma: float = GAMMA):
+def pressure(rho, kinetic_energy_density, total_energy, gamma: float = GAMMA, out=None):
     """Pressure from total energy density.
 
     ``kinetic_energy_density`` is ``rho * |velocity|^2 / 2``.
     """
-    return (gamma - 1.0) * (total_energy - kinetic_energy_density)
+    if out is None:
+        return (gamma - 1.0) * (total_energy - kinetic_energy_density)
+    np.subtract(total_energy, kinetic_energy_density, out=out)
+    np.multiply(out, gamma - 1.0, out=out)
+    return out
 
 
-def total_energy(rho, velocity_squared, p, gamma: float = GAMMA):
+def total_energy(rho, velocity_squared, p, gamma: float = GAMMA, out=None, scratch=None):
     """Total energy density E from primitive variables.
 
     ``velocity_squared`` is ``u^2`` in 1-D or ``u^2 + v^2`` in 2-D.
+    ``scratch`` must not alias ``velocity_squared``.
     """
-    return p / (gamma - 1.0) + 0.5 * rho * velocity_squared
+    if out is None:
+        return p / (gamma - 1.0) + 0.5 * rho * velocity_squared
+    if scratch is None:
+        scratch = np.empty_like(out)
+    np.divide(p, gamma - 1.0, out=out)
+    np.multiply(rho, 0.5, out=scratch)
+    np.multiply(scratch, velocity_squared, out=scratch)
+    np.add(out, scratch, out=out)
+    return out
 
-def sound_speed(rho, p, gamma: float = GAMMA):
+
+def sound_speed(rho, p, gamma: float = GAMMA, out=None):
     """Speed of sound ``c = sqrt(gamma * p / rho)`` (the paper's ``C``)."""
-    return np.sqrt(gamma * p / rho)
+    if out is None:
+        return np.sqrt(gamma * p / rho)
+    np.multiply(p, gamma, out=out)
+    np.divide(out, rho, out=out)
+    np.sqrt(out, out=out)
+    return out
 
 
 def enthalpy(rho, velocity_squared, p, gamma: float = GAMMA):

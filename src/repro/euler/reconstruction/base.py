@@ -48,7 +48,17 @@ def stencil_views(padded: np.ndarray, ghost_cells: int) -> List[np.ndarray]:
 
 
 def reconstruct_component(
-    scheme: StencilScheme, padded: np.ndarray, ghost_cells: int
+    scheme: StencilScheme,
+    padded: np.ndarray,
+    ghost_cells: int,
+    out=None,
+    work=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Run a stencil scheme on raw (componentwise) values."""
-    return scheme(stencil_views(padded, ghost_cells))
+    """Run a stencil scheme on raw (componentwise) values.
+
+    ``out=(left, right)``/``work`` select the scheme's preallocated
+    in-place path (bit-for-bit with the allocating one).
+    """
+    if out is None:
+        return scheme(stencil_views(padded, ghost_cells))
+    return scheme(stencil_views(padded, ghost_cells), out=out, work=work)

@@ -84,21 +84,26 @@ def eigen_matrices(
     return left, right
 
 
-def _project(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+def _project(matrix: np.ndarray, vector: np.ndarray, out=None) -> np.ndarray:
     """Apply a per-face matrix to a per-face field vector."""
-    return np.einsum("...ij,...j->...i", matrix, vector)
+    return np.einsum("...ij,...j->...i", matrix, vector, out=out)
 
 
 def reconstruct_characteristic(
     scheme: StencilScheme,
     padded_primitive: np.ndarray,
     gamma: float = GAMMA,
+    out=None,
+    work=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run a stencil scheme on local characteristic variables.
 
     ``padded_primitive`` holds N + 2*ghost_cells cells along axis 0 in
     primitive sweep layout; the result is primitive left/right states
-    at the N + 1 interior faces.
+    at the N + 1 interior faces.  ``out=(left, right)``/``work`` reuse
+    preallocated buffers for the stencil projections and the results
+    (the eigensystem assembly itself still allocates); either way the
+    rounded operations are identical.
     """
     ghost_cells = scheme.ghost_cells
     views = stencil_views(padded_primitive, ghost_cells)
@@ -107,20 +112,42 @@ def reconstruct_characteristic(
 
     if ghost_cells == 1:
         # Piecewise-constant is basis-independent; skip the projection.
-        return scheme(views)
+        if out is None:
+            return scheme(views)
+        return scheme(views, out=out, work=work)
 
     left_matrix, right_matrix = eigen_matrices(adjacent_left, adjacent_right, gamma)
-    conservative = [state.conservative_from_primitive(v, gamma) for v in views]
-    characteristic = [_project(left_matrix, u) for u in conservative]
+    if out is None:
+        conservative = [state.conservative_from_primitive(v, gamma) for v in views]
+        characteristic = [_project(left_matrix, u) for u in conservative]
 
-    char_left, char_right = scheme(characteristic)
-    cons_left = _project(right_matrix, char_left)
-    cons_right = _project(right_matrix, char_right)
-    prim_left = state.primitive_from_conservative(cons_left, gamma)
-    prim_right = state.primitive_from_conservative(cons_right, gamma)
+        char_left, char_right = scheme(characteristic)
+        cons_left = _project(right_matrix, char_left)
+        cons_right = _project(right_matrix, char_right)
+        prim_left = state.primitive_from_conservative(cons_left, gamma)
+        prim_right = state.primitive_from_conservative(cons_right, gamma)
 
-    prim_left = _fallback_unphysical(prim_left, adjacent_left)
-    prim_right = _fallback_unphysical(prim_right, adjacent_right)
+        prim_left = _fallback_unphysical(prim_left, adjacent_left)
+        prim_right = _fallback_unphysical(prim_right, adjacent_right)
+        return prim_left, prim_right
+
+    prim_left, prim_right = out
+    cons_scratch = work.like("char.cons", adjacent_left)
+    characteristic = []
+    for index, view in enumerate(views):
+        state.conservative_from_primitive(view, gamma, out=cons_scratch, work=work)
+        characteristic.append(
+            _project(left_matrix, cons_scratch, out=work.like(f"char.w{index}", view))
+        )
+    char_left = work.like("char.left", adjacent_left)
+    char_right = work.like("char.right", adjacent_right)
+    scheme(characteristic, out=(char_left, char_right), work=work)
+    cons_left = _project(right_matrix, char_left, out=work.like("char.cons_l", char_left))
+    cons_right = _project(right_matrix, char_right, out=work.like("char.cons_r", char_right))
+    state.primitive_from_conservative(cons_left, gamma, out=prim_left, work=work)
+    state.primitive_from_conservative(cons_right, gamma, out=prim_right, work=work)
+    _fallback_unphysical_into(prim_left, adjacent_left, work)
+    _fallback_unphysical_into(prim_right, adjacent_right, work)
     return prim_left, prim_right
 
 
@@ -134,3 +161,19 @@ def _fallback_unphysical(reconstructed: np.ndarray, first_order: np.ndarray) -> 
     if not np.any(bad):
         return reconstructed
     return np.where(bad[..., None], first_order, reconstructed)
+
+
+def _fallback_unphysical_into(reconstructed: np.ndarray, first_order: np.ndarray, work) -> None:
+    """In-place :func:`_fallback_unphysical`; same selection semantics."""
+    bad = work.array("char.bad", reconstructed.shape[:-1], np.bool_)
+    scratch = work.array("char.badtmp", reconstructed.shape[:-1], np.bool_)
+    finite = work.array("char.finite", reconstructed.shape, np.bool_)
+    np.less_equal(reconstructed[..., 0], FLOOR, out=bad)
+    np.less_equal(reconstructed[..., -1], FLOOR, out=scratch)
+    np.logical_or(bad, scratch, out=bad)
+    np.isfinite(reconstructed, out=finite)
+    np.all(finite, axis=-1, out=scratch)
+    np.logical_not(scratch, out=scratch)
+    np.logical_or(bad, scratch, out=bad)
+    if np.any(bad):
+        np.copyto(reconstructed, first_order, where=bad[..., None])

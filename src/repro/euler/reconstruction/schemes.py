@@ -10,7 +10,10 @@
 
 All schemes are in stencil form (see ``reconstruction.base``) and are
 returned by :func:`get_scheme` as callables carrying a ``ghost_cells``
-attribute.
+attribute.  Each accepts optional ``out=(left, right)`` and ``work=``
+(a :class:`~repro.euler.workspace.Workspace`) parameters; the in-place
+paths perform the same rounded operations in the same order as the
+allocating expressions, so results are bit-for-bit identical.
 """
 
 from __future__ import annotations
@@ -26,9 +29,14 @@ from repro.euler.reconstruction import limiters as _limiters
 WENO_EPSILON = 1e-6
 
 
-def piecewise_constant(cells: Sequence[np.ndarray]):
+def piecewise_constant(cells: Sequence[np.ndarray], out=None, work=None):
     """First-order reconstruction: the face states are the cell averages."""
-    return cells[0].copy(), cells[1].copy()
+    if out is None:
+        return cells[0].copy(), cells[1].copy()
+    left, right = out
+    np.copyto(left, cells[0])
+    np.copyto(right, cells[1])
+    return left, right
 
 
 piecewise_constant.ghost_cells = 1
@@ -44,19 +52,51 @@ def _muscl_states(cells, limiter):
     return left_cell + 0.5 * slope_left, right_cell - 0.5 * slope_right
 
 
+def _muscl_states_into(cells, limiter_into, out, work):
+    """In-place MUSCL; same operation order as :func:`_muscl_states`."""
+    ng = len(cells) // 2
+    left_cell = cells[ng - 1]
+    right_cell = cells[ng]
+    left, right = out
+    backward = work.like("muscl.backward", left)
+    central = work.like("muscl.central", left)
+    np.subtract(left_cell, cells[ng - 2], out=backward)
+    np.subtract(right_cell, left_cell, out=central)
+    limiter_into(backward, central, left, work)
+    np.multiply(left, 0.5, out=left)
+    np.add(left_cell, left, out=left)
+    np.subtract(cells[ng + 1], right_cell, out=backward)
+    limiter_into(central, backward, right, work)
+    np.multiply(right, 0.5, out=right)
+    np.subtract(right_cell, right, out=right)
+    return left, right
+
+
 def make_tvd2(limiter_name: str = "minmod"):
     """Build a 2nd-order MUSCL scheme with the named slope limiter."""
     limiter = _limiters.get_limiter(limiter_name)
+    limiter_into = _limiters.LIMITERS_INTO[limiter_name]
 
-    def tvd2(cells: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
-        return _muscl_states(cells, limiter)
+    def tvd2(
+        cells: Sequence[np.ndarray], out=None, work=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if out is None:
+            return _muscl_states(cells, limiter)
+        return _muscl_states_into(cells, limiter_into, out, work)
 
     tvd2.ghost_cells = 2
     tvd2.__name__ = f"tvd2_{limiter_name}"
     return tvd2
 
 
-def tvd3(cells: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+#: TVD-3 coefficients (kappa-scheme with kappa = 1/3, compression b = 4).
+_TVD3_KAPPA = 1.0 / 3.0
+_TVD3_B = (3.0 - _TVD3_KAPPA) / (1.0 - _TVD3_KAPPA)
+
+
+def tvd3(
+    cells: Sequence[np.ndarray], out=None, work=None
+) -> Tuple[np.ndarray, np.ndarray]:
     """3rd-order limited kappa-scheme (kappa = 1/3, compression b = 4).
 
     For the cell left of the face (extrapolating rightwards):
@@ -65,34 +105,66 @@ def tvd3(cells: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
 
     and the mirrored expression for the cell right of the face.
     """
-    kappa = 1.0 / 3.0
-    b = (3.0 - kappa) / (1.0 - kappa)
-    minmod = _limiters.minmod
+    kappa = _TVD3_KAPPA
+    b = _TVD3_B
     ng = len(cells) // 2
-
     left_cell = cells[ng - 1]
     right_cell = cells[ng]
 
-    dm_left = left_cell - cells[ng - 2]
-    dp_left = right_cell - left_cell
-    left = left_cell + 0.25 * (
-        (1.0 - kappa) * minmod(dm_left, b * dp_left)
-        + (1.0 + kappa) * minmod(dp_left, b * dm_left)
-    )
+    if out is None:
+        minmod = _limiters.minmod
+        dm_left = left_cell - cells[ng - 2]
+        dp_left = right_cell - left_cell
+        left = left_cell + 0.25 * (
+            (1.0 - kappa) * minmod(dm_left, b * dp_left)
+            + (1.0 + kappa) * minmod(dp_left, b * dm_left)
+        )
 
-    dm_right = right_cell - left_cell
-    dp_right = cells[ng + 1] - right_cell
-    right = right_cell - 0.25 * (
-        (1.0 - kappa) * minmod(dp_right, b * dm_right)
-        + (1.0 + kappa) * minmod(dm_right, b * dp_right)
-    )
+        dm_right = right_cell - left_cell
+        dp_right = cells[ng + 1] - right_cell
+        right = right_cell - 0.25 * (
+            (1.0 - kappa) * minmod(dp_right, b * dm_right)
+            + (1.0 + kappa) * minmod(dm_right, b * dp_right)
+        )
+        return left, right
+
+    left, right = out
+    backward = work.like("tvd3.backward", left)
+    central = work.like("tvd3.central", left)
+    scaled = work.like("tvd3.scaled", left)
+    slope = work.like("tvd3.slope", left)
+    np.subtract(left_cell, cells[ng - 2], out=backward)   # dm_left
+    np.subtract(right_cell, left_cell, out=central)       # dp_left
+    np.multiply(central, b, out=scaled)
+    _limiters.minmod_into(backward, scaled, left, work)
+    np.multiply(left, 1.0 - kappa, out=left)
+    np.multiply(backward, b, out=scaled)
+    _limiters.minmod_into(central, scaled, slope, work)
+    np.multiply(slope, 1.0 + kappa, out=slope)
+    np.add(left, slope, out=left)
+    np.multiply(left, 0.25, out=left)
+    np.add(left_cell, left, out=left)
+
+    # dm_right is bitwise equal to dp_left, already held by `central`
+    np.subtract(cells[ng + 1], right_cell, out=backward)  # dp_right
+    np.multiply(central, b, out=scaled)
+    _limiters.minmod_into(backward, scaled, right, work)
+    np.multiply(right, 1.0 - kappa, out=right)
+    np.multiply(backward, b, out=scaled)
+    _limiters.minmod_into(central, scaled, slope, work)
+    np.multiply(slope, 1.0 + kappa, out=slope)
+    np.add(right, slope, out=right)
+    np.multiply(right, 0.25, out=right)
+    np.subtract(right_cell, right, out=right)
     return left, right
 
 
 tvd3.ghost_cells = 2
 
 
-def weno3(cells: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+def weno3(
+    cells: Sequence[np.ndarray], out=None, work=None
+) -> Tuple[np.ndarray, np.ndarray]:
     """3rd-order WENO reconstruction (two 2-point stencils per side).
 
     Smoothness indicators are squared one-sided differences; a stencil
@@ -107,8 +179,13 @@ def weno3(cells: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
         cells[ng + 1],
     )
 
-    left = _weno3_one_side(far_left, left_cell, right_cell)
-    right = _weno3_one_side(far_right, right_cell, left_cell)
+    if out is None:
+        left = _weno3_one_side(far_left, left_cell, right_cell)
+        right = _weno3_one_side(far_right, right_cell, left_cell)
+        return left, right
+    left, right = out
+    _weno3_one_side_into(far_left, left_cell, right_cell, left, work)
+    _weno3_one_side_into(far_right, right_cell, left_cell, right, work)
     return left, right
 
 
@@ -126,6 +203,37 @@ def _weno3_one_side(upwind, centre, downwind):
     candidate0 = 1.5 * centre - 0.5 * upwind
     candidate1 = 0.5 * centre + 0.5 * downwind
     return weight0 * candidate0 + weight1 * candidate1
+
+
+def _weno3_one_side_into(upwind, centre, downwind, out, work):
+    """In-place :func:`_weno3_one_side`; identical operation order."""
+    weight0 = work.like("weno.weight0", out)
+    weight1 = work.like("weno.weight1", out)
+    candidate = work.like("weno.candidate", out)
+    scratch = work.like("weno.scratch", out)
+    np.subtract(centre, upwind, out=weight0)
+    np.power(weight0, 2, out=weight0)                      # beta0
+    np.subtract(downwind, centre, out=weight1)
+    np.power(weight1, 2, out=weight1)                      # beta1
+    np.add(weight0, WENO_EPSILON, out=weight0)
+    np.power(weight0, 2, out=weight0)
+    np.divide(1.0 / 3.0, weight0, out=weight0)             # alpha0
+    np.add(weight1, WENO_EPSILON, out=weight1)
+    np.power(weight1, 2, out=weight1)
+    np.divide(2.0 / 3.0, weight1, out=weight1)             # alpha1
+    np.add(weight0, weight1, out=scratch)
+    np.divide(weight0, scratch, out=weight0)               # weight0
+    np.subtract(1.0, weight0, out=weight1)                 # weight1
+    np.multiply(centre, 1.5, out=candidate)
+    np.multiply(upwind, 0.5, out=scratch)
+    np.subtract(candidate, scratch, out=candidate)         # candidate0
+    np.multiply(weight0, candidate, out=out)
+    np.multiply(centre, 0.5, out=candidate)
+    np.multiply(downwind, 0.5, out=scratch)
+    np.add(candidate, scratch, out=candidate)              # candidate1
+    np.multiply(weight1, candidate, out=candidate)
+    np.add(out, candidate, out=out)
+    return out
 
 
 def get_scheme(name: str, limiter: str = "minmod"):

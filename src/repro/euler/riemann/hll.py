@@ -15,28 +15,90 @@ from repro.euler.constants import GAMMA
 from repro.euler import eos, state
 
 
-def wave_speed_estimates(left, right, gamma: float = GAMMA):
-    """Davis estimates (sL, sR) for the outermost wave speeds."""
-    c_left = eos.sound_speed(left[..., 0], left[..., -1], gamma)
-    c_right = eos.sound_speed(right[..., 0], right[..., -1], gamma)
-    s_left = np.minimum(left[..., 1] - c_left, right[..., 1] - c_right)
-    s_right = np.maximum(left[..., 1] + c_left, right[..., 1] + c_right)
+def wave_speed_estimates(left, right, gamma: float = GAMMA, out=None, work=None):
+    """Davis estimates (sL, sR) for the outermost wave speeds.
+
+    ``out=(s_left, s_right)``/``work`` select the in-place path
+    (bit-for-bit with the allocating expressions).
+    """
+    if out is None:
+        c_left = eos.sound_speed(left[..., 0], left[..., -1], gamma)
+        c_right = eos.sound_speed(right[..., 0], right[..., -1], gamma)
+        s_left = np.minimum(left[..., 1] - c_left, right[..., 1] - c_right)
+        s_right = np.maximum(left[..., 1] + c_left, right[..., 1] + c_right)
+        return s_left, s_right
+    s_left, s_right = out
+    c_left = work.cell_like("wave.cl", left)
+    c_right = work.cell_like("wave.cr", right)
+    scratch = work.cell_like("wave.tmp", left)
+    eos.sound_speed(left[..., 0], left[..., -1], gamma, out=c_left)
+    eos.sound_speed(right[..., 0], right[..., -1], gamma, out=c_right)
+    np.subtract(left[..., 1], c_left, out=s_left)
+    np.subtract(right[..., 1], c_right, out=scratch)
+    np.minimum(s_left, scratch, out=s_left)
+    np.add(left[..., 1], c_left, out=s_right)
+    np.add(right[..., 1], c_right, out=scratch)
+    np.maximum(s_right, scratch, out=s_right)
     return s_left, s_right
 
 
-def hll_flux(left: np.ndarray, right: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
+def hll_flux(
+    left: np.ndarray,
+    right: np.ndarray,
+    gamma: float = GAMMA,
+    out: np.ndarray = None,
+    work=None,
+) -> np.ndarray:
     """Numerical flux from primitive left/right states in sweep layout."""
-    flux_left = state.physical_flux(left, axis_field=1, gamma=gamma)
-    flux_right = state.physical_flux(right, axis_field=1, gamma=gamma)
-    u_left = state.conservative_from_primitive(left, gamma)
-    u_right = state.conservative_from_primitive(right, gamma)
-    s_left, s_right = wave_speed_estimates(left, right, gamma)
+    if out is None:
+        flux_left = state.physical_flux(left, axis_field=1, gamma=gamma)
+        flux_right = state.physical_flux(right, axis_field=1, gamma=gamma)
+        u_left = state.conservative_from_primitive(left, gamma)
+        u_right = state.conservative_from_primitive(right, gamma)
+        s_left, s_right = wave_speed_estimates(left, right, gamma)
 
-    sl = s_left[..., None]
-    sr = s_right[..., None]
-    denominator = np.where(sr - sl == 0.0, 1.0, sr - sl)
-    hll = (sr * flux_left - sl * flux_right + sl * sr * (u_right - u_left)) / denominator
+        sl = s_left[..., None]
+        sr = s_right[..., None]
+        denominator = np.where(sr - sl == 0.0, 1.0, sr - sl)
+        hll = (sr * flux_left - sl * flux_right + sl * sr * (u_right - u_left)) / denominator
 
-    flux = np.where(sl >= 0.0, flux_left, hll)
-    flux = np.where(sr <= 0.0, flux_right, flux)
-    return flux
+        flux = np.where(sl >= 0.0, flux_left, hll)
+        flux = np.where(sr <= 0.0, flux_right, flux)
+        return flux
+
+    flux_left = state.physical_flux(left, axis_field=1, gamma=gamma,
+                                    out=work.like("hll.fl", left), work=work)
+    flux_right = state.physical_flux(right, axis_field=1, gamma=gamma,
+                                     out=work.like("hll.fr", right), work=work)
+    u_left = state.conservative_from_primitive(left, gamma,
+                                               out=work.like("hll.ul", left), work=work)
+    u_right = state.conservative_from_primitive(right, gamma,
+                                                out=work.like("hll.ur", right), work=work)
+    s_left = work.cell_like("hll.sl", left)
+    s_right = work.cell_like("hll.sr", right)
+    wave_speed_estimates(left, right, gamma, out=(s_left, s_right), work=work)
+
+    denominator = work.cell_like("hll.den", left)
+    mask = work.cell_like("hll.mask", left, dtype=np.bool_)
+    np.subtract(s_right, s_left, out=denominator)
+    np.equal(denominator, 0.0, out=mask)
+    np.copyto(denominator, 1.0, where=mask)
+
+    hll = work.like("hll.avg", left)
+    np.multiply(s_right[..., None], flux_left, out=hll)
+    scaled = work.like("hll.scaled", left)
+    np.multiply(s_left[..., None], flux_right, out=scaled)
+    np.subtract(hll, scaled, out=hll)
+    slsr = work.cell_like("hll.slsr", left)
+    np.multiply(s_left, s_right, out=slsr)
+    np.subtract(u_right, u_left, out=u_right)
+    np.multiply(slsr[..., None], u_right, out=u_right)
+    np.add(hll, u_right, out=hll)
+    np.divide(hll, denominator[..., None], out=hll)
+
+    np.copyto(out, hll)
+    np.greater_equal(s_left, 0.0, out=mask)
+    np.copyto(out, flux_left, where=mask[..., None])
+    np.less_equal(s_right, 0.0, out=mask)
+    np.copyto(out, flux_right, where=mask[..., None])
+    return out

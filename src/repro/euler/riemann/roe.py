@@ -49,14 +49,40 @@ def _entropy_fix(eigenvalue: np.ndarray, sound: np.ndarray) -> np.ndarray:
     return np.where(magnitude < delta, fixed, magnitude)
 
 
-def roe_flux(left: np.ndarray, right: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
-    """Numerical flux from primitive left/right states in sweep layout."""
+def roe_flux(
+    left: np.ndarray,
+    right: np.ndarray,
+    gamma: float = GAMMA,
+    out: np.ndarray = None,
+    work=None,
+) -> np.ndarray:
+    """Numerical flux from primitive left/right states in sweep layout.
+
+    With ``out``/``work`` the top-level arrays (physical fluxes,
+    conservative states, the dissipation accumulator and the result)
+    come from the workspace; the wave-strength algebra still allocates
+    its small temporaries.  Either way the rounded operations match.
+    """
     nfields = left.shape[-1]
-    flux_left = state.physical_flux(left, axis_field=1, gamma=gamma)
-    flux_right = state.physical_flux(right, axis_field=1, gamma=gamma)
-    u_left = state.conservative_from_primitive(left, gamma)
-    u_right = state.conservative_from_primitive(right, gamma)
-    du = u_right - u_left
+    if out is None:
+        flux_left = state.physical_flux(left, axis_field=1, gamma=gamma)
+        flux_right = state.physical_flux(right, axis_field=1, gamma=gamma)
+        u_left = state.conservative_from_primitive(left, gamma)
+        u_right = state.conservative_from_primitive(right, gamma)
+        du = u_right - u_left
+        dissipation = np.zeros_like(du)
+    else:
+        flux_left = state.physical_flux(left, axis_field=1, gamma=gamma,
+                                        out=work.like("roe.fl", left), work=work)
+        flux_right = state.physical_flux(right, axis_field=1, gamma=gamma,
+                                         out=work.like("roe.fr", right), work=work)
+        u_left = state.conservative_from_primitive(left, gamma,
+                                                   out=work.like("roe.ul", left), work=work)
+        u_right = state.conservative_from_primitive(right, gamma,
+                                                    out=work.like("roe.ur", right), work=work)
+        du = np.subtract(u_right, u_left, out=u_right)
+        dissipation = work.like("roe.diss", du)
+        dissipation.fill(0.0)
 
     velocities, enthalpy, sound = roe_average(left, right, gamma)
     u_hat = velocities[0]
@@ -65,7 +91,6 @@ def roe_flux(left: np.ndarray, right: np.ndarray, gamma: float = GAMMA) -> np.nd
     # (eigenvalue, strength, eigenvector, genuinely_nonlinear); the Harten
     # fix applies only to the acoustic (genuinely nonlinear) waves — the
     # contact and shear waves are linearly degenerate and need none
-    dissipation = np.zeros_like(du)
     if nfields == 3:
         alpha2 = (gamma - 1.0) / sound**2 * (
             du[..., 0] * (enthalpy - u_hat * u_hat) + u_hat * du[..., 1] - du[..., 2]
@@ -103,4 +128,10 @@ def roe_flux(left: np.ndarray, right: np.ndarray, gamma: float = GAMMA) -> np.nd
         for field, component in enumerate(eigenvector):
             dissipation[..., field] += scale * component
 
-    return 0.5 * (flux_left + flux_right) - 0.5 * dissipation
+    if out is None:
+        return 0.5 * (flux_left + flux_right) - 0.5 * dissipation
+    np.add(flux_left, flux_right, out=out)
+    np.multiply(out, 0.5, out=out)
+    np.multiply(dissipation, 0.5, out=dissipation)
+    np.subtract(out, dissipation, out=out)
+    return out

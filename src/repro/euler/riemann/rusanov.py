@@ -17,16 +17,54 @@ from repro.euler.constants import GAMMA
 from repro.euler import eos, state
 
 
-def rusanov_flux(left: np.ndarray, right: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
-    """Numerical flux from primitive left/right states in sweep layout."""
-    flux_left = state.physical_flux(left, axis_field=1, gamma=gamma)
-    flux_right = state.physical_flux(right, axis_field=1, gamma=gamma)
-    u_left = state.conservative_from_primitive(left, gamma)
-    u_right = state.conservative_from_primitive(right, gamma)
+def rusanov_flux(
+    left: np.ndarray,
+    right: np.ndarray,
+    gamma: float = GAMMA,
+    out: np.ndarray = None,
+    work=None,
+) -> np.ndarray:
+    """Numerical flux from primitive left/right states in sweep layout.
 
-    c_left = eos.sound_speed(left[..., 0], left[..., -1], gamma)
-    c_right = eos.sound_speed(right[..., 0], right[..., -1], gamma)
-    smax = np.maximum(
-        np.abs(left[..., 1]) + c_left, np.abs(right[..., 1]) + c_right
-    )
-    return 0.5 * (flux_left + flux_right) - 0.5 * smax[..., None] * (u_right - u_left)
+    ``out``/``work`` select the preallocated in-place path, which is
+    bit-for-bit identical to the allocating expression below.
+    """
+    if out is None:
+        flux_left = state.physical_flux(left, axis_field=1, gamma=gamma)
+        flux_right = state.physical_flux(right, axis_field=1, gamma=gamma)
+        u_left = state.conservative_from_primitive(left, gamma)
+        u_right = state.conservative_from_primitive(right, gamma)
+
+        c_left = eos.sound_speed(left[..., 0], left[..., -1], gamma)
+        c_right = eos.sound_speed(right[..., 0], right[..., -1], gamma)
+        smax = np.maximum(
+            np.abs(left[..., 1]) + c_left, np.abs(right[..., 1]) + c_right
+        )
+        return 0.5 * (flux_left + flux_right) - 0.5 * smax[..., None] * (u_right - u_left)
+
+    flux_left = state.physical_flux(left, axis_field=1, gamma=gamma,
+                                    out=work.like("rus.fl", left), work=work)
+    flux_right = state.physical_flux(right, axis_field=1, gamma=gamma,
+                                     out=work.like("rus.fr", right), work=work)
+    u_left = state.conservative_from_primitive(left, gamma,
+                                               out=work.like("rus.ul", left), work=work)
+    u_right = state.conservative_from_primitive(right, gamma,
+                                                out=work.like("rus.ur", right), work=work)
+    smax = work.cell_like("rus.smax", left)
+    speed = work.cell_like("rus.speed", left)
+    sound = work.cell_like("rus.sound", left)
+    eos.sound_speed(left[..., 0], left[..., -1], gamma, out=sound)
+    np.abs(left[..., 1], out=smax)
+    np.add(smax, sound, out=smax)
+    eos.sound_speed(right[..., 0], right[..., -1], gamma, out=sound)
+    np.abs(right[..., 1], out=speed)
+    np.add(speed, sound, out=speed)
+    np.maximum(smax, speed, out=smax)
+
+    np.add(flux_left, flux_right, out=out)
+    np.multiply(out, 0.5, out=out)
+    np.multiply(smax, 0.5, out=smax)
+    np.subtract(u_right, u_left, out=u_right)
+    np.multiply(smax[..., None], u_right, out=u_right)
+    np.subtract(out, u_right, out=out)
+    return out

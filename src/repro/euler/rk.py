@@ -37,10 +37,68 @@ def rk3_tvd_step(u: np.ndarray, dt: float, rhs: RhsFunction) -> np.ndarray:
     return u / 3.0 + 2.0 / 3.0 * (stage2 + dt * rhs(stage2))
 
 
+#: In-place right-hand side: ``rhs(u, out)`` writes L(U) into ``out``.
+RhsIntoFunction = Callable[[np.ndarray, np.ndarray], None]
+
+
+def rk1_step_into(u: np.ndarray, dt: float, rhs: RhsIntoFunction, work) -> np.ndarray:
+    """In-place forward Euler; bit-for-bit with :func:`rk1_step`."""
+    k = work.like("rk.k", u)
+    rhs(u, k)
+    np.multiply(k, dt, out=k)
+    np.add(u, k, out=u)
+    return u
+
+
+def rk2_tvd_step_into(u: np.ndarray, dt: float, rhs: RhsIntoFunction, work) -> np.ndarray:
+    """In-place SSP-RK2 keeping the exact Shu-Osher convex-combination order."""
+    k = work.like("rk.k", u)
+    stage1 = work.like("rk.stage1", u)
+    rhs(u, k)
+    np.multiply(k, dt, out=k)
+    np.add(u, k, out=stage1)
+    rhs(stage1, k)
+    np.multiply(k, dt, out=k)
+    np.add(stage1, k, out=k)
+    np.multiply(k, 0.5, out=k)
+    np.multiply(u, 0.5, out=u)
+    np.add(u, k, out=u)
+    return u
+
+
+def rk3_tvd_step_into(u: np.ndarray, dt: float, rhs: RhsIntoFunction, work) -> np.ndarray:
+    """In-place SSP-RK3 keeping the exact Shu-Osher convex-combination order."""
+    k = work.like("rk.k", u)
+    stage1 = work.like("rk.stage1", u)
+    stage2 = work.like("rk.stage2", u)
+    rhs(u, k)
+    np.multiply(k, dt, out=k)
+    np.add(u, k, out=stage1)
+    rhs(stage1, k)
+    np.multiply(k, dt, out=k)
+    np.add(stage1, k, out=k)
+    np.multiply(k, 0.25, out=k)
+    np.multiply(u, 0.75, out=stage2)
+    np.add(stage2, k, out=stage2)
+    rhs(stage2, k)
+    np.multiply(k, dt, out=k)
+    np.add(stage2, k, out=k)
+    np.multiply(k, 2.0 / 3.0, out=k)
+    np.divide(u, 3.0, out=u)
+    np.add(u, k, out=u)
+    return u
+
+
 INTEGRATORS = {
     1: rk1_step,
     2: rk2_tvd_step,
     3: rk3_tvd_step,
+}
+
+INTEGRATORS_INTO = {
+    1: rk1_step_into,
+    2: rk2_tvd_step_into,
+    3: rk3_tvd_step_into,
 }
 
 
@@ -48,6 +106,16 @@ def get_integrator(order: int):
     """Integrator of the requested order; raises ConfigurationError otherwise."""
     try:
         return INTEGRATORS[order]
+    except KeyError:
+        raise ConfigurationError(
+            f"no TVD Runge-Kutta scheme of order {order} (have 1, 2, 3)"
+        ) from None
+
+
+def get_integrator_into(order: int):
+    """In-place integrator of the requested order (mutates ``u``)."""
+    try:
+        return INTEGRATORS_INTO[order]
     except KeyError:
         raise ConfigurationError(
             f"no TVD Runge-Kutta scheme of order {order} (have 1, 2, 3)"

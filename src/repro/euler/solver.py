@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import ConfigurationError, PhysicsError
 from repro.euler.constants import DEFAULT_CFL, GAMMA
 from repro.euler import state
+from repro.euler.engine import StepEngine
 from repro.euler.boundary import (
     BoundarySet1D,
     BoundarySet2D,
@@ -119,6 +120,11 @@ class EulerSolver1D:
 
     ``primitive`` is the initial condition as an ``(N, 3)`` array of
     (rho, u, p); the solver advances the conservative state in place.
+
+    With ``use_engine=True`` (the default) stepping runs through a
+    preallocated :class:`~repro.euler.engine.StepEngine`; the results
+    are bit-for-bit identical to the allocating seed path, which
+    ``use_engine=False`` keeps available as the benchmark reference.
     """
 
     def __init__(
@@ -127,6 +133,7 @@ class EulerSolver1D:
         dx: float,
         boundaries: BoundarySet1D,
         config: Optional[SolverConfig] = None,
+        use_engine: bool = True,
     ):
         if primitive.ndim != 2 or primitive.shape[-1] != 3:
             raise ConfigurationError("1-D initial condition must have shape (N, 3)")
@@ -139,6 +146,11 @@ class EulerSolver1D:
         self.integrator = get_integrator(self.config.rk_order)
         self.u = state.conservative_from_primitive(
             np.asarray(primitive, dtype=float), self.config.gamma
+        )
+        self.engine: Optional[StepEngine] = (
+            StepEngine(self.u.shape, (self.dx,), self.config, self.boundaries)
+            if use_engine
+            else None
         )
         self.time = 0.0
         self.steps = 0
@@ -159,6 +171,8 @@ class EulerSolver1D:
 
     def rhs(self, u: np.ndarray) -> np.ndarray:
         """Spatial operator L(U) = -dF/dx."""
+        if self.engine is not None:
+            return self.engine.rhs(u, np.empty_like(u))
         primitive = state.primitive_from_conservative(u, self.config.gamma)
         state.validate_state(primitive, "1-D solver state")
         padded = self._pad(primitive)
@@ -166,10 +180,17 @@ class EulerSolver1D:
         return -(flux[1:] - flux[:-1]) / self.dx
 
     def compute_dt(self) -> float:
+        if self.engine is not None:
+            return self.engine.compute_dt(self.u)
         return get_dt(self.primitive, [self.dx], self.config.cfl, self.config.gamma)
 
     def step(self, dt: Optional[float] = None) -> float:
         """Advance one time step; returns the dt used."""
+        if self.engine is not None:
+            dt = self.engine.step(self.u, dt)
+            self.time += dt
+            self.steps += 1
+            return dt
         if dt is None:
             dt = self.compute_dt()
         self.u = self.integrator(self.u, dt, self.rhs)
@@ -192,6 +213,11 @@ class EulerSolver2D:
 
     ``primitive`` is ``(Nx, Ny, 4)`` of (rho, u, v, p); index ``[i, j]``
     is the cell at ``x = (i + 1/2) dx, y = (j + 1/2) dy``.
+
+    With ``use_engine=True`` (the default) stepping runs through a
+    preallocated :class:`~repro.euler.engine.StepEngine`; the results
+    are bit-for-bit identical to the allocating seed path, which
+    ``use_engine=False`` keeps available as the benchmark reference.
     """
 
     def __init__(
@@ -201,6 +227,7 @@ class EulerSolver2D:
         dy: float,
         boundaries: BoundarySet2D,
         config: Optional[SolverConfig] = None,
+        use_engine: bool = True,
     ):
         if primitive.ndim != 3 or primitive.shape[-1] != 4:
             raise ConfigurationError("2-D initial condition must have shape (Nx, Ny, 4)")
@@ -214,6 +241,11 @@ class EulerSolver2D:
         self.integrator = get_integrator(self.config.rk_order)
         self.u = state.conservative_from_primitive(
             np.asarray(primitive, dtype=float), self.config.gamma
+        )
+        self.engine: Optional[StepEngine] = (
+            StepEngine(self.u.shape, (self.dx, self.dy), self.config, self.boundaries)
+            if use_engine
+            else None
         )
         self.time = 0.0
         self.steps = 0
@@ -248,17 +280,26 @@ class EulerSolver2D:
 
     def rhs(self, u: np.ndarray) -> np.ndarray:
         """Spatial operator L(U) = -dF/dx - dG/dy (unsplit)."""
+        if self.engine is not None:
+            return self.engine.rhs(u, np.empty_like(u))
         primitive = state.primitive_from_conservative(u, self.config.gamma)
         state.validate_state(primitive, "2-D solver state")
         return self._sweep(primitive, 0) + self._sweep(primitive, 1)
 
     def compute_dt(self) -> float:
+        if self.engine is not None:
+            return self.engine.compute_dt(self.u)
         return get_dt(
             self.primitive, [self.dx, self.dy], self.config.cfl, self.config.gamma
         )
 
     def step(self, dt: Optional[float] = None) -> float:
         """Advance one time step; returns the dt used."""
+        if self.engine is not None:
+            dt = self.engine.step(self.u, dt)
+            self.time += dt
+            self.steps += 1
+            return dt
         if dt is None:
             dt = self.compute_dt()
         self.u = self.integrator(self.u, dt, self.rhs)
@@ -284,7 +325,10 @@ def _run_loop(solver, t_end, max_steps, callback) -> RunResult:
     while True:
         if max_steps is not None and solver.steps >= max_steps:
             break
-        if t_end is not None and solver.time >= t_end - 1e-14:
+        # Stop tolerance scales with t_end: an absolute 1e-14 epsilon is
+        # meaningless for large end times (t_end = 1000 sits ~1e-13 ulp
+        # apart) and overly strict for tiny ones.
+        if t_end is not None and t_end - solver.time <= 1e-12 * abs(t_end):
             break
         dt = solver.compute_dt()
         if t_end is not None:

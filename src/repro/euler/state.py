@@ -34,87 +34,194 @@ def ndim_of(state: np.ndarray) -> int:
     raise PhysicsError(f"state arrays must have 3 or 4 fields, got {nfields}")
 
 
-def primitive_from_conservative(u: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
-    """Convert conservative ``(rho, rho*u[, rho*v], E)`` to primitive ``(rho, u[, v], p)``."""
+def primitive_from_conservative(
+    u: np.ndarray, gamma: float = GAMMA, out: np.ndarray = None, work=None
+) -> np.ndarray:
+    """Convert conservative ``(rho, rho*u[, rho*v], E)`` to primitive ``(rho, u[, v], p)``.
+
+    With ``out``/``work`` the conversion runs in preallocated buffers,
+    performing the identical sequence of rounded operations (bit-for-bit
+    with the allocating path).  ``out`` must not alias ``u``.
+    """
     ndim = ndim_of(u)
     rho = u[..., 0]
-    p_out = np.empty_like(u)
-    p_out[..., 0] = rho
+    if out is None:
+        p_out = np.empty_like(u)
+        p_out[..., 0] = rho
+        if ndim == 1:
+            vel = u[..., 1] / rho
+            kinetic = 0.5 * rho * vel * vel
+            p_out[..., 1] = vel
+            p_out[..., 2] = eos.pressure(rho, kinetic, u[..., 2], gamma)
+        else:
+            vx = u[..., 1] / rho
+            vy = u[..., 2] / rho
+            kinetic = 0.5 * rho * (vx * vx + vy * vy)
+            p_out[..., 1] = vx
+            p_out[..., 2] = vy
+            p_out[..., 3] = eos.pressure(rho, kinetic, u[..., 3], gamma)
+        return p_out
+    kinetic = _cell_scratch(work, "state.kinetic", u)
     if ndim == 1:
-        vel = u[..., 1] / rho
-        kinetic = 0.5 * rho * vel * vel
-        p_out[..., 1] = vel
-        p_out[..., 2] = eos.pressure(rho, kinetic, u[..., 2], gamma)
+        np.divide(u[..., 1], rho, out=out[..., 1])
+        # kinetic = ((0.5 * rho) * vel) * vel, matching the expression's
+        # left-to-right association
+        np.multiply(rho, 0.5, out=kinetic)
+        np.multiply(kinetic, out[..., 1], out=kinetic)
+        np.multiply(kinetic, out[..., 1], out=kinetic)
+        eos.pressure(rho, kinetic, u[..., 2], gamma, out=out[..., 2])
     else:
-        vx = u[..., 1] / rho
-        vy = u[..., 2] / rho
-        kinetic = 0.5 * rho * (vx * vx + vy * vy)
-        p_out[..., 1] = vx
-        p_out[..., 2] = vy
-        p_out[..., 3] = eos.pressure(rho, kinetic, u[..., 3], gamma)
-    return p_out
+        np.divide(u[..., 1], rho, out=out[..., 1])
+        np.divide(u[..., 2], rho, out=out[..., 2])
+        v2 = _cell_scratch(work, "state.v2", u)
+        np.multiply(out[..., 1], out[..., 1], out=v2)
+        np.multiply(out[..., 2], out[..., 2], out=kinetic)
+        np.add(v2, kinetic, out=v2)
+        np.multiply(rho, 0.5, out=kinetic)
+        np.multiply(kinetic, v2, out=kinetic)
+        eos.pressure(rho, kinetic, u[..., 3], gamma, out=out[..., 3])
+    np.copyto(out[..., 0], rho)
+    return out
 
 
-def conservative_from_primitive(p: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
-    """Convert primitive ``(rho, u[, v], p)`` to conservative ``(rho, rho*u[, rho*v], E)``."""
+def conservative_from_primitive(
+    p: np.ndarray, gamma: float = GAMMA, out: np.ndarray = None, work=None
+) -> np.ndarray:
+    """Convert primitive ``(rho, u[, v], p)`` to conservative ``(rho, rho*u[, rho*v], E)``.
+
+    ``out`` (bit-for-bit in-place variant) must not alias ``p``.
+    """
     ndim = ndim_of(p)
     rho = p[..., 0]
-    u_out = np.empty_like(p)
-    u_out[..., 0] = rho
+    if out is None:
+        u_out = np.empty_like(p)
+        u_out[..., 0] = rho
+        if ndim == 1:
+            vel = p[..., 1]
+            u_out[..., 1] = rho * vel
+            u_out[..., 2] = eos.total_energy(rho, vel * vel, p[..., 2], gamma)
+        else:
+            vx = p[..., 1]
+            vy = p[..., 2]
+            u_out[..., 1] = rho * vx
+            u_out[..., 2] = rho * vy
+            u_out[..., 3] = eos.total_energy(rho, vx * vx + vy * vy, p[..., 3], gamma)
+        return u_out
+    v2 = _cell_scratch(work, "state.v2", p)
+    scratch = _cell_scratch(work, "state.kinetic", p)
     if ndim == 1:
-        vel = p[..., 1]
-        u_out[..., 1] = rho * vel
-        u_out[..., 2] = eos.total_energy(rho, vel * vel, p[..., 2], gamma)
+        np.multiply(rho, p[..., 1], out=out[..., 1])
+        np.multiply(p[..., 1], p[..., 1], out=v2)
+        eos.total_energy(rho, v2, p[..., 2], gamma, out=out[..., 2], scratch=scratch)
     else:
-        vx = p[..., 1]
-        vy = p[..., 2]
-        u_out[..., 1] = rho * vx
-        u_out[..., 2] = rho * vy
-        u_out[..., 3] = eos.total_energy(rho, vx * vx + vy * vy, p[..., 3], gamma)
-    return u_out
+        np.multiply(rho, p[..., 1], out=out[..., 1])
+        np.multiply(rho, p[..., 2], out=out[..., 2])
+        np.multiply(p[..., 1], p[..., 1], out=v2)
+        np.multiply(p[..., 2], p[..., 2], out=scratch)
+        np.add(v2, scratch, out=v2)
+        eos.total_energy(rho, v2, p[..., 3], gamma, out=out[..., 3], scratch=scratch)
+    np.copyto(out[..., 0], rho)
+    return out
 
 
-def physical_flux(p: np.ndarray, axis_field: int = 1, gamma: float = GAMMA) -> np.ndarray:
+def physical_flux(
+    p: np.ndarray,
+    axis_field: int = 1,
+    gamma: float = GAMMA,
+    out: np.ndarray = None,
+    work=None,
+) -> np.ndarray:
     """Physical flux of the Euler equations through faces normal to one axis.
 
     ``axis_field`` selects the normal velocity field in the primitive
     array: 1 for the x-flux ``F``, 2 for the y-flux ``G`` (2-D only),
-    matching the paper's Eq. 2.
+    matching the paper's Eq. 2.  ``out`` must not alias ``p``.
     """
     ndim = ndim_of(p)
     rho = p[..., 0]
     pressure = p[..., -1]
-    flux = np.empty_like(p)
+    if out is None:
+        flux = np.empty_like(p)
+        if ndim == 1:
+            vel = p[..., 1]
+            energy = eos.total_energy(rho, vel * vel, pressure, gamma)
+            flux[..., 0] = rho * vel
+            flux[..., 1] = rho * vel * vel + pressure
+            flux[..., 2] = vel * (energy + pressure)
+            return flux
+        if axis_field not in (1, 2):
+            raise PhysicsError(f"axis_field must be 1 (x) or 2 (y), got {axis_field}")
+        vx = p[..., 1]
+        vy = p[..., 2]
+        vn = p[..., axis_field]
+        energy = eos.total_energy(rho, vx * vx + vy * vy, pressure, gamma)
+        flux[..., 0] = rho * vn
+        flux[..., 1] = rho * vn * vx
+        flux[..., 2] = rho * vn * vy
+        flux[..., axis_field] += pressure
+        flux[..., 3] = vn * (energy + pressure)
+        return flux
+    v2 = _cell_scratch(work, "flux.v2", p)
+    energy = _cell_scratch(work, "flux.energy", p)
+    scratch = _cell_scratch(work, "flux.tmp", p)
     if ndim == 1:
         vel = p[..., 1]
-        energy = eos.total_energy(rho, vel * vel, pressure, gamma)
-        flux[..., 0] = rho * vel
-        flux[..., 1] = rho * vel * vel + pressure
-        flux[..., 2] = vel * (energy + pressure)
-        return flux
+        np.multiply(vel, vel, out=v2)
+        eos.total_energy(rho, v2, pressure, gamma, out=energy, scratch=scratch)
+        np.multiply(rho, vel, out=out[..., 0])
+        # rho*vel*vel associates left-to-right, so flux 0 already holds rho*vel
+        np.multiply(out[..., 0], vel, out=out[..., 1])
+        np.add(out[..., 1], pressure, out=out[..., 1])
+        np.add(energy, pressure, out=scratch)
+        np.multiply(vel, scratch, out=out[..., 2])
+        return out
     if axis_field not in (1, 2):
         raise PhysicsError(f"axis_field must be 1 (x) or 2 (y), got {axis_field}")
     vx = p[..., 1]
     vy = p[..., 2]
     vn = p[..., axis_field]
-    energy = eos.total_energy(rho, vx * vx + vy * vy, pressure, gamma)
-    flux[..., 0] = rho * vn
-    flux[..., 1] = rho * vn * vx
-    flux[..., 2] = rho * vn * vy
-    flux[..., axis_field] += pressure
-    flux[..., 3] = vn * (energy + pressure)
-    return flux
+    np.multiply(vx, vx, out=v2)
+    np.multiply(vy, vy, out=scratch)
+    np.add(v2, scratch, out=v2)
+    eos.total_energy(rho, v2, pressure, gamma, out=energy, scratch=scratch)
+    np.multiply(rho, vn, out=out[..., 0])
+    np.multiply(out[..., 0], vx, out=out[..., 1])
+    np.multiply(out[..., 0], vy, out=out[..., 2])
+    np.add(out[..., axis_field], pressure, out=out[..., axis_field])
+    np.add(energy, pressure, out=scratch)
+    np.multiply(vn, scratch, out=out[..., 3])
+    return out
 
 
-def validate_state(p: np.ndarray, where: str = "state") -> None:
+def _cell_scratch(work, name: str, reference: np.ndarray) -> np.ndarray:
+    """Per-cell scratch from a workspace, or a fresh array without one."""
+    if work is None:
+        return np.empty(reference.shape[:-1], dtype=reference.dtype)
+    return work.array(name, reference.shape[:-1], reference.dtype)
+
+
+def validate_state(p: np.ndarray, where: str = "state", work=None) -> None:
     """Raise :class:`PhysicsError` if a primitive state is unphysical."""
     rho = p[..., 0]
     pressure = p[..., -1]
-    if not np.all(np.isfinite(p)):
+    if work is None:
+        if not np.all(np.isfinite(p)):
+            raise PhysicsError(f"{where}: non-finite values detected")
+        if np.any(rho < FLOOR):
+            raise PhysicsError(f"{where}: non-positive density (min {rho.min():.3e})")
+        if np.any(pressure < FLOOR):
+            raise PhysicsError(f"{where}: non-positive pressure (min {pressure.min():.3e})")
+        return
+    finite = work.array("validate.finite", p.shape, np.bool_)
+    np.isfinite(p, out=finite)
+    if not np.all(finite):
         raise PhysicsError(f"{where}: non-finite values detected")
-    if np.any(rho < FLOOR):
+    cell_mask = work.array("validate.cell", p.shape[:-1], np.bool_)
+    np.less(rho, FLOOR, out=cell_mask)
+    if np.any(cell_mask):
         raise PhysicsError(f"{where}: non-positive density (min {rho.min():.3e})")
-    if np.any(pressure < FLOOR):
+    np.less(pressure, FLOOR, out=cell_mask)
+    if np.any(cell_mask):
         raise PhysicsError(f"{where}: non-positive pressure (min {pressure.min():.3e})")
 
 

@@ -21,17 +21,31 @@ from repro.euler.constants import DEFAULT_CFL, GAMMA
 from repro.euler import eos, state
 
 
-def max_eigenvalue(primitive: np.ndarray, spacing: Sequence[float], gamma: float = GAMMA) -> float:
+def max_eigenvalue(
+    primitive: np.ndarray, spacing: Sequence[float], gamma: float = GAMMA, work=None
+) -> float:
     """Largest cell-wise sum of directional signal speeds over cell sizes."""
     ndim = state.ndim_of(primitive)
     if len(spacing) != ndim:
         raise ConfigurationError(
             f"{ndim}-D state needs {ndim} spacings, got {len(spacing)}"
         )
-    sound = eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma)
-    ev = np.zeros_like(sound)
+    if work is None:
+        sound = eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma)
+        ev = np.zeros_like(sound)
+        for axis in range(ndim):
+            ev += (np.abs(primitive[..., 1 + axis]) + sound) / spacing[axis]
+        return float(ev.max())
+    sound = work.cell_like("dt.sound", primitive)
+    ev = work.cell_like("dt.ev", primitive)
+    scratch = work.cell_like("dt.scratch", primitive)
+    eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma, out=sound)
+    ev.fill(0.0)
     for axis in range(ndim):
-        ev += (np.abs(primitive[..., 1 + axis]) + sound) / spacing[axis]
+        np.abs(primitive[..., 1 + axis], out=scratch)
+        np.add(scratch, sound, out=scratch)
+        np.divide(scratch, spacing[axis], out=scratch)
+        np.add(ev, scratch, out=ev)
     return float(ev.max())
 
 
@@ -40,8 +54,9 @@ def get_dt(
     spacing: Sequence[float],
     cfl: float = DEFAULT_CFL,
     gamma: float = GAMMA,
+    work=None,
 ) -> float:
     """CFL time step ``DT = CFL / EVmax`` exactly as in the paper's GetDT."""
     if cfl <= 0.0:
         raise ConfigurationError(f"CFL number must be positive, got {cfl}")
-    return cfl / max_eigenvalue(primitive, spacing, gamma)
+    return cfl / max_eigenvalue(primitive, spacing, gamma, work=work)

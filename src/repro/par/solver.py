@@ -28,16 +28,16 @@ benchmarks is slack for exotic libm/compiler combinations only.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.euler import state
 from repro.euler.boundary import BoundarySet2D
-from repro.euler.rk import get_integrator
+from repro.euler.engine import PHASES, StepEngine
 from repro.euler.solver import EulerSolver2D, RunResult, SolverConfig, _SweepKernel, _run_loop
-from repro.euler.timestep import get_dt
 from repro.par import halo as halo_mod
 from repro.par.partition import DEFAULT_HALO, decompose
 from repro.par.pool import WorkerPool
@@ -79,7 +79,6 @@ class ParallelSolver2D:
         self.dy = float(dy)
         self.boundaries = boundaries
         self.kernel = _SweepKernel(self.config)
-        self.integrator = get_integrator(self.config.rk_order)
         ng = self.kernel.ghost_cells
         if halo is None:
             halo = max(DEFAULT_HALO, ng)
@@ -127,6 +126,21 @@ class ParallelSolver2D:
             }
             for sd in self.decomposition.subdomains
         ]
+        # One StepEngine (thus one workspace) per rank: workers share no
+        # scratch memory.  The engines run without physical boundaries —
+        # exterior edges are filled through the windowed specs above.
+        h = self.halo
+        self._engines: List[StepEngine] = [
+            StepEngine(block.shape, (self.dx, self.dy), self.config)
+            for block in self._locals
+        ]
+        # Interior windows of the halo buffers, precomputed once so the
+        # primitive-freshness check in StepEngine.primitive_into (an
+        # ``is`` identity on the target array) holds across calls.
+        self._interiors: List[np.ndarray] = [
+            buffer[h : h + sd.nx, h : h + sd.ny]
+            for sd, buffer in zip(self.decomposition.subdomains, self._buffers)
+        ]
 
     @classmethod
     def from_serial(
@@ -170,7 +184,11 @@ class ParallelSolver2D:
     def u(self) -> np.ndarray:
         """Global conservative state, gathered from the subdomains."""
         nx, ny = self.decomposition.nx, self.decomposition.ny
-        gathered = np.empty((nx, ny, 4))
+        # Field count and dtype come from the local blocks, not a
+        # hardcoded (nx, ny, 4) float64 — the gather must not silently
+        # cast or assume the component count.
+        reference = self._locals[0]
+        gathered = np.empty((nx, ny, reference.shape[-1]), dtype=reference.dtype)
         for sd, block in zip(self.decomposition.subdomains, self._locals):
             gathered[sd.xslice, sd.yslice] = block
         return gathered
@@ -185,6 +203,24 @@ class ParallelSolver2D:
         """Neighbour strips copied since construction."""
         return self.exchanger.total_copies
 
+    @property
+    def engine_seconds(self) -> Dict[str, float]:
+        """Per-phase wall-clock seconds summed over the rank engines."""
+        totals = {phase: 0.0 for phase in PHASES}
+        for engine in self._engines:
+            for phase, elapsed in engine.seconds.items():
+                totals[phase] += elapsed
+        return totals
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Workspace bytes summed over the rank engines."""
+        return sum(engine.scratch_bytes for engine in self._engines)
+
+    def engine_counters(self) -> List[Dict[str, object]]:
+        """Per-rank counter snapshots (see :meth:`StepEngine.counters`)."""
+        return [engine.counters() for engine in self._engines]
+
     def close(self) -> None:
         """Shut down the worker team (idempotent)."""
         self.pool.shutdown()
@@ -198,15 +234,20 @@ class ParallelSolver2D:
     # -- the parallel step ---------------------------------------------
 
     def compute_dt(self) -> float:
-        """CFL time step via the parallel GetDT min-reduction."""
+        """CFL time step via the parallel GetDT min-reduction.
+
+        Each rank converts its block straight into the interior window
+        of its halo buffer; the conversion stays fresh, so the first
+        Runge-Kutta stage of the following :meth:`step` reuses it
+        instead of converting again.
+        """
 
         def deposit_local_dt(rank: int) -> None:
-            block = state.primitive_from_conservative(
-                self._locals[rank], self.config.gamma
-            )
             self._dt_slots.deposit(
                 rank,
-                get_dt(block, [self.dx, self.dy], self.config.cfl, self.config.gamma),
+                self._engines[rank].compute_dt(
+                    self._locals[rank], target=self._interiors[rank]
+                ),
             )
 
         self.pool.run(deposit_local_dt)
@@ -218,10 +259,10 @@ class ParallelSolver2D:
             dt = self.compute_dt()
 
         def advance(rank: int) -> None:
-            self._locals[rank] = self.integrator(
+            self._engines[rank].integrate(
                 self._locals[rank],
                 dt,
-                lambda u_block: self._local_rhs(rank, u_block),
+                lambda v, out, first: self._local_rhs_into(rank, v, out, first),
             )
 
         self.pool.run(advance)
@@ -240,7 +281,9 @@ class ParallelSolver2D:
 
     # -- internals -----------------------------------------------------
 
-    def _local_rhs(self, rank: int, u_block: np.ndarray) -> np.ndarray:
+    def _local_rhs_into(
+        self, rank: int, u_block: np.ndarray, out: np.ndarray, first_stage: bool
+    ) -> None:
         """Spatial operator on one subdomain; barriers keep the team in step.
 
         Every worker calls this the same number of times per stage (the
@@ -248,45 +291,37 @@ class ParallelSolver2D:
         team barriers line up: the first makes all interior writes
         visible before any halo pull, the second keeps a fast worker
         from overwriting its interior while a sibling still reads it.
+
+        The primitive conversion lands directly in the interior window
+        of this rank's halo buffer (no staging copy); on the first stage
+        after :meth:`compute_dt` the conversion already there is reused.
         """
         sd = self.decomposition.subdomains[rank]
+        engine = self._engines[rank]
         h = self.halo
-        block = state.primitive_from_conservative(u_block, self.config.gamma)
-        state.validate_state(block, f"parallel solver subdomain {rank}")
-        buffer = self._buffers[rank]
-        buffer[h : h + sd.nx, h : h + sd.ny] = block
+        ng = engine.ghost_cells
+        engine.rhs_evaluations += 1
+        block = engine.primitive_into(
+            u_block, target=self._interiors[rank], reuse=first_stage
+        )
+        started = perf_counter()
+        state.validate_state(
+            block, f"parallel solver subdomain {rank}", work=engine.workspace
+        )
+        engine.seconds["convert"] += perf_counter() - started
         self._team.wait()
         self.exchanger.exchange(rank)
         self._team.wait()
-        return self._sweep(rank, 0) + self._sweep(rank, 1)
 
-    def _sweep(self, rank: int, axis: int) -> np.ndarray:
-        """One axis sweep over a subdomain, mirroring the serial ``_sweep``."""
-        sd = self.decomposition.subdomains[rank]
         buffer = self._buffers[rank]
-        ng = self.kernel.ghost_cells
-        h = self.halo
         specs = self._edge_specs[rank]
-
-        if axis == 0:
-            padded = buffer[h - ng : h + sd.nx + ng, h : h + sd.ny]
-            low_spec, high_spec = specs["left"], specs["right"]
-            spacing = self.dx
-        else:
-            window = buffer[h : h + sd.nx, h - ng : h + sd.ny + ng]
-            padded = state.swap_velocity_axes(np.transpose(window, (1, 0, 2)))
-            low_spec, high_spec = specs["bottom"], specs["top"]
-            spacing = self.dy
-
-        if low_spec is not None:
-            low_spec.fill(padded, ng)
-        if high_spec is not None:
-            high_spec.fill(padded[::-1], ng)
-
-        flux = self.kernel.face_fluxes(padded)
-        contribution = -(flux[1:] - flux[:-1]) / spacing
-        if axis == 1:
-            contribution = np.transpose(
-                state.swap_velocity_axes(contribution), (1, 0, 2)
-            )
-        return contribution
+        padded_x = buffer[h - ng : h + sd.nx + ng, h : h + sd.ny]
+        engine.sweep_axis0(padded_x, specs["left"], specs["right"], self.dx, out)
+        window = buffer[h : h + sd.nx, h - ng : h + sd.ny + ng]
+        padded_y = engine.workspace.array(
+            "engine.padded_y", (sd.ny + 2 * ng, sd.nx, window.shape[-1])
+        )
+        started = perf_counter()
+        engine.orient_into(window, padded_y)
+        engine.seconds["bc"] += perf_counter() - started
+        engine.sweep_axis1(padded_y, specs["bottom"], specs["top"], self.dy, out)

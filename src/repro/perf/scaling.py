@@ -207,6 +207,9 @@ class MeasuredPoint:
     steps: int
     halo_exchanges: int
     max_abs_error: float  # vs the serial golden reference
+    #: Per-phase engine seconds (bc/reconstruct/riemann/...), summed over
+    #: ranks; None when the run predates the StepEngine counters.
+    phase_seconds: Optional[Dict[str, float]] = None
 
     @property
     def step_rate(self) -> float:
@@ -347,6 +350,7 @@ def figure4_measured(
                         steps=steps,
                         halo_exchanges=parallel.halo_exchanges,
                         max_abs_error=error,
+                        phase_seconds=parallel.engine_seconds,
                     )
                 )
     return MeasuredScalingResult(

@@ -1,0 +1,319 @@
+"""StepEngine: bit-for-bit equality with the seed path, buffer reuse.
+
+The engine's whole claim is that its preallocated, ``out=``-driven
+stepping performs the *identical sequence of rounded floating-point
+operations* as the allocating seed solver — so every comparison here is
+exact (max-abs difference of 0.0), not approximate.  The workspace
+tests pin the other half of the contract: engines share nothing with
+each other, and a warmed-up engine stops allocating.
+"""
+
+import itertools
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.euler import problems
+from repro.euler.boundary import all_transmissive_2d, transmissive_1d
+from repro.euler.engine import PHASES, StepEngine
+from repro.euler.solver import (
+    EulerSolver1D,
+    EulerSolver2D,
+    RunResult,
+    SolverConfig,
+    _run_loop,
+    paper_benchmark_config,
+)
+from repro.euler.workspace import Workspace
+
+RECONSTRUCTIONS = ("pc", "tvd2", "tvd3", "weno3")
+RIEMANN_SOLVERS = ("rusanov", "hll", "hllc", "roe")
+VARIABLES = ("characteristic", "primitive", "conservative")
+RK_ORDERS = (1, 2, 3)
+
+
+def smooth_random_1d(rng, n=16):
+    """Gentle random states: rough ones (rho spanning 0.2..3 between
+    neighbours) blow up physically within two CFL steps on *any* path,
+    which would turn the equality sweep into an exception lottery."""
+    primitive = np.empty((n, 3))
+    primitive[:, 0] = rng.uniform(1.0, 1.4, n)
+    primitive[:, 1] = rng.normal(0.0, 0.3, n)
+    primitive[:, 2] = rng.uniform(1.0, 1.4, n)
+    return primitive
+
+
+def smooth_random_2d(rng, nx=8, ny=10):
+    primitive = np.empty((nx, ny, 4))
+    primitive[..., 0] = rng.uniform(1.0, 1.4, (nx, ny))
+    primitive[..., 1] = rng.normal(0.0, 0.3, (nx, ny))
+    primitive[..., 2] = rng.normal(0.0, 0.3, (nx, ny))
+    primitive[..., 3] = rng.uniform(1.0, 1.4, (nx, ny))
+    return primitive
+
+
+def _twin_1d(primitive, config):
+    """(engine solver, seed solver) from the same initial condition."""
+    engine = EulerSolver1D(primitive.copy(), 0.01, transmissive_1d(), config)
+    seed = EulerSolver1D(
+        primitive.copy(), 0.01, transmissive_1d(), config, use_engine=False
+    )
+    return engine, seed
+
+
+def _twin_2d(primitive, config):
+    engine = EulerSolver2D(
+        primitive.copy(), 0.01, 0.012, all_transmissive_2d(), config
+    )
+    seed = EulerSolver2D(
+        primitive.copy(), 0.01, 0.012, all_transmissive_2d(), config,
+        use_engine=False,
+    )
+    return engine, seed
+
+
+class TestBitForBitSweep:
+    """Property-style sweep over the full method menu, exact equality."""
+
+    @pytest.mark.parametrize("reconstruction", RECONSTRUCTIONS)
+    @pytest.mark.parametrize("riemann", RIEMANN_SOLVERS)
+    def test_engine_equals_seed_on_random_states(
+        self, reconstruction, riemann, rng
+    ):
+        prim_1d = smooth_random_1d(rng, 16)
+        prim_2d = smooth_random_2d(rng, 8, 10)
+        for variables, rk_order in itertools.product(VARIABLES, RK_ORDERS):
+            config = SolverConfig(
+                reconstruction=reconstruction,
+                riemann=riemann,
+                variables=variables,
+                rk_order=rk_order,
+            )
+            engine, seed = _twin_1d(prim_1d, config)
+            for _ in range(2):
+                dt_engine = engine.step()
+                dt_seed = seed.step()
+                assert dt_engine == dt_seed
+            assert np.max(np.abs(engine.u - seed.u)) == 0.0, (
+                f"1-D {reconstruction}/{riemann}/{variables}/rk{rk_order}"
+            )
+
+            engine, seed = _twin_2d(prim_2d, config)
+            for _ in range(2):
+                assert engine.step() == seed.step()
+            assert np.max(np.abs(engine.u - seed.u)) == 0.0, (
+                f"2-D {reconstruction}/{riemann}/{variables}/rk{rk_order}"
+            )
+
+
+class TestAcceptanceProblems:
+    """ISSUE acceptance: the paper problems reproduce exactly."""
+
+    def test_sod_2d_exact(self):
+        engine, _ = problems.sod_2d(nx=32, ny=12)
+        seed, _ = problems.sod_2d(nx=32, ny=12)
+        seed.engine = None  # seed path, same initial state
+        engine.run(max_steps=5)
+        seed.run(max_steps=5)
+        assert np.max(np.abs(engine.u - seed.u)) == 0.0
+        assert engine.time == seed.time
+
+    def test_two_channel_exact(self):
+        config = paper_benchmark_config()
+        engine, _ = problems.two_channel(n_cells=24, h=12.0, config=config)
+        seed, _ = problems.two_channel(n_cells=24, h=12.0, config=config)
+        seed.engine = None
+        engine.run(max_steps=5)
+        seed.run(max_steps=5)
+        assert np.max(np.abs(engine.u - seed.u)) == 0.0
+
+    def test_rhs_wrapper_matches_seed(self, rng):
+        """The public allocating ``rhs`` returns the seed values."""
+        prim = smooth_random_2d(rng, 8, 9)
+        engine, seed = _twin_2d(prim, SolverConfig())
+        assert np.max(np.abs(engine.rhs(engine.u) - seed.rhs(seed.u))) == 0.0
+
+
+class TestWorkspaceIsolation:
+    def test_two_engines_share_no_memory(self, rng):
+        """Same shape and config — still strictly private buffers."""
+        prim = smooth_random_2d(rng, 8, 9)
+        config = SolverConfig(reconstruction="tvd2", variables="primitive")
+        a = EulerSolver2D(prim.copy(), 0.01, 0.012, all_transmissive_2d(), config)
+        b = EulerSolver2D(prim.copy(), 0.01, 0.012, all_transmissive_2d(), config)
+        a.step()
+        b.step()
+        buffers_a = list(a.engine.workspace.buffers())
+        buffers_b = list(b.engine.workspace.buffers())
+        assert buffers_a and buffers_b
+        for array_a in buffers_a:
+            for array_b in buffers_b:
+                assert not np.shares_memory(array_a, array_b)
+
+    def test_workspace_buffers_are_stable_across_steps(self, rng):
+        """Repeated steps reuse the same arrays — no buffer churn."""
+        prim = smooth_random_2d(rng, 8, 9)
+        config = SolverConfig(reconstruction="tvd2", variables="primitive")
+        solver = EulerSolver2D(prim, 0.01, 0.012, all_transmissive_2d(), config)
+        solver.step()
+        before = {key: id(arr) for key, arr in solver.engine.workspace._arrays.items()}
+        solver.step()
+        solver.step()
+        after = {key: id(arr) for key, arr in solver.engine.workspace._arrays.items()}
+        assert before == after
+
+    @staticmethod
+    def _peak_step_bytes(solver):
+        """Tracemalloc peak-over-baseline of one step after warmup."""
+        solver.step()  # warmup populates every workspace buffer
+        solver.step()
+        tracemalloc.start()
+        baseline, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        solver.step()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak - baseline
+
+    def test_warm_engine_allocates_an_order_less_than_seed(self, rng):
+        """After warmup a step allocates no new field arrays.
+
+        A few KB of transients remain (workspace key tuples, ufunc
+        buffering for the strided transposed adds), so the assertion is
+        the ISSUE's comparative criterion — at least 10x below the seed
+        path, which allocates every stage temporary afresh.  Scoped to a
+        non-characteristic, non-Roe configuration: those two kernels
+        still allocate small internal temporaries even under the engine.
+        """
+        prim = smooth_random_2d(rng, 16, 16)
+        config = SolverConfig(
+            reconstruction="tvd2", variables="primitive", riemann="hll", rk_order=3
+        )
+        engine_solver = EulerSolver2D(
+            prim.copy(), 0.01, 0.012, all_transmissive_2d(), config
+        )
+        seed_solver = EulerSolver2D(
+            prim.copy(), 0.01, 0.012, all_transmissive_2d(), config,
+            use_engine=False,
+        )
+        engine_bytes = self._peak_step_bytes(engine_solver)
+        seed_bytes = self._peak_step_bytes(seed_solver)
+        assert engine_bytes * 10 <= seed_bytes, (
+            f"engine step peaks at {engine_bytes} bytes"
+            f" vs seed {seed_bytes} bytes"
+        )
+
+
+class TestCounters:
+    def test_one_conversion_per_stage_not_two(self, rng):
+        """compute_dt's conversion feeds RK stage 1: 3/step for RK3, not 4."""
+        prim = smooth_random_2d(rng, 8, 9)
+        solver = EulerSolver2D(
+            prim, 0.01, 0.012, all_transmissive_2d(),
+            SolverConfig(reconstruction="pc", variables="primitive", rk_order=3),
+        )
+        solver.run(max_steps=3)
+        engine = solver.engine
+        assert engine.steps_taken == 3
+        assert engine.rhs_evaluations == 9
+        assert engine.primitive_conversions == 9  # 3 per step, not 4
+
+    def test_phase_seconds_cover_all_phases(self, rng):
+        prim = smooth_random_1d(rng, 32)
+        solver = EulerSolver1D(prim, 0.01, transmissive_1d(), SolverConfig())
+        solver.run(max_steps=2)
+        seconds = solver.engine.seconds
+        assert set(seconds) == set(PHASES)
+        assert all(value >= 0.0 for value in seconds.values())
+        for phase in ("convert", "reconstruct", "riemann", "difference", "dt"):
+            assert seconds[phase] > 0.0
+
+    def test_scratch_bytes_reported(self, rng):
+        prim = smooth_random_1d(rng, 32)
+        solver = EulerSolver1D(prim, 0.01, transmissive_1d(), SolverConfig())
+        assert solver.engine.scratch_bytes == 0
+        solver.step()
+        counters = solver.engine.counters()
+        assert counters["scratch_bytes"] > 0
+        assert counters["scratch_bytes"] == solver.engine.workspace.nbytes
+
+
+class TestEngineValidation:
+    def test_bad_field_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepEngine((10, 5), (0.1,), SolverConfig())
+
+    def test_spacing_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            StepEngine((10, 3), (0.1, 0.1), SolverConfig())
+
+    def test_rhs_without_boundaries_rejected(self, rng):
+        engine = StepEngine((8, 3), (0.1,), SolverConfig())
+        u = np.ones((8, 3))
+        with pytest.raises(ConfigurationError):
+            engine.rhs(u, np.empty_like(u))
+
+
+class _FakeSolver:
+    """Just enough surface for ``_run_loop``."""
+
+    def __init__(self, time):
+        self.time = time
+        self.steps = 0
+
+    def compute_dt(self):
+        return 1.0
+
+    def step(self, dt):
+        self.time += dt
+        self.steps += 1
+        return dt
+
+
+class TestRunLoopStopEpsilon:
+    def test_stop_tolerance_is_relative_to_t_end(self):
+        """At t_end = 1000, a 1e-11 shortfall is below resolution — stop.
+
+        The old absolute 1e-14 epsilon would have scheduled a final
+        degenerate 1e-11 step here.
+        """
+        solver = _FakeSolver(time=1000.0 - 1e-11)
+        result = _run_loop(solver, t_end=1000.0, max_steps=None, callback=None)
+        assert isinstance(result, RunResult)
+        assert result.steps == 0
+
+    def test_small_t_end_still_advances(self):
+        solver = _FakeSolver(time=0.0)
+        result = _run_loop(solver, t_end=1e-6, max_steps=None, callback=None)
+        assert result.steps == 1
+        assert solver.time == pytest.approx(1e-6)
+
+
+class TestWorkspace:
+    def test_same_key_returns_same_array(self):
+        ws = Workspace()
+        a = ws.array("x", (4, 3))
+        b = ws.array("x", (4, 3))
+        assert a is b
+
+    def test_shape_or_dtype_changes_key(self):
+        ws = Workspace()
+        a = ws.array("x", (4, 3))
+        assert a is not ws.array("x", (4, 4))
+        assert a is not ws.array("x", (4, 3), dtype=np.float32)
+
+    def test_like_and_cell_like(self, rng):
+        ws = Workspace()
+        reference = np.empty((5, 6, 4))
+        assert ws.like("a", reference).shape == (5, 6, 4)
+        assert ws.cell_like("b", reference).shape == (5, 6)
+        assert ws.cell_like("m", reference, dtype=np.bool_).dtype == np.bool_
+
+    def test_nbytes_counts_all_buffers(self):
+        ws = Workspace()
+        ws.array("x", (4, 3))
+        ws.array("y", (2, 2), dtype=np.bool_)
+        assert ws.nbytes == 4 * 3 * 8 + 4
+        assert len(ws) == 2

@@ -5,8 +5,15 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.euler import eos
-from repro.euler.rk import get_integrator, rk1_step, rk2_tvd_step, rk3_tvd_step
+from repro.euler.rk import (
+    get_integrator,
+    get_integrator_into,
+    rk1_step,
+    rk2_tvd_step,
+    rk3_tvd_step,
+)
 from repro.euler.timestep import get_dt, max_eigenvalue
+from repro.euler.workspace import Workspace
 from tests.conftest import random_primitive_1d, random_primitive_2d
 
 
@@ -91,6 +98,34 @@ class TestRungeKutta:
 
         y = integrator(np.array([1.0]), 0.9, rhs)
         assert 0.0 <= y[0] <= 1.0
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_in_place_integrator_is_bit_for_bit(self, order, rng):
+        """The ``_into`` variants reproduce the allocating ones exactly."""
+        matrix = rng.normal(0, 0.2, (5, 5))
+        u0 = rng.normal(0, 1, (7, 5))
+
+        def rhs(y):
+            return y @ matrix
+
+        def rhs_into(y, out):
+            np.matmul(y, matrix, out=out)
+
+        expected = get_integrator(order)(u0.copy(), 0.07, rhs)
+        u = u0.copy()
+        result = get_integrator_into(order)(u, 0.07, rhs_into, Workspace())
+        assert result is u  # mutates in place
+        assert np.max(np.abs(u - expected)) == 0.0
+
+    def test_into_registry_rejects_unknown_order(self):
+        with pytest.raises(ConfigurationError):
+            get_integrator_into(4)
+
+    def test_get_dt_with_workspace_matches(self, rng):
+        prim = random_primitive_2d(rng, 6, 7)
+        plain = get_dt(prim, [0.5, 0.25], cfl=0.5)
+        pooled = get_dt(prim, [0.5, 0.25], cfl=0.5, work=Workspace())
+        assert plain == pooled
 
     def test_linearity(self, rng):
         """All three integrators are linear in the state for linear rhs."""

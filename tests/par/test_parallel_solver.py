@@ -148,6 +148,47 @@ def test_halo_narrower_than_stencil_rejected():
         ParallelSolver2D.from_serial(serial, workers=2, halo=1)
 
 
+def test_gather_derives_fields_and_dtype_from_blocks():
+    """The ``u`` gather must not hardcode (nx, ny, 4) float64."""
+    serial, _ = problems.sod_2d(nx=16, ny=8, config=PAPER_BENCH)
+    with ParallelSolver2D.from_serial(serial, workers=2) as parallel:
+        narrowed = [block.astype(np.float32) for block in parallel._locals]
+        parallel._locals = narrowed
+        gathered = parallel.u
+        assert gathered.dtype == np.float32
+        assert gathered.shape == (16, 8, 4)
+
+
+def test_rank_engines_share_no_scratch():
+    """One workspace per rank: no buffer aliasing across workers."""
+    serial, _ = problems.two_channel(n_cells=16, h=8.0, config=PAPER_BENCH)
+    with ParallelSolver2D.from_serial(serial, workers=2) as parallel:
+        parallel.step()
+        first, second = parallel._engines
+        for buffer_a in first.workspace.buffers():
+            for buffer_b in second.workspace.buffers():
+                assert not np.shares_memory(buffer_a, buffer_b)
+
+
+def test_rank_conversion_counters_match_engine_dedup():
+    """compute_dt feeds RK stage 1 on every rank: 3 conversions per RK3
+    step, and the phase counters cover every engine phase."""
+    from repro.euler.engine import PHASES
+
+    serial, _ = problems.two_channel(n_cells=16, h=8.0, config=PAPER_BENCH)
+    with ParallelSolver2D.from_serial(serial, workers=4) as parallel:
+        parallel.run(max_steps=2)
+        for counters in parallel.engine_counters():
+            assert counters["steps"] == 2
+            assert counters["rhs_evaluations"] == 6
+            assert counters["primitive_conversions"] == 6  # 3 per step, not 4
+            assert counters["scratch_bytes"] > 0
+        assert set(parallel.engine_seconds) == set(PHASES)
+        assert parallel.scratch_bytes == sum(
+            c["scratch_bytes"] for c in parallel.engine_counters()
+        )
+
+
 @pytest.mark.parametrize("barrier", ["spin", "forkjoin"])
 def test_unphysical_state_raises_instead_of_deadlocking(barrier):
     serial, _ = problems.sod_2d(nx=16, ny=8, config=PAPER_BENCH)
