@@ -69,8 +69,11 @@ def test_fig4_measured_series_and_json(benchmark, measured):
                 "seconds": p.seconds,
                 "step_rate": p.step_rate,
                 "halo_exchanges": p.halo_exchanges,
+                "halo_bytes": p.halo_bytes,
+                "barrier_wait_seconds": p.barrier_wait_seconds,
                 "max_abs_error": p.max_abs_error,
                 "phase_seconds": p.phase_seconds,
+                "trace": p.trace,
             }
             for p in measured.points
         ],
@@ -100,6 +103,21 @@ def test_measured_halo_traffic_matches_structure(measured):
     for point in measured.points:
         links = decompose(GRID, GRID, workers=point.workers).neighbour_pairs()
         assert point.halo_exchanges == 3 * STEPS * links
+
+
+def test_measured_points_carry_step_telemetry(measured):
+    """Every point records one trace entry per step, with the halo-byte
+    volume and barrier-wait seconds that the trend analysis rests on."""
+    for point in measured.points:
+        assert point.trace is not None and len(point.trace) == STEPS
+        assert all(r["dt"] > 0.0 for r in point.trace)
+        assert point.barrier_wait_seconds >= 0.0
+        if point.workers > 1:
+            assert point.halo_bytes > 0
+            assert sum(r["halo_bytes"] for r in point.trace) == point.halo_bytes
+            assert all(r["workers"] == point.workers for r in point.trace)
+        else:
+            assert point.halo_bytes == 0
 
 
 def test_measured_speedup_trend_is_sane(measured):

@@ -27,13 +27,17 @@ import pytest
 
 from repro.euler import problems
 from repro.euler.solver import paper_benchmark_config
+from repro.obs import StepTrace, write_jsonl
 
-from conftest import write_bench_json
+from conftest import REPO_ROOT, write_bench_json
 
 GRID = int(os.environ.get("REPRO_STEPRATE_GRID", "96"))
 STEPS = int(os.environ.get("REPRO_STEPRATE_STEPS", "10"))
 SPEEDUP_FLOOR = 1.3
 ALLOCATION_RATIO_FLOOR = 10.0
+#: Telemetry must stay near-free: < 5% steps/s cost with watch= enabled
+#: (ISSUE 3).  Asserted from 128 cells up, like the speedup floor.
+TRACE_OVERHEAD_CEILING = 0.05
 
 
 def _solver(use_engine):
@@ -77,6 +81,14 @@ def steprate():
     max_abs_difference = float(np.max(np.abs(engine_solver.u - seed_solver.u)))
     engine_bytes = _step_allocation(engine_solver)
     seed_bytes = _step_allocation(seed_solver)
+    # Telemetry overhead on a SEPARATE instance (its counters are not
+    # part of the consistency assertions below): the same timed loop
+    # with a StepTrace watching every step.
+    traced_solver = _solver(use_engine=True)
+    trace = StepTrace(capacity=STEPS + 1)
+    traced_solver.watch = trace
+    traced_rate = _timed_steps(traced_solver, STEPS)
+    trace_path = write_jsonl(trace, REPO_ROOT / "BENCH_steprate_trace.jsonl")
     return {
         "grid": GRID,
         "steps": STEPS,
@@ -88,6 +100,9 @@ def steprate():
         "allocation_ratio": seed_bytes / max(engine_bytes, 1),
         "max_abs_difference": max_abs_difference,
         "engine_counters": engine_solver.engine.counters(),
+        "traced_steps_per_second": traced_rate,
+        "trace_overhead": 1.0 - traced_rate / engine_rate,
+        "trace_jsonl": trace_path.name,
     }
 
 
@@ -103,7 +118,9 @@ def test_steprate_json(benchmark, steprate):
         f" {steprate['seed_steps_per_second']:.2f} steps/s"
         f" ({steprate['speedup']:.2f}x); allocation"
         f" {steprate['engine_step_bytes']} vs {steprate['seed_step_bytes']}"
-        f" bytes/step ({steprate['allocation_ratio']:.0f}x less)"
+        f" bytes/step ({steprate['allocation_ratio']:.0f}x less); traced"
+        f" {steprate['traced_steps_per_second']:.2f} steps/s"
+        f" ({steprate['trace_overhead']:+.1%} overhead)"
     )
     path = write_bench_json("steprate", steprate)
     print(f"wrote {path}")
@@ -128,6 +145,27 @@ def test_engine_step_rate(steprate):
         assert steprate["speedup"] >= SPEEDUP_FLOOR
     else:
         assert steprate["speedup"] > 0.5
+
+
+def test_trace_overhead_under_five_percent(steprate):
+    """watch= must be near-free; enforced from 128 cells up (tiny grids
+    are dominated by Python dispatch and timer noise)."""
+    assert steprate["traced_steps_per_second"] > 0.0
+    if GRID >= 128:
+        assert steprate["trace_overhead"] < TRACE_OVERHEAD_CEILING, (
+            f"telemetry costs {steprate['trace_overhead']:.1%} steps/s"
+            f" (ceiling {TRACE_OVERHEAD_CEILING:.0%})"
+        )
+
+
+def test_trace_jsonl_written_with_run_telemetry(steprate):
+    from repro.obs import read_jsonl
+
+    records = read_jsonl(REPO_ROOT / steprate["trace_jsonl"])
+    # capacity STEPS+1 covers the warmup step plus the timed loop
+    assert len(records) == STEPS + 1
+    assert all(r.dt > 0.0 for r in records)
+    assert all(r.phase_seconds is not None for r in records)
 
 
 def test_counters_consistent_with_run(steprate):

@@ -14,8 +14,14 @@ Subpackages
 ``repro.perf``
     Simulated shared-memory multicore machine and the scaling
     experiments behind the paper's Fig. 4.
+``repro.par``
+    Shared-memory domain-decomposition runtime (worker pool, halo
+    exchange, parallel solver) behind the measured Fig. 4 mode.
+``repro.obs``
+    Step telemetry (ring-buffer traces, JSONL export) and
+    physics-failure forensics.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["euler", "sac", "f90", "perf"]
+__all__ = ["euler", "sac", "f90", "perf", "par", "obs"]

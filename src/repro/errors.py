@@ -3,17 +3,72 @@
 Every subsystem raises a subclass of :class:`ReproError` so callers can
 catch a single exception type at API boundaries while tests can assert
 on precise failure categories.
+
+:class:`PhysicsError` additionally carries *failure forensics*: the
+offending cell indices, a copied primitive-variable neighbourhood
+around the first bad cell (:class:`Neighbourhood`), and free-form
+details — everything :mod:`repro.obs.forensics` needs to turn a
+blown-up run into a debuggable report instead of a bare stack trace.
+All of it is optional, so ``PhysicsError("message")`` keeps working.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+@dataclass
+class Neighbourhood:
+    """A copied window of a primitive state around a failing cell.
+
+    ``origin`` is the grid index of the window's low corner (so cell
+    ``origin + local_index`` of the full grid is ``values[local_index]``);
+    ``values`` is a NumPy array of shape ``window + (fields,)``.
+    """
+
+    origin: Tuple[int, ...]
+    values: object  # np.ndarray; untyped so this module stays numpy-free
+
+
 class PhysicsError(ReproError):
-    """A numerical-physics failure (negative density/pressure, NaNs...)."""
+    """A numerical-physics failure (negative density/pressure, NaNs...).
+
+    Optional keyword arguments attach failure forensics:
+
+    * ``context`` — where the failure was detected (the validator's
+      ``where`` string);
+    * ``cells`` — offending cell indices as tuples, in the coordinates
+      of the array that failed validation (the parallel solver rebases
+      them to global grid indices before re-raising);
+    * ``neighbourhood`` — a :class:`Neighbourhood` dump around the
+      first offending cell;
+    * ``details`` — free-form diagnostic numbers (residuals, iteration
+      counts, eigenvalues...).
+
+    ``forensics`` is filled in by :func:`repro.obs.forensics.attach_forensics`
+    when the error escapes a solver run loop.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        context: Optional[str] = None,
+        cells: Optional[List[Tuple[int, ...]]] = None,
+        neighbourhood: Optional[Neighbourhood] = None,
+        details: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(message)
+        self.context = context
+        self.cells = cells or []
+        self.neighbourhood = neighbourhood
+        self.details = details or {}
+        self.forensics = None
 
 
 class ConfigurationError(ReproError):

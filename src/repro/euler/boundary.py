@@ -105,8 +105,19 @@ class EdgeSpec:
         """
         if not self.segments:
             raise ConfigurationError("EdgeSpec has no segments")
-        if padded.ndim == 2:  # 1-D problem: (cells, fields) - segments must be uniform
-            self.segments[0].condition.fill(padded, ghost_cells)
+        if padded.ndim == 2:  # 1-D problem: (cells, fields) — no along-edge axis
+            # A piecewise spec cannot be honoured on a 1-D sweep; quietly
+            # applying segments[0] to the whole edge would silently compute
+            # the wrong physics.
+            only = self.segments[0]
+            if len(self.segments) > 1 or only.start != 0 or only.stop is not None:
+                raise ConfigurationError(
+                    "piecewise EdgeSpec cannot apply to a 1-D sweep: a"
+                    " (cells, fields) array has no along-edge axis for the"
+                    f" {len(self.segments)} segment(s) to partition; use a"
+                    " single uniform segment (EdgeSpec.uniform)"
+                )
+            only.condition.fill(padded, ghost_cells)
             return
         for segment in self.segments:
             window = padded[:, segment.start : segment.stop]

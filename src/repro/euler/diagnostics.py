@@ -10,6 +10,7 @@ asserted on.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -114,8 +115,12 @@ def shock_front_radius(
         cos_a, sin_a = np.cos(angle), np.sin(angle)
         last = 0.0
         for r in samples:
-            i = int((origin[0] + r * cos_a) / dx)
-            j = int((origin[1] + r * sin_a) / dx)
+            # floor, not int(): int() truncates toward zero, so sample
+            # points just outside the low edge (e.g. coordinate -0.4
+            # from an edge-adjacent origin) would alias onto cell 0 and
+            # keep the ray alive along the whole boundary row.
+            i = math.floor((origin[0] + r * cos_a) / dx)
+            j = math.floor((origin[1] + r * sin_a) / dx)
             if not (0 <= i < nx and 0 <= j < ny):
                 break
             if pressure[i, j] > jump_factor * p_ambient:

@@ -134,6 +134,7 @@ class EulerSolver1D:
         boundaries: BoundarySet1D,
         config: Optional[SolverConfig] = None,
         use_engine: bool = True,
+        watch=None,
     ):
         if primitive.ndim != 2 or primitive.shape[-1] != 3:
             raise ConfigurationError("1-D initial condition must have shape (N, 3)")
@@ -154,11 +155,18 @@ class EulerSolver1D:
         )
         self.time = 0.0
         self.steps = 0
+        #: optional :class:`repro.obs.trace.StepTrace` recording each step
+        self.watch = watch
 
     @property
     def primitive(self) -> np.ndarray:
         """Current primitive state (rho, u, p) per cell."""
         return state.primitive_from_conservative(self.u, self.config.gamma)
+
+    @property
+    def phase_seconds(self):
+        """Cumulative per-phase seconds from the engine (None without one)."""
+        return dict(self.engine.seconds) if self.engine is not None else None
 
     def _pad(self, primitive: np.ndarray) -> np.ndarray:
         ng = self.kernel.ghost_cells
@@ -188,14 +196,14 @@ class EulerSolver1D:
         """Advance one time step; returns the dt used."""
         if self.engine is not None:
             dt = self.engine.step(self.u, dt)
-            self.time += dt
-            self.steps += 1
-            return dt
-        if dt is None:
-            dt = self.compute_dt()
-        self.u = self.integrator(self.u, dt, self.rhs)
+        else:
+            if dt is None:
+                dt = self.compute_dt()
+            self.u = self.integrator(self.u, dt, self.rhs)
         self.time += dt
         self.steps += 1
+        if self.watch is not None:
+            self.watch.record_step(self, dt)
         return dt
 
     def run(
@@ -203,9 +211,10 @@ class EulerSolver1D:
         t_end: Optional[float] = None,
         max_steps: Optional[int] = None,
         callback: Optional[Callable[["EulerSolver1D"], None]] = None,
+        watch=None,
     ) -> RunResult:
         """Advance until ``t_end`` and/or for ``max_steps`` steps."""
-        return _run_loop(self, t_end, max_steps, callback)
+        return _run_loop(self, t_end, max_steps, callback, watch=watch)
 
 
 class EulerSolver2D:
@@ -228,6 +237,7 @@ class EulerSolver2D:
         boundaries: BoundarySet2D,
         config: Optional[SolverConfig] = None,
         use_engine: bool = True,
+        watch=None,
     ):
         if primitive.ndim != 3 or primitive.shape[-1] != 4:
             raise ConfigurationError("2-D initial condition must have shape (Nx, Ny, 4)")
@@ -249,11 +259,18 @@ class EulerSolver2D:
         )
         self.time = 0.0
         self.steps = 0
+        #: optional :class:`repro.obs.trace.StepTrace` recording each step
+        self.watch = watch
 
     @property
     def primitive(self) -> np.ndarray:
         """Current primitive state (rho, u, v, p) per cell."""
         return state.primitive_from_conservative(self.u, self.config.gamma)
+
+    @property
+    def phase_seconds(self):
+        """Cumulative per-phase seconds from the engine (None without one)."""
+        return dict(self.engine.seconds) if self.engine is not None else None
 
     def _sweep(self, primitive: np.ndarray, axis: int) -> np.ndarray:
         """Flux-difference contribution of one sweep, in global layout."""
@@ -297,14 +314,14 @@ class EulerSolver2D:
         """Advance one time step; returns the dt used."""
         if self.engine is not None:
             dt = self.engine.step(self.u, dt)
-            self.time += dt
-            self.steps += 1
-            return dt
-        if dt is None:
-            dt = self.compute_dt()
-        self.u = self.integrator(self.u, dt, self.rhs)
+        else:
+            if dt is None:
+                dt = self.compute_dt()
+            self.u = self.integrator(self.u, dt, self.rhs)
         self.time += dt
         self.steps += 1
+        if self.watch is not None:
+            self.watch.record_step(self, dt)
         return dt
 
     def run(
@@ -312,31 +329,53 @@ class EulerSolver2D:
         t_end: Optional[float] = None,
         max_steps: Optional[int] = None,
         callback: Optional[Callable[["EulerSolver2D"], None]] = None,
+        watch=None,
     ) -> RunResult:
         """Advance until ``t_end`` and/or for ``max_steps`` steps."""
-        return _run_loop(self, t_end, max_steps, callback)
+        return _run_loop(self, t_end, max_steps, callback, watch=watch)
 
 
-def _run_loop(solver, t_end, max_steps, callback) -> RunResult:
-    """Shared driver: step until a time and/or step bound is reached."""
+def _run_loop(solver, t_end, max_steps, callback, watch=None) -> RunResult:
+    """Shared driver: step until a time and/or step bound is reached.
+
+    ``watch`` (a :class:`repro.obs.trace.StepTrace`) is installed on the
+    solver for the duration of the run.  Any :class:`PhysicsError`
+    escaping the loop leaves with ``error.forensics`` populated — cells,
+    neighbourhood, config and the trace tail (see
+    :mod:`repro.obs.forensics`).
+    """
     if t_end is None and max_steps is None:
         raise ConfigurationError("run() needs t_end and/or max_steps")
+    previous_watch = getattr(solver, "watch", None)
+    if watch is not None:
+        solver.watch = watch
     history: List[float] = []
-    while True:
-        if max_steps is not None and solver.steps >= max_steps:
-            break
-        # Stop tolerance scales with t_end: an absolute 1e-14 epsilon is
-        # meaningless for large end times (t_end = 1000 sits ~1e-13 ulp
-        # apart) and overly strict for tiny ones.
-        if t_end is not None and t_end - solver.time <= 1e-12 * abs(t_end):
-            break
-        dt = solver.compute_dt()
-        if t_end is not None:
-            dt = min(dt, t_end - solver.time)
-        if dt <= 0.0 or not np.isfinite(dt):
-            raise PhysicsError(f"non-positive or non-finite time step {dt}")
-        solver.step(dt)
-        history.append(dt)
-        if callback is not None:
-            callback(solver)
+    try:
+        while True:
+            if max_steps is not None and solver.steps >= max_steps:
+                break
+            # Stop tolerance scales with t_end: an absolute 1e-14 epsilon is
+            # meaningless for large end times (t_end = 1000 sits ~1e-13 ulp
+            # apart) and overly strict for tiny ones.
+            if t_end is not None and t_end - solver.time <= 1e-12 * abs(t_end):
+                break
+            dt = solver.compute_dt()
+            if t_end is not None:
+                dt = min(dt, t_end - solver.time)
+            if dt <= 0.0 or not np.isfinite(dt):
+                raise PhysicsError(f"non-positive or non-finite time step {dt}")
+            solver.step(dt)
+            history.append(dt)
+            if callback is not None:
+                callback(solver)
+    except PhysicsError as error:
+        # Imported here: obs is an optional layer above the solvers and
+        # this is the one cold path that needs it.
+        from repro.obs.forensics import attach_forensics
+
+        attach_forensics(error, solver=solver, trace=getattr(solver, "watch", None))
+        raise
+    finally:
+        if watch is not None:
+            solver.watch = previous_watch
     return RunResult(steps=solver.steps, time=solver.time, dt_history=history)

@@ -19,9 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import PhysicsError
+from repro.errors import Neighbourhood, PhysicsError
 from repro.euler.constants import FLOOR, GAMMA
 from repro.euler import eos
+
+#: At most this many offending cells are listed in a PhysicsError.
+MAX_REPORTED_CELLS = 8
+
+#: Half-width of the primitive neighbourhood dumped around a bad cell.
+NEIGHBOURHOOD_RADIUS = 2
 
 
 def ndim_of(state: np.ndarray) -> int:
@@ -200,29 +206,88 @@ def _cell_scratch(work, name: str, reference: np.ndarray) -> np.ndarray:
     return work.array(name, reference.shape[:-1], reference.dtype)
 
 
+def bad_cells(cell_mask: np.ndarray, limit: int = MAX_REPORTED_CELLS):
+    """First ``limit`` grid indices where a per-cell boolean mask is set."""
+    return [tuple(int(v) for v in row) for row in np.argwhere(cell_mask)[:limit]]
+
+
+def neighbourhood_of(
+    p: np.ndarray, cell, radius: int = NEIGHBOURHOOD_RADIUS
+) -> Neighbourhood:
+    """A copied primitive window of half-width ``radius`` around ``cell``."""
+    slices = tuple(
+        slice(max(0, int(c) - radius), min(extent, int(c) + radius + 1))
+        for c, extent in zip(cell, p.shape[:-1])
+    )
+    return Neighbourhood(
+        origin=tuple(s.start for s in slices), values=p[slices].copy()
+    )
+
+
+def _raise_unphysical(p: np.ndarray, where: str, what: str, cell_mask, value) -> None:
+    """Failure path of :func:`validate_state` — attach location forensics.
+
+    Only runs when the state is already known bad, so the argwhere /
+    window copies cost nothing on the hot path.
+    """
+    cells = bad_cells(cell_mask)
+    neighbourhood = neighbourhood_of(p, cells[0]) if cells else None
+    at = f" at cell {cells[0]}" if cells else ""
+    raise PhysicsError(
+        f"{where}: {what} ({value}{at},"
+        f" {int(np.count_nonzero(cell_mask))} cells affected)",
+        context=where,
+        cells=cells,
+        neighbourhood=neighbourhood,
+        details={"what": what},
+    )
+
+
 def validate_state(p: np.ndarray, where: str = "state", work=None) -> None:
-    """Raise :class:`PhysicsError` if a primitive state is unphysical."""
+    """Raise :class:`PhysicsError` if a primitive state is unphysical.
+
+    The raised error names the offending cell indices and carries a
+    copied neighbourhood of the primitive values around the first bad
+    cell (see :mod:`repro.obs.forensics`).
+    """
     rho = p[..., 0]
     pressure = p[..., -1]
     if work is None:
         if not np.all(np.isfinite(p)):
-            raise PhysicsError(f"{where}: non-finite values detected")
+            _raise_unphysical(
+                p, where, "non-finite values detected",
+                ~np.all(np.isfinite(p), axis=-1), "NaN/Inf",
+            )
         if np.any(rho < FLOOR):
-            raise PhysicsError(f"{where}: non-positive density (min {rho.min():.3e})")
+            _raise_unphysical(
+                p, where, "non-positive density", rho < FLOOR,
+                f"min {rho.min():.3e}",
+            )
         if np.any(pressure < FLOOR):
-            raise PhysicsError(f"{where}: non-positive pressure (min {pressure.min():.3e})")
+            _raise_unphysical(
+                p, where, "non-positive pressure", pressure < FLOOR,
+                f"min {pressure.min():.3e}",
+            )
         return
     finite = work.array("validate.finite", p.shape, np.bool_)
     np.isfinite(p, out=finite)
     if not np.all(finite):
-        raise PhysicsError(f"{where}: non-finite values detected")
+        _raise_unphysical(
+            p, where, "non-finite values detected",
+            ~np.all(finite, axis=-1), "NaN/Inf",
+        )
     cell_mask = work.array("validate.cell", p.shape[:-1], np.bool_)
     np.less(rho, FLOOR, out=cell_mask)
     if np.any(cell_mask):
-        raise PhysicsError(f"{where}: non-positive density (min {rho.min():.3e})")
+        _raise_unphysical(
+            p, where, "non-positive density", cell_mask, f"min {rho.min():.3e}"
+        )
     np.less(pressure, FLOOR, out=cell_mask)
     if np.any(cell_mask):
-        raise PhysicsError(f"{where}: non-positive pressure (min {pressure.min():.3e})")
+        _raise_unphysical(
+            p, where, "non-positive pressure", cell_mask,
+            f"min {pressure.min():.3e}",
+        )
 
 
 def swap_velocity_axes(p: np.ndarray) -> np.ndarray:

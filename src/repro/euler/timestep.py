@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PhysicsError
 from repro.euler.constants import DEFAULT_CFL, GAMMA
 from repro.euler import eos, state
 
@@ -31,22 +31,38 @@ def max_eigenvalue(
             f"{ndim}-D state needs {ndim} spacings, got {len(spacing)}"
         )
     if work is None:
-        sound = eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma)
-        ev = np.zeros_like(sound)
-        for axis in range(ndim):
-            ev += (np.abs(primitive[..., 1 + axis]) + sound) / spacing[axis]
-        return float(ev.max())
-    sound = work.cell_like("dt.sound", primitive)
-    ev = work.cell_like("dt.ev", primitive)
-    scratch = work.cell_like("dt.scratch", primitive)
-    eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma, out=sound)
-    ev.fill(0.0)
-    for axis in range(ndim):
-        np.abs(primitive[..., 1 + axis], out=scratch)
-        np.add(scratch, sound, out=scratch)
-        np.divide(scratch, spacing[axis], out=scratch)
-        np.add(ev, scratch, out=ev)
-    return float(ev.max())
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sound = eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma)
+            ev = np.zeros_like(sound)
+            for axis in range(ndim):
+                ev += (np.abs(primitive[..., 1 + axis]) + sound) / spacing[axis]
+    else:
+        sound = work.cell_like("dt.sound", primitive)
+        ev = work.cell_like("dt.ev", primitive)
+        scratch = work.cell_like("dt.scratch", primitive)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma, out=sound)
+            ev.fill(0.0)
+            for axis in range(ndim):
+                np.abs(primitive[..., 1 + axis], out=scratch)
+                np.add(scratch, sound, out=scratch)
+                np.divide(scratch, spacing[axis], out=scratch)
+                np.add(ev, scratch, out=ev)
+    largest = float(ev.max())
+    if not np.isfinite(largest):
+        # A NaN sound speed (negative pressure under the sqrt) or an
+        # infinite velocity would silently propagate into dt; name the
+        # cells instead of letting the run loop report a bare bad dt.
+        cells = state.bad_cells(~np.isfinite(ev))
+        raise PhysicsError(
+            f"GetDT: non-finite signal speed"
+            f"{f' at cell {cells[0]}' if cells else ''}"
+            f" ({int(np.count_nonzero(~np.isfinite(ev)))} cells affected)",
+            context="GetDT",
+            cells=cells,
+            details={"max_eigenvalue": largest},
+        )
+    return largest
 
 
 def get_dt(

@@ -1,0 +1,41 @@
+"""JSONL round-trip for trace records.
+
+One JSON object per line, one line per step — the format every log
+pipeline and `jq` one-liner understands, and what CI uploads next to
+the ``BENCH_*.json`` records so a regression's telemetry is attached
+to the run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.obs.trace import StepTrace, TraceRecord
+
+__all__ = ["write_jsonl", "read_jsonl"]
+
+
+def write_jsonl(
+    trace: Union[StepTrace, List[TraceRecord]], path: Union[str, Path]
+) -> Path:
+    """Write a trace's retained records (oldest first) as JSON lines."""
+    records = trace.records() if isinstance(trace, StepTrace) else list(trace)
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_json()))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read records written by :func:`write_jsonl` (blank lines skipped)."""
+    records: List[TraceRecord] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(TraceRecord.from_json(json.loads(line)))
+    return records

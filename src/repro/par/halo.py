@@ -96,11 +96,18 @@ class HaloExchanger:
         #: Per-subdomain count of neighbour strips pulled (rank-indexed so
         #: concurrent workers never write the same counter).
         self.copy_counts = np.zeros(decomposition.workers, dtype=np.int64)
+        #: Per-subdomain bytes pulled (same rank-indexed layout).
+        self.byte_counts = np.zeros(decomposition.workers, dtype=np.int64)
 
     @property
     def total_copies(self) -> int:
         """Total neighbour strips copied since construction."""
         return int(self.copy_counts.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total halo bytes copied since construction (telemetry)."""
+        return int(self.byte_counts.sum())
 
     def exchange(self, rank: int) -> int:
         """Fill subdomain ``rank``'s halo strips from its neighbours.
@@ -111,29 +118,35 @@ class HaloExchanger:
         sd = self.decomposition.subdomains[rank]
         mine = self.buffers[rank]
         copies = 0
+        nbytes = 0
 
         if sd.left is not None:
             other = self._neighbour(sd, sd.left, axis=0)
             src = self.buffers[other.rank]
             mine[0:h, h : h + sd.ny] = src[h + other.nx - h : h + other.nx, h : h + other.ny]
             copies += 1
+            nbytes += mine[0:h, h : h + sd.ny].nbytes
         if sd.right is not None:
             other = self._neighbour(sd, sd.right, axis=0)
             src = self.buffers[other.rank]
             mine[h + sd.nx : h + sd.nx + h, h : h + sd.ny] = src[h : h + h, h : h + other.ny]
             copies += 1
+            nbytes += mine[h + sd.nx : h + sd.nx + h, h : h + sd.ny].nbytes
         if sd.bottom is not None:
             other = self._neighbour(sd, sd.bottom, axis=1)
             src = self.buffers[other.rank]
             mine[h : h + sd.nx, 0:h] = src[h : h + other.nx, h + other.ny - h : h + other.ny]
             copies += 1
+            nbytes += mine[h : h + sd.nx, 0:h].nbytes
         if sd.top is not None:
             other = self._neighbour(sd, sd.top, axis=1)
             src = self.buffers[other.rank]
             mine[h : h + sd.nx, h + sd.ny : h + sd.ny + h] = src[h : h + other.nx, h : h + h]
             copies += 1
+            nbytes += mine[h : h + sd.nx, h + sd.ny : h + sd.ny + h].nbytes
 
         self.copy_counts[rank] += copies
+        self.byte_counts[rank] += nbytes
         return copies
 
     def exchange_all(self) -> int:

@@ -23,6 +23,7 @@ Fortran.
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
@@ -58,10 +59,21 @@ class CondBarrier:
         self._count = parties
         self._generation = 0
         self._aborted = False
+        self._abort_generation: Optional[int] = None
         self._cond = threading.Condition()
+        self.wait_seconds = 0.0
 
     def wait(self) -> int:
         """Sleep until all parties arrive; returns the generation passed."""
+        started = perf_counter()
+        try:
+            return self._wait()
+        finally:
+            elapsed = perf_counter() - started
+            with self._cond:
+                self.wait_seconds += elapsed
+
+    def _wait(self) -> int:
         with self._cond:
             if self._aborted:
                 raise BarrierAborted("condvar barrier aborted")
@@ -74,14 +86,24 @@ class CondBarrier:
                 return generation
             while self._generation == generation and not self._aborted:
                 self._cond.wait()
-            if self._aborted:
+            # Same post-release rule as SpinBarrier: an abort that lands
+            # *after* this generation already completed must not turn the
+            # successful wait into a spurious BarrierAborted.
+            if (
+                self._aborted
+                and self._abort_generation is not None
+                and self._abort_generation <= generation
+            ):
                 raise BarrierAborted("condvar barrier aborted")
             return generation
 
     def abort(self) -> None:
         """Poison the barrier and wake anyone currently sleeping."""
         with self._cond:
+            if self._aborted:
+                return
             self._aborted = True
+            self._abort_generation = self._generation
             self._cond.notify_all()
 
 
@@ -131,6 +153,7 @@ class WorkerPool:
         self._start = make_barrier(barrier, workers)
         self._done = make_barrier(barrier, workers)
         self._team_barriers: List[object] = [self._start, self._done]
+        self._team: Optional[object] = None
         self._task: Optional[Callable[[int], None]] = None
         self._errors: List[BaseException] = []
         self._error_lock = threading.Lock()
@@ -171,14 +194,31 @@ class WorkerPool:
     # -- running tasks -------------------------------------------------
 
     def team_barrier(self):
-        """A fresh worker-only barrier for synchronising *inside* a task.
+        """The pool's worker-only barrier for synchronising *inside* a task.
 
-        The barrier is registered with the pool so a failing worker
-        aborts it along with the start/done pair.
+        One reusable (generational) barrier is shared by every caller:
+        all workers pass the same sequence of sync points per round, so
+        distinct call sites can share it safely, and the registry of
+        abortable barriers stays bounded no matter how many rounds or
+        callers there are (per-round callers used to leak one barrier
+        per call, growing ``_abort_all`` cost with run length).  It is
+        registered with the pool so a failing worker aborts it along
+        with the start/done pair.
         """
-        barrier = make_barrier(self.barrier_kind, self.workers)
-        self._team_barriers.append(barrier)
-        return barrier
+        if self._team is None:
+            self._team = make_barrier(self.barrier_kind, self.workers)
+            self._team_barriers.append(self._team)
+        return self._team
+
+    @property
+    def barrier_wait_seconds(self) -> float:
+        """Wall-clock seconds spent waiting in this pool's barriers,
+        summed over the start/done pair and the team barrier (telemetry
+        for :mod:`repro.obs`)."""
+        return sum(
+            getattr(barrier, "wait_seconds", 0.0)
+            for barrier in self._team_barriers
+        )
 
     def run(self, task: Callable[[int], None]) -> None:
         """Execute ``task(worker_index)`` on every worker; block until done.

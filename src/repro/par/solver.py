@@ -28,12 +28,13 @@ benchmarks is slack for exotic libm/compiler combinations only.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PhysicsError
 from repro.euler import state
 from repro.euler.boundary import BoundarySet2D
 from repro.euler.engine import PHASES, StepEngine
@@ -68,6 +69,7 @@ class ParallelSolver2D:
         py: Optional[int] = None,
         halo: Optional[int] = None,
         barrier: str = "spin",
+        watch=None,
     ):
         primitive = np.asarray(primitive, dtype=float)
         if primitive.ndim != 3 or primitive.shape[-1] != 4:
@@ -95,6 +97,8 @@ class ParallelSolver2D:
         self.halo = halo
         self.time = 0.0
         self.steps = 0
+        #: optional :class:`repro.obs.trace.StepTrace` recording each step
+        self.watch = watch
 
         u_global = state.conservative_from_primitive(primitive, self.config.gamma)
         self._locals: List[np.ndarray] = [
@@ -204,6 +208,16 @@ class ParallelSolver2D:
         return self.exchanger.total_copies
 
     @property
+    def halo_bytes(self) -> int:
+        """Halo bytes copied since construction (telemetry)."""
+        return self.exchanger.total_bytes
+
+    @property
+    def barrier_wait_seconds(self) -> float:
+        """Seconds spent waiting in the pool's barriers (telemetry)."""
+        return self.pool.barrier_wait_seconds
+
+    @property
     def engine_seconds(self) -> Dict[str, float]:
         """Per-phase wall-clock seconds summed over the rank engines."""
         totals = {phase: 0.0 for phase in PHASES}
@@ -211,6 +225,11 @@ class ParallelSolver2D:
             for phase, elapsed in engine.seconds.items():
                 totals[phase] += elapsed
         return totals
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Alias of :attr:`engine_seconds` (the serial solvers' name)."""
+        return self.engine_seconds
 
     @property
     def scratch_bytes(self) -> int:
@@ -243,12 +262,13 @@ class ParallelSolver2D:
         """
 
         def deposit_local_dt(rank: int) -> None:
-            self._dt_slots.deposit(
-                rank,
-                self._engines[rank].compute_dt(
-                    self._locals[rank], target=self._interiors[rank]
-                ),
-            )
+            with self._global_cells(rank):
+                self._dt_slots.deposit(
+                    rank,
+                    self._engines[rank].compute_dt(
+                        self._locals[rank], target=self._interiors[rank]
+                    ),
+                )
 
         self.pool.run(deposit_local_dt)
         return self._dt_slots.combine("min")
@@ -268,6 +288,8 @@ class ParallelSolver2D:
         self.pool.run(advance)
         self.time += dt
         self.steps += 1
+        if self.watch is not None:
+            self.watch.record_step(self, dt)
         return dt
 
     def run(
@@ -275,11 +297,41 @@ class ParallelSolver2D:
         t_end: Optional[float] = None,
         max_steps: Optional[int] = None,
         callback: Optional[Callable[["ParallelSolver2D"], None]] = None,
+        watch=None,
     ) -> RunResult:
         """Advance until ``t_end`` and/or for ``max_steps`` steps."""
-        return _run_loop(self, t_end, max_steps, callback)
+        return _run_loop(self, t_end, max_steps, callback, watch=watch)
 
     # -- internals -----------------------------------------------------
+
+    @contextmanager
+    def _global_cells(self, rank: int):
+        """Rebase a rank-local :class:`PhysicsError` to global grid indices.
+
+        Validation inside a subdomain reports cells in block coordinates;
+        without the ``(x0, y0)`` offset the "offending cell" would point
+        at the wrong place on every rank but 0.
+        """
+        try:
+            yield
+        except PhysicsError as error:
+            if not error.details.get("global_cells"):
+                sd = self.decomposition.subdomains[rank]
+                error.cells = [
+                    (cell[0] + sd.x0, cell[1] + sd.y0) if len(cell) == 2 else cell
+                    for cell in error.cells
+                ]
+                if (
+                    error.neighbourhood is not None
+                    and len(error.neighbourhood.origin) == 2
+                ):
+                    error.neighbourhood.origin = (
+                        error.neighbourhood.origin[0] + sd.x0,
+                        error.neighbourhood.origin[1] + sd.y0,
+                    )
+                error.details["global_cells"] = True
+                error.details["rank"] = rank
+            raise
 
     def _local_rhs_into(
         self, rank: int, u_block: np.ndarray, out: np.ndarray, first_stage: bool
@@ -305,9 +357,10 @@ class ParallelSolver2D:
             u_block, target=self._interiors[rank], reuse=first_stage
         )
         started = perf_counter()
-        state.validate_state(
-            block, f"parallel solver subdomain {rank}", work=engine.workspace
-        )
+        with self._global_cells(rank):
+            state.validate_state(
+                block, f"parallel solver subdomain {rank}", work=engine.workspace
+            )
         engine.seconds["convert"] += perf_counter() - started
         self._team.wait()
         self.exchanger.exchange(rank)

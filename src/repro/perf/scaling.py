@@ -210,6 +210,13 @@ class MeasuredPoint:
     #: Per-phase engine seconds (bc/reconstruct/riemann/...), summed over
     #: ranks; None when the run predates the StepEngine counters.
     phase_seconds: Optional[Dict[str, float]] = None
+    #: Halo bytes copied and barrier-wait seconds over the whole run
+    #: (repro.obs telemetry; 0 when the run predates it).
+    halo_bytes: int = 0
+    barrier_wait_seconds: float = 0.0
+    #: Per-step trace records in JSON form (see repro.obs.trace), kept
+    #: only when the run was traced.
+    trace: Optional[List[Dict[str, object]]] = None
 
     @property
     def step_rate(self) -> float:
@@ -302,6 +309,7 @@ def figure4_measured(
     barriers: Sequence[str] = ("spin", "forkjoin"),
     config=None,
     validate: bool = True,
+    traced: bool = True,
 ) -> MeasuredScalingResult:
     """Run the Fig. 4 workload for real on the repro.par runtime.
 
@@ -311,7 +319,15 @@ def figure4_measured(
     ``validate`` is set (the default) every parallel field is compared
     against a serial reference run of the same length; the maximum
     absolute difference is recorded per point (and is 0.0 in practice).
+
+    With ``traced`` (the default) each parallel run is watched by a
+    :class:`repro.obs.trace.StepTrace` and the point carries the
+    per-step records plus the run's halo-byte volume and barrier-wait
+    seconds — the communication/synchronisation split the paper could
+    only speculate about.  Pass ``traced=False`` for a pristine timing
+    loop.
     """
+    from repro.obs.trace import StepTrace
     from repro.par.solver import ParallelSolver2D
 
     if grid < 8:
@@ -334,8 +350,9 @@ def figure4_measured(
             with ParallelSolver2D.from_serial(
                 fresh, workers=count, barrier=barrier
             ) as parallel:
+                trace = StepTrace(capacity=max(steps, 1)) if traced else None
                 start = time.perf_counter()
-                parallel.run(max_steps=steps)
+                parallel.run(max_steps=steps, watch=trace)
                 seconds = time.perf_counter() - start
                 error = (
                     float(np.abs(parallel.u - reference_state).max())
@@ -351,6 +368,13 @@ def figure4_measured(
                         halo_exchanges=parallel.halo_exchanges,
                         max_abs_error=error,
                         phase_seconds=parallel.engine_seconds,
+                        halo_bytes=parallel.halo_bytes,
+                        barrier_wait_seconds=parallel.barrier_wait_seconds,
+                        trace=(
+                            [r.to_json() for r in trace.records()]
+                            if trace is not None
+                            else None
+                        ),
                     )
                 )
     return MeasuredScalingResult(

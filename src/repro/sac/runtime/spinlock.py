@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 
 
 class BarrierAborted(RuntimeError):
@@ -33,8 +34,16 @@ class SpinBarrier:
 
     :meth:`abort` releases current waiters and poisons the barrier —
     every released or subsequent :meth:`wait` raises
-    :class:`BarrierAborted`.  The worker pool uses this so one failing
-    worker cannot strand its siblings mid-step.
+    :class:`BarrierAborted` — *except* waits whose generation already
+    completed before the abort landed: a successful release must stay
+    successful even if the waiter is descheduled between the generation
+    bump and its post-release check.  The worker pool uses abort so one
+    failing worker cannot strand its siblings mid-step; a spin-budget
+    overrun likewise aborts the barrier before raising, so siblings
+    unwind immediately instead of burning their own budgets.
+
+    ``wait_seconds`` accumulates wall-clock time spent inside
+    :meth:`wait` (telemetry for :mod:`repro.obs`).
     """
 
     def __init__(self, parties: int, max_spins: int = 10_000_000):
@@ -45,10 +54,21 @@ class SpinBarrier:
         self._count = parties
         self._generation = 0
         self._aborted = False
+        self._abort_generation: int | None = None
         self._lock = threading.Lock()
+        self.wait_seconds = 0.0
 
     def wait(self) -> int:
         """Spin until all parties arrive; returns the generation passed."""
+        started = perf_counter()
+        try:
+            return self._wait()
+        finally:
+            elapsed = perf_counter() - started
+            with self._lock:
+                self.wait_seconds += elapsed
+
+    def _wait(self) -> int:
         with self._lock:
             if self._aborted:
                 raise BarrierAborted("spin barrier aborted")
@@ -62,15 +82,29 @@ class SpinBarrier:
         while self._generation == generation:
             spins += 1
             if spins > self.max_spins:
+                # Abort before raising: siblings spinning on the same
+                # generation are released with BarrierAborted right now
+                # instead of overrunning their own budgets one by one.
+                self.abort()
                 raise RuntimeError("spin barrier exceeded its spin budget")
-        if self._aborted:
+        if self._aborted and self._abort_generation is not None \
+                and self._abort_generation <= generation:
             raise BarrierAborted("spin barrier aborted")
         return generation
 
     def abort(self) -> None:
-        """Poison the barrier and release anyone currently spinning."""
+        """Poison the barrier and release anyone currently spinning.
+
+        Waits of the generation being aborted (and later) raise
+        :class:`BarrierAborted`; a wait whose generation was already
+        completed by a normal release returns normally even if the
+        abort lands before its post-release check.
+        """
         with self._lock:
+            if self._aborted:
+                return
             self._aborted = True
+            self._abort_generation = self._generation
             self._count = self.parties
             self._generation += 1
 

@@ -86,6 +86,29 @@ class TestEdgeSpec:
         spec.fill(padded, 1)
         np.testing.assert_allclose(padded[0], 7.0)
 
+    def test_piecewise_spec_on_1d_sweep_rejected(self):
+        """A (cells, fields) sweep has no along-edge axis to partition.
+
+        The seed code silently applied segments[0] to the whole edge —
+        a wrong-physics answer with no error.
+        """
+        spec = EdgeSpec()
+        spec.add(0, 3, SupersonicInflow([9.0, 9.0, 9.0]))
+        spec.add(3, None, Transmissive())
+        with pytest.raises(ConfigurationError, match="1-D"):
+            spec.fill(np.zeros((6, 3)), 1)
+
+    def test_offset_single_segment_on_1d_sweep_rejected(self):
+        spec = EdgeSpec().add(2, None, Transmissive())
+        with pytest.raises(ConfigurationError, match="1-D"):
+            spec.fill(np.zeros((6, 3)), 1)
+
+    def test_uniform_spec_still_fills_1d_sweep(self):
+        padded = np.zeros((6, 3))
+        padded[1] = 7.0
+        EdgeSpec.uniform(Transmissive()).fill(padded, 1)
+        np.testing.assert_allclose(padded[0], 7.0)
+
 
 class TestBoundarySets:
     def test_for_axis(self):

@@ -92,6 +92,29 @@ class TestShockFront:
         mean, spread = diagnostics.shock_front_radius(prim, (0.0, 0.0), 1.0)
         assert mean == 0.0
 
+    def test_edge_adjacent_origin_does_not_alias_onto_boundary_row(self):
+        """int() truncation mapped coordinates in (-1, 0) onto cell 0.
+
+        A ray leaving an origin just outside the low edge then crawled
+        the whole boundary row and reported a huge spurious radius; the
+        floor-based indexing kills the ray at its first out-of-domain
+        sample.
+        """
+        n = 30
+        prim = np.zeros((n, n, 4))
+        prim[..., 0] = 1.0
+        prim[..., 3] = 1.0
+        prim[0, :, 3] = 3.0  # pressurised boundary row (wall artefact)
+        # every ray's first sample sits at x = -0.4, outside the domain,
+        # so every ray must die immediately; int() truncation instead
+        # aliased x onto row 0 and the vertical ray walked
+        # pressure[0, :] out to r ~ n (mean radius ~ n/2)
+        mean, spread = diagnostics.shock_front_radius(
+            prim, origin=(-0.4, 0.5), dx=1.0, n_rays=2
+        )
+        assert mean == 0.0
+        assert spread == 0.0
+
     def test_elliptic_front_has_larger_spread(self):
         n = 60
         x, y = np.meshgrid(np.arange(n) + 0.5, np.arange(n) + 0.5, indexing="ij")

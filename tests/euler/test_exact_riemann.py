@@ -57,6 +57,27 @@ class TestStarRegion:
         with pytest.raises(PhysicsError, match="vacuum"):
             er.solve_star_region(left, right)
 
+    def test_nonconvergence_raises_instead_of_returning_garbage(self):
+        """An exhausted Newton budget must not hand back the last iterate.
+
+        Toro test 3 needs more than two iterations; the seed code fell
+        out of the loop and silently built the star region from an
+        unconverged pressure.
+        """
+        left = er.RiemannState(1.0, 0.0, 1000.0)
+        right = er.RiemannState(1.0, 0.0, 0.01)
+        with pytest.raises(PhysicsError, match="did not converge") as excinfo:
+            er.solve_star_region(left, right, max_iterations=2)
+        error = excinfo.value
+        assert error.details["iterations"] == 2
+        assert error.details["p"] > 0.0
+        assert error.details["residual"] > error.details["tolerance"]
+
+    def test_convergence_details_not_triggered_by_easy_problems(self):
+        # the default budget solves every standard test (no new raise)
+        star = er.solve_star_region(SOD_LEFT, SOD_RIGHT)
+        assert star.p > 0.0
+
     @given(left=side, right=side)
     @settings(max_examples=60, deadline=None)
     def test_star_pressure_positive_and_consistent(self, left, right):

@@ -1,0 +1,134 @@
+"""Forensic reports: a blown-up run must say where and why it died."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicsError
+from repro.euler import problems
+from repro.obs import StepTrace, attach_forensics, build_report, format_report
+from repro.par.solver import ParallelSolver2D
+
+
+def _poisoned_sod(n_cells=64, cell=40):
+    """A Sod tube with one cell's energy made negative (p < 0 there)."""
+    solver, _ = problems.sod(n_cells=n_cells)
+    solver.u[cell, 2] = -5.0
+    return solver
+
+
+class TestSerialForensics:
+    def test_run_attaches_report_with_cells(self):
+        solver = _poisoned_sod()
+        trace = StepTrace()
+        with pytest.raises(PhysicsError) as excinfo:
+            solver.run(max_steps=5, watch=trace)
+        error = excinfo.value
+        assert error.forensics is not None
+        report = error.forensics
+        assert (40,) in report.cells
+        assert report.config is not None
+        assert report.config["riemann"] == solver.config.riemann
+        assert report.step == 0
+
+    def test_neighbourhood_window_centres_on_bad_cell(self):
+        solver = _poisoned_sod()
+        with pytest.raises(PhysicsError) as excinfo:
+            solver.run(max_steps=5)
+        hood = excinfo.value.forensics.neighbourhood
+        assert hood is not None
+        assert hood.origin == (38,)
+        assert hood.values.shape == (5, 3)
+        # the pressure of the poisoned cell is negative in the dump
+        assert hood.values[40 - hood.origin[0], -1] < 0.0
+
+    def test_report_keeps_trace_tail(self):
+        solver, _ = problems.sod(n_cells=64)
+        trace = StepTrace()
+        solver.run(max_steps=6, watch=trace)  # healthy prefix
+        solver.u[30, 2] = -5.0
+        with pytest.raises(PhysicsError) as excinfo:
+            solver.run(max_steps=12, watch=trace)
+        tail = excinfo.value.forensics.trace_tail
+        assert len(tail) == 6
+        assert tail[-1].step == 6
+
+    def test_format_report_is_printable(self):
+        solver = _poisoned_sod()
+        trace = StepTrace()
+        with pytest.raises(PhysicsError) as excinfo:
+            solver.run(max_steps=5, watch=trace)
+        text = format_report(excinfo.value.forensics)
+        assert "bad cells" in text
+        assert "(40,)" in text
+        assert "config" in text
+
+    def test_attach_is_idempotent(self):
+        error = PhysicsError("boom", cells=[(1,)])
+        first = attach_forensics(error).forensics
+        again = attach_forensics(error).forensics
+        assert again is first
+
+    def test_build_report_reconstructs_neighbourhood_from_solver(self):
+        solver, _ = problems.sod(n_cells=32)
+        error = PhysicsError("synthetic", cells=[(10,)])
+        report = build_report(error, solver=solver)
+        assert report.neighbourhood is not None
+        assert report.neighbourhood.origin == (8,)
+
+    def test_report_serialises_to_json(self):
+        import json
+
+        solver = _poisoned_sod()
+        with pytest.raises(PhysicsError) as excinfo:
+            solver.run(max_steps=5)
+        payload = excinfo.value.forensics.to_json()
+        text = json.dumps(payload)  # must not raise on numpy leftovers
+        assert "cells" in payload and json.loads(text)["cells"] == [[40]]
+
+
+class TestParallelForensics:
+    def test_parallel_blowup_names_global_cells(self):
+        serial, _ = problems.sod_2d(nx=24, ny=24)
+        with ParallelSolver2D.from_serial(
+            serial, workers=4, barrier="spin"
+        ) as parallel:
+            sd = parallel.decomposition.subdomains[3]
+            parallel._locals[3][2, 3, -1] = -1.0
+            with pytest.raises(PhysicsError) as excinfo:
+                parallel.run(max_steps=3)
+            error = excinfo.value
+            assert (sd.x0 + 2, sd.y0 + 3) in error.cells
+            assert error.details.get("rank") == 3
+            assert error.forensics is not None
+            assert (sd.x0 + 2, sd.y0 + 3) in error.forensics.cells
+
+    def test_parallel_neighbourhood_origin_is_global(self):
+        serial, _ = problems.sod_2d(nx=24, ny=24)
+        with ParallelSolver2D.from_serial(
+            serial, workers=4, barrier="spin"
+        ) as parallel:
+            sd = parallel.decomposition.subdomains[3]
+            parallel._locals[3][2, 3, -1] = -1.0
+            with pytest.raises(PhysicsError) as excinfo:
+                parallel.run(max_steps=3)
+        # GetDT failures carry cells but no window; the report rebuilds
+        # one from the gathered global state, so its origin is global.
+        hood = excinfo.value.forensics.neighbourhood
+        assert hood is not None
+        gx, gy = sd.x0 + 2, sd.y0 + 3
+        assert hood.origin[0] <= gx < hood.origin[0] + hood.values.shape[0]
+        assert hood.origin[1] <= gy < hood.origin[1] + hood.values.shape[1]
+
+    def test_parallel_trace_records_halo_and_barrier_telemetry(self):
+        serial, _ = problems.sod_2d(nx=24, ny=24)
+        with ParallelSolver2D.from_serial(
+            serial, workers=4, barrier="spin"
+        ) as parallel:
+            trace = StepTrace()
+            parallel.run(max_steps=3, watch=trace)
+            record = trace.records()[-1]
+            assert record.workers == 4
+            assert record.halo_copies > 0
+            assert record.halo_bytes > 0
+            assert record.barrier_wait_seconds >= 0.0
+            assert record.phase_seconds is not None

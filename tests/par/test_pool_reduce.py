@@ -61,6 +61,27 @@ class TestWorkerPool:
         pool.shutdown()
         pool.shutdown()
 
+    def test_team_barrier_is_reused_not_leaked(self, kind):
+        """team_barrier() per round used to append a fresh barrier to
+        the abort registry forever; a long run grew it without bound."""
+        with WorkerPool(2, barrier=kind) as pool:
+            team = pool.team_barrier()
+
+            def task(index):
+                pool.team_barrier().wait()
+
+            for _ in range(25):
+                pool.run(task)
+                assert pool.team_barrier() is team
+            # registry stays bounded: start + done + the one team barrier
+            assert len(pool._team_barriers) == 3
+
+    def test_barrier_wait_seconds_property(self, kind):
+        with WorkerPool(2, barrier=kind) as pool:
+            team = pool.team_barrier()
+            pool.run(lambda index: team.wait())
+            assert pool.barrier_wait_seconds > 0.0
+
 
 class TestBarriers:
     def test_unknown_kind_rejected(self):
@@ -104,6 +125,74 @@ class TestBarriers:
             barrier.wait()
         thread.join(timeout=10.0)
         assert sorted(generations) == [0, 1, 2]
+
+    @pytest.mark.parametrize("kind", BARRIERS)
+    def test_wait_seconds_telemetry_accumulates(self, kind):
+        barrier = make_barrier(kind, 1)
+        assert barrier.wait_seconds == 0.0
+        barrier.wait()
+        assert barrier.wait_seconds > 0.0
+
+    def test_spin_budget_overrun_aborts_the_barrier(self):
+        """A budget overrun must poison the barrier, not just raise.
+
+        On the seed code the overrunning waiter left its arrival count
+        behind; a sibling arriving later was counted as the missing
+        party and its wait returned "successfully" against a barrier
+        that had already failed.
+        """
+        barrier = SpinBarrier(2, max_spins=10_000)
+        with pytest.raises(RuntimeError, match="spin budget"):
+            barrier.wait()
+        with pytest.raises(BarrierAborted):
+            barrier.wait()
+
+    def test_abort_after_release_does_not_poison_completed_wait(self):
+        """The post-release race: an abort landing between the
+        generation bump and a released waiter's aborted-check must not
+        turn that already-successful wait into a BarrierAborted."""
+
+        class RacySpinBarrier(SpinBarrier):
+            """Injects abort() at the exact moment a spinning waiter
+            first observes the generation bump."""
+
+            def __init__(self, parties):
+                self._gen_value = 0
+                self._raced = True  # disarmed while __init__ runs
+                super().__init__(parties)
+                self._raced = False
+
+            @property
+            def _generation(self):
+                value = self._gen_value
+                if value > 0 and not self._raced:
+                    self._raced = True
+                    self.abort()
+                return value
+
+            @_generation.setter
+            def _generation(self, value):
+                self._gen_value = value
+
+        barrier = RacySpinBarrier(2)
+        outcome = []
+
+        def spinner():
+            try:
+                outcome.append(("ok", barrier.wait()))
+            except BarrierAborted:
+                outcome.append(("aborted", None))
+
+        thread = threading.Thread(target=spinner, daemon=True)
+        thread.start()
+        while barrier._count == 2:  # until the spinner has arrived
+            pass
+        barrier.wait()  # last arrival releases generation 0
+        thread.join(timeout=10.0)
+        assert outcome == [("ok", 0)]
+        # the injected abort still poisons *later* waits
+        with pytest.raises(BarrierAborted):
+            barrier.wait()
 
 
 class TestSlotReduction:
