@@ -1,0 +1,45 @@
+"""Static-analysis framework shared by both mini-compilers.
+
+The paper's central claim — SaC may parallelise *every* with-loop
+because the language guarantees side-effect freedom, while Fortran's
+auto-paralleliser must prove independence loop by loop — is exactly
+the kind of claim a compiler bug silently invalidates.  This package
+machine-checks it:
+
+:mod:`diag`
+    One :class:`Diagnostic`/:class:`DiagnosticEngine` vocabulary for
+    every checker (severity, stable codes like ``SAC-IR001`` /
+    ``F90-RACE002``, source spans, notes, JSON form shared with
+    :mod:`repro.obs.export`).
+:mod:`sac_verify`
+    IR verifier for SaC modules — use-before-def, binder hygiene,
+    type/shape consistency, malformed with-loop partitions and
+    memory-reuse alias safety.  Runs standalone or between every
+    optimisation pass (``verify_ir=True``), so a pass bug is reported
+    with the *pass* that introduced it.
+:mod:`wl_check`
+    With-loop write-disjointness and index-bounds checking — the
+    static justification for "every with-loop is parallel".
+:mod:`f90_races`
+    An independent may-race analysis over Fortran DO loops,
+    cross-checked against :mod:`repro.f90.autopar`'s annotations.
+:mod:`cli`
+    ``python -m repro.lint`` — all checkers over a file or the
+    built-in Euler kernels, text or JSONL output.
+"""
+
+from repro.analysis.diag import Diagnostic, DiagnosticEngine, Severity
+from repro.analysis.sac_verify import verify_module
+from repro.analysis.wl_check import check_with_loops
+from repro.analysis.f90_races import Race, cross_check_autopar, find_races
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticEngine",
+    "Severity",
+    "verify_module",
+    "check_with_loops",
+    "Race",
+    "cross_check_autopar",
+    "find_races",
+]

@@ -1,0 +1,441 @@
+"""IR verifier for the SaC mini-compiler.
+
+Checks the invariants every optimisation pass must preserve.  The
+verifier runs standalone (:func:`verify_module`) or between every
+pipeline pass (``PipelineOptions.verify_ir``), in which case the
+diagnostics carry the name of the pass after which the IR first went
+wrong — turning "the program computes garbage at -O3" into "pass X
+broke function Y".
+
+Checks and codes:
+
+``SAC-IR001``
+    A variable is read on a path where no definition reaches it.  The
+    walk mirrors the type checker's conditional-definition rule: a
+    name defined in only one branch of an ``if`` (or only inside a
+    loop body) is *maybe*-defined and may not be used after.
+``SAC-IR002``
+    Binder hygiene: duplicate parameter names, duplicate index
+    variables in one generator (errors); a local rebinding a module
+    constant or ``-D`` define (warning — legal shadowing, but a
+    classic source of pass confusion).
+``SAC-IR003``
+    The module no longer type checks (:class:`repro.sac.typecheck.TypeChecker`
+    re-run from scratch) — shape or base-type consistency was lost.
+``SAC-IR004``
+    Malformed with-loop partition: no generators, a generator without
+    index variables, or a vector binder with more than one name.
+``SAC-IR005``
+    A ``reuse_in_place`` annotation the memory-reuse analysis would
+    not derive from the current IR — the reused buffer may still be
+    live (aliased by a parameter or read later), so an in-place
+    update would be observable.
+``SAC-IR006``
+    A call to a function that exists neither in the module nor in the
+    builtin library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diag import DiagnosticEngine
+from repro.errors import SacError
+from repro.sac import ast, stdlib
+from repro.sac.opt import memreuse, util
+from repro.sac.typecheck import TypeChecker
+
+__all__ = ["verify_module", "verify_function"]
+
+SOURCE = "sac-verify"
+
+
+def verify_module(
+    module: ast.Module,
+    defines: Optional[Dict[str, object]] = None,
+    *,
+    engine: Optional[DiagnosticEngine] = None,
+    stage: Optional[str] = None,
+    typecheck: bool = True,
+) -> DiagnosticEngine:
+    """Run every IR check over ``module``; returns the engine.
+
+    ``stage`` names the optimisation pass that just ran (pipeline
+    verification) and is attached to every diagnostic.  ``defines``
+    are the ``-D`` compile-time constants, needed for the type
+    re-check.  The caller decides what to do with errors —
+    :meth:`DiagnosticEngine.raise_if_errors` escalates.
+    """
+    engine = engine if engine is not None else DiagnosticEngine()
+    before = len(engine.errors)
+    module_names = {g.name for g in module.globals} | set(defines or {})
+    for function in module.functions:
+        verify_function(function, module, module_names, engine, stage=stage)
+    structural_errors = len(engine.errors) > before
+    # Re-typecheck only structurally sound IR: the checker assumes the
+    # invariants above and may crash (rather than diagnose) without them.
+    if typecheck and not structural_errors:
+        try:
+            TypeChecker(module, defines).check_all()
+        except SacError as error:
+            engine.error(
+                "SAC-IR003",
+                f"module no longer type checks: {error}",
+                source=SOURCE,
+                stage=stage,
+            )
+    return engine
+
+
+def verify_function(
+    function: ast.Function,
+    module: ast.Module,
+    module_names: Set[str],
+    engine: DiagnosticEngine,
+    *,
+    stage: Optional[str] = None,
+) -> None:
+    """All per-function structural checks (no type re-check)."""
+    _check_binders(function, module_names, engine, stage)
+    _check_use_def(function, module_names, engine, stage)
+    _check_with_loop_structure(function, engine, stage)
+    _check_reuse_annotations(function, engine, stage)
+    _check_calls(function, module, engine, stage)
+
+
+# --------------------------------------------------------------------------
+# SAC-IR001 — use before definition
+# --------------------------------------------------------------------------
+
+
+def _check_use_def(
+    function: ast.Function,
+    module_names: Set[str],
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    defined = {param.name for param in function.params} | set(module_names)
+    maybe: Set[str] = set()
+    reported: Set[str] = set()
+
+    def check_expr(expr: ast.Expr, span) -> None:
+        for name in sorted(util.free_vars(expr)):
+            if name in defined or name in reported:
+                continue
+            reported.add(name)
+            if name in maybe:
+                engine.error(
+                    "SAC-IR001",
+                    f"variable '{name}' may be undefined "
+                    "(defined on only some control-flow paths)",
+                    source=SOURCE,
+                    where=function.name,
+                    span=span,
+                    stage=stage,
+                )
+            else:
+                engine.error(
+                    "SAC-IR001",
+                    f"variable '{name}' is used before any definition",
+                    source=SOURCE,
+                    where=function.name,
+                    span=span,
+                    stage=stage,
+                )
+
+    def walk(statements: Iterable[ast.Stmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                check_expr(statement.expr, statement.span)
+                defined.add(statement.name)
+                maybe.discard(statement.name)
+            elif isinstance(statement, ast.Return):
+                check_expr(statement.expr, statement.span)
+            elif isinstance(statement, ast.If):
+                check_expr(statement.condition, statement.span)
+                branch_defs = []
+                for body in (statement.then_body, statement.else_body):
+                    snapshot_defined = set(defined)
+                    snapshot_maybe = set(maybe)
+                    walk(body)
+                    branch_defs.append(set(defined))
+                    defined.clear()
+                    defined.update(snapshot_defined)
+                    maybe.clear()
+                    maybe.update(snapshot_maybe)
+                both = branch_defs[0] & branch_defs[1]
+                either = branch_defs[0] | branch_defs[1]
+                maybe.update(either - both - defined)
+                defined.update(both)
+            elif isinstance(statement, ast.For):
+                check_expr(statement.init.expr, statement.init.span)
+                defined.add(statement.init.name)
+                maybe.discard(statement.init.name)
+                check_expr(statement.condition, statement.span)
+                _walk_loop_body(
+                    list(statement.body) + [statement.update]
+                )
+            elif isinstance(statement, ast.While):
+                check_expr(statement.condition, statement.span)
+                _walk_loop_body(statement.body)
+
+    def _walk_loop_body(body: List[ast.Stmt]) -> None:
+        # A loop body may run zero times: its definitions only
+        # *maybe* reach the code after the loop.
+        snapshot_defined = set(defined)
+        snapshot_maybe = set(maybe)
+        walk(body)
+        body_defs = set(defined) - snapshot_defined
+        defined.clear()
+        defined.update(snapshot_defined)
+        maybe.clear()
+        maybe.update(snapshot_maybe | body_defs)
+
+    walk(function.body)
+
+
+# --------------------------------------------------------------------------
+# SAC-IR002 — binder hygiene
+# --------------------------------------------------------------------------
+
+
+def _check_binders(
+    function: ast.Function,
+    module_names: Set[str],
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    param_names = [param.name for param in function.params]
+    for name in sorted({n for n in param_names if param_names.count(n) > 1}):
+        engine.error(
+            "SAC-IR002",
+            f"duplicate parameter name '{name}'",
+            source=SOURCE,
+            where=function.name,
+            span=function.span,
+            stage=stage,
+        )
+    for expr in _function_exprs(function):
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.WithLoop):
+                for generator in node.generators:
+                    seen: Set[str] = set()
+                    for name in generator.index_vars:
+                        if name in seen:
+                            engine.error(
+                                "SAC-IR002",
+                                f"duplicate index variable '{name}' "
+                                "in with-loop generator",
+                                source=SOURCE,
+                                where=function.name,
+                                span=generator.span,
+                                stage=stage,
+                            )
+                        seen.add(name)
+    for statement in _all_statements(function.body):
+        if isinstance(statement, ast.Assign) and statement.name in module_names:
+            engine.warning(
+                "SAC-IR002",
+                f"local assignment shadows module constant '{statement.name}'",
+                source=SOURCE,
+                where=function.name,
+                span=statement.span,
+                stage=stage,
+            )
+
+
+# --------------------------------------------------------------------------
+# SAC-IR004 — malformed with-loop partitions
+# --------------------------------------------------------------------------
+
+
+def _check_with_loop_structure(
+    function: ast.Function,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    for expr in _function_exprs(function):
+        for node in ast.walk_expr(expr):
+            if not isinstance(node, ast.WithLoop):
+                continue
+            if not node.generators:
+                engine.error(
+                    "SAC-IR004",
+                    "with-loop has no generators (dangling partition)",
+                    source=SOURCE,
+                    where=function.name,
+                    span=node.span,
+                    stage=stage,
+                )
+                continue
+            for generator in node.generators:
+                if not generator.index_vars:
+                    engine.error(
+                        "SAC-IR004",
+                        "with-loop generator binds no index variables",
+                        source=SOURCE,
+                        where=function.name,
+                        span=generator.span,
+                        stage=stage,
+                    )
+                if generator.vector_var and len(generator.index_vars) != 1:
+                    engine.error(
+                        "SAC-IR004",
+                        "vector index binder must be a single name, got "
+                        f"{generator.index_vars!r}",
+                        source=SOURCE,
+                        where=function.name,
+                        span=generator.span,
+                        stage=stage,
+                    )
+
+
+# --------------------------------------------------------------------------
+# SAC-IR005 — memory-reuse alias safety
+# --------------------------------------------------------------------------
+
+
+def _check_reuse_annotations(
+    function: ast.Function,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    justified = _justified_reuse_sites(function)
+    for expr in _function_exprs(function):
+        for node in ast.walk_expr(expr):
+            if not isinstance(node, ast.WithLoop):
+                continue
+            if not getattr(node, "reuse_in_place", False):
+                continue
+            if id(node) in justified:
+                continue
+            detail = "the reused buffer may still be live"
+            if not isinstance(node.operation, ast.ModArray):
+                detail = "only modarray with-loops may reuse their source"
+            elif not isinstance(node.operation.array, ast.Var):
+                detail = "the reuse source is not a variable"
+            engine.error(
+                "SAC-IR005",
+                f"unsafe reuse_in_place annotation: {detail}",
+                source=SOURCE,
+                where=function.name,
+                span=node.span,
+                stage=stage,
+            )
+
+
+def _justified_reuse_sites(function: ast.Function) -> Set[int]:
+    """Node ids the memory-reuse analysis would annotate from scratch.
+
+    This mirrors :func:`repro.sac.opt.memreuse._annotate_function`
+    exactly — the verifier accepts an annotation iff the analysis,
+    re-run on the current IR, would (re)derive it.
+    """
+    justified: Set[int] = set()
+    fresh_locals: Set[str] = set()
+    statements = function.body
+    for position, statement in enumerate(statements):
+        if isinstance(statement, ast.Assign):
+            if memreuse._is_fresh(statement.expr):
+                fresh_locals.add(statement.name)
+            else:
+                fresh_locals.discard(statement.name)
+        elif not isinstance(statement, ast.Return):
+            fresh_locals.clear()
+            continue
+        expr = statement.expr
+        loop = expr if isinstance(expr, ast.WithLoop) else None
+        if (
+            loop is None
+            or not isinstance(loop.operation, ast.ModArray)
+            or not isinstance(loop.operation.array, ast.Var)
+        ):
+            continue
+        source = loop.operation.array.name
+        if source not in fresh_locals:
+            continue
+        reads_after = sum(
+            memreuse._reads_in_stmt(later, source)
+            for later in statements[position + 1 :]
+        )
+        reads_in_this = util._read_occurrences(expr).count(source)
+        if reads_after == 0 and reads_in_this == 1:
+            justified.add(id(loop))
+        fresh_locals.discard(source)
+    return justified
+
+
+# --------------------------------------------------------------------------
+# SAC-IR006 — unknown functions
+# --------------------------------------------------------------------------
+
+
+def _check_calls(
+    function: ast.Function,
+    module: ast.Module,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    local_functions = {f.name for f in module.functions}
+    for expr in _function_exprs(function):
+        for node in ast.walk_expr(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            if node.module is None and node.name in local_functions:
+                continue
+            try:
+                builtin = stdlib.lookup(node.name, node.module)
+            except SacError as error:
+                engine.error(
+                    "SAC-IR006",
+                    str(error),
+                    source=SOURCE,
+                    where=function.name,
+                    span=node.span,
+                    stage=stage,
+                )
+                continue
+            if builtin is None:
+                qualified = (
+                    f"{node.module}::{node.name}" if node.module else node.name
+                )
+                engine.error(
+                    "SAC-IR006",
+                    f"call to unknown function '{qualified}'",
+                    source=SOURCE,
+                    where=function.name,
+                    span=node.span,
+                    stage=stage,
+                )
+
+
+# --------------------------------------------------------------------------
+# traversal helpers
+# --------------------------------------------------------------------------
+
+
+def _all_statements(statements: Iterable[ast.Stmt]):
+    for statement in statements:
+        yield statement
+        if isinstance(statement, ast.If):
+            yield from _all_statements(statement.then_body)
+            yield from _all_statements(statement.else_body)
+        elif isinstance(statement, ast.For):
+            yield statement.init
+            yield statement.update
+            yield from _all_statements(statement.body)
+        elif isinstance(statement, ast.While):
+            yield from _all_statements(statement.body)
+
+
+def _function_exprs(function: ast.Function):
+    """Every top-level expression in the function, statement order."""
+    for statement in _all_statements(function.body):
+        if isinstance(statement, (ast.Assign, ast.Return)):
+            yield statement.expr
+        elif isinstance(statement, ast.If):
+            yield statement.condition
+        elif isinstance(statement, ast.For):
+            yield statement.condition
+        elif isinstance(statement, ast.While):
+            yield statement.condition

@@ -1,0 +1,524 @@
+"""With-loop write-disjointness and index-bounds checking.
+
+The paper's claim that the SaC compiler "may parallelise every
+with-loop" rests on partitions being *disjoint* (no two generators
+write the same cell) and *in bounds* (every write lands inside the
+result frame).  This checker proves both statically wherever the
+generator bounds are compile-time constants, and stays silent where
+they are symbolic — a conservative, zero-false-positive policy.
+
+Codes:
+
+``SAC-WL001``
+    A generator's box sticks out of the result frame, or an indexing
+    in a generator body provably reads outside a known array extent
+    for some index in the box (NumPy would wrap negative indices
+    silently — the classic silent wrong answer).
+``SAC-WL002``
+    Two generators of one with-loop overlap: the same cell is written
+    twice, so parallel execution of the partitions would race (the
+    serial interpreter hides this — last generator wins).
+``SAC-WL003``
+    A ``genarray`` without a default whose generators provably do not
+    cover the frame (warning: this implementation zero-fills the gap,
+    real SaC rejects the program).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.diag import DiagnosticEngine
+from repro.sac import ast
+
+__all__ = ["check_with_loops"]
+
+SOURCE = "wl-check"
+
+#: (lower, upper) vectors of a half-open box, or None when symbolic
+Box = Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]
+
+
+def check_with_loops(
+    module: ast.Module,
+    defines: Optional[Dict[str, object]] = None,
+    *,
+    engine: Optional[DiagnosticEngine] = None,
+    stage: Optional[str] = None,
+) -> DiagnosticEngine:
+    """Check every with-loop in ``module``; returns the engine."""
+    engine = engine if engine is not None else DiagnosticEngine()
+    consts: Dict[str, np.ndarray] = {}
+    for name, value in (defines or {}).items():
+        consts[name] = np.asarray(value)
+    for definition in module.globals:
+        value = _const_eval(definition.expr, consts)
+        if value is not None:
+            consts[definition.name] = value
+    for function in module.functions:
+        _check_block(function.body, dict(consts), function.name, engine, stage)
+    return engine
+
+
+def _check_block(
+    statements: List[ast.Stmt],
+    consts: Dict[str, np.ndarray],
+    where: str,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    for statement in statements:
+        if isinstance(statement, (ast.Assign, ast.Return)):
+            _check_expr(statement.expr, consts, where, engine, stage)
+            if isinstance(statement, ast.Assign):
+                value = _const_eval(statement.expr, consts)
+                if value is not None:
+                    consts[statement.name] = value
+                else:
+                    consts.pop(statement.name, None)
+        elif isinstance(statement, ast.If):
+            _check_expr(statement.condition, consts, where, engine, stage)
+            _check_block(statement.then_body, dict(consts), where, engine, stage)
+            _check_block(statement.else_body, dict(consts), where, engine, stage)
+            # branch assignments invalidate straight-line constants
+            for name in _assigned_names(statement.then_body):
+                consts.pop(name, None)
+            for name in _assigned_names(statement.else_body):
+                consts.pop(name, None)
+        elif isinstance(statement, (ast.For, ast.While)):
+            # nothing assigned in the body is constant across iterations
+            body = list(statement.body)
+            if isinstance(statement, ast.For):
+                body += [statement.init, statement.update]
+            loop_consts = dict(consts)
+            for name in _assigned_names(body):
+                loop_consts.pop(name, None)
+            _check_expr(statement.condition, loop_consts, where, engine, stage)
+            _check_block(statement.body, dict(loop_consts), where, engine, stage)
+            for name in _assigned_names(body):
+                consts.pop(name, None)
+
+
+def _assigned_names(statements: Iterable[ast.Stmt]) -> List[str]:
+    names: List[str] = []
+    for statement in statements:
+        if isinstance(statement, ast.Assign):
+            names.append(statement.name)
+        elif isinstance(statement, ast.If):
+            names += _assigned_names(statement.then_body)
+            names += _assigned_names(statement.else_body)
+        elif isinstance(statement, ast.For):
+            names.append(statement.init.name)
+            names.append(statement.update.name)
+            names += _assigned_names(statement.body)
+        elif isinstance(statement, ast.While):
+            names += _assigned_names(statement.body)
+    return names
+
+
+def _check_expr(
+    expr: ast.Expr,
+    consts: Dict[str, np.ndarray],
+    where: str,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.WithLoop):
+            _check_with_loop(node, consts, where, engine, stage)
+        elif isinstance(node, ast.SetComprehension):
+            _check_set_comprehension(node, consts, where, engine, stage)
+
+
+# --------------------------------------------------------------------------
+# one with-loop
+# --------------------------------------------------------------------------
+
+
+def _check_with_loop(
+    loop: ast.WithLoop,
+    consts: Dict[str, np.ndarray],
+    where: str,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    frame = _frame_of(loop, consts)
+    boxes = [
+        _generator_box(generator, frame, consts)
+        for generator in loop.generators
+    ]
+
+    for generator, box in zip(loop.generators, boxes):
+        if box is None:
+            continue
+        lower, upper = box
+        if frame is not None:
+            rank = len(lower)
+            if rank > len(frame):
+                engine.error(
+                    "SAC-WL001",
+                    f"rank-{rank} generator over a rank-{len(frame)} frame",
+                    source=SOURCE,
+                    where=where,
+                    span=generator.span,
+                    stage=stage,
+                )
+                continue
+            if any(lo < 0 for lo in lower) or any(
+                hi > extent for hi, extent in zip(upper, frame)
+            ):
+                engine.error(
+                    "SAC-WL001",
+                    f"generator box {list(lower)}..{list(upper)} exceeds "
+                    f"the result frame {list(frame[:rank])}",
+                    source=SOURCE,
+                    where=where,
+                    span=generator.span,
+                    stage=stage,
+                )
+        if not generator.vector_var:
+            _check_body_offsets(generator, box, where, engine, stage)
+
+    # pairwise disjointness of the known boxes
+    for first in range(len(boxes)):
+        for second in range(first + 1, len(boxes)):
+            one, two = boxes[first], boxes[second]
+            if one is None or two is None:
+                continue
+            if len(one[0]) != len(two[0]):
+                continue
+            if _boxes_overlap(one, two):
+                engine.error(
+                    "SAC-WL002",
+                    f"generators {first + 1} and {second + 1} overlap: "
+                    f"{list(one[0])}..{list(one[1])} intersects "
+                    f"{list(two[0])}..{list(two[1])} "
+                    "(the partitions are not disjoint, so they cannot "
+                    "be run in parallel)",
+                    source=SOURCE,
+                    where=where,
+                    span=loop.generators[second].span,
+                    stage=stage,
+                )
+
+    _check_coverage(loop, frame, boxes, where, engine, stage)
+
+
+def _frame_of(
+    loop: ast.WithLoop, consts: Dict[str, np.ndarray]
+) -> Optional[Tuple[int, ...]]:
+    operation = loop.operation
+    if isinstance(operation, ast.GenArray):
+        shape = _const_eval(operation.shape, consts)
+        if shape is None:
+            return None
+        vector = np.atleast_1d(shape)
+        if vector.ndim != 1 or not np.issubdtype(vector.dtype, np.integer):
+            return None
+        return tuple(int(v) for v in vector)
+    if isinstance(operation, ast.ModArray):
+        sac_type = getattr(operation.array, "sac_type", None)
+        dims = getattr(sac_type, "dims", None)
+        if dims is None or any(d is None for d in dims):
+            return None
+        return tuple(dims) + tuple(getattr(sac_type, "suffix", ()))
+    return None  # fold: no frame, bounds are explicit
+
+
+def _generator_box(
+    generator: ast.Generator,
+    frame: Optional[Tuple[int, ...]],
+    consts: Dict[str, np.ndarray],
+) -> Box:
+    rank = None if generator.vector_var else len(generator.index_vars)
+
+    def side(expr: Optional[ast.Expr]) -> Optional[np.ndarray]:
+        if expr is None:
+            return None
+        value = _const_eval(expr, consts)
+        if value is None:
+            return None
+        vector = np.atleast_1d(value)
+        if vector.ndim != 1 or not np.issubdtype(vector.dtype, np.integer):
+            return None
+        return vector
+
+    lower = side(generator.lower)
+    upper = side(generator.upper)
+    if generator.lower is not None and lower is None:
+        return None
+    if generator.upper is not None and upper is None:
+        return None
+    if upper is None and frame is None:
+        return None
+    if rank is None:
+        for candidate in (lower, upper):
+            if candidate is not None:
+                rank = len(candidate)
+                break
+        else:
+            rank = len(frame)  # type: ignore[arg-type]
+    if lower is None:
+        lower = np.zeros(rank, dtype=int)
+    if upper is None:
+        upper = np.asarray(frame[:rank], dtype=int)
+        inclusive_upper = False
+    else:
+        inclusive_upper = generator.upper_inclusive
+    if len(lower) != rank or len(upper) != rank:
+        return None
+    low = tuple(
+        int(v) + (0 if generator.lower_inclusive or generator.lower is None else 1)
+        for v in lower
+    )
+    high = tuple(int(v) + (1 if inclusive_upper else 0) for v in upper)
+    return low, high
+
+
+def _boxes_overlap(
+    one: Tuple[Tuple[int, ...], Tuple[int, ...]],
+    two: Tuple[Tuple[int, ...], Tuple[int, ...]],
+) -> bool:
+    if _box_volume(one) == 0 or _box_volume(two) == 0:
+        return False
+    return all(
+        max(lo1, lo2) < min(hi1, hi2)
+        for lo1, lo2, hi1, hi2 in zip(one[0], two[0], one[1], two[1])
+    )
+
+
+def _box_volume(box: Tuple[Tuple[int, ...], Tuple[int, ...]]) -> int:
+    return math.prod(max(0, hi - lo) for lo, hi in zip(box[0], box[1]))
+
+
+def _check_coverage(
+    loop: ast.WithLoop,
+    frame: Optional[Tuple[int, ...]],
+    boxes: List[Box],
+    where: str,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    operation = loop.operation
+    if not isinstance(operation, ast.GenArray) or operation.default is not None:
+        return
+    if frame is None or any(box is None for box in boxes):
+        return
+    ranks = {len(box[0]) for box in boxes}  # type: ignore[index]
+    if len(ranks) != 1:
+        return
+    rank = ranks.pop()
+    if rank > len(frame):
+        return  # already a SAC-WL001
+    clipped = [
+        (
+            tuple(max(0, lo) for lo in box[0]),  # type: ignore[index]
+            tuple(min(hi, extent) for hi, extent in zip(box[1], frame)),  # type: ignore[index]
+        )
+        for box in boxes
+    ]
+    for first in range(len(clipped)):
+        for second in range(first + 1, len(clipped)):
+            if _boxes_overlap(clipped[first], clipped[second]):
+                return  # volumes would double count; SAC-WL002 already fired
+    covered = sum(_box_volume(box) for box in clipped)
+    total = math.prod(frame[:rank])
+    if covered < total:
+        engine.warning(
+            "SAC-WL003",
+            f"generators cover {covered} of {total} cells and the genarray "
+            "has no default (this implementation zero-fills the gap; "
+            "real SaC rejects non-covering partitions)",
+            source=SOURCE,
+            where=where,
+            span=loop.span,
+            stage=stage,
+        )
+
+
+# --------------------------------------------------------------------------
+# body indexings (offsets must stay in shape)
+# --------------------------------------------------------------------------
+
+
+def _check_set_comprehension(
+    comp: ast.SetComprehension,
+    consts: Dict[str, np.ndarray],
+    where: str,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    """``{ [i] -> e | [i] < shape }`` is a one-generator genarray over
+    ``[0, shape)`` — its body indexings get the same offset check."""
+    if comp.vector_var or comp.bound is None:
+        return
+    bound = _const_eval(comp.bound, consts)
+    if bound is None:
+        return
+    vector = np.atleast_1d(bound)
+    if vector.ndim != 1 or not np.issubdtype(vector.dtype, np.integer):
+        return
+    if len(vector) != len(comp.index_vars):
+        return
+    box = (
+        tuple(0 for _ in comp.index_vars),
+        tuple(int(v) for v in vector),
+    )
+    _check_offsets(comp.index_vars, comp.body, box, where, engine, stage)
+
+
+def _check_body_offsets(
+    generator: ast.Generator,
+    box: Tuple[Tuple[int, ...], Tuple[int, ...]],
+    where: str,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    _check_offsets(generator.index_vars, generator.body, box, where, engine, stage)
+
+
+def _check_offsets(
+    index_vars: List[str],
+    body: ast.Expr,
+    box: Tuple[Tuple[int, ...], Tuple[int, ...]],
+    where: str,
+    engine: DiagnosticEngine,
+    stage: Optional[str],
+) -> None:
+    lower, upper = box
+    if _box_volume(box) == 0:
+        return
+    axis_of = {name: axis for axis, name in enumerate(index_vars)}
+    for node in ast.walk_expr(body):
+        if not isinstance(node, ast.Index) or not isinstance(node.array, ast.Var):
+            continue
+        sac_type = getattr(node.array, "sac_type", None)
+        dims = getattr(sac_type, "dims", None)
+        if dims is None or any(d is None for d in dims):
+            continue
+        extents = tuple(dims) + tuple(getattr(sac_type, "suffix", ()))
+        for position, index_expr in enumerate(node.indices):
+            if position >= len(extents):
+                break
+            affine = _affine_in(index_expr, axis_of)
+            if affine is None:
+                continue
+            coefficients, constant = affine
+            smallest = constant
+            largest = constant
+            for axis, coefficient in coefficients.items():
+                lo, hi = lower[axis], upper[axis] - 1
+                smallest += min(coefficient * lo, coefficient * hi)
+                largest += max(coefficient * lo, coefficient * hi)
+            if smallest < 0 or largest >= extents[position]:
+                engine.error(
+                    "SAC-WL001",
+                    f"index into '{node.array.name}' spans "
+                    f"[{smallest}, {largest}] over the generator box but "
+                    f"dimension {position} has extent {extents[position]}",
+                    source=SOURCE,
+                    where=where,
+                    span=node.span,
+                    stage=stage,
+                )
+
+
+def _affine_in(
+    expr: ast.Expr, axis_of: Dict[str, int]
+) -> Optional[Tuple[Dict[int, int], int]]:
+    """``expr`` as ``sum(coef[axis] * iv[axis]) + const`` over index vars.
+
+    Returns None when the expression involves anything but the
+    generator's index variables and integer literals.
+    """
+    if isinstance(expr, ast.IntLit):
+        return {}, expr.value
+    if isinstance(expr, ast.Var):
+        if expr.name in axis_of:
+            return {axis_of[expr.name]: 1}, 0
+        return None
+    if isinstance(expr, ast.UnOp) and expr.op == "-":
+        inner = _affine_in(expr.operand, axis_of)
+        if inner is None:
+            return None
+        coefficients, constant = inner
+        return {axis: -c for axis, c in coefficients.items()}, -constant
+    if isinstance(expr, ast.BinOp) and expr.op in ("+", "-"):
+        left = _affine_in(expr.left, axis_of)
+        right = _affine_in(expr.right, axis_of)
+        if left is None or right is None:
+            return None
+        sign = 1 if expr.op == "+" else -1
+        coefficients = dict(left[0])
+        for axis, coefficient in right[0].items():
+            coefficients[axis] = coefficients.get(axis, 0) + sign * coefficient
+        return coefficients, left[1] + sign * right[1]
+    if isinstance(expr, ast.BinOp) and expr.op == "*":
+        left = _affine_in(expr.left, axis_of)
+        right = _affine_in(expr.right, axis_of)
+        if left is None or right is None:
+            return None
+        for scalar, other in ((left, right), (right, left)):
+            if not scalar[0]:  # constant factor
+                factor = scalar[1]
+                return (
+                    {axis: factor * c for axis, c in other[0].items()},
+                    factor * other[1],
+                )
+        return None
+    return None
+
+
+# --------------------------------------------------------------------------
+# constant evaluation
+# --------------------------------------------------------------------------
+
+
+def _const_eval(
+    expr: ast.Expr, consts: Dict[str, np.ndarray]
+) -> Optional[np.ndarray]:
+    """Evaluate compile-time constants (literals, defines, arithmetic)."""
+    if isinstance(expr, ast.IntLit):
+        return np.asarray(expr.value)
+    if isinstance(expr, ast.DoubleLit):
+        return np.asarray(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return np.asarray(expr.value)
+    if isinstance(expr, ast.Var):
+        return consts.get(expr.name)
+    if isinstance(expr, ast.ArrayLit):
+        elements = [_const_eval(e, consts) for e in expr.elements]
+        if any(e is None for e in elements):
+            return None
+        try:
+            return np.stack(elements)  # type: ignore[arg-type]
+        except ValueError:
+            return None
+    if isinstance(expr, ast.UnOp) and expr.op == "-":
+        operand = _const_eval(expr.operand, consts)
+        return None if operand is None else -operand
+    if isinstance(expr, ast.BinOp) and expr.op in ("+", "-", "*", "/", "%"):
+        left = _const_eval(expr.left, consts)
+        right = _const_eval(expr.right, consts)
+        if left is None or right is None:
+            return None
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "%":
+                return left % right
+            if np.issubdtype(left.dtype, np.integer) and np.issubdtype(
+                right.dtype, np.integer
+            ):
+                return left // right
+            return left / right
+        except (ValueError, ZeroDivisionError, FloatingPointError):
+            return None
+    return None

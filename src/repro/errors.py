@@ -75,6 +75,22 @@ class ConfigurationError(ReproError):
     """An invalid solver or benchmark configuration."""
 
 
+class AnalysisError(ReproError):
+    """Static-analysis failure: one or more error-severity diagnostics.
+
+    Raised by :mod:`repro.analysis` checkers (and by the optimisation
+    pipeline when ``verify_ir`` is on).  ``diagnostics`` carries the
+    full :class:`repro.analysis.diag.Diagnostic` list so callers can
+    render or export them; ``stage`` names the optimisation pass after
+    which verification failed, when applicable.
+    """
+
+    def __init__(self, message: str, *, diagnostics=None, stage=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+        self.stage = stage
+
+
 class SacError(ReproError):
     """Base class for errors raised by the SaC pipeline."""
 

@@ -36,15 +36,33 @@ class FortranOptions:
     reductions: bool = True
     openmp: OpenMPSettings = field(default_factory=OpenMPSettings.paper_settings)
     trace: bool = False
+    #: cross-check autopar's verdicts against the independent
+    #: repro.analysis.f90_races checker at compile time (hard error on
+    #: a parallel-but-racy annotation)
+    cross_check: bool = False
 
 
 class CompiledFortran:
     """A parsed, analysed, runnable Fortran program."""
 
-    def __init__(self, program: F90Program, report: AutoparReport, options: FortranOptions):
+    def __init__(
+        self,
+        program: F90Program,
+        report: AutoparReport,
+        options: FortranOptions,
+        unit=None,
+    ):
         self.program = program
         self.autopar_report = report
         self.options = options
+        #: the annotated AST (:class:`repro.f90.ast.ProgramUnit`)
+        self.unit = unit if unit is not None else program.program
+
+    def lint(self, engine=None):
+        """Run the autopar cross-checker; returns a DiagnosticEngine."""
+        from repro.analysis.f90_races import cross_check_autopar
+
+        return cross_check_autopar(self.unit, engine=engine)
 
     @property
     def trace(self) -> ExecutionTrace:
@@ -71,7 +89,10 @@ def compile_source(source: str, options: Optional[FortranOptions] = None) -> Com
     )
     trace = ExecutionTrace(enabled=options.trace)
     program = F90Program(unit, trace=trace, record_parallel=options.autopar)
-    return CompiledFortran(program, report, options)
+    compiled = CompiledFortran(program, report, options, unit=unit)
+    if options.cross_check:
+        compiled.lint().raise_if_errors("autopar cross-check")
+    return compiled
 
 
 def compile_file(name: str, options: Optional[FortranOptions] = None) -> CompiledFortran:

@@ -55,15 +55,15 @@ class Ref(Expr):
 @dataclass
 class BinOp(Expr):
     op: str  # + - * / ** == /= < <= > >= AND OR
-    left: Expr = None  # type: ignore[assignment]
-    right: Expr = None  # type: ignore[assignment]
+    left: Expr
+    right: Expr
     line: int = 0
 
 
 @dataclass
 class UnOp(Expr):
     op: str  # '-' | 'NOT' | '+'
-    operand: Expr = None  # type: ignore[assignment]
+    operand: Expr
     line: int = 0
 
 
@@ -76,14 +76,14 @@ class Stmt:
 
 @dataclass
 class Assign(Stmt):
-    target: Ref = None  # type: ignore[assignment]
-    expr: Expr = None  # type: ignore[assignment]
+    target: Ref
+    expr: Expr
     line: int = 0
 
 
 @dataclass
 class If(Stmt):
-    condition: Expr = None  # type: ignore[assignment]
+    condition: Expr
     then_body: List[Stmt] = field(default_factory=list)
     elif_blocks: List[Tuple[Expr, List[Stmt]]] = field(default_factory=list)
     else_body: List[Stmt] = field(default_factory=list)
@@ -92,9 +92,9 @@ class If(Stmt):
 
 @dataclass
 class Do(Stmt):
-    var: str = ""
-    lower: Expr = None  # type: ignore[assignment]
-    upper: Expr = None  # type: ignore[assignment]
+    var: str
+    lower: Expr
+    upper: Expr
     step: Optional[Expr] = None
     body: List[Stmt] = field(default_factory=list)
     line: int = 0
@@ -107,7 +107,7 @@ class Do(Stmt):
 
 @dataclass
 class DoWhile(Stmt):
-    condition: Expr = None  # type: ignore[assignment]
+    condition: Expr
     body: List[Stmt] = field(default_factory=list)
     line: int = 0
 

@@ -12,8 +12,8 @@ line passes ``-reduction`` explicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.f90 import ast
 from repro.f90.depend import analyze_loop
@@ -29,18 +29,15 @@ class AutoparOptions:
 class AutoparReport:
     """Which loops were parallelised and why the others were not."""
 
-    parallel_loops: List[str] = None  # type: ignore[assignment]
-    serial_loops: Dict[str, str] = None  # type: ignore[assignment]
-
-    def __post_init__(self):
-        if self.parallel_loops is None:
-            self.parallel_loops = []
-        if self.serial_loops is None:
-            self.serial_loops = {}
+    parallel_loops: List[str] = field(default_factory=list)
+    serial_loops: Dict[str, str] = field(default_factory=dict)
 
 
-def autoparallelize(program: ast.ProgramUnit, options: AutoparOptions = AutoparOptions()) -> AutoparReport:
+def autoparallelize(
+    program: ast.ProgramUnit, options: Optional[AutoparOptions] = None
+) -> AutoparReport:
     """Annotate every DO loop in the program; returns the report."""
+    options = options if options is not None else AutoparOptions()
     report = AutoparReport()
     for subroutine in program.subroutines.values():
         _walk(subroutine.body, subroutine.name, options, report)

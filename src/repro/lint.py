@@ -1,0 +1,9 @@
+"""``python -m repro.lint`` — entry point for the static-analysis CLI.
+
+See :mod:`repro.analysis.cli` for what runs and how.
+"""
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,12 @@ from repro.obs.forensics import (
     build_report,
     format_report,
 )
-from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.export import (
+    read_diagnostics_jsonl,
+    read_jsonl,
+    write_diagnostics_jsonl,
+    write_jsonl,
+)
 
 __all__ = [
     "StepTrace",
@@ -39,4 +44,6 @@ __all__ = [
     "format_report",
     "read_jsonl",
     "write_jsonl",
+    "read_diagnostics_jsonl",
+    "write_diagnostics_jsonl",
 ]

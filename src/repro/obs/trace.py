@@ -63,12 +63,20 @@ class TraceRecord:
     workers: int = 1
 
     def to_json(self) -> Dict[str, object]:
-        """A plain-dict form with only JSON-serialisable values."""
-        return asdict(self)
+        """A plain-dict form with only JSON-serialisable values.
+
+        ``kind`` discriminates step records from the diagnostic
+        records of :mod:`repro.analysis.diag` in a shared JSONL file.
+        """
+        payload: Dict[str, object] = {"kind": "step"}
+        payload.update(asdict(self))
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "TraceRecord":
         """Inverse of :meth:`to_json` (unknown keys are rejected loudly)."""
+        payload = dict(payload)
+        payload.pop("kind", None)
         known = {f.name for f in cls.__dataclass_fields__.values()}
         unknown = set(payload) - known
         if unknown:

@@ -30,6 +30,7 @@ from repro.sac.interp import Interpreter
 from repro.sac.eval.numpy_backend import NumpyEvaluator
 from repro.sac.eval.scheduler import SchedulerOptions
 from repro.sac.opt import PipelineOptions, PipelineReport, optimize_module
+from repro.sac.opt.pipeline import verify_ir_default
 from repro.sac.opt.util import copy_stmt
 from repro.sac.runtime.profiler import ExecutionTrace
 from repro.sac import values as V
@@ -49,6 +50,8 @@ class CompilerOptions:
     trace: bool = False              # record an ExecutionTrace while running
     fold_max_uses: int = 2
     fold_max_body_size: int = 120
+    #: run the repro.analysis IR verifier between optimisation passes
+    verify_ir: bool = field(default_factory=verify_ir_default)
 
     def pipeline_options(self) -> PipelineOptions:
         return PipelineOptions(
@@ -57,6 +60,8 @@ class CompilerOptions:
             max_unroll=self.max_unroll,
             fold_max_uses=self.fold_max_uses,
             fold_max_body_size=self.fold_max_body_size,
+            verify_ir=self.verify_ir,
+            defines=dict(self.defines),
         )
 
 

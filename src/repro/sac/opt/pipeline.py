@@ -7,13 +7,21 @@ fixpoint or ``max_cycles`` (the paper passes ``-maxoptcyc 100``), and a
 final memory-reuse analysis.  A :class:`PipelineReport` records what
 each pass did per cycle — benchmarks and tests read it to show, e.g.,
 how many with-loops were folded out of the Euler step.
+
+With ``verify_ir`` on (or ``REPRO_VERIFY_IR=1`` in the environment),
+the :mod:`repro.analysis.sac_verify` IR verifier runs after every
+pass that changed the module; a pass that emits ill-formed IR raises
+:class:`repro.errors.AnalysisError` naming that pass, instead of the
+program silently computing garbage later.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import ConfigurationError
 from repro.sac import ast
 from repro.sac.opt.constfold import fold_constants
 from repro.sac.opt.cse import eliminate_common_subexpressions
@@ -24,6 +32,12 @@ from repro.sac.opt.memreuse import annotate_memory_reuse
 from repro.sac.opt.wlf import FoldOptions, fold_with_loops
 from repro.sac.opt.wlur import unroll_with_loops
 from repro.sac.opt.util import block_key
+
+
+def verify_ir_default() -> bool:
+    """``REPRO_VERIFY_IR=1`` turns per-pass verification on globally
+    (how CI runs one full-suite pass with the verifier enabled)."""
+    return os.environ.get("REPRO_VERIFY_IR", "") not in ("", "0")
 
 
 @dataclass
@@ -43,6 +57,19 @@ class PipelineOptions:
     memory_reuse: bool = True
     fold_max_uses: int = 2
     fold_max_body_size: int = 120
+    verify_ir: bool = field(default_factory=verify_ir_default)
+    #: -D defines, needed by the verifier's type re-check
+    defines: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("max_cycles", "max_unroll", "fold_max_uses"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigurationError(
+                    f"PipelineOptions.{name} must be at least 1, got {value} "
+                    "(a zero budget would silently disable the pass; use the "
+                    "per-pass switches to turn passes off)"
+                )
 
 
 @dataclass
@@ -73,6 +100,7 @@ def optimize_module(
 
     if options.inline:
         report.inlined_calls = inline_functions(module)
+        _verify(module, options, "inline")
 
     fold_options = FoldOptions(
         max_uses=options.fold_max_uses,
@@ -84,19 +112,25 @@ def optimize_module(
         report.cycles_run = cycle + 1
         if options.constant_folding:
             report.record("constant_folding", fold_constants(module))
+            _verify(module, options, "constant_folding")
         if options.cse:
             report.record("cse", eliminate_common_subexpressions(module))
+            _verify(module, options, "cse")
         if options.forward_substitution:
             report.record("forward_substitution", forward_substitute(module))
+            _verify(module, options, "forward_substitution")
         if options.with_loop_folding:
             report.record("with_loop_folding", fold_with_loops(module, fold_options))
+            _verify(module, options, "with_loop_folding")
         if options.with_loop_unrolling:
             report.record(
                 "with_loop_unrolling",
                 unroll_with_loops(module, options.max_unroll),
             )
+            _verify(module, options, "with_loop_unrolling")
         if options.dead_code_elimination:
             report.record("dead_code_elimination", eliminate_dead_code(module))
+            _verify(module, options, "dead_code_elimination")
         current = _module_key(module)
         if current == previous:
             break
@@ -104,7 +138,22 @@ def optimize_module(
 
     if options.memory_reuse:
         report.record("memory_reuse", annotate_memory_reuse(module))
+        _verify(module, options, "memory_reuse")
     return report
+
+
+def _verify(module: ast.Module, options: PipelineOptions, stage: str) -> None:
+    """Run the IR verifier after ``stage`` and fail loudly on errors.
+
+    Imported lazily: :mod:`repro.analysis` depends on this package, so
+    a module-level import would be circular during package init.
+    """
+    if not options.verify_ir:
+        return
+    from repro.analysis.sac_verify import verify_module
+
+    engine = verify_module(module, options.defines, stage=stage)
+    engine.raise_if_errors(f"IR verification after pass '{stage}'")
 
 
 def _module_key(module: ast.Module):

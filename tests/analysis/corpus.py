@@ -1,0 +1,158 @@
+"""A shared corpus of small SaC programs for compiler-semantics tests.
+
+Each program is deliberately shaped so at least one optimisation pass
+has work to do on it (the aggregate test in
+``tests/sac/test_pass_semantics.py`` asserts every pass fires on at
+least one corpus member).  The same corpus feeds the differential
+harness in ``tests/analysis/test_differential.py``: -O0 and -O3 (with
+``verify_ir=True``) must agree bit-for-bit on every entry.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Program:
+    """One corpus entry: source text plus a concrete call to make."""
+
+    name: str
+    source: str
+    entry: str
+    args: Tuple[object, ...]
+    defines: Dict[str, object] = field(default_factory=dict)
+
+
+def _vec(n: int) -> np.ndarray:
+    """Deterministic, irregular input data (no accidental zeros)."""
+    return np.linspace(0.5, 2.0, n) ** 2 + 0.125
+
+
+CORPUS = [
+    Program(
+        name="arith_chain",
+        source="""
+        double f(double x) {
+          a = x + 2.0 * 3.0;
+          b = a;
+          return( b * 0.5 );
+        }
+        """,
+        entry="f",
+        args=(1.75,),
+    ),
+    Program(
+        name="cse_pair",
+        source="""
+        double f(double x) {
+          a = (x + 1.0) * (x + 1.0);
+          b = (x + 1.0) * (x + 1.0);
+          return( a + b );
+        }
+        """,
+        entry="f",
+        args=(0.375,),
+    ),
+    Program(
+        name="stencil_wlf",
+        source="""
+        double[.] f(double[.] q) {
+          g = { [i] -> q[i] * q[i] | [i] < [10] };
+          return( { [i] -> g[i + 1] - g[i] | [i] < [9] } );
+        }
+        """,
+        entry="f",
+        args=(_vec(10),),
+    ),
+    Program(
+        name="unroll_fold",
+        source="""
+        double f(double[.] a) {
+          s = with { ([0] <= [i] < [6]) : a[i] * 2.0; } : fold(+, 0.0);
+          return( s );
+        }
+        """,
+        entry="f",
+        args=(_vec(6),),
+    ),
+    Program(
+        name="dead_code",
+        source="""
+        double f(double x) {
+          unused = x * 100.0;
+          y = x + 1.0;
+          return( y );
+        }
+        """,
+        entry="f",
+        args=(2.5,),
+    ),
+    Program(
+        name="inline_twice",
+        source="""
+        inline double sq(double x) { return( x * x ); }
+        double f(double x) {
+          return( sq(x) + sq(x + 1.0) );
+        }
+        """,
+        entry="f",
+        args=(1.25,),
+    ),
+    Program(
+        name="modarray_reuse",
+        source="""
+        double[.] f(double[.] a) {
+          b = a + 1.0;
+          c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(b);
+          return( c );
+        }
+        """,
+        entry="f",
+        args=(_vec(5),),
+    ),
+    Program(
+        name="branches",
+        source="""
+        double f(double x) {
+          if (x > 0.0) {
+            y = x * 2.0;
+          } else {
+            y = 0.0 - x;
+          }
+          return( y );
+        }
+        """,
+        entry="f",
+        args=(-3.5,),
+    ),
+    Program(
+        name="loop_sum",
+        source="""
+        double f(double x) {
+          s = 0.0;
+          for (k = 0; k < 4; k = k + 1) {
+            s = s + x;
+          }
+          return( s );
+        }
+        """,
+        entry="f",
+        args=(0.875,),
+    ),
+    Program(
+        name="fold_max",
+        source="""
+        double f(double[.] a) {
+          m = with { ([0] <= [i] < [8]) : a[i]; } : fold(max, 0.0);
+          return( m );
+        }
+        """,
+        entry="f",
+        args=(_vec(8),),
+    ),
+]
+
+NAMES = [program.name for program in CORPUS]
+BY_NAME = {program.name: program for program in CORPUS}

@@ -1,0 +1,146 @@
+"""``python -m repro.lint`` end to end."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import builtin_targets, lint_sac_source, main
+from repro.obs.export import read_diagnostics_jsonl
+
+BROKEN_SAC = """
+double[.] f(double s) {
+  return( with { ([0] <= [i] < [12]) : s; } : genarray([10], 0.0) );
+}
+"""
+
+UNPARSEABLE_SAC = "double f( { this is not SaC"
+
+RACY_FORGED_F90 = """
+SUBROUTINE F(A, N)
+  INTEGER N
+  REAL*8 A(N)
+  DO i = 2, N
+    A(i) = A(i - 1) + 1.D0
+  END DO
+END
+"""
+
+
+class TestBuiltins:
+    def test_builtin_programs_lint_clean(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        for name, _, _ in builtin_targets():
+            assert f"checked {name}" in out
+
+    def test_builtin_target_list(self):
+        names = [name for name, _, _ in builtin_targets()]
+        assert names == [
+            "kernels.sac",
+            "euler1d.sac",
+            "euler2d.sac",
+            "euler2d.f90",
+            "getdt.f90",
+        ]
+
+
+class TestSeededErrors:
+    def test_broken_sac_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "broken.sac"
+        path.write_text(BROKEN_SAC)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SAC-WL001" in out
+        assert "1 error(s)" in out
+
+    def test_unparseable_file_is_lint_fail(self, tmp_path, capsys):
+        path = tmp_path / "junk.sac"
+        path.write_text(UNPARSEABLE_SAC)
+        assert main([str(path)]) == 1
+        assert "LINT-FAIL" in capsys.readouterr().out
+
+    def test_clean_f90_file_passes(self, tmp_path):
+        path = tmp_path / "ok.f90"
+        path.write_text(RACY_FORGED_F90)  # racy but serialised: no error
+        assert main([str(path)]) == 0
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "prog.c"
+        path.write_text("int main() { return 0; }")
+        with pytest.raises(SystemExit):
+            main([str(path)])
+
+
+class TestJsonOutput:
+    def test_json_round_trips_through_obs_export(self, tmp_path):
+        source = tmp_path / "broken.sac"
+        source.write_text(BROKEN_SAC)
+        output = tmp_path / "lint.jsonl"
+        assert main([str(source), "--json", "--output", str(output)]) == 1
+        diagnostics = read_diagnostics_jsonl(output)
+        assert [d.code for d in diagnostics] == ["SAC-WL001"]
+        assert diagnostics[0].severity.value == "error"
+
+    def test_json_lines_carry_kind(self, tmp_path, capsys):
+        source = tmp_path / "broken.sac"
+        source.write_text(BROKEN_SAC)
+        assert main([str(source), "--json"]) == 1
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert lines and all(p["kind"] == "diagnostic" for p in lines)
+
+
+class TestDefines:
+    def test_define_parsing(self, tmp_path):
+        source = tmp_path / "defs.sac"
+        source.write_text(
+            """
+            double[.] f(double s) {
+              return( with { ([0] <= [i] < [N]) : s; } : genarray([N], 0.0) );
+            }
+            """
+        )
+        assert main([str(source), "-D", "N=8"]) == 0
+
+    def test_bad_define_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["-D", "NOVALUE"])
+        with pytest.raises(SystemExit):
+            main(["-D", "X=notanumber"])
+
+
+class TestModuleEntryPoint:
+    def test_python_m_repro_lint_runs(self, tmp_path):
+        """The documented CI invocation works as a subprocess."""
+        import os
+        import pathlib
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        source = tmp_path / "broken.sac"
+        source.write_text(BROKEN_SAC)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(source)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert result.returncode == 1
+        assert "SAC-WL001" in result.stdout
+
+
+class TestPipelineStage:
+    def test_no_pipeline_skips_the_o3_compile(self, tmp_path):
+        engine = lint_sac_source(
+            "double f(double x) { return( x + 1.0 ); }", pipeline=False
+        )
+        assert engine.codes() == []

@@ -1,0 +1,110 @@
+"""The unified diagnostics engine and its JSONL round-trip."""
+
+import pytest
+
+from repro.analysis.diag import Diagnostic, DiagnosticEngine, Severity
+from repro.errors import AnalysisError
+from repro.obs.export import (
+    read_diagnostics_jsonl,
+    read_jsonl,
+    write_diagnostics_jsonl,
+    write_jsonl,
+)
+from repro.obs.trace import TraceRecord
+from repro.sac.source import Span
+
+
+def _sample_engine():
+    engine = DiagnosticEngine()
+    engine.error(
+        "SAC-IR001",
+        "variable 'ghost' is used before any definition",
+        source="sac-verify",
+        where="f",
+        span=Span(3, 7),
+        stage="constant_folding",
+        notes=("introduced by pass X",),
+    )
+    engine.warning(
+        "F90-RACE002", "loop is independent but serial", source="f90-races"
+    )
+    engine.note("SAC-WL003", "informational", source="wl-check")
+    return engine
+
+
+class TestDiagnostic:
+    def test_to_dict_carries_kind_discriminator(self):
+        diagnostic = _sample_engine().diagnostics[0]
+        payload = diagnostic.to_dict()
+        assert payload["kind"] == "diagnostic"
+        assert payload["code"] == "SAC-IR001"
+        assert payload["severity"] == "error"
+        assert payload["line"] == 3 and payload["column"] == 7
+        assert payload["stage"] == "constant_folding"
+
+    def test_dict_round_trip(self):
+        for diagnostic in _sample_engine():
+            assert Diagnostic.from_dict(diagnostic.to_dict()) == diagnostic
+
+    def test_format_names_location_code_and_stage(self):
+        text = _sample_engine().diagnostics[0].format()
+        assert "f:3:7" in text
+        assert "[SAC-IR001]" in text
+        assert "after pass 'constant_folding'" in text
+        assert "note: introduced by pass X" in text
+
+
+class TestDiagnosticEngine:
+    def test_severity_queries(self):
+        engine = _sample_engine()
+        assert len(engine) == 3
+        assert len(engine.errors) == 1
+        assert len(engine.warnings) == 1
+        assert engine.has_errors()
+        assert engine.codes() == ["SAC-IR001", "F90-RACE002", "SAC-WL003"]
+
+    def test_format_has_summary_line(self):
+        report = _sample_engine().format()
+        assert "1 error(s), 1 warning(s), 3 diagnostic(s) total" in report
+
+    def test_raise_if_errors_carries_diagnostics_and_stage(self):
+        engine = _sample_engine()
+        with pytest.raises(AnalysisError) as info:
+            engine.raise_if_errors("IR verification")
+        assert "IR verification failed with 1 error(s)" in str(info.value)
+        assert info.value.stage == "constant_folding"
+        assert len(info.value.diagnostics) == 3
+
+    def test_no_errors_no_raise(self):
+        engine = DiagnosticEngine()
+        engine.warning("F90-RACE002", "only a warning", source="f90-races")
+        engine.raise_if_errors()
+
+
+class TestJsonlInterop:
+    def test_diagnostics_round_trip(self, tmp_path):
+        engine = _sample_engine()
+        path = write_diagnostics_jsonl(engine, tmp_path / "lint.jsonl")
+        assert read_diagnostics_jsonl(path) == engine.diagnostics
+
+    def test_mixed_file_readers_dispatch_on_kind(self, tmp_path):
+        """Step records and diagnostics share one JSONL file; each
+        reader silently skips the other kind."""
+        import json
+
+        record = TraceRecord(
+            step=1, time=0.0, dt=0.1, cfl=0.5,
+            mass=1.0, momentum_x=0.0, momentum_y=0.0, energy=2.5,
+            mass_drift=0.0, energy_drift=0.0,
+            min_density=0.1, min_pressure=0.1,
+        )
+        path = write_jsonl([record], tmp_path / "mixed.jsonl")
+        engine = _sample_engine()
+        with path.open("a", encoding="utf-8") as handle:
+            for diagnostic in engine:
+                handle.write(json.dumps(diagnostic.to_dict()) + "\n")
+
+        steps = read_jsonl(path)
+        diagnostics = read_diagnostics_jsonl(path)
+        assert [r.step for r in steps] == [1]
+        assert diagnostics == engine.diagnostics

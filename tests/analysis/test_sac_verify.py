@@ -1,0 +1,317 @@
+"""Seeded-bug tests for the SaC IR verifier.
+
+Every checker class gets a deliberately broken program (via source or
+AST surgery) and must report the documented diagnostic code; the
+pipeline-integration tests break an optimisation pass on purpose and
+assert the verifier names that pass.
+"""
+
+import pytest
+
+from repro.analysis.diag import Severity
+from repro.analysis.sac_verify import verify_module
+from repro.errors import AnalysisError
+from repro.sac import ast
+from repro.sac.api import CompilerOptions, compile_source, load_program_source
+from repro.sac.opt import PipelineOptions, optimize_module, pipeline
+from repro.sac.parser import parse_module
+from repro.sac.typecheck import TypeChecker
+
+from tests.analysis.corpus import CORPUS
+
+
+def _verify(source, **kw):
+    return verify_module(parse_module(source), **kw)
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize("program", CORPUS, ids=lambda p: p.name)
+    def test_corpus_is_clean(self, program):
+        engine = _verify(program.source, defines=program.defines)
+        assert engine.codes() == []
+
+    def test_bundled_kernels_are_clean(self):
+        import numpy as np
+
+        source = load_program_source("kernels.sac")
+        defines = {"DIM": 2, "DELTA": np.array([1.0, 1.0]), "CFL": 0.5}
+        engine = _verify(source, defines=defines)
+        assert engine.codes() == []
+
+
+class TestUseBeforeDef:
+    def test_plain_undefined_read(self):
+        engine = _verify(
+            "double f() { return( ghost ); }", typecheck=False
+        )
+        assert engine.codes() == ["SAC-IR001"]
+        assert "ghost" in engine.errors[0].message
+
+    def test_one_branch_definition_is_maybe(self):
+        engine = _verify(
+            """
+            double f(double x) {
+              if (x > 0.0) { y = 1.0; }
+              return( y );
+            }
+            """,
+            typecheck=False,
+        )
+        assert engine.codes() == ["SAC-IR001"]
+        assert "may be undefined" in engine.errors[0].message
+
+    def test_both_branch_definition_is_fine(self):
+        engine = _verify(
+            """
+            double f(double x) {
+              if (x > 0.0) { y = 1.0; } else { y = 2.0; }
+              return( y );
+            }
+            """,
+            typecheck=False,
+        )
+        assert engine.codes() == []
+
+    def test_loop_body_definition_is_maybe(self):
+        engine = _verify(
+            """
+            double f(double x) {
+              while (x > 1.0) { y = x; x = x - 1.0; }
+              return( y );
+            }
+            """,
+            typecheck=False,
+        )
+        assert engine.codes() == ["SAC-IR001"]
+
+
+class TestBinderHygiene:
+    def test_duplicate_parameter_is_error(self):
+        module = parse_module("double f(double x, double y) { return( x ); }")
+        module.functions[0].params[1].name = "x"
+        engine = verify_module(module, typecheck=False)
+        assert "SAC-IR002" in engine.codes()
+        assert engine.has_errors()
+
+    def test_duplicate_index_variable_is_error(self):
+        module = parse_module(
+            """
+            double[.] f(double[.,.] a) {
+              return( { [i, j] -> a[i, j] | [i, j] < [3, 3] } );
+            }
+            """
+        )
+        # rename j -> i inside the one with-loop generator
+        comp = module.functions[0].body[0].expr
+        assert isinstance(comp, ast.SetComprehension)
+        loop = ast.WithLoop(
+            [
+                ast.Generator(
+                    ["i", "i"], False, None, comp.bound, True, False,
+                    comp.body, comp.span,
+                )
+            ],
+            ast.GenArray(comp.bound, None, comp.span),
+            comp.span,
+        )
+        module.functions[0].body[0].expr = loop
+        engine = verify_module(module, typecheck=False)
+        assert "SAC-IR002" in engine.codes()
+        assert engine.has_errors()
+
+    def test_shadowing_module_constant_is_warning(self):
+        engine = _verify(
+            """
+            double EPS = 0.5;
+            double f(double x) {
+              EPS = x;
+              return( EPS );
+            }
+            """,
+            typecheck=False,
+        )
+        assert engine.codes() == ["SAC-IR002"]
+        assert engine.diagnostics[0].severity is Severity.WARNING
+        assert not engine.has_errors()
+
+
+class TestTypeRecheck:
+    def test_broken_shape_reports_ir003(self):
+        module = parse_module(
+            "double f(double x) { y = x + 1.0; return( y ); }"
+        )
+        # replace the return expression with an array literal: the
+        # structure is fine, the declared scalar return type is not
+        function = module.functions[0]
+        variable = ast.Var("y", function.body[-1].span)
+        function.body[-1].expr = ast.ArrayLit(
+            [variable, variable], function.body[-1].span
+        )
+        engine = verify_module(module)
+        assert engine.codes() == ["SAC-IR003"]
+
+    def test_structural_errors_suppress_type_recheck(self):
+        """An IR001-broken module is not fed to the type checker (it
+        would crash rather than diagnose)."""
+        engine = _verify("double f() { return( ghost ); }")
+        assert engine.codes() == ["SAC-IR001"]
+
+
+class TestWithLoopStructure:
+    def _loop(self, module):
+        return module.functions[0].body[0].expr
+
+    def test_dangling_partition_no_generators(self):
+        module = parse_module(
+            """
+            double f(double[.] a) {
+              s = with { ([0] <= [i] < [6]) : a[i]; } : fold(+, 0.0);
+              return( s );
+            }
+            """
+        )
+        self._loop(module).generators = []
+        engine = verify_module(module, typecheck=False)
+        assert engine.codes() == ["SAC-IR004"]
+
+    def test_generator_without_index_vars(self):
+        module = parse_module(
+            """
+            double f(double[.] a) {
+              s = with { ([0] <= [i] < [6]) : a[i]; } : fold(+, 0.0);
+              return( s );
+            }
+            """
+        )
+        self._loop(module).generators[0].index_vars = []
+        engine = verify_module(module, typecheck=False)
+        assert "SAC-IR004" in engine.codes()
+
+
+class TestReuseAnnotation:
+    def test_reuse_of_parameter_is_unsafe(self):
+        """A parameter-sourced modarray may alias caller memory — the
+        analysis never annotates it, so a forged annotation is IR005."""
+        module = parse_module(
+            """
+            double[.] f(double[.] b) {
+              c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(b);
+              return( c );
+            }
+            """
+        )
+        module.functions[0].body[0].expr.reuse_in_place = True
+        engine = verify_module(module, typecheck=False)
+        assert engine.codes() == ["SAC-IR005"]
+
+    def test_reuse_of_read_after_buffer_is_unsafe(self):
+        module = parse_module(
+            """
+            double[.] f(double[.] a) {
+              b = a + 1.0;
+              c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(b);
+              d = c + b;
+              return( d );
+            }
+            """
+        )
+        module.functions[0].body[1].expr.reuse_in_place = True
+        engine = verify_module(module, typecheck=False)
+        assert engine.codes() == ["SAC-IR005"]
+
+    def test_derived_annotation_is_accepted(self):
+        """What memreuse itself derives must verify clean."""
+        from repro.sac.opt import annotate_memory_reuse
+
+        module = parse_module(
+            """
+            double[.] f(double[.] a) {
+              b = a + 1.0;
+              c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(b);
+              return( c );
+            }
+            """
+        )
+        TypeChecker(module).check_all()
+        assert annotate_memory_reuse(module) == 1
+        engine = verify_module(module, typecheck=False)
+        assert engine.codes() == []
+
+
+class TestUnknownCalls:
+    def test_unknown_function_is_ir006(self):
+        engine = _verify(
+            "double f(double x) { return( nosuch(x) ); }", typecheck=False
+        )
+        assert engine.codes() == ["SAC-IR006"]
+        assert "nosuch" in engine.errors[0].message
+
+
+class TestPipelineIntegration:
+    """verify_ir=True catches a deliberately broken pass and names it."""
+
+    def _checked(self, source):
+        module = parse_module(source)
+        TypeChecker(module).check_all()
+        return module
+
+    def test_broken_constant_folding_is_named(self, monkeypatch):
+        def broken(module):
+            # rewrite the first return to read a variable nobody defines
+            function = module.functions[0]
+            function.body[-1].expr = ast.Var("ghost", function.body[-1].span)
+            return 1
+
+        monkeypatch.setattr(pipeline, "fold_constants", broken)
+        module = self._checked(
+            "double f(double x) { y = x + 1.0; return( y ); }"
+        )
+        with pytest.raises(AnalysisError) as info:
+            optimize_module(module, PipelineOptions(verify_ir=True))
+        assert info.value.stage == "constant_folding"
+        assert "constant_folding" in str(info.value)
+        codes = {d.code for d in info.value.diagnostics}
+        assert "SAC-IR001" in codes
+
+    def test_broken_memreuse_is_named(self, monkeypatch):
+        def forge(module):
+            for function in module.functions:
+                for statement in function.body:
+                    expr = getattr(statement, "expr", None)
+                    if isinstance(expr, ast.WithLoop) and isinstance(
+                        expr.operation, ast.ModArray
+                    ):
+                        expr.reuse_in_place = True
+            return 1
+
+        monkeypatch.setattr(pipeline, "annotate_memory_reuse", forge)
+        module = self._checked(
+            """
+            double[.] f(double[.] b) {
+              c = with { ([0] <= [i] < [1]) : 9.0; } : modarray(b);
+              return( c );
+            }
+            """
+        )
+        with pytest.raises(AnalysisError) as info:
+            optimize_module(module, PipelineOptions(verify_ir=True))
+        assert info.value.stage == "memory_reuse"
+        codes = {d.code for d in info.value.diagnostics}
+        assert "SAC-IR005" in codes
+
+    def test_healthy_pipeline_verifies_clean(self):
+        """verify_ir on an unbroken pipeline changes nothing."""
+        for program in CORPUS:
+            compiled = compile_source(
+                program.source,
+                CompilerOptions(defines=dict(program.defines), verify_ir=True),
+            )
+            assert compiled is not None
+
+    def test_verify_ir_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_IR", "1")
+        assert PipelineOptions().verify_ir
+        monkeypatch.setenv("REPRO_VERIFY_IR", "0")
+        assert not PipelineOptions().verify_ir
+        monkeypatch.delenv("REPRO_VERIFY_IR")
+        assert not PipelineOptions().verify_ir

@@ -1,0 +1,171 @@
+"""Seeded-bug tests for the with-loop disjointness/bounds checker."""
+
+import pytest
+
+from repro.analysis.diag import Severity
+from repro.analysis.wl_check import check_with_loops
+from repro.sac.parser import parse_module
+from repro.sac.typecheck import TypeChecker
+
+from tests.analysis.corpus import CORPUS
+
+
+def _check(source, defines=None, typecheck=True):
+    module = parse_module(source)
+    if typecheck:
+        TypeChecker(module, defines).check_all()
+    return check_with_loops(module, defines)
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize("program", CORPUS, ids=lambda p: p.name)
+    def test_corpus_is_clean(self, program):
+        engine = _check(program.source, dict(program.defines))
+        assert engine.codes() == []
+
+    def test_symbolic_bounds_stay_silent(self):
+        """Conservative policy: nothing provable, nothing reported."""
+        engine = _check(
+            """
+            double[.] f(double[.] a, int n) {
+              return( with { ([0] <= [i] < [n]) : a[i]; } : modarray(a) );
+            }
+            """
+        )
+        assert engine.codes() == []
+
+
+class TestBounds:
+    def test_generator_box_exceeds_frame(self):
+        engine = _check(
+            """
+            double[.] f(double s) {
+              return( with { ([0] <= [i] < [12]) : s; } : genarray([10], 0.0) );
+            }
+            """
+        )
+        assert engine.codes() == ["SAC-WL001"]
+        assert "exceeds" in engine.errors[0].message
+
+    def test_negative_lower_bound(self):
+        engine = _check(
+            """
+            double[.] f(double s) {
+              return( with { ([0 - 2] <= [i] < [5]) : s; } : genarray([10], 0.0) );
+            }
+            """,
+            typecheck=False,
+        )
+        assert engine.codes() == ["SAC-WL001"]
+
+    def test_body_offset_reads_past_extent(self):
+        """The classic stencil off-by-one: g[i+1] over i in [0, 10)
+        reads g[10] of a 10-element array.  NumPy would not even fail
+        on g[i-1] (negative wraps) — this must be caught statically."""
+        engine = _check(
+            """
+            double[.] f(double[.] q) {
+              g = { [i] -> q[i] * q[i] | [i] < [10] };
+              return( { [i] -> g[i + 1] | [i] < [10] } );
+            }
+            """
+        )
+        assert engine.codes() == ["SAC-WL001"]
+        assert "extent 10" in engine.errors[0].message
+
+    def test_body_offset_negative_wrap(self):
+        engine = _check(
+            """
+            double[.] f(double[.] q) {
+              g = { [i] -> q[i] + 1.0 | [i] < [10] };
+              return( { [i] -> g[i - 1] | [i] < [10] } );
+            }
+            """
+        )
+        assert engine.codes() == ["SAC-WL001"]
+
+    def test_correct_stencil_is_clean(self):
+        """Shrinking the result frame by one makes the offsets legal."""
+        engine = _check(
+            """
+            double[.] f(double[.] q) {
+              g = { [i] -> q[i] * q[i] | [i] < [10] };
+              return( { [i] -> g[i + 1] - g[i] | [i] < [9] } );
+            }
+            """
+        )
+        assert engine.codes() == []
+
+
+class TestDisjointness:
+    def test_overlapping_generators(self):
+        engine = _check(
+            """
+            double[.] f(double s) {
+              return( with {
+                ([0] <= [i] < [6]) : s;
+                ([4] <= [i] < [10]) : s + 1.0;
+              } : genarray([10], 0.0) );
+            }
+            """
+        )
+        assert engine.codes() == ["SAC-WL002"]
+        assert "overlap" in engine.errors[0].message
+
+    def test_disjoint_generators_are_clean(self):
+        engine = _check(
+            """
+            double[.] f(double s) {
+              return( with {
+                ([0] <= [i] < [5]) : s;
+                ([5] <= [i] < [10]) : s + 1.0;
+              } : genarray([10], 0.0) );
+            }
+            """
+        )
+        assert engine.codes() == []
+
+
+class TestCoverage:
+    def test_gap_without_default_is_warning(self):
+        engine = _check(
+            """
+            double[.] f(double s) {
+              return( with { ([2] <= [i] < [8]) : s; } : genarray([10]) );
+            }
+            """
+        )
+        assert engine.codes() == ["SAC-WL003"]
+        assert engine.diagnostics[0].severity is Severity.WARNING
+        assert not engine.has_errors()
+
+    def test_full_cover_without_default_is_clean(self):
+        engine = _check(
+            """
+            double[.] f(double s) {
+              return( with { ([0] <= [i] < [10]) : s; } : genarray([10]) );
+            }
+            """
+        )
+        assert engine.codes() == []
+
+    def test_gap_with_default_is_clean(self):
+        engine = _check(
+            """
+            double[.] f(double s) {
+              return( with { ([2] <= [i] < [8]) : s; } : genarray([10], 0.0) );
+            }
+            """
+        )
+        assert engine.codes() == []
+
+
+class TestDefines:
+    def test_define_driven_bounds_are_evaluated(self):
+        source = """
+        double[.] f(double s) {
+          return( with { ([0] <= [i] < [N + 2]) : s; } : genarray([N], 0.0) );
+        }
+        """
+        engine = _check(source, {"N": 8})
+        assert engine.codes() == ["SAC-WL001"]
