@@ -73,6 +73,8 @@ def test_fig4_measured_series_and_json(benchmark, measured):
                 "barrier_wait_seconds": p.barrier_wait_seconds,
                 "max_abs_error": p.max_abs_error,
                 "phase_seconds": p.phase_seconds,
+                "tiles": p.tiles,
+                "tile_bytes": p.tile_bytes,
                 "trace": p.trace,
             }
             for p in measured.points
@@ -118,6 +120,10 @@ def test_measured_points_carry_step_telemetry(measured):
             assert all(r["workers"] == point.workers for r in point.trace)
         else:
             assert point.halo_bytes == 0
+        # cache blocking is on by default, so every rank tiles its sweeps
+        assert point.tile_bytes > 0
+        assert point.tiles > 0
+        assert sum(r["tiles"] for r in point.trace) == point.tiles
 
 
 def test_measured_speedup_trend_is_sane(measured):

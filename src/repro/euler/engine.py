@@ -17,10 +17,20 @@ bit-for-bit equal, only the allocator traffic is gone.
 the lower-level :meth:`sweep_axis0`/:meth:`sweep_axis1`/:meth:`integrate`
 interface.
 
+Sweeps are cache-blocked (see :mod:`repro.euler.tiling`): each sweep is
+partitioned into strips of rows whose whole
+``reconstruct -> riemann -> difference`` working set fits the
+``tile_bytes`` budget, so every intermediate stays cache-resident
+instead of round-tripping DRAM once per ufunc.  ``compute_dt`` fuses
+the primitive conversion with the GetDT eigenvalue pass strip-by-strip,
+eliminating the dt phase's second full-grid traversal.  Both paths are
+bit-for-bit identical to the untiled behaviour (``tile_bytes=0``), which
+is the seed path the differential tests pin.
+
 The engine also keeps per-phase wall-clock counters (boundary fill,
 reconstruction, Riemann fluxes, flux differencing, Runge-Kutta combine,
-primitive conversion, dt reduction) plus conversion/step counts and the
-scratch footprint in bytes; ``perf.scaling`` measured mode and
+primitive conversion, dt reduction) plus conversion/step/tile counts and
+the scratch footprint in bytes; ``perf.scaling`` measured mode and
 ``benchmarks/test_steprate.py`` record them.
 """
 
@@ -31,8 +41,8 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.euler import state
+from repro.errors import ConfigurationError, PhysicsError
+from repro.euler import state, tiling
 from repro.euler.reconstruction import (
     reconstruct_characteristic,
     reconstruct_component,
@@ -40,7 +50,7 @@ from repro.euler.reconstruction import (
 from repro.euler.rk import get_integrator_into
 from repro.euler.riemann import get_riemann_solver
 from repro.euler.reconstruction import get_scheme
-from repro.euler.timestep import get_dt
+from repro.euler.timestep import eigenvalues_into, get_dt, max_eigenvalue
 from repro.euler.workspace import Workspace
 
 __all__ = ["StepEngine", "PHASES"]
@@ -103,6 +113,18 @@ class StepEngine:
         self.steps_taken = 0
         self.rhs_evaluations = 0
         self.primitive_conversions = 0
+        #: Effective cache-blocking budget (0 = untiled seed behaviour).
+        self.tile_bytes = tiling.resolve_tile_bytes(
+            getattr(config, "tile_bytes", None)
+        )
+        #: Strips processed, cumulative over sweeps and fused dt passes.
+        self.tiles_processed = 0
+        #: Untiled GetDT reductions (standalone eigenvalue pass) vs fused
+        #: per-strip convert+eigenvalue passes — the benchmark asserts the
+        #: tiled path never runs the standalone pass.
+        self.dt_eigen_passes = 0
+        self.dt_fused_strips = 0
+        self._tile_plans: Dict[Tuple, tiling.TilePlan] = {}
         self._fresh_primitive = False
         self._primitive_target: Optional[np.ndarray] = None
 
@@ -120,8 +142,44 @@ class StepEngine:
             "rhs_evaluations": self.rhs_evaluations,
             "primitive_conversions": self.primitive_conversions,
             "scratch_bytes": self.scratch_bytes,
+            "tiles": self.tiles_processed,
+            "tile_bytes": self.tile_bytes,
+            "dt_eigen_passes": self.dt_eigen_passes,
+            "dt_fused_strips": self.dt_fused_strips,
             "seconds": dict(self.seconds),
         }
+
+    # -- tiling ---------------------------------------------------------
+
+    def _sweep_plan(self, padded_shape: Tuple[int, ...]) -> Optional[tiling.TilePlan]:
+        """The strip plan for a sweep over ``padded_shape`` (None = untiled)."""
+        if self.tile_bytes == 0:
+            return None
+        key = ("sweep", padded_shape)
+        plan = self._tile_plans.get(key)
+        if plan is None:
+            n_cells = padded_shape[0] - 2 * self.ghost_cells
+            cross = 1
+            for extent in padded_shape[1:-1]:
+                cross *= extent
+            row_bytes = tiling.sweep_row_bytes(
+                cross, padded_shape[-1], self.config, self.ghost_cells
+            )
+            plan = tiling.plan_tiles(n_cells, row_bytes, self.tile_bytes)
+            self._tile_plans[key] = plan
+        return plan
+
+    def _dt_plan(self, state_shape: Tuple[int, ...]) -> tiling.TilePlan:
+        """The strip plan for the fused convert+GetDT pass over ``state_shape``."""
+        key = ("dt", state_shape)
+        plan = self._tile_plans.get(key)
+        if plan is None:
+            row_bytes = tiling.dt_row_bytes(
+                int(np.prod(state_shape[1:-1], dtype=int)), state_shape[-1]
+            )
+            plan = tiling.plan_tiles(state_shape[0], row_bytes, self.tile_bytes)
+            self._tile_plans[key] = plan
+        return plan
 
     # -- primitive scratch ---------------------------------------------
 
@@ -154,19 +212,72 @@ class StepEngine:
     def compute_dt(
         self, u: np.ndarray, target: Optional[np.ndarray] = None
     ) -> float:
-        """CFL time step from ``u``; leaves the primitive scratch fresh."""
-        primitive = self.primitive_into(u, target=target)
+        """CFL time step from ``u``; leaves the primitive scratch fresh.
+
+        With tiling enabled the primitive conversion and the GetDT
+        eigenvalue pass run fused, strip by strip: each strip of ``u``
+        is converted into ``target`` and reduced to its max signal speed
+        while still cache-resident, so the dt phase makes no second
+        full-grid traversal.  ``max`` is exact and order-independent, so
+        the dt is bit-for-bit the untiled value; the converted
+        ``target`` is complete and stays fresh for the first RK stage
+        exactly like the untiled path.
+        """
+        if self.tile_bytes == 0:
+            primitive = self.primitive_into(u, target=target)
+            self._fresh_primitive = True
+            started = perf_counter()
+            dt = get_dt(
+                primitive,
+                self.spacing,
+                self.config.cfl,
+                self.config.gamma,
+                work=self.workspace,
+            )
+            self.seconds["dt"] += perf_counter() - started
+            self.dt_eigen_passes += 1
+            return dt
+        cfl = self.config.cfl
+        if cfl <= 0.0:
+            raise ConfigurationError(f"CFL number must be positive, got {cfl}")
+        if target is None:
+            target = self.workspace.array("engine.primitive", self.grid_shape)
+        gamma = self.config.gamma
+        ws = self.workspace
+        plan = self._dt_plan(u.shape)
+        strip_maxima = ws.array("engine.dt_strip_max", (len(plan.tiles),))
+        for index, tile in enumerate(plan.tiles):
+            rows = slice(tile.start, tile.stop)
+            started = perf_counter()
+            state.primitive_from_conservative(
+                u[rows], gamma, out=target[rows], work=ws
+            )
+            self.seconds["convert"] += perf_counter() - started
+            started = perf_counter()
+            ev = eigenvalues_into(target[rows], self.spacing, gamma, work=ws)
+            strip_maxima[index] = ev.max()
+            self.seconds["dt"] += perf_counter() - started
+            self.tiles_processed += 1
+        self.dt_fused_strips += len(plan.tiles)
+        self.primitive_conversions += 1
+        self._primitive_target = target
         self._fresh_primitive = True
         started = perf_counter()
-        dt = get_dt(
-            primitive,
-            self.spacing,
-            self.config.cfl,
-            self.config.gamma,
-            work=self.workspace,
-        )
+        largest = float(strip_maxima.max())
+        if not np.isfinite(largest):
+            # Reproduce the untiled path's diagnostic exactly: a full-grid
+            # pass over the (complete) converted state names the offending
+            # cells.  max_eigenvalue always raises here since the global
+            # max is non-finite.
+            try:
+                max_eigenvalue(target, self.spacing, gamma, work=ws)
+            finally:
+                self.seconds["dt"] += perf_counter() - started
+            raise PhysicsError(  # pragma: no cover - defensive
+                f"GetDT: non-finite signal speed ({largest})", context="GetDT"
+            )
         self.seconds["dt"] += perf_counter() - started
-        return dt
+        return cfl / largest
 
     # -- sweeps ---------------------------------------------------------
 
@@ -222,14 +333,36 @@ class StepEngine:
         spacing: float,
         out: np.ndarray,
     ) -> None:
-        """Axis-0 sweep: fill edges, flux, difference — *writes* ``out``."""
+        """Axis-0 sweep: fill edges, flux, difference — *writes* ``out``.
+
+        With tiling enabled the whole reconstruct/riemann/difference
+        chain runs strip by strip: a strip owning output rows
+        ``[start, stop)`` reads padded rows ``[start, stop + 2 ng)``
+        and produces faces ``[start, stop + 1)``.  Every kernel in the
+        chain is elementwise per face, so each strip's values are
+        bit-for-bit the rows a full-grid pass would produce (adjacent
+        strips just recompute one shared face).
+        """
         self._fill_boundaries(padded, low_spec, high_spec)
-        flux = self._face_fluxes(padded)
-        started = perf_counter()
-        np.subtract(flux[1:], flux[:-1], out=out)
-        np.negative(out, out=out)
-        np.divide(out, spacing, out=out)
-        self.seconds["difference"] += perf_counter() - started
+        plan = self._sweep_plan(padded.shape)
+        if plan is None:
+            flux = self._face_fluxes(padded)
+            started = perf_counter()
+            np.subtract(flux[1:], flux[:-1], out=out)
+            np.negative(out, out=out)
+            np.divide(out, spacing, out=out)
+            self.seconds["difference"] += perf_counter() - started
+            return
+        ng = self.ghost_cells
+        for tile in plan.tiles:
+            flux = self._face_fluxes(padded[tile.start : tile.stop + 2 * ng])
+            started = perf_counter()
+            target = out[tile.start : tile.stop]
+            np.subtract(flux[1:], flux[:-1], out=target)
+            np.negative(target, out=target)
+            np.divide(target, spacing, out=target)
+            self.seconds["difference"] += perf_counter() - started
+            self.tiles_processed += 1
 
     def sweep_axis1(
         self,
@@ -245,20 +378,41 @@ class StepEngine:
         its axis 0, velocity fields swapped, see :meth:`orient_into`);
         the contribution is added back in global layout without
         materialising the un-oriented copy the seed path makes.
+
+        Tiled like :meth:`sweep_axis0`; a strip of oriented rows
+        ``[start, stop)`` accumulates into the ``out`` *columns*
+        ``[:, start:stop]``.
         """
         self._fill_boundaries(oriented_padded, low_spec, high_spec)
-        flux = self._face_fluxes(oriented_padded)
-        started = perf_counter()
-        contribution = self.workspace.array(
-            "engine.contribution_y", (flux.shape[0] - 1,) + flux.shape[1:]
-        )
-        np.subtract(flux[1:], flux[:-1], out=contribution)
-        np.negative(contribution, out=contribution)
-        np.divide(contribution, spacing, out=contribution)
-        transposed = np.transpose(contribution, (1, 0, 2))
-        for field_out, field_src in _SWAP_FIELDS:
-            np.add(out[..., field_out], transposed[..., field_src], out=out[..., field_out])
-        self.seconds["difference"] += perf_counter() - started
+        plan = self._sweep_plan(oriented_padded.shape)
+        if plan is None:
+            strips = ((None, oriented_padded),)
+        else:
+            ng = self.ghost_cells
+            strips = (
+                (tile, oriented_padded[tile.start : tile.stop + 2 * ng])
+                for tile in plan.tiles
+            )
+        for tile, padded_strip in strips:
+            flux = self._face_fluxes(padded_strip)
+            started = perf_counter()
+            contribution = self.workspace.array(
+                "engine.contribution_y", (flux.shape[0] - 1,) + flux.shape[1:]
+            )
+            np.subtract(flux[1:], flux[:-1], out=contribution)
+            np.negative(contribution, out=contribution)
+            np.divide(contribution, spacing, out=contribution)
+            transposed = np.transpose(contribution, (1, 0, 2))
+            view = out if tile is None else out[:, tile.start : tile.stop]
+            for field_out, field_src in _SWAP_FIELDS:
+                np.add(
+                    view[..., field_out],
+                    transposed[..., field_src],
+                    out=view[..., field_out],
+                )
+            self.seconds["difference"] += perf_counter() - started
+            if tile is not None:
+                self.tiles_processed += 1
 
     @staticmethod
     def orient_into(window: np.ndarray, target: np.ndarray) -> None:

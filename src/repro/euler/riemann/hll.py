@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.euler.constants import GAMMA
 from repro.euler import eos, state
+from repro.euler.riemann.fused import signal_speeds
 
 
 def wave_speed_estimates(left, right, gamma: float = GAMMA, out=None, work=None):
@@ -28,17 +29,7 @@ def wave_speed_estimates(left, right, gamma: float = GAMMA, out=None, work=None)
         s_right = np.maximum(left[..., 1] + c_left, right[..., 1] + c_right)
         return s_left, s_right
     s_left, s_right = out
-    c_left = work.cell_like("wave.cl", left)
-    c_right = work.cell_like("wave.cr", right)
-    scratch = work.cell_like("wave.tmp", left)
-    eos.sound_speed(left[..., 0], left[..., -1], gamma, out=c_left)
-    eos.sound_speed(right[..., 0], right[..., -1], gamma, out=c_right)
-    np.subtract(left[..., 1], c_left, out=s_left)
-    np.subtract(right[..., 1], c_right, out=scratch)
-    np.minimum(s_left, scratch, out=s_left)
-    np.add(left[..., 1], c_left, out=s_right)
-    np.add(right[..., 1], c_right, out=scratch)
-    np.maximum(s_right, scratch, out=s_right)
+    signal_speeds(left, right, gamma, davis=(s_left, s_right), work=work)
     return s_left, s_right
 
 

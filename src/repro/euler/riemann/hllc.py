@@ -24,7 +24,9 @@ def _star_state(prim, u_cons, s_wave, s_star, gamma, out=None, work=None):
     nfields = prim.shape[-1]
 
     if out is None:
-        factor = rho * (s_wave - vn) / np.where(s_wave - s_star == 0.0, 1.0, s_wave - s_star)
+        relative = s_wave - vn
+        gap = s_wave - s_star
+        factor = rho * relative / np.where(gap == 0.0, 1.0, gap)
         star = np.empty_like(u_cons)
         star[..., 0] = factor
         star[..., 1] = factor * s_star
@@ -33,7 +35,7 @@ def _star_state(prim, u_cons, s_wave, s_star, gamma, out=None, work=None):
         energy = u_cons[..., -1]
         star[..., -1] = factor * (
             energy / rho
-            + (s_star - vn) * (s_star + p / (rho * np.where(s_wave - vn == 0.0, 1.0, s_wave - vn)))
+            + (s_star - vn) * (s_star + p / (rho * np.where(relative == 0.0, 1.0, relative)))
         )
         return star
 
@@ -84,8 +86,10 @@ def hllc_flux(
         rho_l, vn_l, p_l = left[..., 0], left[..., 1], left[..., -1]
         rho_r, vn_r, p_r = right[..., 0], right[..., 1], right[..., -1]
 
-        numerator = p_r - p_l + rho_l * vn_l * (s_left - vn_l) - rho_r * vn_r * (s_right - vn_r)
-        denominator = rho_l * (s_left - vn_l) - rho_r * (s_right - vn_r)
+        rel_l = s_left - vn_l
+        rel_r = s_right - vn_r
+        numerator = p_r - p_l + rho_l * vn_l * rel_l - rho_r * vn_r * rel_r
+        denominator = rho_l * rel_l - rho_r * rel_r
         s_star = numerator / np.where(denominator == 0.0, 1.0, denominator)
 
         star_left = _star_state(left, u_left, s_left, s_star, gamma)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.euler.constants import GAMMA
 from repro.euler import eos, state
+from repro.euler.riemann.fused import signal_speeds
 
 
 def rusanov_flux(
@@ -51,15 +52,7 @@ def rusanov_flux(
     u_right = state.conservative_from_primitive(right, gamma,
                                                 out=work.like("rus.ur", right), work=work)
     smax = work.cell_like("rus.smax", left)
-    speed = work.cell_like("rus.speed", left)
-    sound = work.cell_like("rus.sound", left)
-    eos.sound_speed(left[..., 0], left[..., -1], gamma, out=sound)
-    np.abs(left[..., 1], out=smax)
-    np.add(smax, sound, out=smax)
-    eos.sound_speed(right[..., 0], right[..., -1], gamma, out=sound)
-    np.abs(right[..., 1], out=speed)
-    np.add(speed, sound, out=speed)
-    np.maximum(smax, speed, out=smax)
+    signal_speeds(left, right, gamma, smax=smax, work=work)
 
     np.add(flux_left, flux_right, out=out)
     np.multiply(out, 0.5, out=out)

@@ -48,6 +48,13 @@ class SolverConfig:
     The defaults reproduce the paper's flow pictures (WENO-3 on local
     characteristic variables, RK3); the Fig. 4 benchmark configuration
     is ``SolverConfig(reconstruction="pc", rk_order=3)``.
+
+    ``tile_bytes`` is the engine's cache-blocking budget (see
+    :mod:`repro.euler.tiling`): ``None`` defers to the
+    ``REPRO_TILE_BYTES`` environment variable and then the built-in
+    default, ``0`` disables blocking (the untiled seed behaviour), any
+    positive value is the per-strip working-set target in bytes.  The
+    tiled and untiled paths are bit-for-bit identical.
     """
 
     reconstruction: str = "weno3"
@@ -57,12 +64,17 @@ class SolverConfig:
     rk_order: int = 3
     cfl: float = DEFAULT_CFL
     gamma: float = GAMMA
+    tile_bytes: Optional[int] = None
 
     def __post_init__(self):
         if self.variables not in ("characteristic", "primitive", "conservative"):
             raise ConfigurationError(
                 f"variables must be characteristic/primitive/conservative,"
                 f" got {self.variables!r}"
+            )
+        if self.tile_bytes is not None and self.tile_bytes < 0:
+            raise ConfigurationError(
+                f"tile_bytes must be >= 0 (0 disables tiling), got {self.tile_bytes}"
             )
 
 
@@ -168,6 +180,16 @@ class EulerSolver1D:
         """Cumulative per-phase seconds from the engine (None without one)."""
         return dict(self.engine.seconds) if self.engine is not None else None
 
+    @property
+    def tiles(self) -> int:
+        """Cumulative sweep/dt strips processed by the engine."""
+        return self.engine.tiles_processed if self.engine is not None else 0
+
+    @property
+    def tile_bytes(self) -> int:
+        """The engine's effective cache-blocking budget (0 = untiled)."""
+        return self.engine.tile_bytes if self.engine is not None else 0
+
     def _pad(self, primitive: np.ndarray) -> np.ndarray:
         ng = self.kernel.ghost_cells
         n = primitive.shape[0]
@@ -271,6 +293,16 @@ class EulerSolver2D:
     def phase_seconds(self):
         """Cumulative per-phase seconds from the engine (None without one)."""
         return dict(self.engine.seconds) if self.engine is not None else None
+
+    @property
+    def tiles(self) -> int:
+        """Cumulative sweep/dt strips processed by the engine."""
+        return self.engine.tiles_processed if self.engine is not None else 0
+
+    @property
+    def tile_bytes(self) -> int:
+        """The engine's effective cache-blocking budget (0 = untiled)."""
+        return self.engine.tile_bytes if self.engine is not None else 0
 
     def _sweep(self, primitive: np.ndarray, axis: int) -> np.ndarray:
         """Flux-difference contribution of one sweep, in global layout."""

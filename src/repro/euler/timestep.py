@@ -21,33 +21,52 @@ from repro.euler.constants import DEFAULT_CFL, GAMMA
 from repro.euler import eos, state
 
 
-def max_eigenvalue(
+def eigenvalues_into(
     primitive: np.ndarray, spacing: Sequence[float], gamma: float = GAMMA, work=None
-) -> float:
-    """Largest cell-wise sum of directional signal speeds over cell sizes."""
+) -> np.ndarray:
+    """Per-cell sum of directional signal speeds over cell sizes (the
+    GetDT integrand), written into workspace scratch.
+
+    Every operation is elementwise per cell, so calling this on a strip
+    of rows produces bit-for-bit the values a full-grid pass would — the
+    engine's fused, cache-blocked ``compute_dt`` relies on that.
+    """
     ndim = state.ndim_of(primitive)
     if len(spacing) != ndim:
         raise ConfigurationError(
             f"{ndim}-D state needs {ndim} spacings, got {len(spacing)}"
         )
+    sound = work.cell_like("dt.sound", primitive)
+    ev = work.cell_like("dt.ev", primitive)
+    scratch = work.cell_like("dt.scratch", primitive)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma, out=sound)
+        ev.fill(0.0)
+        for axis in range(ndim):
+            np.abs(primitive[..., 1 + axis], out=scratch)
+            np.add(scratch, sound, out=scratch)
+            np.divide(scratch, spacing[axis], out=scratch)
+            np.add(ev, scratch, out=ev)
+    return ev
+
+
+def max_eigenvalue(
+    primitive: np.ndarray, spacing: Sequence[float], gamma: float = GAMMA, work=None
+) -> float:
+    """Largest cell-wise sum of directional signal speeds over cell sizes."""
     if work is None:
+        ndim = state.ndim_of(primitive)
+        if len(spacing) != ndim:
+            raise ConfigurationError(
+                f"{ndim}-D state needs {ndim} spacings, got {len(spacing)}"
+            )
         with np.errstate(invalid="ignore", divide="ignore"):
             sound = eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma)
             ev = np.zeros_like(sound)
             for axis in range(ndim):
                 ev += (np.abs(primitive[..., 1 + axis]) + sound) / spacing[axis]
     else:
-        sound = work.cell_like("dt.sound", primitive)
-        ev = work.cell_like("dt.ev", primitive)
-        scratch = work.cell_like("dt.scratch", primitive)
-        with np.errstate(invalid="ignore", divide="ignore"):
-            eos.sound_speed(primitive[..., 0], primitive[..., -1], gamma, out=sound)
-            ev.fill(0.0)
-            for axis in range(ndim):
-                np.abs(primitive[..., 1 + axis], out=scratch)
-                np.add(scratch, sound, out=scratch)
-                np.divide(scratch, spacing[axis], out=scratch)
-                np.add(ev, scratch, out=ev)
+        ev = eigenvalues_into(primitive, spacing, gamma, work=work)
     largest = float(ev.max())
     if not np.isfinite(largest):
         # A NaN sound speed (negative pressure under the sqrt) or an

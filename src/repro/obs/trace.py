@@ -61,6 +61,10 @@ class TraceRecord:
     halo_bytes: int = 0
     barrier_wait_seconds: float = 0.0
     workers: int = 1
+    #: Cache-blocking strips processed this step and the engine's budget
+    #: (0 = untiled); see :mod:`repro.euler.tiling`.
+    tiles: int = 0
+    tile_bytes: int = 0
 
     def to_json(self) -> Dict[str, object]:
         """A plain-dict form with only JSON-serialisable values.
@@ -109,6 +113,7 @@ class StepTrace:
         self._last_halo_copies = 0
         self._last_halo_bytes = 0
         self._last_barrier_wait = 0.0
+        self._last_tiles = 0
 
     # -- ring mechanics -------------------------------------------------
 
@@ -191,6 +196,8 @@ class StepTrace:
             min_pressure=pressure_min,
             phase_seconds=self._phase_delta(solver),
             workers=int(getattr(solver, "workers", 1)),
+            tiles=self._tiles_delta(solver),
+            tile_bytes=int(getattr(solver, "tile_bytes", 0)),
             **self._parallel_deltas(solver),
         )
         self.append(record)
@@ -206,6 +213,12 @@ class StepTrace:
             for phase, seconds in cumulative.items()
         }
         self._last_phases = dict(cumulative)
+        return delta
+
+    def _tiles_delta(self, solver) -> int:
+        total = int(getattr(solver, "tiles", 0))
+        delta = total - self._last_tiles
+        self._last_tiles = total
         return delta
 
     def _parallel_deltas(self, solver) -> Dict[str, object]:

@@ -236,6 +236,16 @@ class ParallelSolver2D:
         """Workspace bytes summed over the rank engines."""
         return sum(engine.scratch_bytes for engine in self._engines)
 
+    @property
+    def tiles(self) -> int:
+        """Cumulative sweep/dt strips summed over the rank engines."""
+        return sum(engine.tiles_processed for engine in self._engines)
+
+    @property
+    def tile_bytes(self) -> int:
+        """The ranks' cache-blocking budget (identical on every engine)."""
+        return self._engines[0].tile_bytes if self._engines else 0
+
     def engine_counters(self) -> List[Dict[str, object]]:
         """Per-rank counter snapshots (see :meth:`StepEngine.counters`)."""
         return [engine.counters() for engine in self._engines]

@@ -214,6 +214,10 @@ class MeasuredPoint:
     #: (repro.obs telemetry; 0 when the run predates it).
     halo_bytes: int = 0
     barrier_wait_seconds: float = 0.0
+    #: Cache-blocking telemetry: strips processed over the run and the
+    #: engines' tile budget (0 = untiled; see repro.euler.tiling).
+    tiles: int = 0
+    tile_bytes: int = 0
     #: Per-step trace records in JSON form (see repro.obs.trace), kept
     #: only when the run was traced.
     trace: Optional[List[Dict[str, object]]] = None
@@ -370,6 +374,8 @@ def figure4_measured(
                         phase_seconds=parallel.engine_seconds,
                         halo_bytes=parallel.halo_bytes,
                         barrier_wait_seconds=parallel.barrier_wait_seconds,
+                        tiles=parallel.tiles,
+                        tile_bytes=parallel.tile_bytes,
                         trace=(
                             [r.to_json() for r in trace.records()]
                             if trace is not None

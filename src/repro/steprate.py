@@ -1,0 +1,181 @@
+"""Step-rate measurement without pytest: ``python -m repro.steprate``.
+
+Runs the two-channel benchmark workload through the cache-blocked
+engine, the untiled engine (``tile_bytes=0``) and optionally the
+allocating seed path, and reports steps/s, the tiled speedup, the
+per-phase second split and the bit-for-bit check — the same quantities
+``benchmarks/test_steprate.py`` gates on, minus the pytest harness, so
+perf investigation loops are one command::
+
+    python -m repro.steprate --grid 400 --steps 10
+    python -m repro.steprate --grid 200 --riemann roe --tile-bytes 1048576
+    python -m repro.steprate --grid 96 --seed-baseline --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.euler import problems
+from repro.euler.solver import SolverConfig, paper_benchmark_config
+
+__all__ = ["measure_steprate", "main"]
+
+
+def _build_solver(grid: int, config: SolverConfig, use_engine: bool = True):
+    solver, _ = problems.two_channel(n_cells=grid, h=grid / 2.0, config=config)
+    if not use_engine:
+        solver.engine = None
+    return solver
+
+
+def _timed_steps(solver, steps: int) -> float:
+    """Steps/s over ``steps`` steps after one warmup step."""
+    solver.step()
+    start = time.perf_counter()
+    for _ in range(steps):
+        solver.step()
+    return steps / (time.perf_counter() - start)
+
+
+def measure_steprate(
+    grid: int = 200,
+    steps: int = 10,
+    config: Optional[SolverConfig] = None,
+    tile_bytes: Optional[int] = None,
+    seed_baseline: bool = False,
+) -> Dict[str, object]:
+    """Measure tiled vs untiled (vs seed) step rates on one workload.
+
+    ``tile_bytes=None`` lets the engine resolve its budget (config/env/
+    default); the untiled reference always runs with ``tile_bytes=0``.
+    All variants take identical steps from identical initial states, so
+    the ``max_abs_difference`` entries are exact bit-identity checks.
+    """
+    config = config or paper_benchmark_config()
+    tiled = _build_solver(grid, replace(config, tile_bytes=tile_bytes))
+    untiled = _build_solver(grid, replace(config, tile_bytes=0))
+    tiled_rate = _timed_steps(tiled, steps)
+    untiled_rate = _timed_steps(untiled, steps)
+    result: Dict[str, object] = {
+        "grid": grid,
+        "steps": steps,
+        "tile_bytes": tiled.engine.tile_bytes,
+        "engine_steps_per_second": tiled_rate,
+        "untiled_steps_per_second": untiled_rate,
+        "tiled_speedup": tiled_rate / untiled_rate,
+        "max_abs_difference_tiled_vs_untiled": float(
+            np.max(np.abs(tiled.u - untiled.u))
+        ),
+        "tiled_counters": tiled.engine.counters(),
+        "untiled_counters": untiled.engine.counters(),
+    }
+    if seed_baseline:
+        seed = _build_solver(grid, replace(config, tile_bytes=0), use_engine=False)
+        seed_rate = _timed_steps(seed, steps)
+        result["seed_steps_per_second"] = seed_rate
+        result["speedup"] = tiled_rate / seed_rate
+        result["max_abs_difference_tiled_vs_seed"] = float(
+            np.max(np.abs(tiled.u - seed.u))
+        )
+    return result
+
+
+def _phase_table(result: Dict[str, object]) -> str:
+    tiled = result["tiled_counters"]["seconds"]
+    untiled = result["untiled_counters"]["seconds"]
+    lines = [f"  {'phase':<12} {'tiled s':>10} {'untiled s':>10}"]
+    for phase in tiled:
+        lines.append(
+            f"  {phase:<12} {tiled[phase]:>10.3f} {untiled[phase]:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.steprate",
+        description="Tiled vs untiled StepEngine step-rate measurement.",
+    )
+    parser.add_argument("--grid", type=int, default=200, help="cells per side")
+    parser.add_argument("--steps", type=int, default=10, help="timed steps")
+    parser.add_argument(
+        "--tile-bytes",
+        type=int,
+        default=None,
+        help="cache budget in bytes (default: REPRO_TILE_BYTES or built-in)",
+    )
+    parser.add_argument("--riemann", default=None, help="rusanov|hll|hllc|roe")
+    parser.add_argument("--reconstruction", default=None, help="pc|tvd2|tvd3|weno3")
+    parser.add_argument("--limiter", default=None, help="minmod|superbee|vanleer|mc")
+    parser.add_argument(
+        "--variables", default=None, help="characteristic|primitive|conservative"
+    )
+    parser.add_argument("--rk-order", type=int, default=None)
+    parser.add_argument(
+        "--seed-baseline",
+        action="store_true",
+        help="also time the allocating seed path (no engine)",
+    )
+    parser.add_argument("--json", default=None, help="write the result dict here")
+    args = parser.parse_args(argv)
+
+    config = paper_benchmark_config()
+    overrides = {
+        key: value
+        for key, value in (
+            ("riemann", args.riemann),
+            ("reconstruction", args.reconstruction),
+            ("limiter", args.limiter),
+            ("variables", args.variables),
+            ("rk_order", args.rk_order),
+        )
+        if value is not None
+    }
+    if overrides:
+        config = replace(config, **overrides)
+
+    result = measure_steprate(
+        grid=args.grid,
+        steps=args.steps,
+        config=config,
+        tile_bytes=args.tile_bytes,
+        seed_baseline=args.seed_baseline,
+    )
+    counters = result["tiled_counters"]
+    print(
+        f"steprate {args.grid}x{args.grid} ({config.reconstruction}+"
+        f"{config.riemann}, rk{config.rk_order}):"
+    )
+    print(
+        f"  tiled   {result['engine_steps_per_second']:.3f} steps/s"
+        f"  (tile_bytes={result['tile_bytes']}, tiles={counters['tiles']})"
+    )
+    print(
+        f"  untiled {result['untiled_steps_per_second']:.3f} steps/s"
+        f"  -> tiled speedup {result['tiled_speedup']:.2f}x"
+    )
+    if "seed_steps_per_second" in result:
+        print(
+            f"  seed    {result['seed_steps_per_second']:.3f} steps/s"
+            f"  -> engine speedup {result['speedup']:.2f}x"
+        )
+    print(_phase_table(result))
+    difference = result["max_abs_difference_tiled_vs_untiled"]
+    print(f"  max |tiled - untiled| = {difference}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json}")
+    return 0 if difference == 0.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
