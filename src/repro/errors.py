@@ -91,6 +91,11 @@ class AnalysisError(ReproError):
         self.stage = stage
 
 
+class ServiceError(ReproError):
+    """Simulation-service failure (queue overflow, bad job spec, dead
+    shard, protocol violation...) raised by :mod:`repro.serve`."""
+
+
 class SacError(ReproError):
     """Base class for errors raised by the SaC pipeline."""
 

@@ -9,11 +9,14 @@ are compared against in ``benchmarks/test_fig1_sod.py``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import PhysicsError
+from repro.errors import ConfigurationError, PhysicsError
 from repro.euler.constants import GAMMA
 from repro.euler import eos
 
@@ -38,6 +41,133 @@ class StarRegion:
     u: float
     rho_left: float
     rho_right: float
+
+
+class StarStateCache:
+    """Opt-in memo for :func:`solve_star_region` Newton solves.
+
+    The exact solver costs a Newton iteration per (left, right) pair;
+    a service answering many requests over the canonical problems
+    re-solves the same handful of pairs endlessly.  Entries are keyed
+    on the left/right primitive states rounded to ``decimals`` decimal
+    digits (plus gamma and the iteration controls), so bitwise-repeated
+    queries hit — and return the *identical* :class:`StarRegion`
+    object computed on the miss, keeping memoized results bit-exact
+    for repeated inputs.  Distinct inputs that collide after rounding
+    share an entry; ``decimals=12`` keeps that a deliberate tolerance,
+    not an accident.
+
+    Bounded LRU: at most ``max_entries`` stars are retained; the
+    ``hits``/``misses``/``evictions`` counters are surfaced through the
+    service's stats endpoint (see :mod:`repro.serve.cache`).
+
+    Not thread-safe by design — install one per worker process/thread.
+    """
+
+    def __init__(self, decimals: int = 12, max_entries: int = 65536):
+        if decimals < 1:
+            raise ConfigurationError(f"decimals must be >= 1, got {decimals}")
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.decimals = decimals
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, StarRegion]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(
+        self,
+        left: RiemannState,
+        right: RiemannState,
+        gamma: float,
+        tolerance: float,
+        max_iterations: int,
+    ) -> Tuple:
+        r = self.decimals
+        return (
+            round(left.rho, r), round(left.u, r), round(left.p, r),
+            round(right.rho, r), round(right.u, r), round(right.p, r),
+            round(gamma, r), repr(tolerance), int(max_iterations),
+        )
+
+    def lookup(self, key: Tuple) -> Optional[StarRegion]:
+        star = self._entries.get(key)
+        if star is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return star
+
+    def store(self, key: Tuple, star: StarRegion) -> None:
+        self._entries[key] = star
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries; the counters keep their lifetime totals."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counter snapshot (``kind: "cache"`` — JSONL-ready, see
+        :mod:`repro.obs.export`)."""
+        lookups = self.hits + self.misses
+        return {
+            "kind": "cache",
+            "cache": "star_state",
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "decimals": self.decimals,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+#: The module-level cache used when ``solve_star_region`` is called
+#: without an explicit ``cache=``.  ``None`` (the default) disables
+#: memoization entirely — it is strictly opt-in.
+_ACTIVE_CACHE: Optional[StarStateCache] = None
+
+
+def install_star_cache(cache: Optional[StarStateCache]) -> Optional[StarStateCache]:
+    """Install (or, with ``None``, remove) the module-level star cache.
+
+    Returns the previously installed cache so callers can restore it.
+    """
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+    return previous
+
+
+def active_star_cache() -> Optional[StarStateCache]:
+    """The currently installed module-level cache (None = memo off)."""
+    return _ACTIVE_CACHE
+
+
+@contextmanager
+def star_cache(cache: Optional[StarStateCache] = None):
+    """Scoped opt-in: memoize star states within the ``with`` block.
+
+    Yields the cache (a fresh default-sized one unless given) and
+    restores the previous module-level cache on exit.
+    """
+    cache = cache if cache is not None else StarStateCache()
+    previous = install_star_cache(cache)
+    try:
+        yield cache
+    finally:
+        install_star_cache(previous)
 
 
 def _pressure_function(p: float, side: RiemannState, gamma: float):
@@ -73,8 +203,36 @@ def solve_star_region(
     gamma: float = GAMMA,
     tolerance: float = 1e-12,
     max_iterations: int = 100,
+    cache: Optional[StarStateCache] = None,
 ) -> StarRegion:
-    """Find the star-region pressure/velocity by Newton-Raphson iteration."""
+    """Find the star-region pressure/velocity by Newton-Raphson iteration.
+
+    ``cache`` (or a module-level cache installed via
+    :func:`install_star_cache`/:func:`star_cache`) memoizes the solve;
+    with no cache installed — the default — every call iterates.
+    """
+    if cache is None:
+        cache = _ACTIVE_CACHE
+    if cache is not None:
+        key = cache.key(left, right, gamma, tolerance, max_iterations)
+        star = cache.lookup(key)
+        if star is None:
+            star = _solve_star_region_direct(
+                left, right, gamma, tolerance, max_iterations
+            )
+            cache.store(key, star)
+        return star
+    return _solve_star_region_direct(left, right, gamma, tolerance, max_iterations)
+
+
+def _solve_star_region_direct(
+    left: RiemannState,
+    right: RiemannState,
+    gamma: float,
+    tolerance: float,
+    max_iterations: int,
+) -> StarRegion:
+    """The uncached Newton iteration (the bit-exactness oracle)."""
     du = right.u - left.u
     al = left.sound_speed(gamma)
     ar = right.sound_speed(gamma)

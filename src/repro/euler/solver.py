@@ -17,8 +17,10 @@ here through array orientation instead of subtyping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,6 +78,78 @@ class SolverConfig:
             raise ConfigurationError(
                 f"tile_bytes must be >= 0 (0 disables tiling), got {self.tile_bytes}"
             )
+
+    # -- canonical serialization ----------------------------------------
+    #
+    # The service's result cache keys on a *content hash* of the
+    # configuration, so the dict form must be canonical: every field
+    # materialized (defaults included), floats repr-normalized (the
+    # shortest round-tripping decimal — `float(repr(x)) == x`), ints
+    # kept as ints, names as plain strings.  Two configs compare equal
+    # iff their hashes match.
+
+    def to_dict(self) -> Dict[str, object]:
+        """All fields as JSON-ready values, defaults materialized.
+
+        Field-aware coercion makes the output canonical regardless of
+        how the config was built: ``cfl=1`` and ``cfl=1.0`` (or a numpy
+        scalar) produce the same dict, hence the same hash.
+        """
+        out: Dict[str, object] = {
+            "reconstruction": str(self.reconstruction),
+            "limiter": str(self.limiter),
+            "riemann": str(self.riemann),
+            "variables": str(self.variables),
+            "rk_order": int(self.rk_order),
+            "cfl": float(self.cfl),
+            "gamma": float(self.gamma),
+            "tile_bytes": None if self.tile_bytes is None else int(self.tile_bytes),
+        }
+        if set(out) != {spec.name for spec in fields(self)}:
+            raise ConfigurationError(
+                "SolverConfig.to_dict is out of sync with the dataclass"
+                " fields — update the canonical serialization"
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SolverConfig":
+        """Inverse of :meth:`to_dict`; missing fields take their defaults,
+        unknown fields are rejected loudly (a typo'd key silently falling
+        back to a default would poison every cache keyed on the hash)."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"SolverConfig has no fields {sorted(unknown)}"
+                f" (known: {sorted(known)})"
+            )
+        return cls(**{key: _canonical_value(value) for key, value in payload.items()})
+
+    def canonical_json(self) -> str:
+        """The canonical single-line JSON form (sorted keys, no spaces)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Stable sha256 hex digest of :meth:`canonical_json`.
+
+        Stable across processes and Python versions: the canonical JSON
+        uses sorted keys and repr-normalized floats, and sha256 depends
+        on nothing else.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+
+def _canonical_value(value):
+    """Normalize one incoming config value (``from_dict``): numpy
+    scalars become Python numbers, enums collapse to their name."""
+    import enum
+
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
 
 
 def paper_benchmark_config() -> SolverConfig:

@@ -179,17 +179,28 @@ class WorkerPool:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop and join the team (idempotent)."""
+        """Stop and join the team (idempotent).
+
+        Robust against an interrupt landing *inside* the shutdown
+        handshake (KeyboardInterrupt while spinning in the release
+        barrier): the barriers are poisoned so the workers unwind, the
+        threads are joined either way, and the interrupt propagates.
+        """
         if self._stop:
             return
         self._stop = True
         try:
-            self._start.wait()
-        except BarrierAborted:
-            pass
-        for thread in self._threads:
-            thread.join(timeout=10.0)
-        self._threads = []
+            try:
+                self._start.wait()
+            except BarrierAborted:
+                pass
+            except BaseException:
+                self._abort_all()
+                raise
+        finally:
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+            self._threads = []
 
     # -- running tasks -------------------------------------------------
 

@@ -41,7 +41,7 @@ from repro.euler.engine import PHASES, StepEngine
 from repro.euler.solver import EulerSolver2D, RunResult, SolverConfig, _SweepKernel, _run_loop
 from repro.par import halo as halo_mod
 from repro.par.partition import DEFAULT_HALO, decompose
-from repro.par.pool import WorkerPool
+from repro.par.pool import BarrierAborted, WorkerPool
 from repro.par.reduce import SlotReduction
 
 __all__ = ["ParallelSolver2D"]
@@ -309,8 +309,21 @@ class ParallelSolver2D:
         callback: Optional[Callable[["ParallelSolver2D"], None]] = None,
         watch=None,
     ) -> RunResult:
-        """Advance until ``t_end`` and/or for ``max_steps`` steps."""
-        return _run_loop(self, t_end, max_steps, callback, watch=watch)
+        """Advance until ``t_end`` and/or for ``max_steps`` steps.
+
+        A :class:`KeyboardInterrupt` (or a barrier poisoned by one)
+        tears the worker team down before propagating: an interrupted
+        run must not leave threads spinning in a barrier that will
+        never release.  A PhysicsError abort already shuts the pool
+        down through the broken-round path; this covers interrupts that
+        land *between* pool rounds (dt bookkeeping, callbacks, trace
+        recording), where the team is healthy but idle.
+        """
+        try:
+            return _run_loop(self, t_end, max_steps, callback, watch=watch)
+        except (KeyboardInterrupt, BarrierAborted):
+            self.close()
+            raise
 
     # -- internals -----------------------------------------------------
 

@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` entry point."""
+
+import sys
+
+from repro.serve.cli import main
+
+sys.exit(main())

@@ -1,0 +1,113 @@
+"""The service's two cache layers.
+
+* :class:`ResultCache` — completed-run result payloads keyed on the
+  canonical :meth:`~repro.serve.jobs.JobSpec.cache_key` (problem +
+  args + ``SolverConfig.content_hash()`` + stopping criterion).  A hit
+  answers a submit without touching the queue or a shard, and returns
+  the *stored payload verbatim*, so a cached response is bitwise
+  identical to the cold run that populated it.
+* :class:`~repro.euler.exact_riemann.StarStateCache` — re-exported
+  here; the per-worker memo of exact-Riemann Newton solves, installed
+  in each shard process when the service enables it.  Workers report
+  its counters with every completed job; :func:`merge_star_stats`
+  aggregates the per-shard snapshots for the stats endpoint.
+
+Both layers surface hit/miss/eviction counters as ``kind: "cache"``
+records — the same JSONL schema family as :mod:`repro.obs.export`, so
+they can be interleaved into spool files and read back with
+:class:`~repro.obs.export.JsonlTail`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.euler.exact_riemann import StarStateCache  # noqa: F401  (re-export)
+
+__all__ = ["ResultCache", "StarStateCache", "merge_star_stats"]
+
+
+class ResultCache:
+    """Bounded LRU of completed-run result payloads.
+
+    Keys are :meth:`JobSpec.cache_key` hex digests; values are the
+    ``done`` event payloads exactly as the worker produced them.  Not
+    thread-safe — it lives on the server's event loop.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries; counters keep their lifetime totals."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot (``kind: "cache"`` — JSONL-ready)."""
+        lookups = self.hits + self.misses
+        return {
+            "kind": "cache",
+            "cache": "result",
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+def merge_star_stats(
+    per_shard: List[Optional[Dict[str, object]]],
+) -> Optional[Dict[str, object]]:
+    """Sum per-shard star-cache counter snapshots into one record.
+
+    Each worker process owns an independent memo; the service-level
+    view is the sum of their counters.  Returns ``None`` when no shard
+    has reported (the memo is disabled or nothing ran yet).
+    """
+    reported = [stats for stats in per_shard if stats]
+    if not reported:
+        return None
+    merged: Dict[str, object] = {
+        "kind": "cache",
+        "cache": "star_state",
+        "shards_reporting": len(reported),
+    }
+    for key in ("entries", "hits", "misses", "evictions"):
+        merged[key] = sum(int(stats.get(key, 0)) for stats in reported)
+    lookups = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = (merged["hits"] / lookups) if lookups else 0.0
+    return merged

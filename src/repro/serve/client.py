@@ -1,0 +1,138 @@
+"""Blocking socket client for the simulation service.
+
+One connection, newline-delimited JSON both ways — the mirror image of
+:class:`~repro.serve.server.ServiceServer`.  Synchronous on purpose:
+load generators, tests and notebooks want a plain call, not an event
+loop.
+
+    with ServiceClient(port=port) as client:
+        response = client.run(JobSpec(problem="sod", t_end=0.1))
+        for event in client.stream(job_id):
+            ...
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterator, Optional, Union
+
+from repro.errors import ServiceError
+from repro.serve.jobs import JobSpec
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """A blocking JSON-lines connection to a running service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: Optional[float] = 600.0,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- plumbing -------------------------------------------------------
+
+    def request(self, op: str, **fields) -> Dict[str, object]:
+        """Send one request line, return one response line (raw dict)."""
+        self._send({"op": op, **fields})
+        return self._recv()
+
+    def _send(self, payload: Dict[str, object]) -> None:
+        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+
+    def _recv(self) -> Dict[str, object]:
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line)
+
+    @staticmethod
+    def _ok(response: Dict[str, object]) -> Dict[str, object]:
+        if not response.get("ok"):
+            raise ServiceError(
+                f"{response.get('error_type', 'error')}: {response.get('error')}"
+            )
+        return response
+
+    @staticmethod
+    def _wire_spec(spec: Union[JobSpec, Dict[str, object]]) -> Dict[str, object]:
+        return spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+
+    # -- operations -----------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._ok(self.request("ping")).get("pong"))
+
+    def submit(
+        self,
+        spec: Union[JobSpec, Dict[str, object]],
+        block: bool = False,
+    ) -> Dict[str, object]:
+        """Fire-and-forget submit; returns ``{job_id, state, cached}``.
+
+        ``block=True`` asks the server to wait for a queue slot instead
+        of rejecting when the queue is full (backpressure).
+        """
+        return self._ok(
+            self.request("submit", spec=self._wire_spec(spec), block=block)
+        )
+
+    def run(
+        self,
+        spec: Union[JobSpec, Dict[str, object]],
+        block: bool = True,
+    ) -> Dict[str, object]:
+        """Submit and wait for the terminal state in one round trip.
+
+        Returns ``{job_id, status, result}``; ``result`` is None for
+        failed/cancelled jobs — the failure detail (including a
+        PhysicsError forensic report) is in ``status["error"]``.
+        """
+        return self._ok(
+            self.request(
+                "submit", spec=self._wire_spec(spec), wait=True, block=block
+            )
+        )
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._ok(self.request("status", job_id=job_id))["status"]
+
+    def cancel(self, job_id: str, reason: str = "client") -> Dict[str, object]:
+        return self._ok(self.request("cancel", job_id=job_id, reason=reason))["status"]
+
+    def stats(self) -> Dict[str, object]:
+        return self._ok(self.request("stats"))["stats"]
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """Yield the job's events (replay + live) until it is terminal."""
+        self._send({"op": "stream", "job_id": job_id})
+        while True:
+            response = self._ok(self._recv())
+            if response.get("end"):
+                return
+            yield response["event"]
+
+    def shutdown(self) -> None:
+        """Ask the server process to shut down cleanly."""
+        self._ok(self.request("shutdown"))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,249 @@
+"""Job specifications and the job lifecycle state machine.
+
+A :class:`JobSpec` is the unit of work a client submits: a named
+problem (the setups of :mod:`repro.euler.problems`, plus ``exact`` for
+exact-Riemann profile requests), its parameters, a
+:class:`~repro.euler.solver.SolverConfig`, and a stopping criterion —
+plus scheduling attributes (priority, deadline, retry budget) that do
+*not* participate in the result-cache key, because they cannot change
+the answer.
+
+A :class:`JobRecord` is the server's view of one submitted job.  Its
+``state`` walks the machine::
+
+    QUEUED ──> RUNNING ──> DONE
+       │          │ ├────> FAILED
+       │          │ └────> CANCELLED
+       │          └──────> QUEUED     (retry, once, on PhysicsError)
+       └─────────────────> CANCELLED  (cancelled while queued)
+
+Transitions outside the arrows raise :class:`ServiceError`; terminal
+states are final.  The retry edge implements the service's
+retry-once-on-PhysicsError policy: a physics blow-up is the one
+failure class where a second attempt is cheap to offer and the
+forensic report of the *last* attempt is what the client receives.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.euler.solver import SolverConfig
+
+__all__ = [
+    "JobSpec",
+    "JobRecord",
+    "JobState",
+    "PROBLEM_NAMES",
+    "TRANSITIONS",
+]
+
+#: Problems a job may name.  ``sod``/``lax``/``toro123`` are the 1-D
+#: shock tubes, ``sod_2d``/``two_channel`` the 2-D setups, ``exact``
+#: an exact-Riemann profile request (no time stepping — the star-state
+#: cache's home turf).
+PROBLEM_NAMES = ("sod", "lax", "toro123", "sod_2d", "two_channel", "exact")
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+#: The legal state machine; see the module docstring's diagram.
+TRANSITIONS = {
+    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {
+        JobState.DONE,
+        JobState.FAILED,
+        JobState.CANCELLED,
+        JobState.QUEUED,  # the retry edge
+    },
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+}
+
+
+@dataclass
+class JobSpec:
+    """One simulation request.
+
+    ``problem_args`` are forwarded to the problem builder (grid sizes,
+    Mach number, exit placement...).  Exactly one of ``t_end`` /
+    ``max_steps`` must be set for stepping problems (both is also
+    legal — whichever bound hits first); ``exact`` instead requires
+    ``t`` in ``problem_args``.
+    """
+
+    problem: str
+    problem_args: Dict[str, object] = field(default_factory=dict)
+    config: SolverConfig = field(default_factory=SolverConfig)
+    t_end: Optional[float] = None
+    max_steps: Optional[int] = None
+    #: Lower runs sooner; ties run in submission order.
+    priority: int = 0
+    #: Wall-clock budget for one attempt; exceeded => cancelled.
+    deadline_s: Optional[float] = None
+    #: Total attempts allowed (2 = the retry-once-on-PhysicsError policy).
+    max_attempts: int = 2
+    #: Include the final primitive state in the result payload.
+    return_state: bool = True
+    #: Spool a trace record every N steps (progress streaming granularity).
+    trace_every: int = 1
+
+    def __post_init__(self):
+        if self.problem not in PROBLEM_NAMES:
+            raise ConfigurationError(
+                f"unknown problem {self.problem!r} (have {PROBLEM_NAMES})"
+            )
+        if not isinstance(self.config, SolverConfig):
+            raise ConfigurationError(
+                f"config must be a SolverConfig, got {type(self.config).__name__}"
+            )
+        if self.problem == "exact":
+            t = self.problem_args.get("t")
+            if not isinstance(t, (int, float)) or t <= 0:
+                raise ConfigurationError(
+                    "problem 'exact' needs problem_args['t'] > 0"
+                )
+        elif self.t_end is None and self.max_steps is None:
+            raise ConfigurationError(
+                f"job for problem {self.problem!r} needs t_end and/or max_steps"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.trace_every < 1:
+            raise ConfigurationError(
+                f"trace_every must be >= 1, got {self.trace_every}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+    # -- wire form ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready wire form (config nested via its canonical dict)."""
+        return {
+            "problem": self.problem,
+            "problem_args": dict(self.problem_args),
+            "config": self.config.to_dict(),
+            "t_end": None if self.t_end is None else float(self.t_end),
+            "max_steps": None if self.max_steps is None else int(self.max_steps),
+            "priority": int(self.priority),
+            "deadline_s": None if self.deadline_s is None else float(self.deadline_s),
+            "max_attempts": int(self.max_attempts),
+            "return_state": bool(self.return_state),
+            "trace_every": int(self.trace_every),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "JobSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected loudly."""
+        payload = dict(payload)
+        config = payload.pop("config", None)
+        if isinstance(config, dict):
+            config = SolverConfig.from_dict(config)
+        elif config is None:
+            config = SolverConfig()
+        known = set(cls.__dataclass_fields__) - {"config"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"JobSpec has no fields {sorted(unknown)}"
+            )
+        return cls(config=config, **payload)
+
+    # -- cache identity -------------------------------------------------
+
+    def cache_key(self) -> str:
+        """Stable sha256 identifying the *result* of this spec.
+
+        Only result-affecting fields participate: the problem and its
+        arguments, the solver configuration (via its content hash), the
+        stopping criterion and ``return_state`` (it changes the payload
+        shape).  Priority, deadline, retry budget and trace granularity
+        are scheduling concerns — two specs differing only there are
+        the same simulation and share a cache entry.
+        """
+        identity = {
+            "problem": self.problem,
+            "problem_args": self.problem_args,
+            "config": self.config.content_hash(),
+            "t_end": None if self.t_end is None else float(self.t_end),
+            "max_steps": None if self.max_steps is None else int(self.max_steps),
+            "return_state": bool(self.return_state),
+        }
+        text = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """The server's bookkeeping for one submitted job."""
+
+    job_id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    shard: Optional[int] = None
+    cached: bool = False
+    result: Optional[Dict[str, object]] = None
+    error: Optional[Dict[str, object]] = None
+    cancel_reason: Optional[str] = None
+    #: Every event published for this job, in order (stream replay).
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state`` or raise on an illegal edge."""
+        if new_state not in TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.job_id}: illegal transition"
+                f" {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        now = time.time()
+        if new_state is JobState.RUNNING and self.started is None:
+            self.started = now
+        if new_state.terminal:
+            self.finished = now
+
+    @property
+    def terminal(self) -> bool:
+        return self.state.terminal
+
+    def status(self) -> Dict[str, object]:
+        """JSON-ready status summary (the ``status`` endpoint payload)."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "problem": self.spec.problem,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "shard": self.shard,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "cancel_reason": self.cancel_reason,
+            "error": self.error,
+        }

@@ -1,0 +1,611 @@
+"""The asyncio simulation service and its TCP/JSON-lines front end.
+
+:class:`SimulationService` ties the pieces together on one event loop:
+submits land in the :class:`~repro.serve.queue.PriorityJobQueue`
+(unless the :class:`~repro.serve.cache.ResultCache` answers first), a
+dispatcher pairs queued jobs with free shards of the
+:class:`~repro.serve.workers.ShardPool`, and one supervisor coroutine
+per running job tails the worker's spool file with
+:class:`~repro.obs.export.JsonlTail` (progress events), enforces the
+deadline, and applies the terminal policy: cache ``done`` results,
+retry once on a retryable (PhysicsError) failure, ship the forensic
+report to the client otherwise.
+
+:class:`ServiceServer` speaks newline-delimited JSON over TCP.  One
+request per line, one (or, for ``stream``, many) response lines back::
+
+    {"op": "submit", "spec": {...}, "wait": false}
+    {"op": "status", "job_id": "j3"}
+    {"op": "stream", "job_id": "j3"}      # replays + follows events
+    {"op": "cancel", "job_id": "j3"}
+    {"op": "stats"} | {"op": "ping"} | {"op": "shutdown"}
+
+Everything is stdlib: asyncio, sockets, json, multiprocessing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.obs.export import JsonlTail
+from repro.serve.cache import ResultCache, merge_star_stats
+from repro.serve.jobs import JobRecord, JobSpec, JobState
+from repro.serve.queue import PriorityJobQueue, QueueFull
+
+__all__ = ["SimulationService", "ServiceServer", "ServiceHandle", "start_in_thread"]
+
+#: How often a supervisor polls the spool file between worker events.
+SPOOL_POLL_S = 0.02
+
+#: Sentinel queued to a subscriber when its stream is over.
+_STREAM_END = None
+
+
+class SimulationService:
+    """The in-process service: queue + shard pool + caches + policy."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        queue_depth: int = 64,
+        result_cache_entries: int = 256,
+        star_cache_decimals: Optional[int] = 12,
+        start_method: Optional[str] = None,
+    ):
+        self.pool = None  # a ShardPool once start() has run
+        self._pool_kwargs = dict(
+            shards=shards,
+            star_cache_decimals=star_cache_decimals,
+            start_method=start_method,
+        )
+        self.queue = PriorityJobQueue(maxsize=queue_depth)
+        self.result_cache = ResultCache(max_entries=result_cache_entries)
+        self.jobs: Dict[str, JobRecord] = {}
+        self._ids = itertools.count(1)
+        self._completion: Dict[str, asyncio.Event] = {}
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        self._free_shards: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._supervisors: set = set()
+        self._star_stats: List[Optional[Dict[str, object]]] = [None] * shards
+        self.started_at: Optional[float] = None
+        self.retries = 0
+        self.cache_hits_served = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the shards (in an executor — spawn blocks) and start
+        the dispatcher."""
+        from repro.serve.workers import ShardPool
+
+        loop = asyncio.get_running_loop()
+        self.pool = ShardPool(**self._pool_kwargs)
+        await loop.run_in_executor(None, self.pool.start)
+        self.pool.bind(loop)
+        self._free_shards = asyncio.Queue()
+        for shard in range(self.pool.shards):
+            self._free_shards.put_nowait(shard)
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatcher"
+        )
+        self.started_at = time.time()
+
+    async def close(self) -> None:
+        """Stop accepting work, cancel in-flight supervision, end all
+        streams, and tear the shard pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.close()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            await asyncio.gather(self._dispatcher, return_exceptions=True)
+        for task in list(self._supervisors):
+            task.cancel()
+        await asyncio.gather(*self._supervisors, return_exceptions=True)
+        for record in self.jobs.values():
+            if not record.terminal:
+                record.cancel_reason = record.cancel_reason or "shutdown"
+                record.transition(JobState.CANCELLED)
+                self._publish(record, {
+                    "kind": "job", "event": "cancelled",
+                    "job_id": record.job_id, "reason": record.cancel_reason,
+                })
+                self._finish(record)
+        if self.pool is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.pool.shutdown)
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Admit a job: answered from the result cache, or queued.
+
+        Raises :class:`~repro.serve.queue.QueueFull` when the queue is
+        at depth — the caller decides whether that is an error response
+        (TCP path) or a reason to wait (:meth:`submit_wait`).
+        """
+        if self._closed:
+            raise ServiceError("service is shut down")
+        key = spec.cache_key()
+        cached = self.result_cache.get(key)
+        record = self._make_record(spec)
+        if cached is not None:
+            self._resolve_from_cache(record, key, cached)
+            return record
+        self.queue.put_nowait(record, priority=spec.priority)
+        self._publish(record, {
+            "kind": "job", "event": "queued",
+            "job_id": record.job_id, "priority": spec.priority,
+        })
+        return record
+
+    async def submit_wait(self, spec: JobSpec) -> JobRecord:
+        """Like :meth:`submit` but parks on a full queue (backpressure)."""
+        if self._closed:
+            raise ServiceError("service is shut down")
+        key = spec.cache_key()
+        cached = self.result_cache.get(key)
+        record = self._make_record(spec)
+        if cached is not None:
+            self._resolve_from_cache(record, key, cached)
+            return record
+        await self.queue.put(record, priority=spec.priority)
+        self._publish(record, {
+            "kind": "job", "event": "queued",
+            "job_id": record.job_id, "priority": spec.priority,
+        })
+        return record
+
+    def _make_record(self, spec: JobSpec) -> JobRecord:
+        record = JobRecord(job_id=f"j{next(self._ids)}", spec=spec)
+        self.jobs[record.job_id] = record
+        self._completion[record.job_id] = asyncio.Event()
+        return record
+
+    def _resolve_from_cache(self, record, key, payload) -> None:
+        """A cache hit never enters the state machine: the record is
+        born DONE, carrying the stored payload verbatim."""
+        record.cached = True
+        record.state = JobState.DONE
+        record.started = record.finished = time.time()
+        record.result = payload
+        self.cache_hits_served += 1
+        self._publish(record, {
+            "kind": "job", "event": "cache_hit",
+            "job_id": record.job_id, "key": key,
+        })
+        self._publish(record, {
+            "kind": "job", "event": "done",
+            "job_id": record.job_id, "cached": True, "result": payload,
+        })
+        self._finish(record)
+
+    # -- dispatch and supervision --------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        from repro.serve.queue import QueueClosed
+
+        while True:
+            try:
+                record = await self.queue.get()
+            except QueueClosed:
+                return
+            shard = await self._free_shards.get()
+            record.transition(JobState.RUNNING)
+            record.attempts += 1
+            record.shard = shard
+            task = asyncio.create_task(
+                self._supervise(record, shard),
+                name=f"repro-serve-supervise-{record.job_id}",
+            )
+            self._supervisors.add(task)
+            task.add_done_callback(self._supervisors.discard)
+
+    async def _supervise(self, record: JobRecord, shard: int) -> None:
+        """Shepherd one attempt on one shard to its terminal event."""
+        spec = record.spec
+        attempt = record.attempts
+        self.pool.send_job(shard, record.job_id, attempt, spec)
+        self._publish(record, {
+            "kind": "job", "event": "started", "job_id": record.job_id,
+            "shard": shard, "attempt": attempt,
+        })
+        tail = JsonlTail(self.pool.spool_path(record.job_id, attempt))
+        events = self.pool.events(shard)
+        loop = asyncio.get_running_loop()
+        deadline_handle = None
+        if spec.deadline_s is not None:
+            deadline_handle = loop.call_later(
+                spec.deadline_s, self._deadline_fire, record, shard
+            )
+        terminal = None
+        try:
+            while terminal is None:
+                try:
+                    event = await asyncio.wait_for(events.get(), timeout=SPOOL_POLL_S)
+                except asyncio.TimeoutError:
+                    for line in tail.poll():
+                        self._publish(record, line)
+                    continue
+                if (
+                    event.get("kind") == "job"
+                    and event.get("job_id") == record.job_id
+                    and event.get("event") in ("done", "failed", "cancelled")
+                ):
+                    terminal = event
+        finally:
+            if deadline_handle is not None:
+                deadline_handle.cancel()
+        for line in tail.poll():  # drain spool written before the terminal
+            self._publish(record, line)
+        self._apply_terminal(record, terminal)
+        # Free the shard only after the terminal is fully processed, so a
+        # stale deadline/cancel flag can never leak onto the next job.
+        self._free_shards.put_nowait(shard)
+        if record.state is JobState.QUEUED:  # the retry edge
+            await self.queue.put(record, priority=spec.priority)
+
+    def _apply_terminal(self, record: JobRecord, event: Dict[str, object]) -> None:
+        kind = event["event"]
+        if kind == "done":
+            payload = event["result"]
+            if record.shard is not None and payload.get("star_cache"):
+                self._star_stats[record.shard] = payload["star_cache"]
+            record.result = payload
+            record.transition(JobState.DONE)
+            self.result_cache.put(record.spec.cache_key(), payload)
+            self._publish(record, {
+                "kind": "job", "event": "done",
+                "job_id": record.job_id, "cached": False, "result": payload,
+            })
+            self._finish(record)
+        elif kind == "failed":
+            retryable = bool(event.get("retryable"))
+            if retryable and record.attempts < record.spec.max_attempts:
+                self.retries += 1
+                record.transition(JobState.QUEUED)
+                self._publish(record, {
+                    "kind": "job", "event": "retry", "job_id": record.job_id,
+                    "attempt": record.attempts, "error": event.get("error"),
+                })
+            else:
+                record.error = event.get("error")
+                record.transition(JobState.FAILED)
+                self._publish(record, {
+                    "kind": "job", "event": "failed",
+                    "job_id": record.job_id, "error": record.error,
+                    "attempts": record.attempts,
+                })
+                self._finish(record)
+        elif kind == "cancelled":
+            record.cancel_reason = (
+                record.cancel_reason or event.get("reason") or "cancelled"
+            )
+            record.transition(JobState.CANCELLED)
+            self._publish(record, {
+                "kind": "job", "event": "cancelled",
+                "job_id": record.job_id, "reason": record.cancel_reason,
+            })
+            self._finish(record)
+        else:  # pragma: no cover - worker emits only the three above
+            raise ServiceError(f"unexpected terminal event {event!r}")
+
+    def _deadline_fire(self, record: JobRecord, shard: int) -> None:
+        if record.state is JobState.RUNNING:
+            record.cancel_reason = "deadline"
+            self.pool.cancel(shard)
+
+    # -- cancellation ---------------------------------------------------
+
+    def cancel(self, job_id: str, reason: str = "client") -> Dict[str, object]:
+        record = self._get(job_id)
+        if record.state is JobState.QUEUED:
+            removed = self.queue.remove(lambda item: item is record)
+            if removed:
+                record.cancel_reason = reason
+                record.transition(JobState.CANCELLED)
+                self._publish(record, {
+                    "kind": "job", "event": "cancelled",
+                    "job_id": job_id, "reason": reason,
+                })
+                self._finish(record)
+        elif record.state is JobState.RUNNING:
+            record.cancel_reason = reason
+            self.pool.cancel(record.shard)
+        return record.status()
+
+    # -- introspection --------------------------------------------------
+
+    def _get(self, job_id: str) -> JobRecord:
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return record
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._get(job_id).status()
+
+    async def wait(self, job_id: str) -> JobRecord:
+        """Block until the job reaches a terminal state."""
+        record = self._get(job_id)
+        await self._completion[job_id].wait()
+        return record
+
+    def subscribe(self, job_id: str) -> Tuple[List[dict], Optional[asyncio.Queue]]:
+        """Replay of past events plus a live queue (None if already over)."""
+        record = self._get(job_id)
+        replay = list(record.events)
+        if record.terminal:
+            return replay, None
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(queue)
+        return replay, queue
+
+    def stats(self) -> Dict[str, object]:
+        by_state = Counter(record.state.value for record in self.jobs.values())
+        return {
+            "kind": "stats",
+            "uptime_s": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "jobs": dict(by_state),
+            "submitted": len(self.jobs),
+            "retries": self.retries,
+            "cache_hits_served": self.cache_hits_served,
+            "queue": self.queue.stats(),
+            "result_cache": self.result_cache.stats(),
+            "star_cache": merge_star_stats(self._star_stats),
+            "shards": {
+                "count": self.pool.shards if self.pool else 0,
+                "alive": self.pool.alive() if self.pool else [],
+                "dispatched": list(self.pool.jobs_dispatched) if self.pool else [],
+            },
+        }
+
+    # -- event fan-out --------------------------------------------------
+
+    def _publish(self, record: JobRecord, event: Dict[str, object]) -> None:
+        record.events.append(event)
+        for queue in self._subscribers.get(record.job_id, ()):
+            queue.put_nowait(event)
+
+    def _finish(self, record: JobRecord) -> None:
+        """Mark the job terminal for waiters and end its streams."""
+        self._completion[record.job_id].set()
+        for queue in self._subscribers.pop(record.job_id, ()):
+            queue.put_nowait(_STREAM_END)
+
+
+class ServiceServer:
+    """Newline-delimited-JSON TCP front end over a SimulationService."""
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: Set by the ``shutdown`` op; the serve loop watches it.
+        self.shutdown_requested = asyncio.Event()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=2**20
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    await self._send(writer, {"ok": False, "error": "bad JSON"})
+                    continue
+                try:
+                    await self._dispatch(request, writer)
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                except ReproError as error:
+                    await self._send(writer, {
+                        "ok": False,
+                        "error": str(error),
+                        "error_type": type(error).__name__,
+                    })
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Dict[str, object], writer) -> None:
+        op = request.get("op")
+        service = self.service
+        if op == "ping":
+            await self._send(writer, {"ok": True, "pong": True})
+        elif op == "submit":
+            spec_payload = request.get("spec")
+            if not isinstance(spec_payload, dict):
+                raise ServiceError("submit needs a 'spec' object")
+            spec = JobSpec.from_dict(spec_payload)
+            if request.get("block"):
+                record = await service.submit_wait(spec)
+            else:
+                try:
+                    record = service.submit(spec)
+                except QueueFull as error:
+                    await self._send(writer, {
+                        "ok": False, "error": str(error),
+                        "error_type": "QueueFull",
+                    })
+                    return
+            if request.get("wait"):
+                record = await service.wait(record.job_id)
+                await self._send(writer, {
+                    "ok": True, "status": record.status(),
+                    "job_id": record.job_id, "result": record.result,
+                })
+            else:
+                await self._send(writer, {
+                    "ok": True, "job_id": record.job_id,
+                    "state": record.state.value, "cached": record.cached,
+                })
+        elif op == "status":
+            await self._send(writer, {
+                "ok": True, "status": service.status(self._job_id(request)),
+            })
+        elif op == "cancel":
+            status = service.cancel(
+                self._job_id(request), str(request.get("reason", "client"))
+            )
+            await self._send(writer, {"ok": True, "status": status})
+        elif op == "stream":
+            await self._stream(writer, self._job_id(request))
+        elif op == "stats":
+            await self._send(writer, {"ok": True, "stats": service.stats()})
+        elif op == "shutdown":
+            await self._send(writer, {"ok": True, "shutting_down": True})
+            self.shutdown_requested.set()
+        else:
+            raise ServiceError(f"unknown op {op!r}")
+
+    async def _stream(self, writer, job_id: str) -> None:
+        """Replay the job's events, then follow until terminal.
+
+        Each event goes out as ``{"ok": true, "event": ...}``; the
+        stream ends with ``{"ok": true, "end": true, "state": ...}``
+        after which the connection is back in request/response mode.
+        """
+        service = self.service
+        replay, live = service.subscribe(job_id)
+        for event in replay:
+            await self._send(writer, {"ok": True, "event": event})
+        if live is not None:
+            while True:
+                event = await live.get()
+                if event is _STREAM_END:
+                    break
+                await self._send(writer, {"ok": True, "event": event})
+        record = service._get(job_id)
+        await self._send(writer, {
+            "ok": True, "end": True, "state": record.state.value,
+        })
+
+    @staticmethod
+    def _job_id(request: Dict[str, object]) -> str:
+        job_id = request.get("job_id")
+        if not isinstance(job_id, str):
+            raise ServiceError("request needs a 'job_id' string")
+        return job_id
+
+    @staticmethod
+    async def _send(writer, payload: Dict[str, object]) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional[threading.Event] = None,
+    handle: Optional["ServiceHandle"] = None,
+    **service_kwargs,
+) -> None:
+    """Run service + TCP server until shutdown is requested.
+
+    ``handle``/``ready`` are the thread-embedding hooks used by
+    :func:`start_in_thread`; the CLI calls this directly and stops on
+    KeyboardInterrupt.
+    """
+    service = SimulationService(**service_kwargs)
+    server = ServiceServer(service, host=host, port=port)
+    await service.start()
+    try:
+        await server.start()
+        if handle is not None:
+            handle.port = server.port
+            handle._loop = asyncio.get_running_loop()
+            handle._server = server
+        if ready is not None:
+            ready.set()
+        await server.shutdown_requested.wait()
+    finally:
+        await server.close()
+        await service.close()
+
+
+class ServiceHandle:
+    """A service running in a daemon thread (tests, benchmarks, demos)."""
+
+    def __init__(self):
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[ServiceServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._server.shutdown_requested.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise ServiceError("service thread did not stop in time")
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    host: str = "127.0.0.1", timeout: float = 180.0, **service_kwargs
+) -> ServiceHandle:
+    """Start a full service + TCP server in a daemon thread and return
+    once it is accepting connections (``handle.port`` is set)."""
+    handle = ServiceHandle()
+    ready = threading.Event()
+
+    def _main():
+        try:
+            asyncio.run(serve(host=host, ready=ready, handle=handle, **service_kwargs))
+        except BaseException as error:  # pragma: no cover - surfaced via handle
+            handle._error = error
+            ready.set()
+
+    handle._thread = threading.Thread(
+        target=_main, name="repro-serve-server", daemon=True
+    )
+    handle._thread.start()
+    if not ready.wait(timeout=timeout):
+        raise ServiceError(f"service did not start within {timeout}s")
+    if handle._error is not None:
+        raise ServiceError(f"service failed to start: {handle._error!r}")
+    return handle

@@ -1,0 +1,471 @@
+"""Shard pool: worker processes that execute jobs on the solver stack.
+
+Each *shard* is one long-lived worker process (``multiprocessing``
+spawn context — immune to the parent's event loop and thread state).
+The parent sends job wire dicts down a per-shard queue; the worker runs
+them through the existing :class:`~repro.euler.engine.StepEngine`-backed
+solvers (or :class:`~repro.par.solver.ParallelSolver2D` when the job
+asks for intra-job workers), spooling per-step
+:class:`~repro.obs.trace.TraceRecord` JSONL to a per-attempt spool file
+— the stream the server tails with
+:class:`~repro.obs.export.JsonlTail` — and reports lifecycle events
+(``ready``/``started``/``done``/``failed``/``cancelled``) on a
+per-shard event queue.
+
+Failure containment is the point of the process boundary: a job that
+blows up with a :class:`~repro.errors.PhysicsError` returns its
+forensic report as a ``failed`` event and the shard moves on to the
+next job; nothing about the server or its siblings dies with it.
+
+Workers ignore SIGINT: on Ctrl-C the *parent* coordinates teardown
+(sentinel, join, terminate-if-stuck) instead of every process racing
+its own KeyboardInterrupt.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import multiprocessing as mp
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import traceback
+from pathlib import Path
+from queue import Empty
+from time import monotonic, perf_counter, time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PhysicsError, ServiceError
+from repro.serve.jobs import JobSpec
+
+__all__ = ["ShardPool", "state_digest"]
+
+#: How long ``start(wait_ready=True)`` waits for each spawned worker.
+READY_TIMEOUT_S = 120.0
+
+
+def state_digest(array: np.ndarray) -> str:
+    """sha256 of an array's C-contiguous float64 bytes.
+
+    The bitwise identity used to compare cached and recomputed results:
+    two runs agree iff their digests do.
+    """
+    return hashlib.sha256(
+        np.ascontiguousarray(array, dtype=np.float64).tobytes()
+    ).hexdigest()
+
+
+class _JobCancelled(Exception):
+    """Internal: the running job saw its cancel flag (or deadline)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(shard, job_q, event_q, cancel_flag, spool_dir, star_decimals):
+    """Entry point of one shard process (top level: spawn-picklable)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    star_cache = None
+    if star_decimals:
+        from repro.euler.exact_riemann import StarStateCache, install_star_cache
+
+        star_cache = StarStateCache(decimals=star_decimals)
+        install_star_cache(star_cache)
+    event_q.put({"kind": "shard", "event": "ready", "shard": shard, "pid": os.getpid()})
+    while True:
+        wire = job_q.get()
+        if wire is None:
+            break
+        # The flag is NOT cleared here: the parent clears it in send_job
+        # *before* enqueuing, so a cancel that lands right after the send
+        # is never lost to a worker-side clear racing it.
+        job_id = wire["job_id"]
+        base = {"kind": "job", "job_id": job_id, "shard": shard}
+        try:
+            result = _execute(wire, cancel_flag, Path(spool_dir), star_cache)
+        except _JobCancelled as stop:
+            event_q.put({**base, "event": "cancelled", "reason": stop.reason})
+        except PhysicsError as error:
+            forensics = getattr(error, "forensics", None)
+            event_q.put({
+                **base,
+                "event": "failed",
+                "retryable": True,
+                "error": {
+                    "type": "PhysicsError",
+                    "message": str(error),
+                    "context": error.context,
+                    "forensics": forensics.to_json() if forensics else None,
+                },
+            })
+        except BaseException as error:  # noqa: BLE001 - shard must survive any job
+            event_q.put({
+                **base,
+                "event": "failed",
+                "retryable": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                    "traceback": traceback.format_exc(),
+                },
+            })
+        else:
+            event_q.put({**base, "event": "done", "result": result})
+    event_q.put({"kind": "shard", "event": "stopped", "shard": shard})
+
+
+def _execute(wire, cancel_flag, spool_dir, star_cache) -> Dict[str, object]:
+    """Run one job; returns the ``done`` payload or raises."""
+    spec = JobSpec.from_dict(wire["spec"])
+    spool = spool_dir / _spool_name(wire["job_id"], wire.get("attempt", 1))
+    started = perf_counter()
+    if spec.problem == "exact":
+        payload = _execute_exact(spec, spool, star_cache)
+    else:
+        payload = _execute_stepping(spec, spool, cancel_flag, star_cache)
+    payload["wall_seconds"] = perf_counter() - started
+    return payload
+
+
+def _execute_exact(spec, spool, star_cache) -> Dict[str, object]:
+    """An exact-Riemann profile request — pure Newton solves + sampling,
+    the workload the star-state memo accelerates."""
+    from repro.euler.exact_riemann import solve
+    from repro.euler.problems import RIEMANN_PROBLEMS
+
+    args = dict(spec.problem_args)
+    base = args.pop("base", "sod")
+    if base not in RIEMANN_PROBLEMS:
+        raise ConfigurationError(
+            f"exact base problem {base!r} not in {sorted(RIEMANN_PROBLEMS)}"
+        )
+    t = float(args.pop("t"))
+    n_points = int(args.pop("n_points", 201))
+    _reject_unknown_args(spec.problem, args)
+    problem = RIEMANN_PROBLEMS[base]
+    x = np.linspace(0.0, 1.0, n_points)
+    profile = solve(
+        problem.left, problem.right, x, t=t,
+        x_diaphragm=problem.x_diaphragm, gamma=spec.config.gamma,
+    )
+    with spool.open("w", encoding="utf-8") as handle:
+        if star_cache is not None:
+            handle.write(json.dumps(star_cache.stats()))
+            handle.write("\n")
+    return {
+        "problem": "exact",
+        "base": base,
+        "t": t,
+        "n_points": n_points,
+        "shape": list(profile.shape),
+        "state_sha256": state_digest(profile),
+        "state": profile.tolist() if spec.return_state else None,
+        "steps": 0,
+        "time": t,
+        "star_cache": star_cache.stats() if star_cache is not None else None,
+    }
+
+
+def _execute_stepping(spec, spool, cancel_flag, star_cache) -> Dict[str, object]:
+    """A time-stepping job with per-step spool records and cancel checks."""
+    from repro.obs.trace import StepTrace
+
+    solver, closer = _build_solver(spec)
+    trace = StepTrace()
+    deadline_at = (
+        monotonic() + spec.deadline_s if spec.deadline_s is not None else None
+    )
+    try:
+        with spool.open("w", encoding="utf-8") as handle:
+
+            def progress(s):
+                if cancel_flag.is_set():
+                    raise _JobCancelled("cancelled")
+                if deadline_at is not None and monotonic() > deadline_at:
+                    raise _JobCancelled("deadline")
+                if s.steps % spec.trace_every == 0:
+                    record = trace.last(1)[0]
+                    handle.write(json.dumps(record.to_json()))
+                    handle.write("\n")
+                    handle.flush()
+
+            run = solver.run(
+                t_end=spec.t_end, max_steps=spec.max_steps,
+                callback=progress, watch=trace,
+            )
+            if star_cache is not None:
+                handle.write(json.dumps(star_cache.stats()))
+                handle.write("\n")
+        u = solver.u
+        return {
+            "problem": spec.problem,
+            "steps": int(run.steps),
+            "time": float(run.time),
+            "shape": list(u.shape),
+            "state_sha256": state_digest(u),
+            "mass": float(u[..., 0].sum()),
+            "energy": float(u[..., -1].sum()),
+            "state": solver.primitive.tolist() if spec.return_state else None,
+            "star_cache": star_cache.stats() if star_cache is not None else None,
+        }
+    finally:
+        if closer is not None:
+            closer()
+
+
+def _build_solver(spec: JobSpec):
+    """Problem registry: spec -> (solver, closer-or-None).
+
+    Unknown ``problem_args`` are rejected loudly — a typo'd argument
+    silently falling back to a default would be cached under a key that
+    claims otherwise.
+    """
+    from repro.euler import problems
+
+    args = dict(spec.problem_args)
+    workers = int(args.pop("workers", 1))
+    if spec.problem in ("sod", "lax", "toro123"):
+        if workers != 1:
+            raise ConfigurationError("1-D problems run on a single worker")
+        solver, _ = problems.riemann_problem_solver(
+            problems.RIEMANN_PROBLEMS[spec.problem],
+            n_cells=int(args.pop("n_cells", 400)),
+            config=spec.config,
+        )
+        _reject_unknown_args(spec.problem, args)
+        return solver, None
+    if spec.problem == "sod_2d":
+        solver, _ = problems.sod_2d(
+            nx=int(args.pop("nx", 64)),
+            ny=int(args.pop("ny", 16)),
+            config=spec.config,
+        )
+    elif spec.problem == "two_channel":
+        n_cells = int(args.pop("n_cells", 64))
+        solver, _ = problems.two_channel(
+            n_cells=n_cells,
+            h=float(args.pop("h", n_cells / 2.0)),
+            mach=float(args.pop("mach", 2.2)),
+            config=spec.config,
+        )
+    else:  # pragma: no cover - JobSpec validation keeps us exhaustive
+        raise ConfigurationError(f"unhandled problem {spec.problem!r}")
+    _reject_unknown_args(spec.problem, args)
+    if workers > 1:
+        from repro.par.solver import ParallelSolver2D
+
+        parallel = ParallelSolver2D.from_serial(solver, workers=workers)
+        return parallel, parallel.close
+    return solver, None
+
+
+def _reject_unknown_args(problem: str, leftover: Dict[str, object]) -> None:
+    if leftover:
+        raise ConfigurationError(
+            f"problem {problem!r} got unknown problem_args {sorted(leftover)}"
+        )
+
+
+def _spool_name(job_id: str, attempt: int) -> str:
+    return f"{job_id}.a{attempt}.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# Parent (server) side
+# ---------------------------------------------------------------------------
+
+
+class ShardPool:
+    """The parent-side handle on the worker processes.
+
+    Lifecycle: ``start()`` (spawn + wait ready, blocking — call before
+    or via an executor from the event loop), ``bind(loop)`` (start the
+    pump threads that forward each shard's events into an
+    :class:`asyncio.Queue`), then ``send_job``/``cancel``/``events``;
+    ``shutdown()`` is idempotent and leaves no child process behind —
+    sentinel first, ``terminate()`` for stragglers, ``kill()`` as the
+    last resort.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        spool_dir: Optional[str] = None,
+        star_cache_decimals: Optional[int] = 12,
+        start_method: Optional[str] = None,
+    ):
+        if shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        self.star_cache_decimals = star_cache_decimals
+        self._ctx = mp.get_context(
+            start_method or os.environ.get("REPRO_SVC_START_METHOD", "spawn")
+        )
+        self._owns_spool = spool_dir is None
+        self.spool_dir = Path(
+            spool_dir if spool_dir is not None
+            else tempfile.mkdtemp(prefix="repro-serve-spool-")
+        )
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self._processes: List[mp.process.BaseProcess] = []
+        self._job_queues = []
+        self._event_queues = []
+        self._cancel_flags = []
+        self._pumps: List[threading.Thread] = []
+        self._aqueues: List[asyncio.Queue] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_pumps = False
+        self._shutdown_done = False
+        self.jobs_dispatched = [0] * shards
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, wait_ready: bool = True, timeout: float = READY_TIMEOUT_S) -> None:
+        """Spawn the shard processes (blocking; spawn re-imports numpy)."""
+        if self._processes:
+            raise ServiceError("shard pool already started")
+        for shard in range(self.shards):
+            job_q = self._ctx.Queue()
+            event_q = self._ctx.Queue()
+            cancel_flag = self._ctx.Event()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    shard, job_q, event_q, cancel_flag,
+                    str(self.spool_dir), self.star_cache_decimals,
+                ),
+                name=f"repro-serve-shard-{shard}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+            self._job_queues.append(job_q)
+            self._event_queues.append(event_q)
+            self._cancel_flags.append(cancel_flag)
+        if wait_ready:
+            for shard, event_q in enumerate(self._event_queues):
+                try:
+                    event = event_q.get(timeout=timeout)
+                except Empty:
+                    raise ServiceError(
+                        f"shard {shard} did not report ready within {timeout}s"
+                    ) from None
+                if event.get("event") != "ready":
+                    raise ServiceError(
+                        f"shard {shard} sent {event!r} before ready"
+                    )
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Start one pump thread per shard, forwarding events to
+        :meth:`events` queues on ``loop``."""
+        if self._pumps:
+            raise ServiceError("shard pool already bound to a loop")
+        self._loop = loop
+        self._aqueues = [asyncio.Queue() for _ in range(self.shards)]
+        self._pumps = [
+            threading.Thread(
+                target=self._pump, args=(shard,),
+                name=f"repro-serve-pump-{shard}", daemon=True,
+            )
+            for shard in range(self.shards)
+        ]
+        for pump in self._pumps:
+            pump.start()
+
+    def _pump(self, shard: int) -> None:
+        event_q = self._event_queues[shard]
+        aqueue = self._aqueues[shard]
+        while not self._stop_pumps:
+            try:
+                event = event_q.get(timeout=0.2)
+            except Empty:
+                continue
+            except (EOFError, OSError):
+                return  # queue torn down under us during shutdown
+            try:
+                self._loop.call_soon_threadsafe(aqueue.put_nowait, event)
+            except RuntimeError:
+                return  # loop closed; shutdown is in progress
+
+    # -- job traffic ----------------------------------------------------
+
+    def events(self, shard: int) -> asyncio.Queue:
+        """The shard's event queue on the bound loop."""
+        return self._aqueues[shard]
+
+    def next_event(self, shard: int, timeout: float = 60.0) -> Dict[str, object]:
+        """Blocking event read for *unbound* pools (tests, sync drivers).
+
+        Never mix with :meth:`bind` — the pump threads would race this
+        for the same queue.
+        """
+        try:
+            return self._event_queues[shard].get(timeout=timeout)
+        except Empty:
+            raise ServiceError(
+                f"no event from shard {shard} within {timeout}s"
+            ) from None
+
+    def send_job(self, shard: int, job_id: str, attempt: int, spec: JobSpec) -> None:
+        self._cancel_flags[shard].clear()
+        self._job_queues[shard].put(
+            {"job_id": job_id, "attempt": attempt, "spec": spec.to_dict()}
+        )
+        self.jobs_dispatched[shard] += 1
+
+    def cancel(self, shard: int) -> None:
+        """Ask the shard's *current* job to stop at its next step."""
+        self._cancel_flags[shard].set()
+
+    def spool_path(self, job_id: str, attempt: int) -> Path:
+        return self.spool_dir / _spool_name(job_id, attempt)
+
+    def alive(self) -> List[bool]:
+        return [process.is_alive() for process in self._processes]
+
+    # -- teardown -------------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every shard without leaking processes (idempotent)."""
+        if self._shutdown_done:
+            return
+        self._shutdown_done = True
+        self._stop_pumps = True
+        for job_q in self._job_queues:
+            try:
+                job_q.put_nowait(None)
+            except Exception:
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=2.0)
+        for pump in self._pumps:
+            pump.join(timeout=2.0)
+        for queue in (*self._job_queues, *self._event_queues):
+            queue.cancel_join_thread()
+            queue.close()
+        if self._owns_spool:
+            shutil.rmtree(self.spool_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

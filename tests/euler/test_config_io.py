@@ -1,0 +1,103 @@
+"""Canonical SolverConfig serialization: round trip, hashing, coercion.
+
+The service's result cache keys on ``SolverConfig.content_hash()``, so
+these properties are load-bearing: equal configs must hash equal, any
+field change must change the hash, and the dict form must round-trip
+exactly whatever representation the config was built from.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.euler.solver import SolverConfig, paper_benchmark_config
+
+
+def test_to_dict_materializes_every_field_with_defaults():
+    payload = SolverConfig().to_dict()
+    assert payload == {
+        "reconstruction": "weno3",
+        "limiter": "minmod",
+        "riemann": "hllc",
+        "variables": "characteristic",
+        "rk_order": 3,
+        "cfl": SolverConfig().cfl,
+        "gamma": SolverConfig().gamma,
+        "tile_bytes": None,
+    }
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        SolverConfig(),
+        paper_benchmark_config(),
+        SolverConfig(reconstruction="pc", riemann="roe", rk_order=2),
+        SolverConfig(variables="primitive", cfl=0.45, tile_bytes=1 << 20),
+        SolverConfig(tile_bytes=0),
+    ],
+)
+def test_round_trip_is_identity(config):
+    rebuilt = SolverConfig.from_dict(config.to_dict())
+    assert rebuilt == config
+    assert rebuilt.content_hash() == config.content_hash()
+    # And the dict form survives a JSON round trip unchanged.
+    assert SolverConfig.from_dict(json.loads(config.canonical_json())) == config
+
+
+def test_from_dict_fills_defaults_for_missing_fields():
+    config = SolverConfig.from_dict({"riemann": "hll"})
+    assert config == SolverConfig(riemann="hll")
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError, match="no fields"):
+        SolverConfig.from_dict({"riemman": "hll"})  # typo'd key
+
+
+def test_hash_is_stable_and_distinguishes_every_field():
+    base = SolverConfig()
+    assert base.content_hash() == SolverConfig().content_hash()
+    variants = [
+        SolverConfig(reconstruction="pc"),
+        SolverConfig(limiter="vanleer"),
+        SolverConfig(riemann="roe"),
+        SolverConfig(variables="conservative"),
+        SolverConfig(rk_order=2),
+        SolverConfig(cfl=0.3),
+        SolverConfig(gamma=1.3),
+        SolverConfig(tile_bytes=0),
+        SolverConfig(tile_bytes=4096),
+    ]
+    hashes = {config.content_hash() for config in variants} | {base.content_hash()}
+    assert len(hashes) == len(variants) + 1
+
+
+def test_numeric_representations_hash_identically():
+    # int-vs-float and numpy-vs-python builds are the same content.
+    assert (
+        SolverConfig(cfl=1, rk_order=np.int64(2)).content_hash()
+        == SolverConfig(cfl=1.0, rk_order=2).content_hash()
+    )
+    assert (
+        SolverConfig(cfl=np.float64(0.45)).content_hash()
+        == SolverConfig(cfl=0.45).content_hash()
+    )
+
+
+def test_float_repr_normalization_round_trips():
+    # The canonical JSON carries the shortest round-tripping repr, so a
+    # hash computed from a parsed dict matches the original exactly.
+    config = SolverConfig(cfl=0.1 + 0.2, gamma=1.4000000000000001)
+    reparsed = SolverConfig.from_dict(json.loads(config.canonical_json()))
+    assert reparsed.cfl == config.cfl
+    assert reparsed.content_hash() == config.content_hash()
+
+
+def test_canonical_json_is_sorted_and_compact():
+    text = SolverConfig().canonical_json()
+    assert ": " not in text and ", " not in text
+    keys = list(json.loads(text))
+    assert keys == sorted(keys)

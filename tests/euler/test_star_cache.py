@@ -1,0 +1,138 @@
+"""Star-state memoization: bit-exactness, hit counters, opt-in scoping.
+
+The memo is only acceptable if it is invisible to the numbers: a
+memoized solve must return results identical to the direct Newton
+iteration for every fixture, and repeated identical queries must be
+exact cache hits.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.euler import exact_riemann
+from repro.euler.exact_riemann import (
+    RiemannState,
+    StarStateCache,
+    active_star_cache,
+    install_star_cache,
+    solve_star_region,
+    star_cache,
+)
+from repro.euler.problems import RIEMANN_PROBLEMS
+
+#: Sod, Lax, Toro's 123 — plus the Woodward-Colella blast-wave states,
+#: the classic strong-shock stress test for the pressure iteration.
+FIXTURES = {name: (spec.left, spec.right) for name, spec in RIEMANN_PROBLEMS.items()}
+FIXTURES["blast_left"] = (
+    RiemannState(rho=1.0, u=0.0, p=1000.0),
+    RiemannState(rho=1.0, u=0.0, p=0.01),
+)
+FIXTURES["blast_right"] = (
+    RiemannState(rho=1.0, u=0.0, p=0.01),
+    RiemannState(rho=1.0, u=0.0, p=100.0),
+)
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_memoized_solve_is_bit_exact(name):
+    left, right = FIXTURES[name]
+    direct = solve_star_region(left, right)
+    cache = StarStateCache()
+    cold = solve_star_region(left, right, cache=cache)
+    warm = solve_star_region(left, right, cache=cache)
+    for star in (cold, warm):
+        assert star.p == direct.p
+        assert star.u == direct.u
+        assert star.rho_left == direct.rho_left
+        assert star.rho_right == direct.rho_right
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_hit_counters_across_fixture_sweep():
+    cache = StarStateCache()
+    for _ in range(3):
+        for left, right in FIXTURES.values():
+            solve_star_region(left, right, cache=cache)
+    assert cache.misses == len(FIXTURES)
+    assert cache.hits == 2 * len(FIXTURES)
+    assert len(cache) == len(FIXTURES)
+    stats = cache.stats()
+    assert stats["kind"] == "cache" and stats["cache"] == "star_state"
+    assert stats["hit_rate"] == pytest.approx(2.0 / 3.0)
+
+
+def test_distinct_problems_do_not_collide():
+    cache = StarStateCache()
+    stars = {
+        name: solve_star_region(left, right, cache=cache)
+        for name, (left, right) in FIXTURES.items()
+    }
+    assert cache.hits == 0
+    assert len({star.p for star in stars.values()}) == len(FIXTURES)
+
+
+def test_lru_eviction_counts_and_bounds():
+    cache = StarStateCache(max_entries=2)
+    names = sorted(FIXTURES)[:3]
+    for name in names:
+        solve_star_region(*FIXTURES[name], cache=cache)
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    # The evicted (oldest) entry misses again; the newest still hits.
+    solve_star_region(*FIXTURES[names[-1]], cache=cache)
+    assert cache.hits == 1
+    solve_star_region(*FIXTURES[names[0]], cache=cache)
+    assert cache.misses == 4  # 3 cold + re-miss of the evicted entry
+
+
+def test_module_level_cache_is_opt_in_and_scoped():
+    assert active_star_cache() is None  # memo off by default
+    left, right = FIXTURES["sod"]
+    direct = solve_star_region(left, right)
+    with star_cache() as cache:
+        assert active_star_cache() is cache
+        assert solve_star_region(left, right).p == direct.p
+        assert solve_star_region(left, right).p == direct.p
+        assert cache.hits == 1
+    assert active_star_cache() is None
+
+
+def test_install_returns_previous():
+    first = StarStateCache()
+    assert install_star_cache(first) is None
+    try:
+        second = StarStateCache()
+        assert install_star_cache(second) is first
+    finally:
+        install_star_cache(None)
+    assert active_star_cache() is None
+
+
+def test_tolerance_is_part_of_the_key():
+    cache = StarStateCache()
+    left, right = FIXTURES["sod"]
+    solve_star_region(left, right, cache=cache)
+    solve_star_region(left, right, tolerance=1e-10, cache=cache)
+    assert cache.misses == 2 and cache.hits == 0
+
+
+def test_cache_rejects_bad_construction():
+    with pytest.raises(ConfigurationError):
+        StarStateCache(decimals=0)
+    with pytest.raises(ConfigurationError):
+        StarStateCache(max_entries=0)
+
+
+def test_exact_profile_identical_with_and_without_memo():
+    import numpy as np
+
+    from repro.euler.exact_riemann import solve
+
+    x = np.linspace(0.0, 1.0, 201)
+    left, right = FIXTURES["sod"]
+    baseline = solve(left, right, x, t=0.2, x_diaphragm=0.5)
+    with star_cache():
+        warmup = solve(left, right, x, t=0.2, x_diaphragm=0.5)
+        memoized = solve(left, right, x, t=0.2, x_diaphragm=0.5)
+    assert np.array_equal(baseline, warmup)
+    assert np.array_equal(baseline, memoized)

@@ -1,0 +1,103 @@
+"""Graceful teardown under interruption.
+
+Until now the abort path was only exercised by PhysicsError blow-ups;
+these tests interrupt healthy runs (the Ctrl-C story a long-running
+service must survive) and assert the thread team is fully torn down —
+no worker left spinning in a barrier, no thread left joinable, and the
+pool unusable-but-quiet afterwards.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.euler import problems
+from repro.par import ParallelSolver2D
+from repro.par.pool import WorkerPool
+
+
+def _team_threads(pool):
+    return [t for t in threading.enumerate() if t.name.startswith("euler-par")]
+
+
+def _make_solver(workers=2):
+    solver, _ = problems.sod_2d(nx=24, ny=8)
+    return ParallelSolver2D(
+        solver.primitive,
+        solver.dx,
+        solver.dy,
+        solver.boundaries,
+        solver.config,
+        workers=workers,
+    )
+
+
+def test_keyboard_interrupt_between_steps_tears_down_team():
+    solver = _make_solver(workers=2)
+    assert len(_team_threads(solver.pool)) == 1  # caller is worker 0
+
+    def interrupt_after_two(s):
+        if s.steps >= 2:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        solver.run(max_steps=50, callback=interrupt_after_two)
+    assert solver.steps == 2
+    assert solver.pool._threads == []
+    assert _team_threads(solver.pool) == []
+    # Idempotent close after the interrupt-triggered teardown.
+    solver.close()
+
+
+def test_keyboard_interrupt_inside_a_worker_round():
+    pool = WorkerPool(workers=3, name="euler-par-ki")
+
+    def task(rank):
+        if rank == 1:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        pool.run(task)
+    assert pool.broken
+    assert pool._threads == []
+    assert all(not t.is_alive() for t in threading.enumerate()
+               if t.name.startswith("euler-par-ki"))
+    with pytest.raises(ConfigurationError):
+        pool.run(lambda rank: None)
+
+
+def test_keyboard_interrupt_on_master_share():
+    pool = WorkerPool(workers=2, name="euler-par-km")
+
+    def task(rank):
+        if rank == 0:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        pool.run(task)
+    assert pool.broken and pool._threads == []
+    pool.shutdown()  # idempotent
+
+
+def test_interrupted_solver_is_reported_closed_not_leaking():
+    solver = _make_solver(workers=4)
+    before = threading.active_count()
+
+    def interrupt_first(s):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        solver.run(max_steps=10, callback=interrupt_first)
+    assert threading.active_count() <= before - 3  # the 3 extra workers died
+    # The state gathered before the interrupt is still readable.
+    assert solver.u.shape == (24, 8, 4)
+
+
+def test_clean_run_leaves_pool_reusable_then_closes():
+    solver = _make_solver(workers=2)
+    solver.run(max_steps=3)
+    assert not solver.pool.broken
+    solver.run(max_steps=1)
+    solver.close()
+    assert solver.pool._threads == []

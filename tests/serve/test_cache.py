@@ -1,0 +1,70 @@
+"""ResultCache LRU behaviour and star-stats aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.cache import ResultCache, merge_star_stats
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        ResultCache(max_entries=0)
+
+
+def test_hit_miss_counters():
+    cache = ResultCache(max_entries=4)
+    assert cache.get("k1") is None
+    cache.put("k1", {"steps": 3})
+    assert cache.get("k1") == {"steps": 3}
+    assert (cache.hits, cache.misses) == (1, 1)
+    stats = cache.stats()
+    assert stats["kind"] == "cache" and stats["cache"] == "result"
+    assert stats["hit_rate"] == 0.5
+
+
+def test_returns_stored_payload_verbatim():
+    cache = ResultCache()
+    payload = {"state": [[1.0, 0.0, 1.0]], "state_sha256": "abc"}
+    cache.put("k", payload)
+    assert cache.get("k") is payload  # the same object, bitwise identical
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(max_entries=2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    assert cache.get("a") is not None  # refresh a; b is now the LRU
+    cache.put("c", {"v": 3})
+    assert cache.evictions == 1
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+
+
+def test_clear_keeps_lifetime_counters():
+    cache = ResultCache()
+    cache.put("a", {})
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+
+
+def test_merge_star_stats_none_when_unreported():
+    assert merge_star_stats([]) is None
+    assert merge_star_stats([None, None]) is None
+
+
+def test_merge_star_stats_sums_counters():
+    merged = merge_star_stats([
+        {"entries": 2, "hits": 3, "misses": 1, "evictions": 0},
+        None,
+        {"entries": 1, "hits": 1, "misses": 3, "evictions": 2},
+    ])
+    assert merged["shards_reporting"] == 2
+    assert merged["entries"] == 3
+    assert merged["hits"] == 4
+    assert merged["misses"] == 4
+    assert merged["evictions"] == 2
+    assert merged["hit_rate"] == pytest.approx(0.5)

@@ -1,0 +1,164 @@
+"""PriorityJobQueue: ordering, backpressure, rejection, tombstones."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.queue import PriorityJobQueue, QueueClosed, QueueFull
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def test_bad_maxsize_rejected():
+    with pytest.raises(ConfigurationError):
+        PriorityJobQueue(maxsize=0)
+
+
+def test_priority_order_with_fifo_ties():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=8)
+        queue.put_nowait("low-a", priority=5)
+        queue.put_nowait("high", priority=1)
+        queue.put_nowait("low-b", priority=5)
+        queue.put_nowait("mid", priority=3)
+        return [await queue.get() for _ in range(4)]
+
+    assert run(scenario()) == ["high", "mid", "low-a", "low-b"]
+
+
+def test_put_nowait_raises_queue_full_and_counts():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=2)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        with pytest.raises(QueueFull):
+            queue.put_nowait("c")
+        with pytest.raises(QueueFull):
+            queue.put_nowait("d")
+        return queue.stats()
+
+    stats = run(scenario())
+    assert stats["rejected"] == 2
+    assert stats["depth"] == 2
+    assert stats["high_watermark"] == 2
+
+
+def test_put_backpressure_waits_for_free_slot():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=1)
+        queue.put_nowait("first")
+        order = []
+
+        async def producer():
+            await queue.put("second")
+            order.append("enqueued")
+
+        task = asyncio.create_task(producer())
+        await asyncio.sleep(0.01)
+        assert not task.done()  # parked: the queue is full
+        order.append("got " + await queue.get())
+        await task
+        order.append("got " + await queue.get())
+        return order
+
+    assert run(scenario()) == ["got first", "enqueued", "got second"]
+
+
+def test_get_waits_for_item():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=2)
+
+        async def late_producer():
+            await asyncio.sleep(0.01)
+            queue.put_nowait("late")
+
+        task = asyncio.create_task(late_producer())
+        item = await queue.get()
+        await task
+        return item
+
+    assert run(scenario()) == "late"
+
+
+def test_remove_tombstones_queued_items():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=8)
+        for name in ("a", "b", "c"):
+            queue.put_nowait(name)
+        removed = queue.remove(lambda item: item == "b")
+        assert removed == 1
+        assert len(queue) == 2
+        items = [await queue.get(), await queue.get()]
+        return items, queue.stats()
+
+    items, stats = run(scenario())
+    assert items == ["a", "c"]
+    assert stats["cancelled"] == 1
+    assert stats["dequeued"] == 2
+
+
+def test_remove_frees_slot_for_backpressured_producer():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=1)
+        queue.put_nowait("victim")
+        task = asyncio.create_task(queue.put("waiter"))
+        await asyncio.sleep(0.01)
+        assert not task.done()
+        queue.remove(lambda item: item == "victim")
+        await task
+        return await queue.get()
+
+    assert run(scenario()) == "waiter"
+
+
+def test_close_wakes_empty_getter_with_queue_closed():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=2)
+
+        async def getter():
+            with pytest.raises(QueueClosed):
+                await queue.get()
+
+        task = asyncio.create_task(getter())
+        await asyncio.sleep(0.01)
+        queue.close()
+        await task
+
+    run(scenario())
+
+
+def test_close_drains_remaining_items_first():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=4)
+        queue.put_nowait("leftover")
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put_nowait("rejected-after-close")
+        item = await queue.get()
+        with pytest.raises(QueueClosed):
+            await queue.get()
+        return item
+
+    assert run(scenario()) == "leftover"
+
+
+def test_counters_track_traffic():
+    async def scenario():
+        queue = PriorityJobQueue(maxsize=4)
+        for i in range(4):
+            queue.put_nowait(i)
+        for _ in range(2):
+            await queue.get()
+        queue.put_nowait(9)
+        return queue.stats()
+
+    stats = run(scenario())
+    assert stats["enqueued"] == 5
+    assert stats["dequeued"] == 2
+    assert stats["depth"] == 3
+    assert stats["high_watermark"] == 4
