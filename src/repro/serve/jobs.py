@@ -114,6 +114,23 @@ class JobSpec:
             raise ConfigurationError(
                 f"config must be a SolverConfig, got {type(self.config).__name__}"
             )
+        if not isinstance(self.problem_args, dict):
+            raise ConfigurationError(
+                f"problem_args must be a dict, got {type(self.problem_args).__name__}"
+            )
+        # Coerce every scheduling/stopping field up front, so a wire
+        # payload like {"priority": "high"} is rejected at submit time
+        # with a client-visible error — not later, inside the dispatcher
+        # or to_dict(), where it would kill a supervisor task instead.
+        self.priority = self._coerce(int, "priority", self.priority)
+        self.t_end = self._coerce(float, "t_end", self.t_end, optional=True)
+        self.max_steps = self._coerce(int, "max_steps", self.max_steps, optional=True)
+        self.deadline_s = self._coerce(
+            float, "deadline_s", self.deadline_s, optional=True
+        )
+        self.max_attempts = self._coerce(int, "max_attempts", self.max_attempts)
+        self.trace_every = self._coerce(int, "trace_every", self.trace_every)
+        self.return_state = bool(self.return_state)
         if self.problem == "exact":
             t = self.problem_args.get("t")
             if not isinstance(t, (int, float)) or t <= 0:
@@ -136,6 +153,20 @@ class JobSpec:
             raise ConfigurationError(
                 f"deadline_s must be positive, got {self.deadline_s}"
             )
+
+    @staticmethod
+    def _coerce(kind, name, value, optional=False):
+        """``int(value)``/``float(value)`` with a ConfigurationError on
+        anything that does not convert (or None where not optional)."""
+        if value is None and optional:
+            return None
+        try:
+            return kind(value)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"{name} must be {'an int' if kind is int else 'a float'},"
+                f" got {value!r}"
+            ) from None
 
     # -- wire form ------------------------------------------------------
 

@@ -30,13 +30,14 @@ import itertools
 import json
 import threading
 import time
+import traceback
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.errors import ReproError, ServiceError
 from repro.obs.export import JsonlTail
 from repro.serve.cache import ResultCache, merge_star_stats
-from repro.serve.jobs import JobRecord, JobSpec, JobState
+from repro.serve.jobs import TRANSITIONS, JobRecord, JobSpec, JobState
 from repro.serve.queue import PriorityJobQueue, QueueFull
 
 __all__ = ["SimulationService", "ServiceServer", "ServiceHandle", "start_in_thread"]
@@ -196,11 +197,15 @@ class SimulationService:
         from repro.serve.queue import QueueClosed
 
         while True:
+            # Acquire the shard BEFORE popping: while every shard is busy
+            # a queued job stays in the queue, so cancel() can still
+            # tombstone it.  From get() to transition(RUNNING) there is
+            # no await, so no cancel can land in between.
+            shard = await self._free_shards.get()
             try:
                 record = await self.queue.get()
             except QueueClosed:
                 return
-            shard = await self._free_shards.get()
             record.transition(JobState.RUNNING)
             record.attempts += 1
             record.shard = shard
@@ -212,48 +217,121 @@ class SimulationService:
             task.add_done_callback(self._supervisors.discard)
 
     async def _supervise(self, record: JobRecord, shard: int) -> None:
-        """Shepherd one attempt on one shard to its terminal event."""
+        """Shepherd one attempt on one shard to its terminal event.
+
+        Whatever happens in here — worker death, a bug in terminal
+        handling, an exception mid-send — the shard slot is released (or
+        the shard respawned first) and the record never sticks in
+        RUNNING: unexpected exceptions fail the job instead of leaking.
+        """
         spec = record.spec
         attempt = record.attempts
-        self.pool.send_job(shard, record.job_id, attempt, spec)
-        self._publish(record, {
-            "kind": "job", "event": "started", "job_id": record.job_id,
-            "shard": shard, "attempt": attempt,
-        })
-        tail = JsonlTail(self.pool.spool_path(record.job_id, attempt))
-        events = self.pool.events(shard)
-        loop = asyncio.get_running_loop()
-        deadline_handle = None
-        if spec.deadline_s is not None:
-            deadline_handle = loop.call_later(
-                spec.deadline_s, self._deadline_fire, record, shard
-            )
-        terminal = None
+        shard_died = False
         try:
-            while terminal is None:
-                try:
-                    event = await asyncio.wait_for(events.get(), timeout=SPOOL_POLL_S)
-                except asyncio.TimeoutError:
-                    for line in tail.poll():
-                        self._publish(record, line)
-                    continue
-                if (
-                    event.get("kind") == "job"
-                    and event.get("job_id") == record.job_id
-                    and event.get("event") in ("done", "failed", "cancelled")
-                ):
-                    terminal = event
+            self.pool.send_job(shard, record.job_id, attempt, spec)
+            self._publish(record, {
+                "kind": "job", "event": "started", "job_id": record.job_id,
+                "shard": shard, "attempt": attempt,
+            })
+            tail = JsonlTail(self.pool.spool_path(record.job_id, attempt))
+            events = self.pool.events(shard)
+            loop = asyncio.get_running_loop()
+            deadline_handle = None
+            if spec.deadline_s is not None:
+                deadline_handle = loop.call_later(
+                    spec.deadline_s, self._deadline_fire, record, shard
+                )
+            terminal = None
+            try:
+                while terminal is None:
+                    try:
+                        event = await asyncio.wait_for(
+                            events.get(), timeout=SPOOL_POLL_S
+                        )
+                    except asyncio.TimeoutError:
+                        for line in tail.poll():
+                            self._publish(record, line)
+                        continue
+                    if (
+                        event.get("kind") == "shard"
+                        and event.get("event") == "died"
+                    ):
+                        # The worker process is gone (OOM kill, segfault):
+                        # no terminal will ever arrive — synthesize one.
+                        shard_died = True
+                        terminal = {
+                            "kind": "job", "event": "failed",
+                            "job_id": record.job_id, "retryable": False,
+                            "error": {
+                                "type": "ShardDied",
+                                "message": (
+                                    f"shard {shard} died"
+                                    f" (exitcode {event.get('exitcode')})"
+                                    f" while running {record.job_id}"
+                                ),
+                            },
+                        }
+                    elif (
+                        event.get("kind") == "job"
+                        and event.get("job_id") == record.job_id
+                        and event.get("event") in ("done", "failed", "cancelled")
+                    ):
+                        terminal = event
+            finally:
+                if deadline_handle is not None:
+                    deadline_handle.cancel()
+            for line in tail.poll():  # drain spool written before the terminal
+                self._publish(record, line)
+            self._apply_terminal(record, terminal)
+            # The tail is fully drained into record.events; the attempt's
+            # spool file has served its purpose — reclaim the disk.
+            self.pool.remove_spool(record.job_id, attempt)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - supervisor must not leak
+            self._fail_on_supervision_error(record, error)
         finally:
-            if deadline_handle is not None:
-                deadline_handle.cancel()
-        for line in tail.poll():  # drain spool written before the terminal
-            self._publish(record, line)
-        self._apply_terminal(record, terminal)
-        # Free the shard only after the terminal is fully processed, so a
-        # stale deadline/cancel flag can never leak onto the next job.
-        self._free_shards.put_nowait(shard)
+            usable = True
+            if shard_died:
+                usable = await self._respawn_shard(shard)
+            if usable:
+                # Free the shard only after the terminal is fully
+                # processed, so a stale deadline/cancel flag can never
+                # leak onto the next job.  (A dead shard that could not
+                # be respawned is NOT freed — its slot is retired.)
+                self._free_shards.put_nowait(shard)
         if record.state is JobState.QUEUED:  # the retry edge
             await self.queue.put(record, priority=spec.priority)
+
+    def _fail_on_supervision_error(self, record: JobRecord, error: Exception) -> None:
+        """Terminal-ize a record whose supervision blew up unexpectedly."""
+        if record.terminal:
+            return
+        record.error = {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exc(),
+        }
+        if JobState.FAILED in TRANSITIONS[record.state]:
+            record.transition(JobState.FAILED)
+        else:  # e.g. the retry edge already moved it back to QUEUED
+            record.state = JobState.FAILED
+            record.finished = time.time()
+        self._publish(record, {
+            "kind": "job", "event": "failed",
+            "job_id": record.job_id, "error": record.error,
+            "attempts": record.attempts,
+        })
+        self._finish(record)
+
+    async def _respawn_shard(self, shard: int) -> bool:
+        """Replace a dead shard's process; True if a fresh worker is up."""
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, self.pool.respawn, shard)
+        except Exception:  # noqa: BLE001 - a lost slot must not kill the task
+            return False  # still dead: keep the slot out of the free pool
+        return True
 
     def _apply_terminal(self, record: JobRecord, event: Dict[str, object]) -> None:
         kind = event["event"]
@@ -369,6 +447,7 @@ class SimulationService:
                 "count": self.pool.shards if self.pool else 0,
                 "alive": self.pool.alive() if self.pool else [],
                 "dispatched": list(self.pool.jobs_dispatched) if self.pool else [],
+                "respawns": self.pool.respawns if self.pool else 0,
             },
         }
 
@@ -424,6 +503,12 @@ class ServiceServer:
                 except ValueError:
                     await self._send(writer, {"ok": False, "error": "bad JSON"})
                     continue
+                if not isinstance(request, dict):
+                    await self._send(writer, {
+                        "ok": False,
+                        "error": "request must be a JSON object",
+                    })
+                    continue
                 try:
                     await self._dispatch(request, writer)
                 except (ConnectionResetError, BrokenPipeError):
@@ -432,6 +517,15 @@ class ServiceServer:
                     await self._send(writer, {
                         "ok": False,
                         "error": str(error),
+                        "error_type": type(error).__name__,
+                    })
+                except Exception as error:  # noqa: BLE001 - keep serving
+                    # A malformed-but-parseable request (wrong-typed
+                    # fields and the like) is the client's error, not a
+                    # reason to drop the connection.
+                    await self._send(writer, {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
                         "error_type": type(error).__name__,
                     })
         finally:

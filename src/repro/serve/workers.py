@@ -329,6 +329,7 @@ class ShardPool:
         self._stop_pumps = False
         self._shutdown_done = False
         self.jobs_dispatched = [0] * shards
+        self.respawns = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -385,19 +386,48 @@ class ShardPool:
             pump.start()
 
     def _pump(self, shard: int) -> None:
-        event_q = self._event_queues[shard]
-        aqueue = self._aqueues[shard]
+        # Indexed lookups each round, not locals: respawn() swaps the
+        # shard's queues/process and starts a fresh pump thread.
+        dead_polls = 0
         while not self._stop_pumps:
             try:
-                event = event_q.get(timeout=0.2)
+                event = self._event_queues[shard].get(timeout=0.2)
             except Empty:
+                # Liveness watch: a worker killed mid-job (OOM, segfault)
+                # sends no terminal event; the supervisor would poll the
+                # spool forever.  Two consecutive empty polls with a dead
+                # process (grace for the queue's feeder thread to flush
+                # its last events) => synthesize a death notice and stop.
+                process = self._processes[shard]
+                if not process.is_alive():
+                    dead_polls += 1
+                    if dead_polls >= 2 and not self._stop_pumps:
+                        self._forward(shard, {
+                            "kind": "shard", "event": "died", "shard": shard,
+                            "exitcode": process.exitcode,
+                        })
+                        return
+                else:
+                    dead_polls = 0
                 continue
             except (EOFError, OSError):
-                return  # queue torn down under us during shutdown
-            try:
-                self._loop.call_soon_threadsafe(aqueue.put_nowait, event)
-            except RuntimeError:
-                return  # loop closed; shutdown is in progress
+                if not self._stop_pumps:
+                    self._forward(shard, {
+                        "kind": "shard", "event": "died", "shard": shard,
+                        "exitcode": None,
+                    })
+                return  # queue torn down under us
+            dead_polls = 0
+            if not self._forward(shard, event):
+                return
+
+    def _forward(self, shard: int, event: Dict[str, object]) -> bool:
+        """Hand one event to the bound loop; False once the loop is gone."""
+        try:
+            self._loop.call_soon_threadsafe(self._aqueues[shard].put_nowait, event)
+        except RuntimeError:
+            return False  # loop closed; shutdown is in progress
+        return True
 
     # -- job traffic ----------------------------------------------------
 
@@ -432,8 +462,69 @@ class ShardPool:
     def spool_path(self, job_id: str, attempt: int) -> Path:
         return self.spool_dir / _spool_name(job_id, attempt)
 
+    def remove_spool(self, job_id: str, attempt: int) -> None:
+        """Delete one attempt's spool file (missing is fine) — called by
+        the supervisor once the tail is fully drained, so a long-running
+        service does not grow disk without bound."""
+        try:
+            self.spool_path(job_id, attempt).unlink()
+        except OSError:
+            pass
+
     def alive(self) -> List[bool]:
         return [process.is_alive() for process in self._processes]
+
+    def respawn(self, shard: int, timeout: float = READY_TIMEOUT_S) -> None:
+        """Replace a dead shard's process with a fresh worker (blocking).
+
+        New queues and cancel flag too — the old ones may hold a feeder
+        thread wedged on the dead process.  If the pool is bound, a new
+        pump thread is started for the shard (the old one exited when it
+        reported the death); the shard's asyncio event queue is reused,
+        so :meth:`events` handles stay valid.
+        """
+        old = self._processes[shard]
+        if old.is_alive():
+            raise ServiceError(f"shard {shard} is still alive; not respawning")
+        old.join(timeout=1.0)
+        job_q = self._ctx.Queue()
+        event_q = self._ctx.Queue()
+        cancel_flag = self._ctx.Event()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                shard, job_q, event_q, cancel_flag,
+                str(self.spool_dir), self.star_cache_decimals,
+            ),
+            name=f"repro-serve-shard-{shard}",
+            daemon=True,
+        )
+        process.start()
+        for stale in (self._job_queues[shard], self._event_queues[shard]):
+            stale.cancel_join_thread()
+            stale.close()
+        self._processes[shard] = process
+        self._job_queues[shard] = job_q
+        self._event_queues[shard] = event_q
+        self._cancel_flags[shard] = cancel_flag
+        self.respawns += 1
+        try:
+            event = event_q.get(timeout=timeout)
+        except Empty:
+            raise ServiceError(
+                f"respawned shard {shard} did not report ready within {timeout}s"
+            ) from None
+        if event.get("event") != "ready":
+            raise ServiceError(
+                f"respawned shard {shard} sent {event!r} before ready"
+            )
+        if self._loop is not None:
+            pump = threading.Thread(
+                target=self._pump, args=(shard,),
+                name=f"repro-serve-pump-{shard}", daemon=True,
+            )
+            self._pumps[shard] = pump
+            pump.start()
 
     # -- teardown -------------------------------------------------------
 

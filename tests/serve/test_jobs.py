@@ -50,6 +50,42 @@ def test_config_must_be_solver_config():
         JobSpec(problem="sod", t_end=0.1, config={"cfl": 0.5})
 
 
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("priority", "high"),
+        ("priority", None),
+        ("t_end", "soon"),
+        ("max_steps", "many"),
+        ("deadline_s", [1.0]),
+        ("max_attempts", "two"),
+        ("trace_every", {}),
+    ],
+)
+def test_wrong_typed_scheduling_fields_rejected(field, value):
+    """Wire payloads with garbage types fail at construction — not later
+    inside the dispatcher's heap or the supervisor's to_dict()."""
+    payload = sod_spec().to_dict()
+    payload[field] = value
+    with pytest.raises(ConfigurationError, match=field):
+        JobSpec.from_dict(payload)
+
+
+def test_problem_args_must_be_a_dict():
+    with pytest.raises(ConfigurationError, match="problem_args"):
+        JobSpec(problem="sod", problem_args=[("n_cells", 64)], t_end=0.1)
+
+
+def test_numeric_strings_coerce():
+    spec = JobSpec.from_dict({
+        "problem": "sod", "t_end": "0.1", "priority": "3", "max_steps": "7",
+    })
+    assert spec.t_end == 0.1
+    assert spec.priority == 3
+    assert spec.max_steps == 7
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
 # -- wire form -----------------------------------------------------------
 
 

@@ -8,6 +8,8 @@ client, exactly like an external user.
 from __future__ import annotations
 
 import asyncio
+import json
+import socket
 import time
 
 import pytest
@@ -19,6 +21,7 @@ from repro.serve import (
     ServiceClient,
     SimulationService,
 )
+from repro.serve.jobs import JobState
 from repro.serve.server import start_in_thread
 
 
@@ -170,6 +173,87 @@ def test_bad_requests_get_error_responses(client):
     with pytest.raises(ServiceError, match="unknown job"):
         client.status("nope")
     assert client.ping()  # the connection survived all of it
+
+
+def test_wrong_typed_spec_fields_get_error_response(client):
+    """A submit with garbage-typed scheduling fields is the client's
+    error — it must not enqueue, and repeated offences must not leak
+    shard slots (the service keeps serving afterwards)."""
+    bad = {
+        "problem": "sod", "problem_args": {"n_cells": 32},
+        "max_steps": 5, "priority": "high",
+    }
+    for _ in range(3):  # more bad submits than shards: a leak would brick
+        response = client.request("submit", spec=bad)
+        assert response["ok"] is False
+        assert response["error_type"] == "ConfigurationError"
+        assert "priority" in response["error"]
+    assert client.run(sod_spec())["status"]["state"] == "done"
+    assert all(client.stats()["shards"]["alive"])
+
+
+def test_non_object_request_line_gets_error_response(handle):
+    with socket.create_connection(("127.0.0.1", handle.port), timeout=30.0) as sock:
+        reader = sock.makefile("rb")
+        sock.sendall(b"5\n")
+        response = json.loads(reader.readline())
+        assert response == {"ok": False, "error": "request must be a JSON object"}
+        sock.sendall(b'"stats"\n')
+        assert json.loads(reader.readline())["ok"] is False
+        sock.sendall(b'{"op": "ping"}\n')  # the connection survived
+        assert json.loads(reader.readline())["ok"] is True
+
+
+def test_cancel_queued_job_while_all_shards_busy(client):
+    """With every shard busy, a queued job must stay in the queue so a
+    cancel still lands (not sit popped-but-undispatched where the cancel
+    silently no-ops and the job runs anyway)."""
+    busy = [client.submit(slow_spec())["job_id"] for _ in range(2)]
+    deadline = time.monotonic() + 60.0
+    while any(client.status(job_id)["state"] == "queued" for job_id in busy):
+        assert time.monotonic() < deadline, "busy jobs never started"
+        time.sleep(0.01)
+    queued = client.submit(slow_spec(priority=5))["job_id"]
+    assert client.status(queued)["state"] == "queued"
+    status = client.cancel(queued, reason="changed my mind")
+    assert status["state"] == "cancelled"
+    assert status["cancel_reason"] == "changed my mind"
+    for job_id in busy:
+        client.cancel(job_id)
+        assert list(client.stream(job_id))[-1]["event"] == "cancelled"
+    assert client.status(queued)["attempts"] == 0  # never reached a shard
+
+
+def test_shard_death_fails_job_respawns_and_cleans_spool():
+    """Killing a worker mid-job synthesizes a terminal failure instead of
+    leaving the job RUNNING forever, the shard respawns, and drained
+    spool files are reclaimed."""
+
+    async def scenario():
+        service = SimulationService(shards=1, queue_depth=4)
+        await service.start()
+        try:
+            record = service.submit(slow_spec())
+            deadline = time.monotonic() + 60.0
+            while record.state is not JobState.RUNNING:
+                assert time.monotonic() < deadline, "job never started"
+                await asyncio.sleep(0.01)
+            service.pool._processes[0].terminate()
+            await asyncio.wait_for(service.wait(record.job_id), timeout=120.0)
+            assert record.state is JobState.FAILED
+            assert record.error["type"] == "ShardDied"
+            # The shard respawned: the service keeps serving on the slot.
+            follow = service.submit(sod_spec())
+            await asyncio.wait_for(service.wait(follow.job_id), timeout=120.0)
+            assert follow.state is JobState.DONE
+            assert service.pool.alive() == [True]
+            assert service.stats()["shards"]["respawns"] == 1
+            assert not service.pool.spool_path(follow.job_id, 1).exists()
+            assert not service.pool.spool_path(record.job_id, 1).exists()
+        finally:
+            await service.close()
+
+    asyncio.run(scenario())
 
 
 def test_queue_full_rejection_without_pool():
