@@ -48,7 +48,11 @@ class PhysicsError(ReproError):
     * ``neighbourhood`` — a :class:`Neighbourhood` dump around the
       first offending cell;
     * ``details`` — free-form diagnostic numbers (residuals, iteration
-      counts, eigenvalues...).
+      counts, eigenvalues...);
+    * ``batch_index`` — when the failure happened inside a batched
+      ``(B, ...)`` state stack, the index of the member that blew up
+      (``cells``/``neighbourhood`` are then member-local); ``member``
+      optionally describes that member (name, sweep parameters).
 
     ``forensics`` is filled in by :func:`repro.obs.forensics.attach_forensics`
     when the error escapes a solver run loop.
@@ -62,12 +66,16 @@ class PhysicsError(ReproError):
         cells: Optional[List[Tuple[int, ...]]] = None,
         neighbourhood: Optional[Neighbourhood] = None,
         details: Optional[Dict[str, object]] = None,
+        batch_index: Optional[int] = None,
+        member: Optional[Dict[str, object]] = None,
     ):
         super().__init__(message)
         self.context = context
         self.cells = cells or []
         self.neighbourhood = neighbourhood
         self.details = details or {}
+        self.batch_index = batch_index
+        self.member = member
         self.forensics = None
 
 

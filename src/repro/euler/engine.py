@@ -50,10 +50,15 @@ from repro.euler.reconstruction import (
 from repro.euler.rk import get_integrator_into
 from repro.euler.riemann import get_riemann_solver
 from repro.euler.reconstruction import get_scheme
-from repro.euler.timestep import eigenvalues_into, get_dt, max_eigenvalue
+from repro.euler.timestep import (
+    eigenvalues_into,
+    get_dt,
+    max_eigenvalue,
+    member_max_eigenvalues,
+)
 from repro.euler.workspace import Workspace
 
-__all__ = ["StepEngine", "PHASES"]
+__all__ = ["StepEngine", "BatchEngine", "PHASES"]
 
 #: Phase keys of the engine's wall-clock counters.
 PHASES = ("convert", "bc", "reconstruct", "riemann", "difference", "rk", "dt")
@@ -402,8 +407,11 @@ class StepEngine:
             np.subtract(flux[1:], flux[:-1], out=contribution)
             np.negative(contribution, out=contribution)
             np.divide(contribution, spacing, out=contribution)
-            transposed = np.transpose(contribution, (1, 0, 2))
-            view = out if tile is None else out[:, tile.start : tile.stop]
+            # moveaxis generalizes the (rows, nx, 4) -> (nx, rows, 4)
+            # transpose to any leading batch axes: (rows, B, nx, 4)
+            # becomes (B, nx, rows, 4), matching the global-layout view.
+            transposed = np.moveaxis(contribution, 0, -2)
+            view = out if tile is None else out[..., tile.start : tile.stop, :]
             for field_out, field_src in _SWAP_FIELDS:
                 np.add(
                     view[..., field_out],
@@ -416,8 +424,13 @@ class StepEngine:
 
     @staticmethod
     def orient_into(window: np.ndarray, target: np.ndarray) -> None:
-        """``target[j, i, f] = window[i, j, swap(f)]`` — the y-sweep layout."""
-        transposed = np.transpose(window, (1, 0, 2))
+        """``target[j, i, f] = window[i, j, swap(f)]`` — the y-sweep layout.
+
+        Rank-generic: leading batch axes ride along, so a ``(B, nx, ny, 4)``
+        window orients into a ``(ny, B, nx, 4)`` target (grid axis 1 out
+        front, exactly what the batched y-sweep pads).
+        """
+        transposed = np.moveaxis(window, -2, 0)
         for field_out, field_src in _SWAP_FIELDS:
             np.copyto(target[..., field_out], transposed[..., field_src])
 
@@ -505,3 +518,274 @@ class StepEngine:
             + seconds["riemann"]
             + seconds["difference"]
         )
+
+
+class BatchEngine(StepEngine):
+    """A :class:`StepEngine` over a ``(B, ...)`` stack of member states.
+
+    One engine step advances ``batch`` independent problems in lockstep:
+    the state is ``(B, N, 3)`` in 1-D or ``(B, Nx, Ny, 4)`` in 2-D, and
+    every kernel call — conversion, reconstruction, Riemann solve, flux
+    differencing, Runge-Kutta combine — processes the whole stack at
+    once, paying the Python/ufunc dispatch overhead once per B members
+    instead of once per member.
+
+    **Bit-identity contract.**  Every kernel in the chain is elementwise
+    over its leading axes (the same property the strip tiling relies
+    on), so member ``b`` of a batched step is bit-for-bit the state a
+    standalone :class:`StepEngine` step of that member produces.  The
+    only non-elementwise operations are the reductions, and those are
+    made per-member here: :meth:`compute_dt` returns a ``(B,)`` vector
+    of per-member CFL steps (``max`` is exact, so each entry equals the
+    member's standalone dt — members advance on their own clocks, there
+    is *no* global ``min``), and state validation attributes failures to
+    a member via :func:`repro.euler.state.validate_members`, raising a
+    member-local :class:`PhysicsError` carrying ``batch_index``.
+
+    **Layouts.**  Sweeps pad to ``(n + 2 ng, B, cross..., fields)`` —
+    the sweep axis out front as always, members next.  A member's slab
+    ``padded[:, b]`` therefore has exactly the standalone padded layout,
+    which is what lets per-member boundary sets (different geometry per
+    member, piecewise :class:`~repro.euler.boundary.EdgeSpec` segments
+    included) fill their ghost layers with the unmodified 1-member code.
+
+    **Tiling.**  The sweep strip planner sees the batch in its cross
+    size (``B × ny`` rows of work per sweep row), so strips shrink
+    automatically to keep the per-strip working set in cache; the fused
+    dt pass strips over *members* (axis 0 of the state stack) and
+    reduces each strip's members separately.
+
+    ``member_boundaries`` is one boundary set per member (required for
+    :meth:`rhs`/:meth:`step`, optional for externally-driven sweeps).
+    """
+
+    def __init__(
+        self,
+        batch: int,
+        member_shape: Sequence[int],
+        spacing: Sequence[float],
+        config,
+        member_boundaries=None,
+    ):
+        batch = int(batch)
+        if batch < 1:
+            raise ConfigurationError(f"batch size must be >= 1, got {batch}")
+        super().__init__(member_shape, spacing, config, boundaries=None)
+        self.batch = batch
+        #: Shape of one member's state; ``grid_shape`` is the full stack.
+        self.member_shape = self.grid_shape
+        self.grid_shape = (batch,) + self.member_shape
+        if member_boundaries is not None:
+            member_boundaries = list(member_boundaries)
+            if len(member_boundaries) != batch:
+                raise ConfigurationError(
+                    f"need one boundary set per member:"
+                    f" got {len(member_boundaries)} for batch {batch}"
+                )
+        self.member_boundaries = member_boundaries
+
+    def counters(self) -> Dict[str, object]:
+        counters = super().counters()
+        counters["batch"] = self.batch
+        return counters
+
+    def placeholder_member(self) -> np.ndarray:
+        """A benign uniform conservative member state (rho=1, v=0, p=1).
+
+        Retired and finished members are parked on this in the stack so
+        the lockstep step stays valid for them without affecting any
+        sibling (elementwise kernels never mix members); their real
+        states live in the driver's frozen store.
+        """
+        primitive = np.zeros(self.member_shape)
+        primitive[..., 0] = 1.0
+        primitive[..., -1] = 1.0
+        return state.conservative_from_primitive(primitive, self.config.gamma)
+
+    def dt_column(self, dt: np.ndarray) -> np.ndarray:
+        """Reshape a ``(B,)`` dt vector to broadcast over member states.
+
+        The integrators' ``np.multiply(k, dt, out=k)`` then scales each
+        member's stage by its own clock — identical rounding to the
+        standalone scalar multiply.
+        """
+        return np.asarray(dt, dtype=float).reshape(
+            (self.batch,) + (1,) * len(self.member_shape)
+        )
+
+    # -- per-member dt ---------------------------------------------------
+
+    def compute_dt(
+        self, u: np.ndarray, target: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Per-member CFL steps as a ``(B,)`` vector (member clocks).
+
+        Entry ``b`` is bit-for-bit the standalone ``compute_dt`` of
+        member ``b``.  Tiled mode strips over *members* and fuses the
+        conversion with the eigenvalue pass per strip; either way the
+        converted primitive stack stays fresh for the first RK stage.
+        A non-finite member raises a member-local :class:`PhysicsError`
+        with ``batch_index`` set (siblings' entries are unaffected).
+        """
+        cfl = self.config.cfl
+        if cfl <= 0.0:
+            raise ConfigurationError(f"CFL number must be positive, got {cfl}")
+        ws = self.workspace
+        gamma = self.config.gamma
+        if target is None:
+            target = ws.array("engine.primitive", self.grid_shape)
+        maxima = ws.array("engine.dt_member_max", (self.batch,))
+        if self.tile_bytes == 0:
+            started = perf_counter()
+            state.primitive_from_conservative(u, gamma, out=target, work=ws)
+            self.seconds["convert"] += perf_counter() - started
+            started = perf_counter()
+            member_max_eigenvalues(
+                target, self.spacing, gamma, out=maxima, work=ws
+            )
+            self.seconds["dt"] += perf_counter() - started
+            self.dt_eigen_passes += 1
+        else:
+            # _dt_plan partitions axis 0 — the *member* axis here — into
+            # strips whose convert+eigenvalue working set fits the budget.
+            plan = self._dt_plan(u.shape)
+            for tile in plan.tiles:
+                rows = slice(tile.start, tile.stop)
+                started = perf_counter()
+                state.primitive_from_conservative(
+                    u[rows], gamma, out=target[rows], work=ws
+                )
+                self.seconds["convert"] += perf_counter() - started
+                started = perf_counter()
+                member_max_eigenvalues(
+                    target[rows], self.spacing, gamma, out=maxima[rows], work=ws
+                )
+                self.seconds["dt"] += perf_counter() - started
+                self.tiles_processed += 1
+            self.dt_fused_strips += len(plan.tiles)
+        self.primitive_conversions += 1
+        self._primitive_target = target
+        self._fresh_primitive = True
+        started = perf_counter()
+        finite = np.isfinite(maxima)
+        if not np.all(finite):
+            index = int(np.argmin(finite))
+            try:
+                # Member-local diagnostic pass: always raises, naming the
+                # member's own offending cells.
+                max_eigenvalue(target[index], self.spacing, gamma)
+            except PhysicsError as error:
+                error.batch_index = index
+                self.seconds["dt"] += perf_counter() - started
+                raise
+            raise PhysicsError(  # pragma: no cover - defensive
+                "GetDT: non-finite signal speed",
+                context="GetDT",
+                batch_index=index,
+            )
+        self.seconds["dt"] += perf_counter() - started
+        dt = ws.array("engine.dt_members", (self.batch,))
+        np.divide(cfl, maxima, out=dt)
+        return dt
+
+    # -- batched rhs -----------------------------------------------------
+
+    def _fill_boundaries(self, padded: np.ndarray, low_specs, high_specs) -> None:
+        """Fill ghost layers member by member.
+
+        ``padded[:, b]`` is exactly one member's standalone padded array,
+        so each member's own boundary set (including piecewise EdgeSpec
+        segments, whose ranges address the along-edge axis) applies
+        unchanged.  Looping members here also keeps an EdgeSpec from
+        wrongly partitioning the batch axis.
+        """
+        ng = self.ghost_cells
+        started = perf_counter()
+        for member in range(self.batch):
+            slab = padded[:, member]
+            low = low_specs[member]
+            high = high_specs[member]
+            if low is not None:
+                low.fill(slab, ng)
+            if high is not None:
+                high.fill(slab[::-1], ng)
+        self.seconds["bc"] += perf_counter() - started
+
+    def rhs(
+        self, u: np.ndarray, out: np.ndarray, use_cached_primitive: bool = False
+    ) -> np.ndarray:
+        """Spatial operator L(U) over the whole stack, into ``out``."""
+        if self.member_boundaries is None:
+            raise ConfigurationError(
+                "batch engine built without member boundaries cannot run rhs()"
+            )
+        self.rhs_evaluations += 1
+        ws = self.workspace
+        ng = self.ghost_cells
+        batch = self.batch
+        primitive = self.primitive_into(u, reuse=use_cached_primitive)
+        started = perf_counter()
+        state.validate_members(
+            primitive, f"batched {self.ndim}-D solver state", work=ws
+        )
+        self.seconds["convert"] += perf_counter() - started
+        if self.ndim == 1:
+            n = self.member_shape[0]
+            padded = ws.array(
+                "engine.padded_x", (n + 2 * ng, batch) + self.member_shape[1:]
+            )
+            started = perf_counter()
+            padded[ng : ng + n] = np.moveaxis(primitive, 1, 0)
+            self.seconds["bc"] += perf_counter() - started
+            self.sweep_axis0(
+                padded,
+                [bset.low for bset in self.member_boundaries],
+                [bset.high for bset in self.member_boundaries],
+                self.spacing[0],
+                np.moveaxis(out, 1, 0),
+            )
+            return out
+        nx, ny = self.member_shape[:2]
+        padded = ws.array("engine.padded_x", (nx + 2 * ng, batch, ny, 4))
+        started = perf_counter()
+        padded[ng : ng + nx] = np.moveaxis(primitive, 1, 0)
+        self.seconds["bc"] += perf_counter() - started
+        specs = [bset.for_axis(0) for bset in self.member_boundaries]
+        self.sweep_axis0(
+            padded,
+            [spec[0] for spec in specs],
+            [spec[1] for spec in specs],
+            self.spacing[0],
+            np.moveaxis(out, 1, 0),
+        )
+        padded_y = ws.array("engine.padded_y", (ny + 2 * ng, batch, nx, 4))
+        started = perf_counter()
+        self.orient_into(primitive, padded_y[ng : ng + ny])
+        self.seconds["bc"] += perf_counter() - started
+        specs = [bset.for_axis(1) for bset in self.member_boundaries]
+        self.sweep_axis1(
+            padded_y,
+            [spec[0] for spec in specs],
+            [spec[1] for spec in specs],
+            self.spacing[1],
+            out,
+        )
+        return out
+
+    def step(self, u: np.ndarray, dt: Optional[np.ndarray] = None) -> np.ndarray:
+        """One lockstep time step in place on the stack.
+
+        Every member advances by its *own* dt (computed here when not
+        supplied); returns the ``(B,)`` dt vector used.  Drivers that
+        need per-member clamping or failure isolation (see
+        ``EnsembleSolver2D``) call :meth:`compute_dt`/:meth:`integrate`
+        directly instead.
+        """
+        if dt is None:
+            dt = self.compute_dt(u)
+        self.integrate(
+            u,
+            self.dt_column(dt),
+            lambda v, out, first: self.rhs(v, out, use_cached_primitive=first),
+        )
+        return dt

@@ -223,3 +223,39 @@ def two_channel(
     primitive[...] = [rho0, 0.0, 0.0, p0]
     solver = EulerSolver2D(primitive, dx, dx, boundaries, config)
     return solver, setup
+
+
+def two_channel_ensemble(
+    machs,
+    n_cells: int = 400,
+    h: float = 200.0,
+    config: Optional[SolverConfig] = None,
+    **kwargs,
+):
+    """A Mach-number sweep of :func:`two_channel` as one batched ensemble.
+
+    Builds one standalone solver per shock Mach number and stacks them
+    with :meth:`EulerEnsemble2D.from_solvers` (so each member starts
+    from exactly the bits its solo run would); returns the ensemble and
+    the per-member :class:`TwoChannelSetup` list.  Geometry keywords
+    (``exit_start``, ``rho0``, ``p0``) apply to every member.
+    """
+    from repro.euler.solver import EulerEnsemble2D
+
+    machs = [float(mach) for mach in machs]
+    if not machs:
+        raise ConfigurationError("a Mach sweep needs at least one Mach number")
+    solvers = []
+    setups = []
+    for mach in machs:
+        solver, setup = two_channel(
+            n_cells=n_cells, h=h, mach=mach, config=config, **kwargs
+        )
+        solvers.append(solver)
+        setups.append(setup)
+    ensemble = EulerEnsemble2D.from_solvers(
+        solvers,
+        names=[f"Ms={mach:g}" for mach in machs],
+        params=[{"mach": mach} for mach in machs],
+    )
+    return ensemble, setups

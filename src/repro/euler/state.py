@@ -290,6 +290,34 @@ def validate_state(p: np.ndarray, where: str = "state", work=None) -> None:
         )
 
 
+def validate_members(p: np.ndarray, where: str = "state", work=None) -> None:
+    """Validate a batched ``(B, ...)`` stack of primitive states.
+
+    The fast path is one full-stack :func:`validate_state` (every check
+    is elementwise, so stacking members changes nothing).  On failure
+    the member that owns the first offending cell is re-validated alone,
+    so the raised :class:`PhysicsError` carries *member-local* cell
+    indices and neighbourhood plus ``batch_index`` — exactly what a
+    standalone run of that member would have raised, with its position
+    in the stack attached.
+    """
+    try:
+        validate_state(p, where, work=work)
+    except PhysicsError as error:
+        if not error.cells:  # pragma: no cover - validators always name cells
+            raise
+        index = int(error.cells[0][0])
+        try:
+            validate_state(p[index], where)
+        except PhysicsError as member_error:
+            member_error.batch_index = index
+            raise member_error from None
+        # The stacked check tripped but the member alone passes — cannot
+        # happen for these elementwise validators; re-raise the original.
+        error.batch_index = index  # pragma: no cover - defensive
+        raise  # pragma: no cover - defensive
+
+
 def swap_velocity_axes(p: np.ndarray) -> np.ndarray:
     """Return a copy of a 2-D state array with u and v exchanged.
 

@@ -84,6 +84,29 @@ def max_eigenvalue(
     return largest
 
 
+def member_max_eigenvalues(
+    primitive: np.ndarray,
+    spacing: Sequence[float],
+    gamma: float = GAMMA,
+    out: np.ndarray = None,
+    work=None,
+) -> np.ndarray:
+    """Per-member GetDT maxima over a batched ``(B, ...)`` primitive stack.
+
+    One eigenvalue pass over the whole stack, reduced per member: entry
+    ``b`` is exactly ``max_eigenvalue(primitive[b], ...)`` — ``max`` is
+    exact and order-independent, so each member's value is bit-for-bit
+    its standalone one.  Non-finite entries are *returned*, not raised;
+    the caller owns member attribution (see ``BatchEngine.compute_dt``).
+    """
+    members = primitive.shape[0]
+    ev = eigenvalues_into(primitive, spacing, gamma, work=work)
+    if out is None:
+        out = np.empty(members)
+    np.max(ev.reshape(members, -1), axis=1, out=out)
+    return out
+
+
 def get_dt(
     primitive: np.ndarray,
     spacing: Sequence[float],

@@ -51,6 +51,11 @@ class ForensicReport:
     time: Optional[float]
     trace_tail: List[TraceRecord] = field(default_factory=list)
     details: Dict[str, object] = field(default_factory=dict)
+    #: Batch member that failed (``None`` for single-problem runs);
+    #: ``member`` carries the ensemble's identity dict for it (name,
+    #: index, sweep params).  ``cells``/``neighbourhood`` are member-local.
+    batch_index: Optional[int] = None
+    member: Optional[Dict[str, object]] = None
 
     def to_json(self) -> Dict[str, object]:
         """JSON-serialisable form (neighbourhood values become lists)."""
@@ -70,6 +75,8 @@ class ForensicReport:
             "time": self.time,
             "trace_tail": [record.to_json() for record in self.trace_tail],
             "details": _jsonable(self.details),
+            "batch_index": self.batch_index,
+            "member": _jsonable(self.member) if self.member is not None else None,
         }
 
 
@@ -118,6 +125,8 @@ def build_report(
         time=time,
         trace_tail=trace.last(tail) if trace is not None else [],
         details=dict(error.details),
+        batch_index=getattr(error, "batch_index", None),
+        member=getattr(error, "member", None),
     )
 
 
@@ -143,6 +152,17 @@ def format_report(report: ForensicReport) -> str:
     lines = [f"PhysicsError forensics: {report.message}"]
     if report.context:
         lines.append(f"  detected in : {report.context}")
+    if report.batch_index is not None:
+        member = report.member or {}
+        name = member.get("name")
+        params = member.get("params")
+        described = f"  batch member: {report.batch_index}"
+        if name:
+            described += f" ({name}"
+            if params:
+                described += f", {_jsonable(params)}"
+            described += ")"
+        lines.append(described)
     if report.step is not None:
         lines.append(f"  at step     : {report.step} (t = {report.time:.6e})")
     if report.cells:

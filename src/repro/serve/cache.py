@@ -20,6 +20,10 @@ they can be interleaved into spool files and read back with
 
 from __future__ import annotations
 
+import json
+import os
+import re
+import tempfile
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
@@ -28,6 +32,8 @@ from repro.euler.exact_riemann import StarStateCache  # noqa: F401  (re-export)
 
 __all__ = ["ResultCache", "StarStateCache", "merge_star_stats"]
 
+_HEX_KEY = re.compile(r"^[0-9a-f]{8,128}$")
+
 
 class ResultCache:
     """Bounded LRU of completed-run result payloads.
@@ -35,18 +41,33 @@ class ResultCache:
     Keys are :meth:`JobSpec.cache_key` hex digests; values are the
     ``done`` event payloads exactly as the worker produced them.  Not
     thread-safe — it lives on the server's event loop.
+
+    With ``spill_dir`` set, every stored payload is also written to
+    ``<spill_dir>/<key>.json`` (atomically: temp file + ``os.replace``),
+    and a memory miss falls back to the directory before reporting a
+    miss — so cached results survive a service restart.  JSON round
+    trips floats through ``repr``, which is exact, so a disk hit is
+    bitwise identical to the in-memory payload it spilled from.  Disk
+    I/O failures are counted, never raised: the cache degrades to
+    memory-only rather than failing a lookup.
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256, spill_dir: Optional[str] = None):
         if max_entries < 1:
             raise ConfigurationError(
                 f"max_entries must be >= 1, got {max_entries}"
             )
         self.max_entries = max_entries
+        self.spill_dir = spill_dir
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
         self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        self.disk_writes = 0
+        self.disk_errors = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,8 +78,15 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, object]]:
         payload = self._entries.get(key)
         if payload is None:
-            self.misses += 1
-            return None
+            payload = self._load_spilled(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            # Promote without re-spilling: the bytes on disk are already
+            # this payload.
+            self._entries[key] = payload
+            self._evict_over_budget()
+            self.disk_hits += 1
         self._entries.move_to_end(key)
         self.hits += 1
         return payload
@@ -66,12 +94,56 @@ class ResultCache:
     def put(self, key: str, payload: Dict[str, object]) -> None:
         self._entries[key] = payload
         self._entries.move_to_end(key)
+        self._evict_over_budget()
+        self._spill(key, payload)
+
+    def _evict_over_budget(self) -> None:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    # -- disk spill ------------------------------------------------------
+
+    def _spill_path(self, key: str) -> Optional[str]:
+        # Keys are cache_key() sha256 hex digests; refuse anything that
+        # could escape the spill directory when used as a file name.
+        if self.spill_dir is None or not _HEX_KEY.match(key):
+            return None
+        return os.path.join(self.spill_dir, f"{key}.json")
+
+    def _spill(self, key: str, payload: Dict[str, object]) -> None:
+        path = self._spill_path(key)
+        if path is None:
+            return
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key[:16]}.", suffix=".tmp", dir=self.spill_dir
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            self.disk_writes += 1
+        except OSError:
+            self.disk_errors += 1
+
+    def _load_spilled(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._spill_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            self.disk_errors += 1
+            return None
+
     def clear(self) -> None:
-        """Drop all entries; counters keep their lifetime totals."""
+        """Drop all in-memory entries (spilled files stay on disk);
+        counters keep their lifetime totals."""
         self._entries.clear()
 
     def stats(self) -> Dict[str, object]:
@@ -86,6 +158,10 @@ class ResultCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            "spill_dir": self.spill_dir,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "disk_errors": self.disk_errors,
         }
 
 

@@ -67,6 +67,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-star-cache", action="store_true",
         help="disable the per-shard exact-Riemann star-state memo",
     )
+    serve.add_argument(
+        "--batch-max", type=int, default=1, metavar="B",
+        help="drain up to B shape-compatible queued jobs into one"
+        " batched-engine dispatch (1 disables batching)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="spill result-cache entries to DIR so they survive restarts",
+    )
 
     submit = sub.add_parser("submit", help="submit one job")
     _add_connection_flags(submit)
@@ -119,6 +128,8 @@ def _cmd_serve(options) -> int:
             queue_depth=options.queue_depth,
             result_cache_entries=options.result_cache,
             star_cache_decimals=None if options.no_star_cache else 12,
+            batch_max=options.batch_max,
+            cache_dir=options.cache_dir,
         ))
     except KeyboardInterrupt:
         print("interrupted; service shut down", file=sys.stderr)

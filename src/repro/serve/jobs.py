@@ -225,6 +225,61 @@ class JobSpec:
         text = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
+    # -- batch identity -------------------------------------------------
+
+    #: Problems whose jobs can share one batched engine step (2-D
+    #: stepping problems; the 1-D tubes are too cheap to be worth it and
+    #: ``exact`` does no stepping at all).
+    BATCHABLE_PROBLEMS = ("sod_2d", "two_channel")
+
+    #: Per-problem arguments that pin the member grid shape/spacing and
+    #: therefore must agree across a batch.  Everything else
+    #: (``mach``, ``exit_start``, ``rho0``, ``p0``...) is a per-member
+    #: degree of freedom — it only changes the IC or the boundaries.
+    _BATCH_SHAPE_ARGS = {
+        "sod_2d": (("nx", 64), ("ny", 16)),
+        "two_channel": (("n_cells", 64), ("h", None)),  # h defaults to n_cells/2
+    }
+
+    def batch_key(self) -> Optional[str]:
+        """Grouping digest for the batch dispatcher, or ``None``.
+
+        Jobs sharing a batch key can be drained into one
+        :class:`~repro.euler.solver.EulerEnsemble2D` step: same problem
+        family, same grid shape and spacing, same solver config, same
+        stopping criterion (the ensemble runs one ``t_end``/``max_steps``
+        for the whole batch).  ``None`` marks the job unbatchable: 1-D /
+        ``exact`` problems, parallel-solver requests (``workers``), and
+        jobs with a deadline (the shard cancel flag is batch-granular,
+        which would let one job's deadline cancel its batch mates).
+        """
+        if self.problem not in self.BATCHABLE_PROBLEMS:
+            return None
+        if self.deadline_s is not None:
+            return None
+        if self.problem_args.get("workers"):
+            return None
+        shape_args = {}
+        for name, default in self._BATCH_SHAPE_ARGS[self.problem]:
+            value = self.problem_args.get(name, default)
+            if value is None and name == "h":
+                value = float(shape_args["n_cells"]) / 2.0
+            try:
+                shape_args[name] = (
+                    int(value) if name in ("nx", "ny", "n_cells") else float(value)
+                )
+            except (TypeError, ValueError):
+                return None  # the builder will reject it; don't batch it
+        identity = {
+            "problem": self.problem,
+            "shape_args": shape_args,
+            "config": self.config.content_hash(),
+            "t_end": None if self.t_end is None else float(self.t_end),
+            "max_steps": None if self.max_steps is None else int(self.max_steps),
+        }
+        text = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class JobRecord:

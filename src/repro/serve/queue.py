@@ -151,6 +151,32 @@ class PriorityJobQueue:
             self._wake(self._not_full_waiters)
         return removed
 
+    def drain(
+        self, predicate: Callable[[object], bool], limit: Optional[int] = None
+    ) -> List[object]:
+        """Dequeue up to ``limit`` queued items matching ``predicate``.
+
+        Matching entries are tombstoned in place and *returned*, in
+        (priority, submission) order — unlike :meth:`remove` they count
+        as dequeued, not cancelled.  The batch dispatcher uses this to
+        pull shape-compatible siblings of a job out of the queue in one
+        go, without disturbing non-matching entries' ordering.
+        """
+        drained: List[object] = []
+        for entry in sorted(self._heap, key=lambda e: (e[0], e[1])):
+            if limit is not None and len(drained) >= limit:
+                break
+            if entry[2] is self._TOMBSTONE:
+                continue
+            if predicate(entry[2]):
+                drained.append(entry[2])
+                entry[2] = self._TOMBSTONE
+        self._size -= len(drained)
+        self.dequeued += len(drained)
+        for _ in range(len(drained)):
+            self._wake(self._not_full_waiters)
+        return drained
+
     def close(self) -> None:
         """Refuse new items and wake all waiters (they raise
         :class:`QueueClosed`); already-queued items remain gettable."""

@@ -59,15 +59,27 @@ class SimulationService:
         result_cache_entries: int = 256,
         star_cache_decimals: Optional[int] = 12,
         start_method: Optional[str] = None,
+        batch_max: int = 1,
+        cache_dir: Optional[str] = None,
     ):
+        if batch_max < 1:
+            raise ServiceError(f"batch_max must be >= 1, got {batch_max}")
         self.pool = None  # a ShardPool once start() has run
         self._pool_kwargs = dict(
             shards=shards,
             star_cache_decimals=star_cache_decimals,
             start_method=start_method,
         )
+        #: With ``batch_max > 1`` the dispatcher drains up to this many
+        #: shape-compatible queued jobs (same ``JobSpec.batch_key()``)
+        #: into one batched-engine dispatch per shard.
+        self.batch_max = batch_max
         self.queue = PriorityJobQueue(maxsize=queue_depth)
-        self.result_cache = ResultCache(max_entries=result_cache_entries)
+        #: ``cache_dir`` spills result payloads to disk so cache entries
+        #: survive a service restart (see :class:`ResultCache`).
+        self.result_cache = ResultCache(
+            max_entries=result_cache_entries, spill_dir=cache_dir
+        )
         self.jobs: Dict[str, JobRecord] = {}
         self._ids = itertools.count(1)
         self._completion: Dict[str, asyncio.Event] = {}
@@ -79,6 +91,8 @@ class SimulationService:
         self.started_at: Optional[float] = None
         self.retries = 0
         self.cache_hits_served = 0
+        self.batches_formed = 0
+        self.batched_jobs = 0
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------
@@ -206,13 +220,34 @@ class SimulationService:
                 record = await self.queue.get()
             except QueueClosed:
                 return
-            record.transition(JobState.RUNNING)
-            record.attempts += 1
-            record.shard = shard
-            task = asyncio.create_task(
-                self._supervise(record, shard),
-                name=f"repro-serve-supervise-{record.job_id}",
-            )
+            batch = [record]
+            if self.batch_max > 1:
+                # Drain shape-compatible siblings of this job into one
+                # batched dispatch — same batch key means same grid
+                # shape/spacing, config and stopping criterion, which is
+                # exactly what one BatchEngine step can advance together.
+                key = record.spec.batch_key()
+                if key is not None:
+                    batch += self.queue.drain(
+                        lambda item: item.spec.batch_key() == key,
+                        limit=self.batch_max - 1,
+                    )
+            for item in batch:
+                item.transition(JobState.RUNNING)
+                item.attempts += 1
+                item.shard = shard
+            if len(batch) == 1:
+                task = asyncio.create_task(
+                    self._supervise(record, shard),
+                    name=f"repro-serve-supervise-{record.job_id}",
+                )
+            else:
+                self.batches_formed += 1
+                self.batched_jobs += len(batch)
+                task = asyncio.create_task(
+                    self._supervise_batch(batch, shard),
+                    name=f"repro-serve-supervise-batch-{record.job_id}",
+                )
             self._supervisors.add(task)
             task.add_done_callback(self._supervisors.discard)
 
@@ -302,6 +337,96 @@ class SimulationService:
                 self._free_shards.put_nowait(shard)
         if record.state is JobState.QUEUED:  # the retry edge
             await self.queue.put(record, priority=spec.priority)
+
+    async def _supervise_batch(self, records: List[JobRecord], shard: int) -> None:
+        """Shepherd a batched dispatch: N jobs, one shard, one engine.
+
+        Each job keeps its own spool tail, terminal event and retry
+        policy — only the *execution* is shared.  Batched jobs carry no
+        deadline (``batch_key`` refuses them: the shard's cancel flag is
+        batch-granular, so one job's deadline would cancel its mates);
+        an explicit client cancel of any member does stop the whole
+        batch, which is the documented trade for amortized stepping.
+        A retried member re-queues normally and may run solo or in a new
+        batch — either way its result is bit-identical.
+        """
+        pending = {record.job_id: record for record in records}
+        tails: Dict[str, JsonlTail] = {}
+        shard_died = False
+        try:
+            self.pool.send_batch(
+                shard,
+                [(record.job_id, record.attempts, record.spec) for record in records],
+            )
+            for record in records:
+                self._publish(record, {
+                    "kind": "job", "event": "started", "job_id": record.job_id,
+                    "shard": shard, "attempt": record.attempts,
+                    "batched": len(records),
+                })
+                tails[record.job_id] = JsonlTail(
+                    self.pool.spool_path(record.job_id, record.attempts)
+                )
+            events = self.pool.events(shard)
+            while pending:
+                try:
+                    event = await asyncio.wait_for(
+                        events.get(), timeout=SPOOL_POLL_S
+                    )
+                except asyncio.TimeoutError:
+                    for job_id, record in pending.items():
+                        for line in tails[job_id].poll():
+                            self._publish(record, line)
+                    continue
+                if (
+                    event.get("kind") == "shard"
+                    and event.get("event") == "died"
+                ):
+                    shard_died = True
+                    for job_id, record in list(pending.items()):
+                        self._finish_batch_member(record, tails[job_id], {
+                            "kind": "job", "event": "failed",
+                            "job_id": job_id, "retryable": False,
+                            "error": {
+                                "type": "ShardDied",
+                                "message": (
+                                    f"shard {shard} died"
+                                    f" (exitcode {event.get('exitcode')})"
+                                    f" while running batched {job_id}"
+                                ),
+                            },
+                        })
+                    pending.clear()
+                elif (
+                    event.get("kind") == "job"
+                    and event.get("job_id") in pending
+                    and event.get("event") in ("done", "failed", "cancelled")
+                ):
+                    record = pending.pop(event["job_id"])
+                    self._finish_batch_member(record, tails[record.job_id], event)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - supervisor must not leak
+            for record in records:
+                self._fail_on_supervision_error(record, error)
+        finally:
+            usable = True
+            if shard_died:
+                usable = await self._respawn_shard(shard)
+            if usable:
+                self._free_shards.put_nowait(shard)
+        for record in records:
+            if record.state is JobState.QUEUED:  # the retry edge, per member
+                await self.queue.put(record, priority=record.spec.priority)
+
+    def _finish_batch_member(
+        self, record: JobRecord, tail: JsonlTail, terminal: Dict[str, object]
+    ) -> None:
+        """Drain one batched job's spool and apply its terminal event."""
+        for line in tail.poll():
+            self._publish(record, line)
+        self._apply_terminal(record, terminal)
+        self.pool.remove_spool(record.job_id, record.attempts)
 
     def _fail_on_supervision_error(self, record: JobRecord, error: Exception) -> None:
         """Terminal-ize a record whose supervision blew up unexpectedly."""
@@ -440,6 +565,11 @@ class SimulationService:
             "submitted": len(self.jobs),
             "retries": self.retries,
             "cache_hits_served": self.cache_hits_served,
+            "batching": {
+                "batch_max": self.batch_max,
+                "batches_formed": self.batches_formed,
+                "batched_jobs": self.batched_jobs,
+            },
             "queue": self.queue.stats(),
             "result_cache": self.result_cache.stats(),
             "star_cache": merge_star_stats(self._star_stats),

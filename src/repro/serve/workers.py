@@ -88,6 +88,9 @@ def _worker_main(shard, job_q, event_q, cancel_flag, spool_dir, star_decimals):
         wire = job_q.get()
         if wire is None:
             break
+        if wire.get("batch"):
+            _run_batch(wire, event_q, shard, cancel_flag, Path(spool_dir), star_cache)
+            continue
         # The flag is NOT cleared here: the parent clears it in send_job
         # *before* enqueuing, so a cancel that lands right after the send
         # is never lost to a worker-side clear racing it.
@@ -223,6 +226,186 @@ def _execute_stepping(spec, spool, cancel_flag, star_cache) -> Dict[str, object]
     finally:
         if closer is not None:
             closer()
+
+
+def _run_batch(wire, event_q, shard, cancel_flag, spool_dir, star_cache) -> None:
+    """Run one batch wire; guarantees a terminal event for every job.
+
+    Anything escaping :func:`_execute_batch` — the shared cancel flag,
+    a bug — terminal-izes every job that has not already reported, so
+    the supervisors never hang on a silent batch.
+    """
+    done = set()
+
+    def emit(job_id: str, event: Dict[str, object]) -> None:
+        done.add(job_id)
+        event_q.put({"kind": "job", "job_id": job_id, "shard": shard, **event})
+
+    entries = wire["batch"]
+    try:
+        _execute_batch(entries, emit, cancel_flag, spool_dir, star_cache)
+    except _JobCancelled as stop:
+        # The cancel flag is batch-granular: every still-running job in
+        # the batch stops together.
+        for entry in entries:
+            if entry["job_id"] not in done:
+                emit(entry["job_id"], {"event": "cancelled", "reason": stop.reason})
+    except BaseException as error:  # noqa: BLE001 - shard must survive any batch
+        info = {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exc(),
+        }
+        for entry in entries:
+            if entry["job_id"] not in done:
+                emit(
+                    entry["job_id"],
+                    {"event": "failed", "retryable": False, "error": info},
+                )
+
+
+def _execute_batch(entries, emit, cancel_flag, spool_dir, star_cache) -> None:
+    """Advance up to B shape-compatible jobs through one batched engine.
+
+    Builds each job's solver with the unmodified solo builder, stacks
+    them via :meth:`EulerEnsemble2D.from_solvers` (conservative states
+    stacked directly — each member starts from exactly its solo bits),
+    and runs the shared stopping criterion the batch key guarantees.
+    Per-job outcomes are independent: a job whose builder rejects its
+    arguments fails alone before the batch forms; a member that blows
+    up mid-run is retired by the ensemble and reports its forensics
+    (batch index included) while its batch mates step on; surviving
+    jobs return payloads bit-for-bit identical to their solo runs (same
+    keys too, plus ``"batched"``).
+    """
+    from repro.euler.solver import EulerEnsemble2D
+
+    started = perf_counter()
+    batch_members = []  # (entry, spec) of jobs admitted to the ensemble
+    solvers = []
+    for entry in entries:
+        try:
+            spec = JobSpec.from_dict(entry["spec"])
+            solver, closer = _build_solver(spec)
+            if closer is not None:
+                closer()
+                raise ConfigurationError(
+                    "parallel-solver jobs are not batchable"
+                )
+        except PhysicsError as error:
+            forensics = getattr(error, "forensics", None)
+            emit(entry["job_id"], {
+                "event": "failed",
+                "retryable": True,
+                "error": {
+                    "type": "PhysicsError",
+                    "message": str(error),
+                    "context": error.context,
+                    "forensics": forensics.to_json() if forensics else None,
+                },
+            })
+            continue
+        except BaseException as error:  # noqa: BLE001 - fail this job only
+            emit(entry["job_id"], {
+                "event": "failed",
+                "retryable": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                    "traceback": traceback.format_exc(),
+                },
+            })
+            continue
+        batch_members.append((entry, spec))
+        solvers.append(solver)
+    if not batch_members:
+        return
+    ensemble = EulerEnsemble2D.from_solvers(
+        solvers,
+        names=[entry["job_id"] for entry, _ in batch_members],
+        params=[{"job_id": entry["job_id"]} for entry, _ in batch_members],
+    )
+    # The batch key pins the stopping criterion across the batch.
+    lead_spec = batch_members[0][1]
+    spools = [
+        (spool_dir / _spool_name(entry["job_id"], entry.get("attempt", 1))).open(
+            "w", encoding="utf-8"
+        )
+        for entry, _ in batch_members
+    ]
+    try:
+
+        def progress(ens):
+            if cancel_flag.is_set():
+                raise _JobCancelled("cancelled")
+            for index, (entry, spec) in enumerate(batch_members):
+                if not ens.live(index):
+                    continue
+                if ens.steps[index] % spec.trace_every != 0:
+                    continue
+                record = {
+                    "kind": "step",
+                    "step": ens.steps[index],
+                    "time": ens.times[index],
+                    "dt": ens.dt_history[index][-1],
+                    "batched": ens.batch,
+                }
+                spools[index].write(json.dumps(record))
+                spools[index].write("\n")
+                spools[index].flush()
+
+        result = ensemble.run(
+            t_end=lead_spec.t_end,
+            max_steps=lead_spec.max_steps,
+            callback=progress,
+        )
+        if star_cache is not None:
+            for handle in spools:
+                handle.write(json.dumps(star_cache.stats()))
+                handle.write("\n")
+    finally:
+        for handle in spools:
+            handle.close()
+    wall = perf_counter() - started
+    for index, (entry, spec) in enumerate(batch_members):
+        member = result.members[index]
+        if member.error is not None:
+            forensics = getattr(member.error, "forensics", None)
+            emit(entry["job_id"], {
+                "event": "failed",
+                "retryable": True,
+                "error": {
+                    "type": "PhysicsError",
+                    "message": str(member.error),
+                    "context": member.error.context,
+                    "batch_index": member.error.batch_index,
+                    "forensics": forensics.to_json() if forensics else None,
+                },
+            })
+            continue
+        u = ensemble.member_u(index)
+        emit(entry["job_id"], {
+            "event": "done",
+            "result": {
+                "problem": spec.problem,
+                "steps": int(member.steps),
+                "time": float(member.time),
+                "shape": list(u.shape),
+                "state_sha256": state_digest(u),
+                "mass": float(u[..., 0].sum()),
+                "energy": float(u[..., -1].sum()),
+                "state": (
+                    ensemble.member_primitive(index).tolist()
+                    if spec.return_state
+                    else None
+                ),
+                "star_cache": (
+                    star_cache.stats() if star_cache is not None else None
+                ),
+                "batched": len(batch_members),
+                "wall_seconds": wall,
+            },
+        })
 
 
 def _build_solver(spec: JobSpec):
@@ -455,8 +638,27 @@ class ShardPool:
         )
         self.jobs_dispatched[shard] += 1
 
+    def send_batch(self, shard: int, jobs) -> None:
+        """Dispatch several jobs as one batched-engine wire message.
+
+        ``jobs`` is a list of ``(job_id, attempt, spec)``.  The worker
+        advances them in lockstep through one
+        :class:`~repro.euler.engine.BatchEngine` and emits an
+        independent terminal event per job.  The cancel flag is
+        batch-granular: :meth:`cancel` stops every job in the batch.
+        """
+        self._cancel_flags[shard].clear()
+        self._job_queues[shard].put({
+            "batch": [
+                {"job_id": job_id, "attempt": attempt, "spec": spec.to_dict()}
+                for job_id, attempt, spec in jobs
+            ]
+        })
+        self.jobs_dispatched[shard] += len(jobs)
+
     def cancel(self, shard: int) -> None:
-        """Ask the shard's *current* job to stop at its next step."""
+        """Ask the shard's *current* job (or batch) to stop at its next
+        step; for a batched dispatch every job in the batch stops."""
         self._cancel_flags[shard].set()
 
     def spool_path(self, job_id: str, attempt: int) -> Path:

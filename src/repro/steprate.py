@@ -10,6 +10,13 @@ perf investigation loops are one command::
     python -m repro.steprate --grid 400 --steps 10
     python -m repro.steprate --grid 200 --riemann roe --tile-bytes 1048576
     python -m repro.steprate --grid 96 --seed-baseline --json out.json
+    python -m repro.steprate --grid 32 --steps 8 --batch 16
+
+``--batch B`` switches to the batched-ensemble measurement: B Mach
+variants of the workload advance in lockstep through one
+:class:`~repro.euler.engine.BatchEngine` and the figure of merit is
+*aggregate member-steps per second* versus the same engine at B = 1
+(``benchmarks/test_batch.py`` gates on the same quantity).
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ import numpy as np
 from repro.euler import problems
 from repro.euler.solver import SolverConfig, paper_benchmark_config
 
-__all__ = ["measure_steprate", "main"]
+__all__ = ["measure_steprate", "measure_batch_steprate", "main"]
 
 
 def _build_solver(grid: int, config: SolverConfig, use_engine: bool = True):
@@ -88,6 +95,61 @@ def measure_steprate(
     return result
 
 
+def batch_machs(batch: int):
+    """B shock Mach numbers spread over [1.5, 3.0] — distinct members,
+    same grid/config, so they batch into one ensemble."""
+    if batch == 1:
+        return [1.5]
+    return [1.5 + 1.5 * index / (batch - 1) for index in range(batch)]
+
+
+def measure_batch_steprate(
+    grid: int = 32,
+    steps: int = 8,
+    batch: int = 16,
+    config: Optional[SolverConfig] = None,
+    tile_bytes: Optional[int] = None,
+) -> Dict[str, object]:
+    """Aggregate throughput of a B-member ensemble on the benchmark workload.
+
+    The figure of merit is **member-steps per second**: a batch step
+    advances every member by one (per-member CFL) step, so B members x
+    ``steps`` batch steps is ``B * steps`` member-steps.  The
+    ``max_abs_difference_vs_solo`` entry is the exact bit-identity check
+    of the batching contract: member 0's state after the run versus a
+    standalone solver taking the same steps.
+    """
+    config = config or paper_benchmark_config()
+    if tile_bytes is not None:
+        config = replace(config, tile_bytes=tile_bytes)
+    machs = batch_machs(batch)
+    ensemble, _ = problems.two_channel_ensemble(
+        machs, n_cells=grid, h=grid / 2.0, config=config
+    )
+    ensemble.step()  # warmup
+    start = time.perf_counter()
+    for _ in range(steps):
+        ensemble.step()
+    elapsed = time.perf_counter() - start
+
+    solo, _ = problems.two_channel(
+        n_cells=grid, h=grid / 2.0, mach=machs[0], config=config
+    )
+    for _ in range(steps + 1):
+        solo.step()
+    return {
+        "grid": grid,
+        "steps": steps,
+        "batch": batch,
+        "batch_steps_per_second": steps / elapsed,
+        "member_steps_per_second": batch * steps / elapsed,
+        "max_abs_difference_vs_solo": float(
+            np.max(np.abs(ensemble.member_u(0) - solo.u))
+        ),
+        "counters": ensemble.engine.counters(),
+    }
+
+
 def _phase_table(result: Dict[str, object]) -> str:
     tiled = result["tiled_counters"]["seconds"]
     untiled = result["untiled_counters"]["seconds"]
@@ -124,6 +186,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="also time the allocating seed path (no engine)",
     )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="measure a B-member batched ensemble (aggregate member-steps/s"
+        " vs the same engine at B=1) instead of the tiled/untiled split",
+    )
     parser.add_argument("--json", default=None, help="write the result dict here")
     args = parser.parse_args(argv)
 
@@ -141,6 +211,51 @@ def main(argv=None) -> int:
     }
     if overrides:
         config = replace(config, **overrides)
+
+    if args.batch is not None:
+        if args.batch < 1:
+            parser.error("--batch must be >= 1")
+        result = measure_batch_steprate(
+            grid=args.grid,
+            steps=args.steps,
+            batch=args.batch,
+            config=config,
+            tile_bytes=args.tile_bytes,
+        )
+        baseline = measure_batch_steprate(
+            grid=args.grid,
+            steps=args.steps,
+            batch=1,
+            config=config,
+            tile_bytes=args.tile_bytes,
+        )
+        result["baseline_member_steps_per_second"] = baseline[
+            "member_steps_per_second"
+        ]
+        result["batch_speedup"] = (
+            result["member_steps_per_second"]
+            / baseline["member_steps_per_second"]
+        )
+        print(
+            f"batch steprate {args.grid}x{args.grid} x B={args.batch}"
+            f" ({config.reconstruction}+{config.riemann}, rk{config.rk_order}):"
+        )
+        print(
+            f"  B={args.batch:<3d} {result['member_steps_per_second']:.3f}"
+            f" member-steps/s ({result['batch_steps_per_second']:.3f} batch"
+            f" steps/s)"
+        )
+        print(
+            f"  B=1   {baseline['member_steps_per_second']:.3f}"
+            f" member-steps/s -> batch speedup {result['batch_speedup']:.2f}x"
+        )
+        difference = result["max_abs_difference_vs_solo"]
+        print(f"  max |member 0 - solo| = {difference}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+            print(f"  wrote {args.json}")
+        return 0 if difference == 0.0 else 1
 
     result = measure_steprate(
         grid=args.grid,

@@ -1,0 +1,211 @@
+"""Ensemble-level behaviour: failure isolation, forensics, grouping.
+
+The sweep-level bit-identity of the batched kernels lives in
+``test_batch_engine.py``; here the subject is the *ensemble policy*
+around them — a member that blows up physically is retired without
+perturbing its batch mates (the ISSUE 7 failure-isolation regression),
+its :class:`PhysicsError` names the batch index and member config all
+the way into the forensic report, and heterogeneous sweeps group into
+batchable ensembles correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PhysicsError
+from repro.euler import problems
+from repro.euler.boundary import BoundarySet2D
+from repro.euler.solver import (
+    EnsembleMember,
+    EnsembleSolver2D,
+    EulerEnsemble2D,
+    EulerSolver2D,
+    SolverConfig,
+    build_ensembles,
+)
+from repro.obs.forensics import format_report
+
+N_CELLS = 24
+H = 12.0
+GOOD_MACHS = (1.8, 2.6)
+MAX_STEPS = 40
+
+
+def _solo(mach, config=None):
+    solver, _ = problems.two_channel(
+        n_cells=N_CELLS, h=H, mach=mach, config=config
+    )
+    return solver
+
+
+def _detonator(config=None):
+    """A member whose IC blows up after a few steps: a near-vacuum
+    pocket with strong opposing velocities overlaid on the two-channel
+    state produces negative pressure mid-run, not at validation time."""
+    template = _solo(2.2, config=config)
+    primitive = template.primitive
+    primitive[8:16, 8:16, 1] = 6.0
+    primitive[8:16, 8:16, 2] = -6.0
+    primitive[8:16, 8:16, 3] = 0.01
+    return EulerSolver2D(
+        primitive, template.dx, template.dy, template.boundaries,
+        config=template.config,
+    )
+
+
+@pytest.fixture(scope="module")
+def detonated():
+    """One 3-member run with the middle member detonating, plus the
+    2-member control run without it and the solo reference runs."""
+    solos = []
+    for mach in GOOD_MACHS:
+        solver = _solo(mach)
+        solver.run(max_steps=MAX_STEPS)
+        solos.append(solver)
+
+    control = EulerEnsemble2D.from_solvers(
+        [_solo(mach) for mach in GOOD_MACHS],
+        names=[f"Ms={mach:g}" for mach in GOOD_MACHS],
+    )
+    control.run(max_steps=MAX_STEPS)
+
+    ensemble = EulerEnsemble2D.from_solvers(
+        [_solo(GOOD_MACHS[0]), _detonator(), _solo(GOOD_MACHS[1])],
+        names=[f"Ms={GOOD_MACHS[0]:g}", "detonator", f"Ms={GOOD_MACHS[1]:g}"],
+        params=[{"mach": GOOD_MACHS[0]}, {"bad": True}, {"mach": GOOD_MACHS[1]}],
+    )
+    result = ensemble.run(max_steps=MAX_STEPS)
+    return {
+        "solos": solos,
+        "control": control,
+        "ensemble": ensemble,
+        "result": result,
+    }
+
+
+def test_detonator_fails_mid_run(detonated):
+    member = detonated["result"].members[1]
+    assert member.failed
+    assert isinstance(member.error, PhysicsError)
+    # mid-run, not at construction/validation time
+    assert 0 < member.steps < MAX_STEPS
+    assert detonated["result"].failed == [member]
+    assert [m.index for m in detonated["result"].finished] == [0, 2]
+
+
+def test_survivors_bitwise_identical_to_run_without_bad_member(detonated):
+    ensemble = detonated["ensemble"]
+    control = detonated["control"]
+    for survivor, index in ((0, 0), (1, 2)):
+        assert np.array_equal(
+            ensemble.member_u(index), control.member_u(survivor)
+        )
+        assert ensemble.times[index] == control.times[survivor]
+        assert ensemble.dt_history[index] == control.dt_history[survivor]
+
+
+def test_survivors_bitwise_identical_to_solo_runs(detonated):
+    ensemble = detonated["ensemble"]
+    for solo, index in zip(detonated["solos"], (0, 2)):
+        assert np.array_equal(ensemble.member_u(index), solo.u)
+        assert ensemble.steps[index] == solo.steps
+        assert ensemble.times[index] == solo.time
+
+
+def test_error_names_batch_index_and_member(detonated):
+    error = detonated["result"].members[1].error
+    assert error.batch_index == 1
+    assert error.member == {
+        "index": 1,
+        "name": "detonator",
+        "params": {"bad": True},
+    }
+
+
+def test_forensic_report_carries_member_identity(detonated):
+    error = detonated["result"].members[1].error
+    report = error.forensics
+    assert report is not None
+    assert report.batch_index == 1
+    assert report.member["name"] == "detonator"
+    assert report.cells, "forensics should name the offending cells"
+    rendered = format_report(report)
+    assert "batch member: 1 (detonator" in rendered
+    payload = report.to_json()
+    assert payload["batch_index"] == 1
+    assert payload["member"]["params"] == {"bad": True}
+
+
+def test_retired_member_state_is_frozen(detonated):
+    """member_u of the retired member returns its last good state, not
+    the placeholder parked in the stack slot."""
+    ensemble = detonated["ensemble"]
+    frozen = ensemble.member_u(1)
+    assert np.all(np.isfinite(frozen))
+    placeholder = ensemble.engine.placeholder_member()
+    assert not np.array_equal(frozen, placeholder)
+    # and the live stack slot *is* the placeholder
+    assert np.array_equal(ensemble.u[1], placeholder)
+
+
+def test_all_members_failing_does_not_raise():
+    ensemble = EulerEnsemble2D.from_solvers([_detonator()], names=["only"])
+    result = ensemble.run(max_steps=MAX_STEPS)
+    assert result.members[0].failed
+    assert ensemble.step() == []  # nothing live; a no-op, not an error
+
+
+def test_from_solvers_rejects_mismatched_members():
+    with pytest.raises(ConfigurationError, match="config"):
+        EulerEnsemble2D.from_solvers(
+            [_solo(1.8), _solo(2.6, config=SolverConfig(riemann="roe"))]
+        )
+    stepped = _solo(1.8)
+    stepped.step()
+    with pytest.raises(ConfigurationError, match="unstarted"):
+        EulerEnsemble2D.from_solvers([_solo(1.8), stepped])
+    with pytest.raises(ConfigurationError, match="at least one"):
+        EulerEnsemble2D.from_solvers([])
+
+
+def test_ensemble_solver_alias():
+    assert EnsembleSolver2D is EulerEnsemble2D
+
+
+def test_build_ensembles_groups_by_config_and_shape():
+    config_a = SolverConfig()
+    config_b = SolverConfig(riemann="roe")
+    solver = _solo(2.0)
+
+    def member(name):
+        return EnsembleMember(
+            name=name, boundaries=solver.boundaries,
+            primitive=solver.primitive,
+        )
+
+    ensembles = build_ensembles(
+        [
+            (member("a1"), config_a),
+            (member("b1"), config_b),
+            (member("a2"), config_a),
+        ],
+        solver.dx,
+        solver.dy,
+    )
+    assert [e.batch for e in ensembles] == [2, 1]  # first-appearance order
+    assert [m.name for m in ensembles[0].members] == ["a1", "a2"]
+    assert ensembles[1].config == config_b
+
+
+def test_two_channel_ensemble_matches_solo_runs():
+    machs = (1.7, 2.9)
+    ensemble, setups = problems.two_channel_ensemble(
+        machs, n_cells=N_CELLS, h=H
+    )
+    assert [m.name for m in ensemble.members] == ["Ms=1.7", "Ms=2.9"]
+    assert [s.mach for s in setups] == list(machs)
+    ensemble.run(max_steps=10)
+    for index, mach in enumerate(machs):
+        solo = _solo(mach)
+        solo.run(max_steps=10)
+        assert np.array_equal(ensemble.member_u(index), solo.u)
