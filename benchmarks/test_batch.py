@@ -43,8 +43,13 @@ MID_GRID = 40
 
 @pytest.fixture(scope="module")
 def batch_series():
+    # Pinned to the NumPy backend: the batching gates measure per-step
+    # Python/dispatch amortisation on the ufunc path (the compiled
+    # path's economics live in test_jit.py).
     series = {
-        batch: measure_batch_steprate(grid=GRID, steps=STEPS, batch=batch)
+        batch: measure_batch_steprate(
+            grid=GRID, steps=STEPS, batch=batch, backend="numpy"
+        )
         for batch in SIZES
     }
     assert 1 in series, "REPRO_BATCH_SIZES must include the B=1 baseline"
@@ -57,9 +62,12 @@ def test_batch_json(benchmark, batch_series):
     from repro.steprate import batch_machs
 
     largest = max(SIZES)
-    ensemble, _ = problems.two_channel_ensemble(
-        batch_machs(largest), n_cells=GRID, h=GRID / 2.0
-    )
+    import repro.jit
+
+    with repro.jit.backend_override("numpy"):
+        ensemble, _ = problems.two_channel_ensemble(
+            batch_machs(largest), n_cells=GRID, h=GRID / 2.0
+        )
     ensemble.step()
     benchmark.pedantic(ensemble.step, rounds=1, iterations=max(1, STEPS // 2))
 

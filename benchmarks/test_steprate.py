@@ -57,11 +57,22 @@ TRACE_OVERHEAD_CEILING = 0.05
 
 
 def _solver(variant):
-    """One benchmark solver: ``variant`` is tiled / untiled / seed."""
+    """One benchmark solver: ``variant`` is tiled / untiled / seed.
+
+    Pinned to the NumPy backend: this benchmark measures what cache
+    blocking buys the *ufunc* path (its speedup bars and phase-share
+    assertions are about NumPy memory traffic); the compiled path has
+    its own benchmark and gates in ``test_jit.py``.
+    """
+    import repro.jit
+
     config = paper_benchmark_config()
     if variant != "tiled":
         config = replace(config, tile_bytes=0)
-    solver, _ = problems.two_channel(n_cells=GRID, h=GRID / 2.0, config=config)
+    with repro.jit.backend_override("numpy"):
+        solver, _ = problems.two_channel(
+            n_cells=GRID, h=GRID / 2.0, config=config
+        )
     if variant == "seed":
         solver.engine = None
     return solver

@@ -1,0 +1,138 @@
+"""Structural verifier for :mod:`repro.jit` kernel IR.
+
+Runs over every assembled :class:`repro.jit.ir.KernelIR` *before* any C
+is generated — the same gate position :mod:`repro.sac.verify` holds in
+the SaC pipeline.  The kernels are straight-line SSA, so the checks are
+purely structural; a failure means an emitter bug, and the diagnostic
+names the specialization so the offending
+``(riemann, reconstruction, limiter, variables)`` combination is
+identifiable from the error alone.
+
+Diagnostic codes (stable, tests assert on them):
+
+========== ============================================================
+code       meaning
+========== ============================================================
+JIT-IR001  use of an SSA value with no prior definition
+JIT-IR002  duplicate SSA definition (a value name defined twice)
+JIT-IR003  unknown opcode or wrong operand count for the opcode
+JIT-IR004  kernel output missing or referencing an undefined value
+JIT-IR005  dtype mismatch (bool where f64 expected or vice versa)
+========== ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.diag import DiagnosticEngine
+from repro.jit.ir import BOOL, F64, OPCODES, KernelIR
+
+__all__ = ["verify_kernel"]
+
+_SOURCE = "jit-verify"
+
+
+def verify_kernel(
+    ir: KernelIR,
+    spec_label: str,
+    engine: Optional[DiagnosticEngine] = None,
+) -> DiagnosticEngine:
+    """Check one kernel IR; raises ``AnalysisError`` on any finding.
+
+    ``spec_label`` (e.g. ``hllc/pc/minmod/primitive/float64/2d``) is
+    attached as the diagnostic location so failures name the
+    specialization that produced the bad IR.
+    """
+    diag = engine if engine is not None else DiagnosticEngine()
+    where = f"{ir.name} [{spec_label}]"
+    defined: Dict[str, str] = {}
+
+    for op in ir.ops:
+        signature = OPCODES.get(op.opcode)
+        if signature is None:
+            diag.error(
+                "JIT-IR003",
+                f"unknown opcode {op.opcode!r} defining {op.name!r}",
+                source=_SOURCE,
+                where=where,
+            )
+            defined.setdefault(op.name, op.dtype)
+            continue
+        arity, arg_dtype, result_dtype = signature
+        if len(op.args) != arity:
+            diag.error(
+                "JIT-IR003",
+                f"opcode {op.opcode!r} takes {arity} operand(s), "
+                f"{op.name!r} has {len(op.args)}",
+                source=_SOURCE,
+                where=where,
+            )
+        for position, arg in enumerate(op.args):
+            seen = defined.get(arg)
+            if seen is None:
+                diag.error(
+                    "JIT-IR001",
+                    f"{op.name!r} ({op.opcode}) uses {arg!r} "
+                    "before any definition",
+                    source=_SOURCE,
+                    where=where,
+                )
+                continue
+            # select is the one mixed-dtype opcode: (bool, f64, f64).
+            expected = (
+                (BOOL if position == 0 else F64)
+                if op.opcode == "select"
+                else arg_dtype
+            )
+            if seen != expected:
+                diag.error(
+                    "JIT-IR005",
+                    f"{op.name!r} ({op.opcode}) operand {arg!r} is "
+                    f"{seen}, expected {expected}",
+                    source=_SOURCE,
+                    where=where,
+                )
+        if op.dtype != result_dtype:
+            diag.error(
+                "JIT-IR005",
+                f"{op.name!r} ({op.opcode}) declared {op.dtype}, "
+                f"opcode produces {result_dtype}",
+                source=_SOURCE,
+                where=where,
+            )
+        if op.name in defined:
+            diag.error(
+                "JIT-IR002",
+                f"SSA value {op.name!r} defined more than once",
+                source=_SOURCE,
+                where=where,
+            )
+        defined[op.name] = op.dtype
+
+    if not ir.outputs:
+        diag.error(
+            "JIT-IR004",
+            "kernel declares no outputs",
+            source=_SOURCE,
+            where=where,
+        )
+    for label, value in ir.outputs:
+        dtype = defined.get(value)
+        if dtype is None:
+            diag.error(
+                "JIT-IR004",
+                f"output {label!r} references undefined value {value!r}",
+                source=_SOURCE,
+                where=where,
+            )
+        elif dtype != F64:
+            diag.error(
+                "JIT-IR005",
+                f"output {label!r} ({value!r}) is {dtype}, expected {F64}",
+                source=_SOURCE,
+                where=where,
+            )
+
+    diag.raise_if_errors(context=f"jit kernel verification ({spec_label})")
+    return diag

@@ -57,6 +57,7 @@ from repro.euler.timestep import (
     member_max_eigenvalues,
 )
 from repro.euler.workspace import Workspace
+import repro.jit as repro_jit
 
 __all__ = ["StepEngine", "BatchEngine", "PHASES"]
 
@@ -87,6 +88,7 @@ class StepEngine:
         spacing: Sequence[float],
         config,
         boundaries=None,
+        backend: Optional[str] = None,
     ):
         self.grid_shape = tuple(int(extent) for extent in grid_shape)
         nfields = self.grid_shape[-1]
@@ -132,6 +134,17 @@ class StepEngine:
         self._tile_plans: Dict[Tuple, tiling.TilePlan] = {}
         self._fresh_primitive = False
         self._primitive_target: Optional[np.ndarray] = None
+        #: Compiled-kernel backend (None = plain NumPy path).  Resolution
+        #: order: the ``backend=`` argument, then any
+        #: :func:`repro.jit.backend_override`, then ``REPRO_JIT``, then
+        #: auto-detection — see :mod:`repro.jit`.  The backend serves
+        #: whole strips and falls back to the NumPy oracle per strip for
+        #: anything it cannot compile, so results are bit-for-bit
+        #: identical either way.
+        self.backend = repro_jit.create_backend(config, self.ndim, backend)
+        if self.backend is not None:
+            self.seconds["jit_sweep"] = 0.0
+            self.seconds["jit_dt"] = 0.0
 
     # -- counters -------------------------------------------------------
 
@@ -142,7 +155,7 @@ class StepEngine:
 
     def counters(self) -> Dict[str, object]:
         """Snapshot of all phase/operation counters (JSON-friendly)."""
-        return {
+        counters: Dict[str, object] = {
             "steps": self.steps_taken,
             "rhs_evaluations": self.rhs_evaluations,
             "primitive_conversions": self.primitive_conversions,
@@ -152,7 +165,11 @@ class StepEngine:
             "dt_eigen_passes": self.dt_eigen_passes,
             "dt_fused_strips": self.dt_fused_strips,
             "seconds": dict(self.seconds),
+            "backend": "numpy" if self.backend is None else self.backend.name,
         }
+        if self.backend is not None:
+            counters["jit"] = self.backend.stats()
+        return counters
 
     # -- tiling ---------------------------------------------------------
 
@@ -167,9 +184,17 @@ class StepEngine:
             cross = 1
             for extent in padded_shape[1:-1]:
                 cross *= extent
-            row_bytes = tiling.sweep_row_bytes(
-                cross, padded_shape[-1], self.config, self.ghost_cells
-            )
+            if self.backend is not None:
+                # The compiled sweep materialises no per-ufunc
+                # intermediates, so a strip's working set is far
+                # smaller; strips grow to fill the same budget.
+                row_bytes = tiling.jit_sweep_row_bytes(
+                    cross, padded_shape[-1], self.ghost_cells
+                )
+            else:
+                row_bytes = tiling.sweep_row_bytes(
+                    cross, padded_shape[-1], self.config, self.ghost_cells
+                )
             plan = tiling.plan_tiles(n_cells, row_bytes, self.tile_bytes)
             self._tile_plans[key] = plan
         return plan
@@ -253,6 +278,11 @@ class StepEngine:
         strip_maxima = ws.array("engine.dt_strip_max", (len(plan.tiles),))
         for index, tile in enumerate(plan.tiles):
             rows = slice(tile.start, tile.stop)
+            if self.backend is not None and self.backend.dt_strip(
+                self, u[rows], target[rows], strip_maxima[index : index + 1]
+            ):
+                self.tiles_processed += 1
+                continue
             started = perf_counter()
             state.primitive_from_conservative(
                 u[rows], gamma, out=target[rows], work=ws
@@ -350,7 +380,10 @@ class StepEngine:
         """
         self._fill_boundaries(padded, low_spec, high_spec)
         plan = self._sweep_plan(padded.shape)
+        backend = self.backend
         if plan is None:
+            if backend is not None and backend.sweep(self, padded, spacing, out):
+                return
             flux = self._face_fluxes(padded)
             started = perf_counter()
             np.subtract(flux[1:], flux[:-1], out=out)
@@ -360,9 +393,15 @@ class StepEngine:
             return
         ng = self.ghost_cells
         for tile in plan.tiles:
-            flux = self._face_fluxes(padded[tile.start : tile.stop + 2 * ng])
-            started = perf_counter()
+            padded_strip = padded[tile.start : tile.stop + 2 * ng]
             target = out[tile.start : tile.stop]
+            if backend is not None and backend.sweep(
+                self, padded_strip, spacing, target
+            ):
+                self.tiles_processed += 1
+                continue
+            flux = self._face_fluxes(padded_strip)
+            started = perf_counter()
             np.subtract(flux[1:], flux[:-1], out=target)
             np.negative(target, out=target)
             np.divide(target, spacing, out=target)
@@ -390,23 +429,30 @@ class StepEngine:
         """
         self._fill_boundaries(oriented_padded, low_spec, high_spec)
         plan = self._sweep_plan(oriented_padded.shape)
+        ng = self.ghost_cells
+        backend = self.backend
         if plan is None:
             strips = ((None, oriented_padded),)
         else:
-            ng = self.ghost_cells
             strips = (
                 (tile, oriented_padded[tile.start : tile.stop + 2 * ng])
                 for tile in plan.tiles
             )
         for tile, padded_strip in strips:
-            flux = self._face_fluxes(padded_strip)
-            started = perf_counter()
             contribution = self.workspace.array(
-                "engine.contribution_y", (flux.shape[0] - 1,) + flux.shape[1:]
+                "engine.contribution_y",
+                (padded_strip.shape[0] - 2 * ng,) + padded_strip.shape[1:],
             )
-            np.subtract(flux[1:], flux[:-1], out=contribution)
-            np.negative(contribution, out=contribution)
-            np.divide(contribution, spacing, out=contribution)
+            if backend is None or not backend.sweep(
+                self, padded_strip, spacing, contribution
+            ):
+                flux = self._face_fluxes(padded_strip)
+                started = perf_counter()
+                np.subtract(flux[1:], flux[:-1], out=contribution)
+                np.negative(contribution, out=contribution)
+                np.divide(contribution, spacing, out=contribution)
+                self.seconds["difference"] += perf_counter() - started
+            started = perf_counter()
             # moveaxis generalizes the (rows, nx, 4) -> (nx, rows, 4)
             # transpose to any leading batch axes: (rows, B, nx, 4)
             # becomes (B, nx, rows, 4), matching the global-layout view.
@@ -517,6 +563,8 @@ class StepEngine:
             + seconds["reconstruct"]
             + seconds["riemann"]
             + seconds["difference"]
+            + seconds.get("jit_sweep", 0.0)
+            + seconds.get("jit_dt", 0.0)
         )
 
 
@@ -566,11 +614,14 @@ class BatchEngine(StepEngine):
         spacing: Sequence[float],
         config,
         member_boundaries=None,
+        backend: Optional[str] = None,
     ):
         batch = int(batch)
         if batch < 1:
             raise ConfigurationError(f"batch size must be >= 1, got {batch}")
-        super().__init__(member_shape, spacing, config, boundaries=None)
+        super().__init__(
+            member_shape, spacing, config, boundaries=None, backend=backend
+        )
         self.batch = batch
         #: Shape of one member's state; ``grid_shape`` is the full stack.
         self.member_shape = self.grid_shape
@@ -651,6 +702,13 @@ class BatchEngine(StepEngine):
             plan = self._dt_plan(u.shape)
             for tile in plan.tiles:
                 rows = slice(tile.start, tile.stop)
+                # One group per member: the compiled reduction mirrors
+                # member_max_eigenvalues' per-member max exactly.
+                if self.backend is not None and self.backend.dt_strip(
+                    self, u[rows], target[rows], maxima[rows]
+                ):
+                    self.tiles_processed += 1
+                    continue
                 started = perf_counter()
                 state.primitive_from_conservative(
                     u[rows], gamma, out=target[rows], work=ws

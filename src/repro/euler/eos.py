@@ -71,3 +71,35 @@ def internal_energy(rho, p, gamma: float = GAMMA):
 def entropy(rho, p, gamma: float = GAMMA):
     """Entropy function ``s = p / rho^gamma`` (constant across rarefactions)."""
     return p / rho**gamma
+
+
+# -- kernel-IR emitters (repro.jit) -------------------------------------
+#
+# Scalar mirrors of the in-place (`out=`) formulations above, one IR op
+# per ufunc application in the same order, so the compiled kernels stay
+# bit-for-bit with the NumPy path.  ``b`` is a
+# :class:`repro.jit.ir.IRBuilder`; arguments and returns are SSA values.
+# ``gm1`` is the prebuilt ``gamma - 1.0`` value (the NumPy path folds it
+# as a Python scalar once per call; the kernels compute it once per
+# kernel).
+
+
+def emit_pressure(b, kinetic, total_energy_value, gm1):
+    """IR mirror of :func:`pressure` (the ``out=`` branch)."""
+    out = b.sub(total_energy_value, kinetic)
+    return b.mul(out, gm1)
+
+
+def emit_total_energy(b, rho, velocity_squared, p, gm1):
+    """IR mirror of :func:`total_energy` (the ``out=`` branch)."""
+    out = b.div(p, gm1)
+    scratch = b.mul(rho, 0.5)
+    scratch = b.mul(scratch, velocity_squared)
+    return b.add(out, scratch)
+
+
+def emit_sound_speed(b, rho, p, gamma):
+    """IR mirror of :func:`sound_speed` (the ``out=`` branch)."""
+    out = b.mul(p, gamma)
+    out = b.div(out, rho)
+    return b.sqrt(out)

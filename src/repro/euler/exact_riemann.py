@@ -49,13 +49,14 @@ class StarStateCache:
     The exact solver costs a Newton iteration per (left, right) pair;
     a service answering many requests over the canonical problems
     re-solves the same handful of pairs endlessly.  Entries are keyed
-    on the left/right primitive states rounded to ``decimals`` decimal
-    digits (plus gamma and the iteration controls), so bitwise-repeated
-    queries hit — and return the *identical* :class:`StarRegion`
-    object computed on the miss, keeping memoized results bit-exact
-    for repeated inputs.  Distinct inputs that collide after rounding
-    share an entry; ``decimals=12`` keeps that a deliberate tolerance,
-    not an accident.
+    on the *exact bit patterns* (``float.hex()``) of the left/right
+    primitive states plus gamma and the iteration controls, so only
+    bitwise-identical queries hit — and a hit returns the *identical*
+    :class:`StarRegion` object computed on the miss, keeping memoized
+    results bit-exact.  (Keys used to round to ``decimals`` digits;
+    states differing below the grid then silently shared a star state —
+    a wrong answer, not a tolerance.  ``decimals`` is retained for
+    construction compatibility and stats but no longer quantizes keys.)
 
     Bounded LRU: at most ``max_entries`` stars are retained; the
     ``hits``/``misses``/``evictions`` counters are surfaced through the
@@ -89,11 +90,16 @@ class StarStateCache:
         tolerance: float,
         max_iterations: int,
     ) -> Tuple:
-        r = self.decimals
+        # Exact bit patterns, not rounded values: keys built with
+        # round(x, decimals) made states differing below the rounding
+        # grid share an entry, so the second query silently returned
+        # the *first* query's star region — a wrong answer dressed up
+        # as a tolerance.  float.hex() is a lossless encoding, so only
+        # bitwise-identical inputs hit.
         return (
-            round(left.rho, r), round(left.u, r), round(left.p, r),
-            round(right.rho, r), round(right.u, r), round(right.p, r),
-            round(gamma, r), repr(tolerance), int(max_iterations),
+            float(left.rho).hex(), float(left.u).hex(), float(left.p).hex(),
+            float(right.rho).hex(), float(right.u).hex(), float(right.p).hex(),
+            float(gamma).hex(), repr(tolerance), int(max_iterations),
         )
 
     def lookup(self, key: Tuple) -> Optional[StarRegion]:

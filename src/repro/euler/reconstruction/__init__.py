@@ -5,9 +5,14 @@ from repro.euler.reconstruction.base import (
     reconstruct_component,
     stencil_views,
 )
-from repro.euler.reconstruction.limiters import LIMITERS, get_limiter
+from repro.euler.reconstruction.limiters import (
+    LIMITERS,
+    LIMITER_EMITTERS,
+    get_limiter,
+)
 from repro.euler.reconstruction.schemes import (
     get_scheme,
+    get_scheme_emitter,
     make_tvd2,
     piecewise_constant,
     tvd3,
@@ -23,8 +28,10 @@ __all__ = [
     "reconstruct_component",
     "stencil_views",
     "LIMITERS",
+    "LIMITER_EMITTERS",
     "get_limiter",
     "get_scheme",
+    "get_scheme_emitter",
     "make_tvd2",
     "piecewise_constant",
     "tvd3",

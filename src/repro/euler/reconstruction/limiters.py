@@ -136,11 +136,89 @@ def mc_into(a, b, out, work):
     return minmod3_into(central, twice_a, twice_b, out, work)
 
 
+# -- kernel-IR emitters (repro.jit) -------------------------------------
+#
+# Scalar mirrors of the ``*_into`` paths above, one IR op per ufunc in
+# the same order; masked copyto becomes ``select``.  ``b_`` names avoid
+# shadowing the forward-difference argument ``b``.
+
+
+def emit_minmod(b_, a, b):
+    """IR mirror of :func:`minmod_into`."""
+    signs = b_.sign(a)
+    scratch = b_.sign(b)
+    signs = b_.add(signs, scratch)
+    signs = b_.mul(signs, 0.5)
+    mags = b_.abs_(a)
+    scratch = b_.abs_(b)
+    mags = b_.minimum(mags, scratch)
+    return b_.mul(signs, mags)
+
+
+def emit_minmod3(b_, a, b, c):
+    """IR mirror of :func:`minmod3_into`."""
+    signs = b_.sign(a)
+    scratch = b_.sign(b)
+    agree = b_.eq(scratch, signs)
+    scratch = b_.sign(c)
+    mask = b_.eq(scratch, signs)
+    agree = b_.and_(agree, mask)
+    mags = b_.abs_(b)
+    scratch = b_.abs_(c)
+    mags = b_.minimum(mags, scratch)
+    scratch = b_.abs_(a)
+    mags = b_.minimum(scratch, mags)
+    mags = b_.mul(signs, mags)
+    return b_.select(agree, mags, 0.0)
+
+
+def emit_superbee(b_, a, b):
+    """IR mirror of :func:`superbee_into`."""
+    doubled = b_.mul(a, 2.0)
+    s1 = emit_minmod(b_, doubled, b)
+    doubled = b_.mul(b, 2.0)
+    s2 = emit_minmod(b_, a, doubled)
+    mag1 = b_.abs_(s1)
+    mag2 = b_.abs_(s2)
+    mask = b_.gt(mag1, mag2)
+    return b_.select(mask, s1, s2)
+
+
+def emit_van_leer(b_, a, b):
+    """IR mirror of :func:`van_leer_into`."""
+    product = b_.mul(a, b)
+    safe = b_.add(a, b)
+    mask = b_.eq(safe, 0.0)
+    safe = b_.select(mask, 1.0, safe)
+    ratio = b_.mul(product, 2.0)
+    ratio = b_.div(ratio, safe)
+    mask = b_.gt(product, 0.0)
+    return b_.select(mask, ratio, 0.0)
+
+
+def emit_mc(b_, a, b):
+    """IR mirror of :func:`mc_into`."""
+    central = b_.add(a, b)
+    central = b_.mul(central, 0.5)
+    twice_a = b_.mul(a, 2.0)
+    twice_b = b_.mul(b, 2.0)
+    return emit_minmod3(b_, central, twice_a, twice_b)
+
+
 LIMITERS = {
     "minmod": minmod,
     "superbee": superbee,
     "vanleer": van_leer,
     "mc": mc,
+}
+
+#: IR emitters, same keys as :data:`LIMITERS` — the jit specializer
+#: dispatches on the identical table the NumPy path uses.
+LIMITER_EMITTERS = {
+    "minmod": emit_minmod,
+    "superbee": emit_superbee,
+    "vanleer": emit_van_leer,
+    "mc": emit_mc,
 }
 
 LIMITERS_INTO = {

@@ -236,6 +236,136 @@ def _weno3_one_side_into(upwind, centre, downwind, out, work):
     return out
 
 
+# -- kernel-IR emitters (repro.jit) -------------------------------------
+#
+# Scalar mirrors of the ``out=`` paths above for one field at one face:
+# ``cells`` is the list of 2*ghost_cells stencil values (SSA names),
+# ordered like the stencil views; each emitter returns ``(left, right)``.
+# One IR op per ufunc application, same order, so the compiled kernels
+# stay bit-for-bit with NumPy.
+
+
+def emit_piecewise_constant(b, cells):
+    """IR mirror of :func:`piecewise_constant` (a pure copy)."""
+    return cells[0], cells[1]
+
+
+def _emit_muscl_states(b, cells, limiter_emit):
+    """IR mirror of :func:`_muscl_states_into`."""
+    ng = len(cells) // 2
+    left_cell = cells[ng - 1]
+    right_cell = cells[ng]
+    backward = b.sub(left_cell, cells[ng - 2])
+    central = b.sub(right_cell, left_cell)
+    left = limiter_emit(b, backward, central)
+    left = b.mul(left, 0.5)
+    left = b.add(left_cell, left)
+    backward = b.sub(cells[ng + 1], right_cell)
+    right = limiter_emit(b, central, backward)
+    right = b.mul(right, 0.5)
+    right = b.sub(right_cell, right)
+    return left, right
+
+
+def make_emit_tvd2(limiter_name: str = "minmod"):
+    """IR mirror of :func:`make_tvd2`: bind the named limiter's emitter."""
+    limiter_emit = _limiters.LIMITER_EMITTERS[limiter_name]
+
+    def emit_tvd2(b, cells):
+        return _emit_muscl_states(b, cells, limiter_emit)
+
+    return emit_tvd2
+
+
+def emit_tvd3(b, cells):
+    """IR mirror of the ``out=`` branch of :func:`tvd3`."""
+    kappa = _TVD3_KAPPA
+    compression = _TVD3_B
+    ng = len(cells) // 2
+    left_cell = cells[ng - 1]
+    right_cell = cells[ng]
+    backward = b.sub(left_cell, cells[ng - 2])   # dm_left
+    central = b.sub(right_cell, left_cell)       # dp_left (== dm_right)
+    scaled = b.mul(central, compression)
+    left = _limiters.emit_minmod(b, backward, scaled)
+    left = b.mul(left, 1.0 - kappa)
+    scaled = b.mul(backward, compression)
+    slope = _limiters.emit_minmod(b, central, scaled)
+    slope = b.mul(slope, 1.0 + kappa)
+    left = b.add(left, slope)
+    left = b.mul(left, 0.25)
+    left = b.add(left_cell, left)
+
+    backward = b.sub(cells[ng + 1], right_cell)  # dp_right
+    scaled = b.mul(central, compression)
+    right = _limiters.emit_minmod(b, backward, scaled)
+    right = b.mul(right, 1.0 - kappa)
+    scaled = b.mul(backward, compression)
+    slope = _limiters.emit_minmod(b, central, scaled)
+    slope = b.mul(slope, 1.0 + kappa)
+    right = b.add(right, slope)
+    right = b.mul(right, 0.25)
+    right = b.sub(right_cell, right)
+    return left, right
+
+
+def _emit_weno3_one_side(b, upwind, centre, downwind):
+    """IR mirror of :func:`_weno3_one_side_into` (``np.power(x, 2)`` is
+    NumPy's ``x * x`` fast path, mirrored as a multiply)."""
+    weight0 = b.sub(centre, upwind)
+    weight0 = b.mul(weight0, weight0)            # beta0
+    weight1 = b.sub(downwind, centre)
+    weight1 = b.mul(weight1, weight1)            # beta1
+    weight0 = b.add(weight0, WENO_EPSILON)
+    weight0 = b.mul(weight0, weight0)
+    weight0 = b.div(1.0 / 3.0, weight0)          # alpha0
+    weight1 = b.add(weight1, WENO_EPSILON)
+    weight1 = b.mul(weight1, weight1)
+    weight1 = b.div(2.0 / 3.0, weight1)          # alpha1
+    scratch = b.add(weight0, weight1)
+    weight0 = b.div(weight0, scratch)            # weight0
+    weight1 = b.sub(1.0, weight0)                # weight1
+    candidate = b.mul(centre, 1.5)
+    scratch = b.mul(upwind, 0.5)
+    candidate = b.sub(candidate, scratch)        # candidate0
+    out = b.mul(weight0, candidate)
+    candidate = b.mul(centre, 0.5)
+    scratch = b.mul(downwind, 0.5)
+    candidate = b.add(candidate, scratch)        # candidate1
+    candidate = b.mul(weight1, candidate)
+    return b.add(out, candidate)
+
+
+def emit_weno3(b, cells):
+    """IR mirror of the ``out=`` branch of :func:`weno3`."""
+    ng = len(cells) // 2
+    far_left, left_cell, right_cell, far_right = (
+        cells[ng - 2],
+        cells[ng - 1],
+        cells[ng],
+        cells[ng + 1],
+    )
+    left = _emit_weno3_one_side(b, far_left, left_cell, right_cell)
+    right = _emit_weno3_one_side(b, far_right, right_cell, left_cell)
+    return left, right
+
+
+def get_scheme_emitter(name: str, limiter: str = "minmod"):
+    """IR-emitter twin of :func:`get_scheme` — same names, same limiter
+    rule (only ``tvd2`` consults it)."""
+    if name == "pc":
+        return emit_piecewise_constant
+    if name == "tvd2":
+        return make_emit_tvd2(limiter)
+    if name == "tvd3":
+        return emit_tvd3
+    if name == "weno3":
+        return emit_weno3
+    raise ConfigurationError(
+        f"unknown reconstruction {name!r} (known: pc, tvd2, tvd3, weno3)"
+    )
+
+
 def get_scheme(name: str, limiter: str = "minmod"):
     """Look up a reconstruction scheme by name.
 

@@ -17,16 +17,25 @@ numerical flux in the matching conservative layout.
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
-from repro.euler.riemann.rusanov import rusanov_flux
-from repro.euler.riemann.hll import hll_flux
-from repro.euler.riemann.hllc import hllc_flux
-from repro.euler.riemann.roe import roe_flux
+from repro.euler.riemann.rusanov import rusanov_flux, emit_rusanov
+from repro.euler.riemann.hll import hll_flux, emit_hll
+from repro.euler.riemann.hllc import hllc_flux, emit_hllc
+from repro.euler.riemann.roe import roe_flux, emit_roe
 
 RIEMANN_SOLVERS = {
     "rusanov": rusanov_flux,
     "hll": hll_flux,
     "hllc": hllc_flux,
     "roe": roe_flux,
+}
+
+# Kernel-IR emitters for repro.jit, keyed by the same names as the
+# NumPy solvers so a compiled specialization always shadows an oracle.
+RIEMANN_EMITTERS = {
+    "rusanov": emit_rusanov,
+    "hll": emit_hll,
+    "hllc": emit_hllc,
+    "roe": emit_roe,
 }
 
 
@@ -41,9 +50,22 @@ def get_riemann_solver(name: str):
         ) from None
 
 
+def get_riemann_emitter(name: str):
+    """Kernel-IR emitter matching :func:`get_riemann_solver`."""
+    try:
+        return RIEMANN_EMITTERS[name]
+    except KeyError:
+        known = ", ".join(sorted(RIEMANN_EMITTERS))
+        raise ConfigurationError(
+            f"unknown Riemann solver {name!r} (known: {known})"
+        ) from None
+
+
 __all__ = [
     "RIEMANN_SOLVERS",
+    "RIEMANN_EMITTERS",
     "get_riemann_solver",
+    "get_riemann_emitter",
     "rusanov_flux",
     "hll_flux",
     "hllc_flux",

@@ -65,3 +65,36 @@ def signal_speeds(
         np.add(scratch, c_right, out=scratch)
         np.maximum(smax, scratch, out=smax)
     return davis, smax
+
+
+def emit_signal_speeds(b, left, right, gamma, *, davis=False, smax=False):
+    """Kernel-IR mirror of :func:`signal_speeds` (repro.jit).
+
+    ``left``/``right`` are lists of primitive field SSA values; returns
+    ``(s_left, s_right)``, ``smax_value`` or ``((s_left, s_right),
+    smax_value)`` depending on what was requested — same one-pass sound
+    speeds, same op order.
+    """
+    if not davis and not smax:
+        raise ValueError("emit_signal_speeds needs davis and/or smax")
+    c_left = eos.emit_sound_speed(b, left[0], left[-1], gamma)
+    c_right = eos.emit_sound_speed(b, right[0], right[-1], gamma)
+    davis_out = None
+    if davis:
+        s_left = b.sub(left[1], c_left)
+        scratch = b.sub(right[1], c_right)
+        s_left = b.minimum(s_left, scratch)
+        s_right = b.add(left[1], c_left)
+        scratch = b.add(right[1], c_right)
+        s_right = b.maximum(s_right, scratch)
+        davis_out = (s_left, s_right)
+    smax_out = None
+    if smax:
+        smax_out = b.abs_(left[1])
+        smax_out = b.add(smax_out, c_left)
+        scratch = b.abs_(right[1])
+        scratch = b.add(scratch, c_right)
+        smax_out = b.maximum(smax_out, scratch)
+    if davis and smax:
+        return davis_out, smax_out
+    return davis_out if davis else smax_out

@@ -93,3 +93,38 @@ def hll_flux(
     np.less_equal(s_right, 0.0, out=mask)
     np.copyto(out, flux_right, where=mask[..., None])
     return out
+
+
+def emit_hll(b, left, right, gamma, gm1):
+    """Kernel-IR mirror of the in-place :func:`hll_flux` (repro.jit)."""
+    flux_left = state.emit_physical_flux(b, left, gm1)
+    flux_right = state.emit_physical_flux(b, right, gm1)
+    u_left = state.emit_conservative_from_primitive(b, left, gm1)
+    u_right = state.emit_conservative_from_primitive(b, right, gm1)
+    s_left, s_right = emit_davis(b, left, right, gamma)
+
+    denominator = b.sub(s_right, s_left)
+    mask = b.eq(denominator, 0.0)
+    denominator = b.select(mask, 1.0, denominator)
+
+    hll = [b.mul(s_right, fl) for fl in flux_left]
+    scaled = [b.mul(s_left, fr) for fr in flux_right]
+    hll = [b.sub(h, sc) for h, sc in zip(hll, scaled)]
+    slsr = b.mul(s_left, s_right)
+    du = [b.sub(ur, ul) for ul, ur in zip(u_left, u_right)]
+    du = [b.mul(slsr, d) for d in du]
+    hll = [b.add(h, d) for h, d in zip(hll, du)]
+    hll = [b.div(h, denominator) for h in hll]
+
+    left_mask = b.ge(s_left, 0.0)
+    right_mask = b.le(s_right, 0.0)
+    out = [b.select(left_mask, fl, h) for fl, h in zip(flux_left, hll)]
+    return [b.select(right_mask, fr, f) for fr, f in zip(flux_right, out)]
+
+
+def emit_davis(b, left, right, gamma):
+    """Kernel-IR mirror of :func:`wave_speed_estimates` (the in-place
+    path delegates to the fused signal-speed kernel)."""
+    from repro.euler.riemann.fused import emit_signal_speeds
+
+    return emit_signal_speeds(b, left, right, gamma, davis=True)

@@ -319,3 +319,155 @@ def roe_flux(
     np.multiply(dissipation, 0.5, out=dissipation)
     np.subtract(out, dissipation, out=out)
     return out
+
+
+# -- kernel-IR emitters (repro.jit) -------------------------------------
+
+
+def _emit_side_enthalpy(b, prim, gm1):
+    """Kernel-IR mirror of :func:`_side_enthalpy_into`."""
+    rho = prim[0]
+    p = prim[-1]
+    q2 = b.mul(prim[1], prim[1])
+    if len(prim) == 4:
+        scratch = b.mul(prim[2], prim[2])
+        q2 = b.add(q2, scratch)
+    scratch = b.mul(rho, 0.5)
+    scratch = b.mul(scratch, q2)
+    out = b.div(p, gm1)
+    out = b.add(out, scratch)
+    out = b.add(out, p)
+    return b.div(out, rho)
+
+
+def _emit_roe_average(b, left, right, gm1):
+    """Kernel-IR mirror of :func:`_roe_average_into`."""
+    nfields = len(left)
+    sqrt_l = b.sqrt(left[0])
+    sqrt_r = b.sqrt(right[0])
+    weight = b.add(sqrt_l, sqrt_r)
+    weight = b.div(1.0, weight)
+
+    velocities = []
+    for field in range(1, nfields - 1):
+        v = b.mul(sqrt_l, left[field])
+        scratch = b.mul(sqrt_r, right[field])
+        v = b.add(v, scratch)
+        velocities.append(b.mul(v, weight))
+
+    h_side = _emit_side_enthalpy(b, left, gm1)
+    enthalpy = b.mul(sqrt_l, h_side)
+    h_side = _emit_side_enthalpy(b, right, gm1)
+    h_side = b.mul(sqrt_r, h_side)
+    enthalpy = b.add(enthalpy, h_side)
+    enthalpy = b.mul(enthalpy, weight)
+
+    q2 = b.mul(velocities[0], velocities[0])
+    if len(velocities) == 2:
+        scratch = b.mul(velocities[1], velocities[1])
+        q2 = b.add(q2, scratch)
+    sound = b.mul(q2, 0.5)
+    sound = b.sub(enthalpy, sound)
+    sound = b.mul(sound, gm1)
+    sound = b.maximum(sound, 1e-14)
+    sound = b.sqrt(sound)
+    return velocities, enthalpy, sound, q2
+
+
+def _emit_entropy_fix(b, eigenvalue, sound):
+    """Kernel-IR mirror of :func:`_entropy_fix_into`."""
+    delta = b.mul(sound, 0.1)
+    fixed = b.mul(eigenvalue, eigenvalue)
+    fixed = b.div(fixed, delta)
+    fixed = b.add(fixed, delta)
+    fixed = b.mul(fixed, 0.5)
+    magnitude = b.abs_(eigenvalue)
+    mask = b.lt(magnitude, delta)
+    return b.select(mask, fixed, magnitude)
+
+
+def _emit_add_wave(b, dissipation, magnitude, strength, components):
+    """Kernel-IR mirror of :func:`_add_wave` — scalar eigenvector entries
+    (1.0/0.0) keep their multiply, exactly like the array path."""
+    scale = b.mul(magnitude, strength)
+    for field, component in enumerate(components):
+        term = b.mul(scale, component)
+        dissipation[field] = b.add(dissipation[field], term)
+
+
+def emit_roe(b, left, right, gamma, gm1):
+    """Kernel-IR mirror of the in-place :func:`roe_flux` (repro.jit)."""
+    nfields = len(left)
+    flux_left = state.emit_physical_flux(b, left, gm1)
+    flux_right = state.emit_physical_flux(b, right, gm1)
+    u_left = state.emit_conservative_from_primitive(b, left, gm1)
+    u_right = state.emit_conservative_from_primitive(b, right, gm1)
+    du = [b.sub(ur, ul) for ul, ur in zip(u_left, u_right)]
+    dissipation = [b.const(0.0) for _ in range(nfields)]
+
+    velocities, enthalpy, sound, q2 = _emit_roe_average(b, left, right, gm1)
+    u_hat = velocities[0]
+
+    coeff = b.mul(sound, sound)
+    coeff = b.div(gm1, coeff)
+    um = b.sub(u_hat, sound)
+    up = b.add(u_hat, sound)
+    t = b.mul(u_hat, sound)
+    hm = b.sub(enthalpy, t)
+    hp = b.add(enthalpy, t)
+    halfq2 = b.mul(q2, 0.5)
+
+    if nfields == 4:
+        v_hat = velocities[1]
+        t = b.mul(v_hat, du[0])
+        alpha_shear = b.sub(du[2], t)
+        t = b.mul(alpha_shear, v_hat)
+        last_delta = b.sub(du[3], t)
+    else:
+        last_delta = du[2]
+
+    t = b.mul(u_hat, u_hat)
+    t = b.sub(enthalpy, t)
+    t = b.mul(du[0], t)
+    s = b.mul(u_hat, du[1])
+    t = b.add(t, s)
+    t = b.sub(t, last_delta)
+    alpha2 = b.mul(coeff, t)
+    t = b.mul(du[0], up)
+    t = b.sub(t, du[1])
+    s = b.mul(sound, alpha2)
+    t = b.sub(t, s)
+    s = b.mul(sound, 2.0)
+    alpha1 = b.div(t, s)
+    t = b.add(alpha1, alpha2)
+    alpha_last = b.sub(du[0], t)
+
+    if nfields == 3:
+        magnitude = _emit_entropy_fix(b, um, sound)
+        _emit_add_wave(b, dissipation, magnitude, alpha1, [1.0, um, hm])
+        magnitude = b.abs_(u_hat)
+        _emit_add_wave(b, dissipation, magnitude, alpha2, [1.0, u_hat, halfq2])
+        magnitude = _emit_entropy_fix(b, up, sound)
+        _emit_add_wave(b, dissipation, magnitude, alpha_last, [1.0, up, hp])
+    else:
+        magnitude = _emit_entropy_fix(b, um, sound)
+        _emit_add_wave(
+            b, dissipation, magnitude, alpha1, [1.0, um, v_hat, hm]
+        )
+        magnitude = b.abs_(u_hat)
+        _emit_add_wave(
+            b, dissipation, magnitude, alpha2, [1.0, u_hat, v_hat, halfq2]
+        )
+        magnitude = b.abs_(u_hat)
+        _emit_add_wave(
+            b, dissipation, magnitude, alpha_shear, [0.0, 0.0, 1.0, v_hat]
+        )
+        magnitude = _emit_entropy_fix(b, up, sound)
+        _emit_add_wave(
+            b, dissipation, magnitude, alpha_last, [1.0, up, v_hat, hp]
+        )
+
+    out = [b.add(fl, fr) for fl, fr in zip(flux_left, flux_right)]
+    out = [b.mul(f, 0.5) for f in out]
+    diss = [b.mul(d, 0.5) for d in dissipation]
+    return [b.sub(f, d) for f, d in zip(out, diss)]

@@ -61,3 +61,25 @@ def rusanov_flux(
     np.multiply(smax[..., None], u_right, out=u_right)
     np.subtract(out, u_right, out=out)
     return out
+
+
+def emit_rusanov(b, left, right, gamma, gm1):
+    """Kernel-IR mirror of the in-place :func:`rusanov_flux` (repro.jit).
+
+    ``left``/``right`` are lists of primitive field SSA values; returns
+    the flux field values, one IR op per ufunc in the same order.
+    """
+    from repro.euler.riemann.fused import emit_signal_speeds
+
+    flux_left = state.emit_physical_flux(b, left, gm1)
+    flux_right = state.emit_physical_flux(b, right, gm1)
+    u_left = state.emit_conservative_from_primitive(b, left, gm1)
+    u_right = state.emit_conservative_from_primitive(b, right, gm1)
+    smax = emit_signal_speeds(b, left, right, gamma, smax=True)
+
+    out = [b.add(fl, fr) for fl, fr in zip(flux_left, flux_right)]
+    out = [b.mul(f, 0.5) for f in out]
+    smax = b.mul(smax, 0.5)
+    du = [b.sub(ur, ul) for ul, ur in zip(u_left, u_right)]
+    du = [b.mul(smax, d) for d in du]
+    return [b.sub(f, d) for f, d in zip(out, du)]

@@ -199,6 +199,83 @@ def physical_flux(
     return out
 
 
+# -- kernel-IR emitters (repro.jit) -------------------------------------
+#
+# Scalar mirrors of the in-place (`out=`) conversion/flux paths above:
+# one IR op per ufunc application, same order, so compiled kernels stay
+# bit-for-bit with NumPy.  Each takes/returns lists of SSA field values
+# (length 3 in 1-D, 4 in 2-D); ``gm1`` is the prebuilt ``gamma - 1.0``.
+
+
+def emit_primitive_from_conservative(b, u, gm1):
+    """IR mirror of :func:`primitive_from_conservative` (``out=`` branch)."""
+    rho = u[0]
+    if len(u) == 3:
+        vel = b.div(u[1], rho)
+        kinetic = b.mul(rho, 0.5)
+        kinetic = b.mul(kinetic, vel)
+        kinetic = b.mul(kinetic, vel)
+        p = eos.emit_pressure(b, kinetic, u[2], gm1)
+        return [rho, vel, p]
+    vx = b.div(u[1], rho)
+    vy = b.div(u[2], rho)
+    v2 = b.mul(vx, vx)
+    kinetic = b.mul(vy, vy)
+    v2 = b.add(v2, kinetic)
+    kinetic = b.mul(rho, 0.5)
+    kinetic = b.mul(kinetic, v2)
+    p = eos.emit_pressure(b, kinetic, u[3], gm1)
+    return [rho, vx, vy, p]
+
+
+def emit_conservative_from_primitive(b, p, gm1):
+    """IR mirror of :func:`conservative_from_primitive` (``out=`` branch)."""
+    rho = p[0]
+    if len(p) == 3:
+        momentum = b.mul(rho, p[1])
+        v2 = b.mul(p[1], p[1])
+        energy = eos.emit_total_energy(b, rho, v2, p[2], gm1)
+        return [rho, momentum, energy]
+    mx = b.mul(rho, p[1])
+    my = b.mul(rho, p[2])
+    v2 = b.mul(p[1], p[1])
+    scratch = b.mul(p[2], p[2])
+    v2 = b.add(v2, scratch)
+    energy = eos.emit_total_energy(b, rho, v2, p[3], gm1)
+    return [rho, mx, my, energy]
+
+
+def emit_physical_flux(b, p, gm1):
+    """IR mirror of :func:`physical_flux` with ``axis_field=1`` (``out=``
+    branch) — the sweeps always orient the state so field 1 is the
+    normal velocity."""
+    rho = p[0]
+    pressure_value = p[-1]
+    if len(p) == 3:
+        vel = p[1]
+        v2 = b.mul(vel, vel)
+        energy = eos.emit_total_energy(b, rho, v2, pressure_value, gm1)
+        f0 = b.mul(rho, vel)
+        f1 = b.mul(f0, vel)
+        f1 = b.add(f1, pressure_value)
+        scratch = b.add(energy, pressure_value)
+        f2 = b.mul(vel, scratch)
+        return [f0, f1, f2]
+    vx = p[1]
+    vy = p[2]
+    v2 = b.mul(vx, vx)
+    scratch = b.mul(vy, vy)
+    v2 = b.add(v2, scratch)
+    energy = eos.emit_total_energy(b, rho, v2, pressure_value, gm1)
+    f0 = b.mul(rho, vx)
+    f1 = b.mul(f0, vx)
+    f2 = b.mul(f0, vy)
+    f1 = b.add(f1, pressure_value)
+    scratch = b.add(energy, pressure_value)
+    f3 = b.mul(vx, scratch)
+    return [f0, f1, f2, f3]
+
+
 def _cell_scratch(work, name: str, reference: np.ndarray) -> np.ndarray:
     """Per-cell scratch from a workspace, or a fresh array without one."""
     if work is None:

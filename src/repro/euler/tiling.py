@@ -42,6 +42,7 @@ __all__ = [
     "plan_tiles",
     "resolve_tile_bytes",
     "sweep_row_bytes",
+    "jit_sweep_row_bytes",
     "dt_row_bytes",
 ]
 
@@ -201,6 +202,27 @@ def sweep_row_bytes(
         field_rows += 2 * ghost_cells + 5
         cell_rows += 4 * nfields * nfields + 6
     return field_rows * field_row + cell_rows * cell_row
+
+
+def jit_sweep_row_bytes(
+    cross_cells: int,
+    nfields: int,
+    ghost_cells: int,
+    itemsize: int = 8,
+) -> int:
+    """Estimated live working-set bytes per sweep row for the compiled path.
+
+    The :class:`~repro.jit.backend.JitBackend` fuses the whole
+    ``reconstruct -> riemann -> difference`` chain into one pass per
+    face, so the only live rows are the ``2 * ghost_cells + 1`` padded
+    stencil rows, the streamed output row, and the two rolling flux-row
+    buffers — none of the NumPy path's per-ufunc intermediates exist.
+    Strips therefore grow to fill the same ``tile_bytes`` budget, and
+    tiling still bounds the working set (results are independent of the
+    strip decomposition either way; only locality changes).
+    """
+    field_row = max(1, cross_cells) * nfields * itemsize
+    return (2 * ghost_cells + 1 + 1 + 2) * field_row
 
 
 def dt_row_bytes(cross_cells: int, nfields: int, itemsize: int = 8) -> int:

@@ -1,0 +1,215 @@
+"""The ``KernelBackend`` the StepEngine dispatches through.
+
+A :class:`JitBackend` owns the compiled kernels for one engine's
+specialization and serves two strip-level operations:
+
+* :meth:`sweep` — the fused ``reconstruct -> riemann -> difference``
+  pass over one padded strip, writing the flux-difference rows;
+* :meth:`dt_strip` — the fused ``convert -> eigenvalue`` GetDT pass
+  over one strip, writing the primitive conversion and per-group
+  maxima.
+
+Both return ``False`` when they cannot serve the call — unsupported
+specialization, no compiler, unexpected dtype/layout — and the engine
+runs its NumPy oracle for exactly that strip.  Every fallback is
+counted by reason (:attr:`fallbacks`), so "silently slower" is at
+least never "silently unexplained".  An IR verification failure is
+*not* a fallback: it means an emitter produced malformed IR (a bug),
+and the :class:`~repro.errors.AnalysisError` propagates with the
+specialization named.
+
+Compilation happens lazily on the first served call and is cached
+across engines and processes (see :mod:`repro.jit.compile`); time spent
+is booked to the engine's ``jit_sweep``/``jit_dt`` phase counters.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from time import perf_counter
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.jit_verify import verify_kernel
+from repro.jit import codegen
+from repro.jit import compile as jit_compile
+from repro.jit.kernels import build_dt_ir, build_flux_ir, spec_from_config
+
+__all__ = ["JitBackend"]
+
+_DOUBLE_P = ctypes.POINTER(ctypes.c_double)
+
+
+def _ptr(array: np.ndarray):
+    return array.ctypes.data_as(_DOUBLE_P)
+
+
+class JitBackend:
+    """Compiled-kernel server for one ``(config, ndim)`` engine."""
+
+    name = "jit"
+
+    def __init__(self, config, ndim: int):
+        self.config = config
+        self.ndim = int(ndim)
+        self.spec, self.unsupported_reason = spec_from_config(config, ndim)
+        self.sweep_calls = 0
+        self.dt_calls = 0
+        #: Fallback reason -> count of strip calls the NumPy oracle served.
+        self.fallbacks: Dict[str, int] = {}
+        self._kernel: Optional[jit_compile.CompiledKernel] = None
+        self._compile_failure: Optional[str] = None
+
+    # -- kernel acquisition ---------------------------------------------
+
+    def _fallback(self, reason: str) -> bool:
+        self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+        return False
+
+    def _ensure_kernel(self) -> Optional[jit_compile.CompiledKernel]:
+        if self._kernel is not None:
+            return self._kernel
+        if self.spec is None or self._compile_failure is not None:
+            return None
+        spec = self.spec
+        label = spec.label()
+        flux_ir = build_flux_ir(spec)
+        dt_ir = build_dt_ir(spec)
+        # Emitter bugs surface here, by specialization — see module doc.
+        verify_kernel(flux_ir, label)
+        verify_kernel(dt_ir, label)
+        source = codegen.generate_source(spec, flux_ir, dt_ir)
+        try:
+            self._kernel = jit_compile.load_kernel(source, spec.ndim)
+        except jit_compile.CompileError as error:
+            self._compile_failure = f"compile failed: {error}"
+            return None
+        return self._kernel
+
+    def _unavailable_reason(self) -> str:
+        if self.unsupported_reason is not None:
+            return self.unsupported_reason
+        if self._compile_failure is not None:
+            return self._compile_failure
+        return "kernel unavailable"  # pragma: no cover - defensive
+
+    # -- strip operations -----------------------------------------------
+
+    def sweep(self, engine, padded: np.ndarray, spacing: float, out: np.ndarray) -> bool:
+        """Fused sweep over one padded strip into ``out``; False = use NumPy.
+
+        ``padded`` is ``(cells + 2 ng, cross..., F)`` in sweep layout;
+        ``out`` receives the ``cells`` flux-difference rows (any layout —
+        a non-contiguous target goes through contiguous scratch and one
+        exact ``copyto``).
+        """
+        kernel = self._ensure_kernel()
+        if kernel is None:
+            return self._fallback(self._unavailable_reason())
+        nfields = self.spec.nfields
+        cells = padded.shape[0] - 2 * self.spec.ghost_cells
+        if padded.dtype != np.float64 or out.dtype != np.float64:
+            return self._fallback("non-float64 state")
+        if not padded.flags.c_contiguous:
+            return self._fallback("non-contiguous padded strip")
+        if (
+            padded.shape[-1] != nfields
+            or cells < 1
+            or out.shape != (cells,) + padded.shape[1:]
+        ):
+            return self._fallback("unexpected strip geometry")
+        cross = 1
+        for extent in padded.shape[1:-1]:
+            cross *= extent
+
+        started = perf_counter()
+        workspace = engine.workspace
+        scratch = workspace.array("jit.flux_rows", (2, cross, nfields))
+        target = (
+            out
+            if out.flags.c_contiguous
+            else workspace.array("jit.sweep_out", (cells, cross, nfields))
+        )
+        kernel.sweep(
+            _ptr(padded),
+            _ptr(target),
+            _ptr(scratch),
+            cells,
+            cross,
+            float(self.config.gamma),
+            float(spacing),
+        )
+        if target is not out:
+            np.copyto(out, target.reshape(out.shape))
+        engine.seconds["jit_sweep"] += perf_counter() - started
+        self.sweep_calls += 1
+        return True
+
+    def dt_strip(
+        self,
+        engine,
+        u_strip: np.ndarray,
+        prim_strip: np.ndarray,
+        maxima_out: np.ndarray,
+    ) -> bool:
+        """Fused convert+GetDT over one strip; False = use NumPy.
+
+        Writes the primitive conversion into ``prim_strip`` (kept fresh
+        for RK stage 1, exactly like the NumPy path) and one max per
+        group into ``maxima_out`` — one group for a solo engine strip,
+        one per member for a batch strip.
+        """
+        kernel = self._ensure_kernel()
+        if kernel is None:
+            return self._fallback(self._unavailable_reason())
+        nfields = self.spec.nfields
+        if (
+            u_strip.dtype != np.float64
+            or prim_strip.dtype != np.float64
+            or maxima_out.dtype != np.float64
+        ):
+            return self._fallback("non-float64 state")
+        if not (
+            u_strip.flags.c_contiguous
+            and prim_strip.flags.c_contiguous
+            and maxima_out.flags.c_contiguous
+        ):
+            return self._fallback("non-contiguous dt strip")
+        groups = maxima_out.shape[0] if maxima_out.ndim == 1 else 0
+        cells = u_strip.size // nfields
+        if (
+            u_strip.shape != prim_strip.shape
+            or u_strip.shape[-1] != nfields
+            or groups < 1
+            or cells % groups != 0
+        ):
+            return self._fallback("unexpected strip geometry")
+
+        started = perf_counter()
+        kernel.dt(
+            _ptr(u_strip),
+            _ptr(prim_strip),
+            _ptr(maxima_out),
+            groups,
+            cells // groups,
+            float(self.config.gamma),
+            *(float(s) for s in engine.spacing),
+        )
+        engine.seconds["jit_dt"] += perf_counter() - started
+        self.dt_calls += 1
+        return True
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-friendly counter snapshot (engine counters / step trace)."""
+        snapshot: Dict[str, object] = {
+            "spec": self.spec.label() if self.spec is not None else None,
+            "compiled": self._kernel is not None,
+            "sweep_calls": self.sweep_calls,
+            "dt_calls": self.dt_calls,
+            "fallbacks": dict(self.fallbacks),
+        }
+        snapshot.update(jit_compile.compile_stats())
+        return snapshot

@@ -1,0 +1,212 @@
+"""Lowering verified kernel IR to C99.
+
+One translation unit per specialization, containing:
+
+* ``flux_point`` — the straight-line per-face flux function (the whole
+  ``reconstruct -> riemann`` chain for one face), inlined by the C
+  compiler into
+* ``repro_jit_sweep`` — the strip sweep: for each face row, compute
+  fluxes into one of two rolling row buffers (caller-provided scratch,
+  no allocation), then difference against the previous row exactly as
+  the NumPy path does (``d = f[j] - f[j-1]; d = -d; d = d / dx``);
+* ``dt_point`` + ``repro_jit_dt`` — the fused per-cell
+  convert+eigenvalue GetDT pass with a per-group NaN-propagating max
+  reduction (group = one strip for the solo engine, one member for the
+  batch engine).
+
+Bit-identity ground rules baked in here:
+
+* every SSA op lowers to exactly one C double operation; the build
+  flags (:data:`CFLAGS`) disable floating-point contraction so the
+  compiler cannot fuse a mirrored multiply+add into an FMA with
+  different rounding;
+* ``minimum``/``maximum`` lower to helpers with NumPy's loop semantics
+  (``(a < b || isnan(a)) ? a : b``) — *not* C ``fmin``/``fmax``, which
+  silently drop NaNs;
+* ``sign`` returns ``+0.0`` for both zeros and propagates NaN, matching
+  ``np.sign``;
+* constants are emitted as C99 hex-float literals, so the compiled
+  value is the exact Python double the NumPy path multiplies by;
+* the max reduction runs left to right from the first element —
+  ``max`` is order-independent for the reduction NumPy performs
+  (``np.max`` over the strip), and NaNs poison it in any order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.jit.ir import BOOL, KernelIR
+from repro.jit.kernels import KernelSpec
+
+__all__ = ["CFLAGS", "generate_source"]
+
+#: Compiler flags for the kernel shared objects.  ``-ffp-contract=off``
+#: is load-bearing: without it the compiler may fuse a*b+c into an FMA
+#: whose single rounding differs from NumPy's two.
+CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+_PRELUDE = """\
+#include <math.h>
+
+/* NumPy ufunc loop semantics, not C fmin/fmax (those drop NaNs). */
+static inline double nmin(double a, double b) {
+    return (a < b) || isnan(a) ? a : b;
+}
+static inline double nmax(double a, double b) {
+    return (a > b) || isnan(a) ? a : b;
+}
+/* np.sign: +-1 for nonzero, +0.0 for both zeros, NaN propagates. */
+static inline double nsign(double x) {
+    return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : (x == 0.0 ? 0.0 : x));
+}
+"""
+
+_BINOPS = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+_CMPOPS = {"eq": "==", "lt": "<", "gt": ">", "ge": ">=", "le": "<="}
+
+
+def _const_literal(value: float) -> str:
+    if value != value:  # pragma: no cover - emitters never emit NaN consts
+        raise ValueError("NaN constant in kernel IR")
+    return f"{float(value).hex()} /* {value!r} */"
+
+
+def _lower_op(op) -> str:
+    """One SSA op as one C declaration."""
+    ctype = "int" if op.dtype == BOOL else "double"
+    a = op.args
+    if op.opcode == "const":
+        expr = _const_literal(op.payload)
+    elif op.opcode == "param":
+        expr = str(op.payload)
+    elif op.opcode in _BINOPS:
+        expr = f"{a[0]} {_BINOPS[op.opcode]} {a[1]}"
+    elif op.opcode in _CMPOPS:
+        expr = f"{a[0]} {_CMPOPS[op.opcode]} {a[1]}"
+    elif op.opcode == "neg":
+        expr = f"-{a[0]}"
+    elif op.opcode == "abs":
+        expr = f"fabs({a[0]})"
+    elif op.opcode == "sqrt":
+        expr = f"sqrt({a[0]})"
+    elif op.opcode == "sign":
+        expr = f"nsign({a[0]})"
+    elif op.opcode == "minimum":
+        expr = f"nmin({a[0]}, {a[1]})"
+    elif op.opcode == "maximum":
+        expr = f"nmax({a[0]}, {a[1]})"
+    elif op.opcode == "and_":
+        expr = f"{a[0]} && {a[1]}"
+    elif op.opcode == "select":
+        expr = f"{a[0]} ? {a[1]} : {a[2]}"
+    else:  # pragma: no cover - verify_kernel rejects unknown opcodes
+        raise ValueError(f"cannot lower opcode {op.opcode!r}")
+    return f"    const {ctype} {op.name} = {expr};"
+
+
+def _point_function(
+    ir: KernelIR, fn_name: str, stores: Dict[str, str], tail_params: str
+) -> List[str]:
+    """The straight-line point function for one IR kernel.
+
+    ``stores`` maps output labels to C lvalues; ``tail_params`` are the
+    output-pointer parameters appended to the scalar inputs.
+    """
+    scalars = ", ".join(f"double {c_name}" for c_name, _ in ir.params)
+    lines = [f"static void {fn_name}({scalars}, {tail_params})", "{"]
+    for op in ir.ops:
+        lines.append(_lower_op(op))
+    for label, value in ir.outputs:
+        lines.append(f"    {stores[label]} = {value};")
+    lines.append("}")
+    return lines
+
+
+def generate_source(
+    spec: KernelSpec, flux_ir: KernelIR, dt_ir: KernelIR
+) -> str:
+    """The complete C translation unit for one specialization."""
+    nfields = spec.nfields
+    stencil = 2 * spec.ghost_cells
+    lines: List[str] = [
+        f"/* repro.jit specialization: {spec.label()} */",
+        _PRELUDE,
+    ]
+
+    flux_stores = {f"flux{f}": f"flux[{f}]" for f in range(nfields)}
+    lines += _point_function(
+        flux_ir, "flux_point", flux_stores, "double* restrict flux"
+    )
+
+    # Strip sweep: faces j = 0..cells over padded rows (cells + 2 ng,
+    # cross, F); out receives the cells difference rows.  Two rolling
+    # flux-row buffers live in caller scratch (2 * cross * F doubles).
+    face_args = ", ".join(
+        f"padded[(((j + {k}) * cross) + i) * {nfields} + {f}]"
+        for k in range(stencil)
+        for f in range(nfields)
+    )
+    lines += [
+        "",
+        "void repro_jit_sweep(const double* restrict padded,",
+        "                     double* restrict out,",
+        "                     double* restrict scratch,",
+        "                     long cells, long cross,",
+        "                     double gamma, double dx)",
+        "{",
+        f"    double* fprev = scratch;",
+        f"    double* fcur = scratch + cross * {nfields};",
+        "    for (long j = 0; j <= cells; ++j) {",
+        "        for (long i = 0; i < cross; ++i) {",
+        f"            flux_point({face_args}, gamma, fcur + i * {nfields});",
+        "        }",
+        "        if (j > 0) {",
+        f"            double* target = out + (j - 1) * cross * {nfields};",
+        f"            for (long m = 0; m < cross * {nfields}; ++m) {{",
+        "                double d = fcur[m] - fprev[m];",
+        "                d = -d;",
+        "                d = d / dx;",
+        "                target[m] = d;",
+        "            }",
+        "        }",
+        "        double* rotate = fprev; fprev = fcur; fcur = rotate;",
+        "    }",
+        "}",
+    ]
+
+    dt_stores = {f"prim{f}": f"prim[{f}]" for f in range(nfields)}
+    dt_stores["ev"] = "*ev"
+    lines.append("")
+    lines += _point_function(
+        dt_ir, "dt_point", dt_stores, "double* restrict prim, double* restrict ev"
+    )
+
+    spacing_params = ", ".join(f"double sp{axis}" for axis in range(spec.ndim))
+    cell_args = ", ".join(
+        f"ubase[c * {nfields} + {f}]" for f in range(nfields)
+    )
+    spacing_args = ", ".join(f"sp{axis}" for axis in range(spec.ndim))
+    lines += [
+        "",
+        "void repro_jit_dt(const double* restrict u,",
+        "                  double* restrict prim,",
+        "                  double* restrict group_max,",
+        "                  long groups, long cells_per_group,",
+        f"                  double gamma, {spacing_params})",
+        "{",
+        "    for (long g = 0; g < groups; ++g) {",
+        f"        const double* ubase = u + g * cells_per_group * {nfields};",
+        f"        double* pbase = prim + g * cells_per_group * {nfields};",
+        "        double m = 0.0;",
+        "        for (long c = 0; c < cells_per_group; ++c) {",
+        "            double ev;",
+        f"            dt_point({cell_args}, gamma, {spacing_args},",
+        f"                     pbase + c * {nfields}, &ev);",
+        "            m = c == 0 ? ev : nmax(m, ev);",
+        "        }",
+        "        group_max[g] = m;",
+        "    }",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"

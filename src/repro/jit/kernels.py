@@ -1,0 +1,200 @@
+"""Kernel specializations and their IR assembly.
+
+A :class:`KernelSpec` is the method tuple the engine's NumPy path
+dispatches on — ``(riemann, reconstruction, limiter, variables, dtype,
+ndim)``.  For a supported spec this module assembles two straight-line
+SSA kernels from the emitter functions that live next to the NumPy
+kernels they mirror:
+
+* the **flux kernel** — the whole per-face ``reconstruct -> riemann``
+  chain from one stencil of primitive cells to one numerical flux
+  vector (the difference step is applied by the codegen sweep
+  skeleton, see :mod:`repro.jit.codegen`);
+* the **dt kernel** — the fused per-cell ``convert -> eigenvalue``
+  GetDT integrand, including the primitive conversion the engine keeps
+  fresh for the first Runge-Kutta stage.
+
+Unsupported corners return a reason string instead of a spec and the
+engine keeps the NumPy oracle for them:
+
+* ``characteristic`` variables with a multi-cell stencil (the
+  eigenvector projection is not lowered; with ``pc``'s one-cell
+  stencil the projection is skipped by the NumPy path itself, so the
+  spec normalises to the bit-identical ``primitive`` kernel);
+* any dtype but float64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.euler import eos, state
+from repro.euler.reconstruction import get_scheme, get_scheme_emitter
+from repro.euler.riemann import get_riemann_emitter
+from repro.jit.ir import IRBuilder, KernelIR
+
+__all__ = [
+    "KernelSpec",
+    "spec_from_config",
+    "build_flux_ir",
+    "build_dt_ir",
+]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One compiled specialization (the cache key modulo dtype/rank)."""
+
+    riemann: str
+    reconstruction: str
+    limiter: str
+    variables: str
+    dtype: str
+    ndim: int
+
+    @property
+    def nfields(self) -> int:
+        return self.ndim + 2
+
+    @property
+    def ghost_cells(self) -> int:
+        return get_scheme(self.reconstruction, self.limiter).ghost_cells
+
+    def label(self) -> str:
+        """Human-readable name used in diagnostics and obs counters."""
+        return (
+            f"{self.riemann}/{self.reconstruction}/{self.limiter}/"
+            f"{self.variables}/{self.dtype}/{self.ndim}d"
+        )
+
+    def symbol(self) -> str:
+        """A C-identifier-safe stem for the generated functions."""
+        return (
+            f"{self.riemann}_{self.reconstruction}_{self.limiter}_"
+            f"{self.variables}_{self.ndim}d"
+        )
+
+
+def spec_from_config(config, ndim: int):
+    """``(spec, None)`` for a supported config, else ``(None, reason)``.
+
+    ``variables="characteristic"`` with a one-cell stencil normalises to
+    ``primitive``: :func:`~repro.euler.reconstruction.characteristic.
+    reconstruct_characteristic` skips the projection entirely for
+    ``ghost_cells == 1`` (piecewise-constant is basis-independent), so
+    the primitive kernel is bit-for-bit the NumPy characteristic path.
+    """
+    variables = config.variables
+    scheme = get_scheme(config.reconstruction, config.limiter)
+    if variables == "characteristic":
+        if scheme.ghost_cells > 1:
+            return None, (
+                "characteristic projection is not lowered for "
+                f"{config.reconstruction} (ghost_cells="
+                f"{scheme.ghost_cells}); NumPy path retained"
+            )
+        variables = "primitive"
+    spec = KernelSpec(
+        riemann=config.riemann,
+        reconstruction=config.reconstruction,
+        limiter=config.limiter,
+        variables=variables,
+        dtype="float64",
+        ndim=int(ndim),
+    )
+    return spec, None
+
+
+def build_flux_ir(spec: KernelSpec) -> KernelIR:
+    """Assemble the per-face flux kernel IR for ``spec``.
+
+    Inputs are the ``2 * ghost_cells`` stencil cells of *primitive*
+    fields (``c{k}_{f}``, ordered like
+    :func:`~repro.euler.reconstruction.base.stencil_views`) plus
+    ``gamma``; outputs are ``flux0..flux{F-1}``.  The emitters replay
+    the exact ufunc sequence of the engine's
+    ``reconstruct -> riemann`` chain for one face.
+    """
+    nfields = spec.nfields
+    stencil = 2 * spec.ghost_cells
+    b = IRBuilder(f"flux_{spec.symbol()}")
+    cells = [
+        [b.param(f"c{k}_{f}") for f in range(nfields)] for k in range(stencil)
+    ]
+    gamma = b.param("gamma")
+    gm1 = b.sub(gamma, 1.0)
+
+    scheme_emit = get_scheme_emitter(spec.reconstruction, spec.limiter)
+    if spec.variables == "primitive":
+        left, right = _reconstruct_fields(b, scheme_emit, cells, nfields)
+    elif spec.variables == "conservative":
+        # Mirror of the engine's conservative branch: convert the whole
+        # padded stencil, reconstruct componentwise in conservative
+        # space, convert the face states back.  The scalar conversion of
+        # a stencil cell produces the same bits every time it is
+        # recomputed, exactly like the array conversion of that cell.
+        cons_cells = [
+            state.emit_conservative_from_primitive(b, cell, gm1)
+            for cell in cells
+        ]
+        cons_left, cons_right = _reconstruct_fields(
+            b, scheme_emit, cons_cells, nfields
+        )
+        left = state.emit_primitive_from_conservative(b, cons_left, gm1)
+        right = state.emit_primitive_from_conservative(b, cons_right, gm1)
+    else:
+        raise ValueError(
+            f"unsupported variables mode {spec.variables!r} in {spec.label()}"
+        )
+
+    riemann_emit = get_riemann_emitter(spec.riemann)
+    flux = riemann_emit(b, left, right, gamma, gm1)
+    for field, value in enumerate(flux):
+        b.output(f"flux{field}", value)
+    return b.finish()
+
+
+def _reconstruct_fields(b, scheme_emit, cells, nfields):
+    """Componentwise reconstruction: each field's stencil through the
+    scheme independently (fields are elementwise-independent in the
+    NumPy path, so per-field order is irrelevant to bit identity)."""
+    left = []
+    right = []
+    for field in range(nfields):
+        stencil = [cell[field] for cell in cells]
+        left_value, right_value = scheme_emit(b, stencil)
+        left.append(left_value)
+        right.append(right_value)
+    return left, right
+
+
+def build_dt_ir(spec: KernelSpec) -> KernelIR:
+    """Assemble the fused per-cell convert+GetDT kernel IR for ``spec``.
+
+    Inputs are the conservative fields ``u0..u{F-1}``, ``gamma`` and the
+    spacings ``sp0``/``sp1``; outputs the primitive fields
+    ``prim0..prim{F-1}`` (the engine keeps the converted strip fresh for
+    RK stage 1) and the eigenvalue integrand ``ev`` — mirrors of
+    :func:`repro.euler.state.primitive_from_conservative` and
+    :func:`repro.euler.timestep.eigenvalues_into`.
+    """
+    nfields = spec.nfields
+    b = IRBuilder(f"dt_{spec.symbol()}")
+    u = [b.param(f"u{f}") for f in range(nfields)]
+    gamma = b.param("gamma")
+    spacings = [b.param(f"sp{axis}") for axis in range(spec.ndim)]
+    gm1 = b.sub(gamma, 1.0)
+
+    prim = state.emit_primitive_from_conservative(b, u, gm1)
+    sound = eos.emit_sound_speed(b, prim[0], prim[-1], gamma)
+    ev = b.const(0.0)
+    for axis in range(spec.ndim):
+        scratch = b.abs_(prim[1 + axis])
+        scratch = b.add(scratch, sound)
+        scratch = b.div(scratch, spacings[axis])
+        ev = b.add(ev, scratch)
+
+    for field, value in enumerate(prim):
+        b.output(f"prim{field}", value)
+    b.output("ev", ev)
+    return b.finish()

@@ -65,6 +65,14 @@ class TraceRecord:
     #: (0 = untiled); see :mod:`repro.euler.tiling`.
     tiles: int = 0
     tile_bytes: int = 0
+    #: Kernel backend in use ("numpy" or "jit") and the process-wide
+    #: compile/cache counters from :mod:`repro.jit.compile` at record
+    #: time (cumulative snapshots, not per-step deltas — compilation
+    #: happens once per specialization, not per step).
+    backend: str = "numpy"
+    jit_compile_seconds: float = 0.0
+    jit_cache_hits: int = 0
+    jit_cache_misses: int = 0
 
     def to_json(self) -> Dict[str, object]:
         """A plain-dict form with only JSON-serialisable values.
@@ -198,10 +206,26 @@ class StepTrace:
             workers=int(getattr(solver, "workers", 1)),
             tiles=self._tiles_delta(solver),
             tile_bytes=int(getattr(solver, "tile_bytes", 0)),
+            **self._backend_snapshot(solver),
             **self._parallel_deltas(solver),
         )
         self.append(record)
         return record
+
+    @staticmethod
+    def _backend_snapshot(solver) -> Dict[str, object]:
+        """Backend name plus the jit compile/cache counters (all
+        defaults for engineless or NumPy-backed solvers)."""
+        backend = getattr(getattr(solver, "engine", None), "backend", None)
+        if backend is None:
+            return {}
+        stats = backend.stats()
+        return {
+            "backend": backend.name,
+            "jit_compile_seconds": float(stats.get("compile_seconds", 0.0)),
+            "jit_cache_hits": int(stats.get("cache_hits", 0)),
+            "jit_cache_misses": int(stats.get("cache_misses", 0)),
+        }
 
     def _phase_delta(self, solver) -> Optional[Dict[str, float]]:
         cumulative = getattr(solver, "phase_seconds", None)

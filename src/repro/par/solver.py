@@ -223,7 +223,9 @@ class ParallelSolver2D:
         totals = {phase: 0.0 for phase in PHASES}
         for engine in self._engines:
             for phase, elapsed in engine.seconds.items():
-                totals[phase] += elapsed
+                # Jit engines carry extra phases (jit_sweep/jit_dt)
+                # beyond the static PHASES tuple.
+                totals[phase] = totals.get(phase, 0.0) + elapsed
         return totals
 
     @property

@@ -52,22 +52,60 @@ class ResultCache:
     memory-only rather than failing a lookup.
     """
 
-    def __init__(self, max_entries: int = 256, spill_dir: Optional[str] = None):
+    def __init__(
+        self,
+        max_entries: int = 256,
+        spill_dir: Optional[str] = None,
+        max_spill_entries: Optional[int] = None,
+    ):
         if max_entries < 1:
             raise ConfigurationError(
                 f"max_entries must be >= 1, got {max_entries}"
             )
+        if max_spill_entries is not None and max_spill_entries < 1:
+            raise ConfigurationError(
+                f"max_spill_entries must be >= 1, got {max_spill_entries}"
+            )
         self.max_entries = max_entries
         self.spill_dir = spill_dir
-        if spill_dir is not None:
-            os.makedirs(spill_dir, exist_ok=True)
+        #: Spill-file budget; the directory never holds more than this
+        #: many ``<key>.json`` files.  Defaults to 4x the memory budget
+        #: (disk is the restart-survival layer, so it outlives memory
+        #: churn, but it must not grow without bound).
+        self.max_spill_entries = (
+            max_spill_entries if max_spill_entries is not None else 4 * max_entries
+        )
         self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        #: LRU of keys with a live spill file, oldest first.
+        self._spilled: "OrderedDict[str, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.disk_hits = 0
         self.disk_writes = 0
         self.disk_errors = 0
+        self.disk_evictions = 0
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+            self._adopt_spilled_files()
+
+    def _adopt_spilled_files(self) -> None:
+        """Register spill files left by a previous process, oldest first,
+        so the budget covers them too."""
+        try:
+            with os.scandir(self.spill_dir) as it:
+                found = [
+                    (entry.stat().st_mtime, entry.name[: -len(".json")])
+                    for entry in it
+                    if entry.name.endswith(".json")
+                    and _HEX_KEY.match(entry.name[: -len(".json")])
+                ]
+        except OSError:
+            self.disk_errors += 1
+            return
+        for _, key in sorted(found):
+            self._spilled[key] = None
+        self._evict_spilled_over_budget()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -87,6 +125,8 @@ class ResultCache:
             self._entries[key] = payload
             self._evict_over_budget()
             self.disk_hits += 1
+            if key in self._spilled:
+                self._spilled.move_to_end(key)
         self._entries.move_to_end(key)
         self.hits += 1
         return payload
@@ -127,8 +167,29 @@ class ResultCache:
                 os.unlink(tmp)
                 raise
             self.disk_writes += 1
-        except OSError:
+        except (OSError, TypeError, ValueError):
+            # OSError: disk I/O; TypeError/ValueError: json.dump on an
+            # unserializable or circular payload.  Either way the cache
+            # degrades to memory-only instead of failing put().
             self.disk_errors += 1
+            return
+        self._spilled[key] = None
+        self._spilled.move_to_end(key)
+        self._evict_spilled_over_budget()
+
+    def _evict_spilled_over_budget(self) -> None:
+        while len(self._spilled) > self.max_spill_entries:
+            stale, _ = self._spilled.popitem(last=False)
+            path = self._spill_path(stale)
+            if path is None:  # pragma: no cover - only hex keys are tracked
+                continue
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            except OSError:
+                self.disk_errors += 1
+            self.disk_evictions += 1
 
     def _load_spilled(self, key: str) -> Optional[Dict[str, object]]:
         path = self._spill_path(key)
@@ -162,6 +223,8 @@ class ResultCache:
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
             "disk_errors": self.disk_errors,
+            "disk_evictions": self.disk_evictions,
+            "max_spill_entries": self.max_spill_entries,
         }
 
 

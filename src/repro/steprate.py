@@ -11,6 +11,11 @@ perf investigation loops are one command::
     python -m repro.steprate --grid 200 --riemann roe --tile-bytes 1048576
     python -m repro.steprate --grid 96 --seed-baseline --json out.json
     python -m repro.steprate --grid 32 --steps 8 --batch 16
+    python -m repro.steprate --grid 400 --backend jit
+
+``--backend`` pins the kernel backend: ``numpy`` is the ufunc oracle,
+``jit`` the native-compiled path (:mod:`repro.jit`), ``auto`` (default)
+resolves via ``REPRO_JIT``/compiler availability.
 
 ``--batch B`` switches to the batched-ensemble measurement: B Mach
 variants of the workload advance in lockstep through one
@@ -25,22 +30,37 @@ import argparse
 import json
 import sys
 import time
+from contextlib import contextmanager
 from dataclasses import replace
 from typing import Dict, Optional
 
 import numpy as np
 
+import repro.jit
 from repro.euler import problems
 from repro.euler.solver import SolverConfig, paper_benchmark_config
 
 __all__ = ["measure_steprate", "measure_batch_steprate", "main"]
 
 
-def _build_solver(grid: int, config: SolverConfig, use_engine: bool = True):
-    solver, _ = problems.two_channel(n_cells=grid, h=grid / 2.0, config=config)
+def _build_solver(
+    grid: int,
+    config: SolverConfig,
+    use_engine: bool = True,
+    backend: Optional[str] = None,
+):
+    with repro.jit.backend_override(backend) if backend else _no_override():
+        solver, _ = problems.two_channel(
+            n_cells=grid, h=grid / 2.0, config=config
+        )
     if not use_engine:
         solver.engine = None
     return solver
+
+
+@contextmanager
+def _no_override():
+    yield
 
 
 def _timed_steps(solver, steps: int) -> float:
@@ -58,6 +78,7 @@ def measure_steprate(
     config: Optional[SolverConfig] = None,
     tile_bytes: Optional[int] = None,
     seed_baseline: bool = False,
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
     """Measure tiled vs untiled (vs seed) step rates on one workload.
 
@@ -65,15 +86,18 @@ def measure_steprate(
     default); the untiled reference always runs with ``tile_bytes=0``.
     All variants take identical steps from identical initial states, so
     the ``max_abs_difference`` entries are exact bit-identity checks.
+    ``backend`` pins the kernel backend ("numpy" or "jit") for both
+    engine variants; None keeps the session's resolution (env/auto).
     """
     config = config or paper_benchmark_config()
-    tiled = _build_solver(grid, replace(config, tile_bytes=tile_bytes))
-    untiled = _build_solver(grid, replace(config, tile_bytes=0))
+    tiled = _build_solver(grid, replace(config, tile_bytes=tile_bytes), backend=backend)
+    untiled = _build_solver(grid, replace(config, tile_bytes=0), backend=backend)
     tiled_rate = _timed_steps(tiled, steps)
     untiled_rate = _timed_steps(untiled, steps)
     result: Dict[str, object] = {
         "grid": grid,
         "steps": steps,
+        "backend": tiled.engine.counters()["backend"],
         "tile_bytes": tiled.engine.tile_bytes,
         "engine_steps_per_second": tiled_rate,
         "untiled_steps_per_second": untiled_rate,
@@ -109,6 +133,7 @@ def measure_batch_steprate(
     batch: int = 16,
     config: Optional[SolverConfig] = None,
     tile_bytes: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
     """Aggregate throughput of a B-member ensemble on the benchmark workload.
 
@@ -123,24 +148,27 @@ def measure_batch_steprate(
     if tile_bytes is not None:
         config = replace(config, tile_bytes=tile_bytes)
     machs = batch_machs(batch)
-    ensemble, _ = problems.two_channel_ensemble(
-        machs, n_cells=grid, h=grid / 2.0, config=config
-    )
+    with repro.jit.backend_override(backend) if backend else _no_override():
+        ensemble, _ = problems.two_channel_ensemble(
+            machs, n_cells=grid, h=grid / 2.0, config=config
+        )
     ensemble.step()  # warmup
     start = time.perf_counter()
     for _ in range(steps):
         ensemble.step()
     elapsed = time.perf_counter() - start
 
-    solo, _ = problems.two_channel(
-        n_cells=grid, h=grid / 2.0, mach=machs[0], config=config
-    )
+    with repro.jit.backend_override(backend) if backend else _no_override():
+        solo, _ = problems.two_channel(
+            n_cells=grid, h=grid / 2.0, mach=machs[0], config=config
+        )
     for _ in range(steps + 1):
         solo.step()
     return {
         "grid": grid,
         "steps": steps,
         "batch": batch,
+        "backend": ensemble.engine.counters()["backend"],
         "batch_steps_per_second": steps / elapsed,
         "member_steps_per_second": batch * steps / elapsed,
         "max_abs_difference_vs_solo": float(
@@ -154,9 +182,13 @@ def _phase_table(result: Dict[str, object]) -> str:
     tiled = result["tiled_counters"]["seconds"]
     untiled = result["untiled_counters"]["seconds"]
     lines = [f"  {'phase':<12} {'tiled s':>10} {'untiled s':>10}"]
-    for phase in tiled:
+    # Union of both phase sets: the two engines need not agree (a jit
+    # engine carries jit_sweep/jit_dt phases the NumPy engine lacks);
+    # iterating only the tiled keys used to KeyError on the other side.
+    for phase in sorted(set(tiled) | set(untiled)):
         lines.append(
-            f"  {phase:<12} {tiled[phase]:>10.3f} {untiled[phase]:>10.3f}"
+            f"  {phase:<12} {tiled.get(phase, 0.0):>10.3f}"
+            f" {untiled.get(phase, 0.0):>10.3f}"
         )
     return "\n".join(lines)
 
@@ -181,6 +213,13 @@ def main(argv=None) -> int:
         "--variables", default=None, help="characteristic|primitive|conservative"
     )
     parser.add_argument("--rk-order", type=int, default=None)
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "jit"),
+        default="auto",
+        help="kernel backend: numpy (oracle), jit (compiled), or auto"
+        " (jit when a C compiler is available, REPRO_JIT overrides)",
+    )
     parser.add_argument(
         "--seed-baseline",
         action="store_true",
@@ -211,6 +250,7 @@ def main(argv=None) -> int:
     }
     if overrides:
         config = replace(config, **overrides)
+    backend = None if args.backend == "auto" else args.backend
 
     if args.batch is not None:
         if args.batch < 1:
@@ -221,6 +261,7 @@ def main(argv=None) -> int:
             batch=args.batch,
             config=config,
             tile_bytes=args.tile_bytes,
+            backend=backend,
         )
         baseline = measure_batch_steprate(
             grid=args.grid,
@@ -228,6 +269,7 @@ def main(argv=None) -> int:
             batch=1,
             config=config,
             tile_bytes=args.tile_bytes,
+            backend=backend,
         )
         result["baseline_member_steps_per_second"] = baseline[
             "member_steps_per_second"
@@ -263,11 +305,13 @@ def main(argv=None) -> int:
         config=config,
         tile_bytes=args.tile_bytes,
         seed_baseline=args.seed_baseline,
+        backend=backend,
     )
     counters = result["tiled_counters"]
     print(
         f"steprate {args.grid}x{args.grid} ({config.reconstruction}+"
-        f"{config.riemann}, rk{config.rk_order}):"
+        f"{config.riemann}, rk{config.rk_order},"
+        f" backend={result['backend']}):"
     )
     print(
         f"  tiled   {result['engine_steps_per_second']:.3f} steps/s"

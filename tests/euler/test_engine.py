@@ -14,6 +14,7 @@ import tracemalloc
 import numpy as np
 import pytest
 
+import repro.jit
 from repro.errors import ConfigurationError
 from repro.euler import problems
 from repro.euler.boundary import all_transmissive_2d, transmissive_1d
@@ -221,8 +222,12 @@ class TestCounters:
         assert engine.primitive_conversions == 9  # 3 per step, not 4
 
     def test_phase_seconds_cover_all_phases(self, rng):
+        # Pin the NumPy backend: this test asserts the *NumPy path's*
+        # phase accounting (a jit engine adds jit_sweep/jit_dt keys and
+        # leaves the served phases cold).
         prim = smooth_random_1d(rng, 32)
-        solver = EulerSolver1D(prim, 0.01, transmissive_1d(), SolverConfig())
+        with repro.jit.backend_override("numpy"):
+            solver = EulerSolver1D(prim, 0.01, transmissive_1d(), SolverConfig())
         solver.run(max_steps=2)
         seconds = solver.engine.seconds
         assert set(seconds) == set(PHASES)

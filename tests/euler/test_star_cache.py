@@ -116,6 +116,39 @@ def test_tolerance_is_part_of_the_key():
     assert cache.misses == 2 and cache.hits == 0
 
 
+def test_states_differing_below_rounding_do_not_collide():
+    """Two inputs whose difference is below the old 1e-12 rounding must
+    get their own Newton solves, not each other's star state.
+
+    Regression: keys were ``round(x, decimals)``, so e.g. a pressure of
+    ``0.1`` and ``0.1 + 2e-14`` shared an entry and the second query
+    silently returned the first query's star — a wrong answer, not a
+    tolerance.  Keys are now the exact float bit patterns.
+    """
+    left, right = FIXTURES["sod"]
+    nudged = RiemannState(rho=right.rho, u=right.u, p=right.p + 2e-14)
+    assert round(right.p, 12) == round(nudged.p, 12)  # collides under rounding
+    direct_a = solve_star_region(left, right)
+    direct_b = solve_star_region(left, nudged)
+    cache = StarStateCache()
+    cached_a = solve_star_region(left, right, cache=cache)
+    cached_b = solve_star_region(left, nudged, cache=cache)
+    assert cache.misses == 2 and cache.hits == 0
+    assert cached_a.p == direct_a.p and cached_a.u == direct_a.u
+    assert cached_b.p == direct_b.p and cached_b.u == direct_b.u
+
+
+def test_negative_zero_velocity_keys_distinctly_but_hits_exactly():
+    """float.hex() keys distinguish -0.0 from +0.0 (different Newton
+    inputs in principle) while bitwise-identical queries still hit."""
+    left, right = FIXTURES["sod"]
+    minus = RiemannState(rho=left.rho, u=-0.0, p=left.p)
+    cache = StarStateCache()
+    solve_star_region(minus, right, cache=cache)
+    solve_star_region(minus, right, cache=cache)
+    assert cache.hits == 1 and cache.misses == 1
+
+
 def test_cache_rejects_bad_construction():
     with pytest.raises(ConfigurationError):
         StarStateCache(decimals=0)

@@ -183,7 +183,9 @@ def test_rank_conversion_counters_match_engine_dedup():
             assert counters["rhs_evaluations"] == 6
             assert counters["primitive_conversions"] == 6  # 3 per step, not 4
             assert counters["scratch_bytes"] > 0
-        assert set(parallel.engine_seconds) == set(PHASES)
+        # Every static phase is covered; jit engines may add extra
+        # phases (jit_sweep/jit_dt) on top.
+        assert set(PHASES) <= set(parallel.engine_seconds)
         assert parallel.scratch_bytes == sum(
             c["scratch_bytes"] for c in parallel.engine_counters()
         )
