@@ -1,0 +1,173 @@
+"""Threaded JIT strips benchmark: 1/2/4 worker threads, bit for bit.
+
+ISSUE 9's tentpole licenses a Python thread pool over GIL-releasing
+strip kernels — but only behind a passing dependence proof
+(:mod:`repro.analysis.deps`).  This benchmark measures what that
+license buys on the standard two-channel workload and enforces the
+acceptance gates:
+
+* every threaded run is **exactly 0.0** away from the single-threaded
+  jit run — threading may only change speed, never results;
+* the threaded runs actually dispatch strips to the pool
+  (``strips_threaded > 0``) with nothing serialized — a measurement of
+  a silently-serialized run is a lie;
+* with 4 threads the jit path is >= 1.4x the single-threaded jit path
+  at 320 cells and up, **when the host has >= 4 CPUs** (a single-core
+  host cannot speed anything up by threading; the measured numbers
+  land in ``BENCH_jit_threads.json`` either way).
+
+Grid and steps shrink for CI smoke via ``REPRO_JIT_BENCH_GRID`` /
+``REPRO_JIT_BENCH_STEPS`` (shared with ``test_jit.py``).  Skips
+cleanly when no C compiler is on PATH.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro.jit
+from repro.euler import problems
+from repro.euler.solver import paper_benchmark_config
+
+from conftest import write_bench_json
+
+GRID = int(os.environ.get("REPRO_JIT_BENCH_GRID", "400"))
+STEPS = int(os.environ.get("REPRO_JIT_BENCH_STEPS", "10"))
+THREAD_COUNTS = (1, 2, 4)
+#: The acceptance bar: 4 threads vs 1 thread on big grids, on hosts
+#: that actually have the cores.  Small grids are dominated by Python
+#: dispatch; a 1-core host serializes in the OS no matter what we do.
+THREAD_SPEEDUP_FLOOR = 1.4
+THREAD_SPEEDUP_GRID = 320
+
+pytestmark = pytest.mark.skipif(
+    not repro.jit.available(), reason="no C compiler on PATH"
+)
+
+
+def _solver(threads):
+    """A jit-backed two-channel solver with ``threads`` strip workers.
+
+    Thread count binds at backend construction, so the environment is
+    set before the solver is built and restored right after.
+    """
+    previous = os.environ.get(repro.jit.THREADS_ENV)
+    os.environ[repro.jit.THREADS_ENV] = str(threads)
+    try:
+        with repro.jit.backend_override("jit"):
+            solver, _ = problems.two_channel(
+                n_cells=GRID, h=GRID / 2.0, config=paper_benchmark_config()
+            )
+    finally:
+        if previous is None:
+            del os.environ[repro.jit.THREADS_ENV]
+        else:
+            os.environ[repro.jit.THREADS_ENV] = previous
+    return solver
+
+
+def _timed_steps(solver, steps):
+    """Steps/s over ``steps`` steps after one warmup step (the warmup
+    absorbs lazy compilation and the per-plan strip proof)."""
+    solver.step()
+    start = time.perf_counter()
+    for _ in range(steps):
+        solver.step()
+    return steps / (time.perf_counter() - start)
+
+
+@pytest.fixture(scope="module")
+def thread_rates():
+    runs = {}
+    baseline = None
+    for threads in THREAD_COUNTS:
+        solver = _solver(threads)
+        rate = _timed_steps(solver, STEPS)
+        stats = solver.engine.counters()["jit"]
+        if baseline is None:
+            baseline = solver
+        runs[threads] = {
+            "threads": stats["threads"],
+            "steps_per_second": rate,
+            "strips_threaded": stats["strips_threaded"],
+            "serialized": stats["serialized"],
+            "fallbacks": stats["fallbacks"],
+            "max_abs_difference": float(
+                np.max(np.abs(solver.u - baseline.u))
+            ),
+        }
+    return {
+        "grid": GRID,
+        "steps": STEPS,
+        "cpu_count": os.cpu_count() or 1,
+        "speedup_4_vs_1": (
+            runs[4]["steps_per_second"] / runs[1]["steps_per_second"]
+        ),
+        "runs": {str(t): runs[t] for t in THREAD_COUNTS},
+    }
+
+
+def test_jit_threads_json(benchmark, thread_rates):
+    """Emit the cross-PR record; benchmark one threaded step."""
+    solver = _solver(2)
+    solver.step()
+    benchmark.pedantic(solver.step, rounds=1, iterations=max(1, STEPS // 2))
+    print()
+    for threads in THREAD_COUNTS:
+        run = thread_rates["runs"][str(threads)]
+        print(
+            f"jit {GRID}x{GRID} threads={threads}:"
+            f" {run['steps_per_second']:.2f} steps/s,"
+            f" {run['strips_threaded']} strips threaded,"
+            f" max|t{threads}-t1| = {run['max_abs_difference']}"
+        )
+    print(
+        f"4-thread speedup {thread_rates['speedup_4_vs_1']:.2f}x"
+        f" on {thread_rates['cpu_count']} CPU(s)"
+    )
+    path = write_bench_json("jit_threads", thread_rates)
+    print(f"wrote {path}")
+    benchmark.extra_info["speedup_4_vs_1"] = thread_rates["speedup_4_vs_1"]
+
+
+def test_threaded_is_bit_for_bit_with_serial(thread_rates):
+    """The non-negotiable gate, at every grid size and thread count."""
+    for threads in THREAD_COUNTS:
+        run = thread_rates["runs"][str(threads)]
+        assert run["max_abs_difference"] == 0.0, (
+            f"threads={threads} diverged from single-threaded jit"
+        )
+
+
+def test_threaded_strips_actually_dispatched(thread_rates):
+    """The measurement must be of proof-licensed threaded dispatch —
+    not a silently-serialized run dressed up as one.  Small smoke
+    grids fit in one cache strip (nothing to thread, by design); the
+    multi-strip dispatch itself is pinned at tiny tile budgets in
+    ``tests/euler/test_jit_threads.py``."""
+    for threads in THREAD_COUNTS[1:]:
+        run = thread_rates["runs"][str(threads)]
+        assert run["threads"] == threads
+        assert run["serialized"] == {}
+        assert run["fallbacks"] == {}
+        if GRID >= THREAD_SPEEDUP_GRID:
+            assert run["strips_threaded"] > 0
+    assert thread_rates["runs"]["1"]["strips_threaded"] == 0
+
+
+def test_thread_speedup_gate(thread_rates):
+    """>= 1.4x single-threaded jit with 4 threads at 320 cells and up,
+    on hosts with the cores to back it; recorded-only elsewhere."""
+    if GRID >= THREAD_SPEEDUP_GRID and thread_rates["cpu_count"] >= 4:
+        assert thread_rates["speedup_4_vs_1"] >= THREAD_SPEEDUP_FLOOR, (
+            f"4 threads {thread_rates['runs']['4']['steps_per_second']:.2f}"
+            f" steps/s vs 1 thread"
+            f" {thread_rates['runs']['1']['steps_per_second']:.2f}"
+            f" — below the {THREAD_SPEEDUP_FLOOR}x bar"
+        )
+    else:
+        # Threading overhead on a small grid or starved host must still
+        # be bounded: the pool costs dispatch, not disaster.
+        assert thread_rates["speedup_4_vs_1"] > 0.4

@@ -13,6 +13,15 @@ optimisation pass.  Per Fortran target: parse, auto-parallelise, and
 cross-check the annotations against the independent race checker
 (:mod:`repro.analysis.f90_races`).
 
+``--jit`` lints the *compiled-kernel matrix* instead of (or besides)
+source files: every registered riemann × reconstruction × limiter ×
+variables × ndim specialization is lowered to kernel IR, verified
+(:mod:`repro.analysis.jit_verify`), and its access map run through the
+dependence prover (:mod:`repro.analysis.deps` — footprint vs. ghost
+width, strip write-disjointness) ahead of time, so a specialization
+that could not be compiled or threaded is caught in CI rather than at
+first engine use.
+
 Output is a human-readable report, or JSONL (``--json``, one
 ``"kind": "diagnostic"`` object per line — the
 :mod:`repro.obs.export` schema) to stdout or ``--output``.  Exit
@@ -34,7 +43,13 @@ from repro.analysis.sac_verify import verify_module
 from repro.analysis.wl_check import check_with_loops
 from repro.errors import AnalysisError, ReproError
 
-__all__ = ["main", "lint_sac_source", "lint_f90_source", "builtin_targets"]
+__all__ = [
+    "main",
+    "lint_sac_source",
+    "lint_f90_source",
+    "lint_jit_kernels",
+    "builtin_targets",
+]
 
 #: defines for the bundled kernels, per tests and the paper's flags
 _KERNELS_DEFINES: Dict[str, object] = {
@@ -93,6 +108,89 @@ def lint_f90_source(
     autoparallelize(unit)
     cross_check_autopar(unit, engine=engine)
     return engine
+
+
+def lint_jit_kernels(
+    engine: Optional[DiagnosticEngine] = None,
+) -> Tuple[int, List[Tuple[str, str]]]:
+    """Lower + verify + dependence-prove the whole KernelSpec matrix.
+
+    Every registered riemann × reconstruction × limiter × variables ×
+    ndim combination is resolved to a :class:`~repro.jit.kernels
+    .KernelSpec` (deduplicated — e.g. limiter choices collapse for
+    unlimited schemes), its flux/dt IR built and structurally verified,
+    and its access maps run through :func:`repro.analysis.deps
+    .prove_strips` (sweep, against a representative two-strip plan and
+    the declared ghost width) and :func:`~repro.analysis.deps
+    .prove_footprint` (dt).  Findings land in ``engine``; returns
+    ``(verified_spec_count, [(label, reason), ...])`` for the
+    combinations the compiled path does not support (NumPy-only, by
+    design — reported, not an error).
+    """
+    import itertools
+
+    from repro.analysis import deps
+    from repro.analysis.jit_verify import verify_kernel
+    from repro.euler.reconstruction import LIMITERS
+    from repro.euler.riemann import RIEMANN_SOLVERS
+    from repro.euler.solver import SolverConfig
+    from repro.jit import codegen
+    from repro.jit.kernels import build_dt_ir, build_flux_ir, spec_from_config
+
+    engine = engine if engine is not None else DiagnosticEngine()
+    reconstructions = ("pc", "tvd2", "tvd3", "weno3")
+    variables = ("primitive", "conservative", "characteristic")
+    limited = ("tvd2", "tvd3")
+
+    specs = []
+    seen = set()
+    unsupported: List[Tuple[str, str]] = []
+    for riemann, reconstruction, variant, ndim in itertools.product(
+        RIEMANN_SOLVERS, reconstructions, variables, (1, 2)
+    ):
+        limiters = tuple(LIMITERS) if reconstruction in limited else ("minmod",)
+        for limiter in limiters:
+            config = SolverConfig(
+                riemann=riemann,
+                reconstruction=reconstruction,
+                limiter=limiter,
+                variables=variant,
+            )
+            spec, reason = spec_from_config(config, ndim)
+            if spec is None:
+                label = f"{riemann}/{reconstruction}/{limiter}/{variant}/{ndim}d"
+                unsupported.append((label, str(reason)))
+                continue
+            if spec in seen:
+                continue
+            seen.add(spec)
+            specs.append(spec)
+
+    for spec in specs:
+        label = spec.label()
+        # verify_kernel raises as soon as *any* error is on its engine,
+        # so each spec gets a private one; findings are merged after.
+        local = DiagnosticEngine()
+        try:
+            flux_ir = build_flux_ir(spec)
+            dt_ir = build_dt_ir(spec)
+            verify_kernel(flux_ir, label, engine=local)
+            verify_kernel(dt_ir, label, engine=local)
+        except AnalysisError:
+            engine.extend(local.diagnostics)
+            continue
+        engine.extend(local.diagnostics)
+        # Representative two-strip plan: enough to exercise every
+        # cross-strip check (the proof is layout-generic in `cells`).
+        amap = codegen.sweep_access_map(spec, flux_ir)
+        proof = deps.prove_strips(
+            amap, ((0, 4), (4, 8)), spec.ghost_cells, where=label
+        )
+        engine.extend(proof.diagnostics)
+        deps.prove_footprint(
+            codegen.dt_access_map(spec, dt_ir), engine=engine, where=label
+        )
+    return len(specs), unsupported
 
 
 def _lint_target(
@@ -157,6 +255,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="skip the -O3 verify_ir compile of .sac targets",
     )
+    parser.add_argument(
+        "--jit",
+        action="store_true",
+        help="lower, verify and dependence-prove the full compiled-kernel "
+        "specialization matrix (with no paths, lints only the matrix)",
+    )
     arguments = parser.parse_args(argv)
 
     defines: Dict[str, object] = {}
@@ -178,6 +282,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     targets: List[Tuple[str, str, Dict[str, object]]]
     if arguments.paths:
         targets = [(path, _classify(path), dict(defines)) for path in arguments.paths]
+    elif arguments.jit:
+        targets = []
     else:
         targets = builtin_targets()
 
@@ -196,6 +302,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 where=name,
             )
         checked.append(f"{name}: {len(engine) - before} finding(s)")
+
+    if arguments.jit:
+        before = len(engine)
+        try:
+            verified, unsupported = lint_jit_kernels(engine)
+        except ReproError as error:
+            engine.error(
+                "LINT-FAIL",
+                f"jit kernel matrix: {type(error).__name__}: {error}",
+                source="repro.lint",
+                where="jit-matrix",
+            )
+        else:
+            checked.append(
+                f"jit kernel matrix: {verified} spec(s) verified, "
+                f"{len(unsupported)} unsupported (NumPy-only), "
+                f"{len(engine) - before} finding(s)"
+            )
 
     stream = open(arguments.output, "w") if arguments.output else sys.stdout
     try:

@@ -26,9 +26,22 @@ SAC-IR006  call to an unknown function
 SAC-WL001  generator bounds or body offset outside the result frame
 SAC-WL002  overlapping with-loop generators (non-disjoint writes)
 SAC-WL003  generators do not cover the frame and no default exists
+SAC-WL004  note: all generator pairs proven disjoint with *symbolic*
+           bounds (assuming nonnegative size symbols)
+DEP001     kernel access provably outside the declared extent/ghost
+           width (out-of-bounds stencil read)
+DEP002     overlapping writes between strips or loop iterations
+           (parallel execution would race)
+DEP003     read-after-write between strips (threading would reorder)
+DEP004     dependence proof unavailable — dispatcher must serialize
 F90-RACE001 autopar marked a loop parallel that may race (hard error)
 F90-RACE002 checker proves a loop independent that autopar serialised
 ========== =============================================================
+
+``SAC-*``/``F90-*`` come from the SaC/Fortran front-end checkers;
+``DEP*`` from the affine dependence prover (:mod:`repro.analysis.deps`)
+that licenses the threaded JIT strip dispatch and upgrades
+``wl-check``'s symbolic-bounds verdicts.
 """
 
 from __future__ import annotations

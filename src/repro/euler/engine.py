@@ -392,6 +392,11 @@ class StepEngine:
             self.seconds["difference"] += perf_counter() - started
             return
         ng = self.ghost_cells
+        if backend is not None and backend.sweep_tiled(
+            self, padded, plan, spacing, out
+        ):
+            self.tiles_processed += len(plan.tiles)
+            return
         for tile in plan.tiles:
             padded_strip = padded[tile.start : tile.stop + 2 * ng]
             target = out[tile.start : tile.stop]
@@ -431,6 +436,28 @@ class StepEngine:
         plan = self._sweep_plan(oriented_padded.shape)
         ng = self.ghost_cells
         backend = self.backend
+        if plan is not None and backend is not None:
+            contribution = self.workspace.array(
+                "engine.contribution_y_full",
+                (plan.n_cells,) + oriented_padded.shape[1:],
+            )
+            if backend.sweep_tiled(
+                self, oriented_padded, plan, spacing, contribution
+            ):
+                started = perf_counter()
+                # One full-buffer accumulate: each output element still
+                # receives exactly one add, so this is bitwise the
+                # per-strip accumulation below.
+                transposed = np.moveaxis(contribution, 0, -2)
+                for field_out, field_src in _SWAP_FIELDS:
+                    np.add(
+                        out[..., field_out],
+                        transposed[..., field_src],
+                        out=out[..., field_out],
+                    )
+                self.seconds["difference"] += perf_counter() - started
+                self.tiles_processed += len(plan.tiles)
+                return
         if plan is None:
             strips = ((None, oriented_padded),)
         else:

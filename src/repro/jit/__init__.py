@@ -64,15 +64,24 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "JIT_ENV",
+    "THREADS_ENV",
     "available",
     "backend_override",
     "resolve_backend_name",
+    "resolve_jit_threads",
     "create_backend",
 ]
 
 #: Environment switch: "0"/"off"/"numpy" disables the compiled path,
 #: "1"/"on"/"jit" requests it, unset means auto-detect.
 JIT_ENV = "REPRO_JIT"
+
+#: Worker-thread count for the proof-licensed threaded strip dispatch
+#: (see :meth:`repro.jit.backend.JitBackend.sweep_tiled`).  Unset or 1
+#: keeps the serial per-strip dispatch; >= 2 threads a sweep's strips
+#: over a pool of GIL-releasing ctypes calls *iff* the dependence
+#: prover licensed the plan.
+THREADS_ENV = "REPRO_JIT_THREADS"
 
 _NUMPY_WORDS = frozenset({"0", "off", "numpy", "false", "no"})
 _JIT_WORDS = frozenset({"1", "on", "jit", "true", "yes"})
@@ -123,6 +132,29 @@ def resolve_backend_name(explicit: Optional[str] = None) -> str:
     if raw is not None:
         return _parse_env(raw)
     return "jit" if available() else "numpy"
+
+
+def resolve_jit_threads(explicit: Optional[object] = None) -> int:
+    """Worker-thread count for the threaded strip dispatch (>= 1).
+
+    ``explicit`` wins over the ``REPRO_JIT_THREADS`` environment
+    variable; unset means 1 (serial per-strip dispatch, the bitwise
+    baseline the threaded path must reproduce exactly).
+    """
+    raw = explicit if explicit is not None else os.environ.get(THREADS_ENV)
+    if raw is None:
+        return 1
+    try:
+        count = int(str(raw).strip())
+    except ValueError:
+        raise ConfigurationError(
+            f"{THREADS_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if count < 1:
+        raise ConfigurationError(
+            f"{THREADS_ENV} must be >= 1, got {count}"
+        )
+    return count
 
 
 @contextmanager

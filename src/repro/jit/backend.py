@@ -21,16 +21,32 @@ specialization named.
 Compilation happens lazily on the first served call and is cached
 across engines and processes (see :mod:`repro.jit.compile`); time spent
 is booked to the engine's ``jit_sweep``/``jit_dt`` phase counters.
+
+**Threaded strips.**  With ``REPRO_JIT_THREADS >= 2``, :meth:`sweep_tiled`
+dispatches a whole tile plan's strips over a thread pool — the compiled
+sweep is a pure C function called through :mod:`ctypes`, which releases
+the GIL, so strips genuinely run in parallel.  Threading is licensed
+*per plan* by the dependence prover (:mod:`repro.analysis.deps`): the
+kernel's access map must prove every strip in bounds for the declared
+ghost width and all strips' shared writes disjoint.  A failing or
+unavailable proof serializes the plan with a counted reason
+(:attr:`serialized`) — never silently — and the engine's ordinary
+per-strip loop runs instead.  Because each strip writes a disjoint row
+range of ``out`` and reads only its own padded window, the threaded
+result is bit-for-bit the serial result; the bit-identity sweep in
+``tests/euler/test_jit_threads.py`` enforces exactly that.
 """
 
 from __future__ import annotations
 
 import ctypes
+from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+import repro.jit as repro_jit
 from repro.analysis.jit_verify import verify_kernel
 from repro.jit import codegen
 from repro.jit import compile as jit_compile
@@ -58,8 +74,21 @@ class JitBackend:
         self.dt_calls = 0
         #: Fallback reason -> count of strip calls the NumPy oracle served.
         self.fallbacks: Dict[str, int] = {}
+        #: Worker threads for :meth:`sweep_tiled` (``REPRO_JIT_THREADS``).
+        self.threads = repro_jit.resolve_jit_threads()
+        #: Strips served by the threaded dispatcher.
+        self.strips_threaded = 0
+        #: Serialization reason -> count of strips that ran serially
+        #: because the dependence proof failed or was unavailable.
+        self.serialized: Dict[str, int] = {}
         self._kernel: Optional[jit_compile.CompiledKernel] = None
         self._compile_failure: Optional[str] = None
+        self._flux_ir = None
+        #: Strip-layout key -> StripProof; proofs depend only on the
+        #: kernel's access map and the strip boundaries, so one proof
+        #: per tile plan layout suffices.
+        self._strip_proofs: Dict[Tuple[Tuple[int, int], ...], object] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- kernel acquisition ---------------------------------------------
 
@@ -79,6 +108,7 @@ class JitBackend:
         # Emitter bugs surface here, by specialization — see module doc.
         verify_kernel(flux_ir, label)
         verify_kernel(dt_ir, label)
+        self._flux_ir = flux_ir
         source = codegen.generate_source(spec, flux_ir, dt_ir)
         try:
             self._kernel = jit_compile.load_kernel(source, spec.ndim)
@@ -146,6 +176,125 @@ class JitBackend:
         self.sweep_calls += 1
         return True
 
+    # -- threaded strip dispatch ----------------------------------------
+
+    def _serialize(self, reason: str, strips: int) -> bool:
+        """Count ``strips`` serialized strips under ``reason``; False."""
+        self.serialized[reason] = self.serialized.get(reason, 0) + strips
+        return False
+
+    def _strip_proof(self, plan):
+        """The (cached) dependence proof for this plan's strip layout.
+
+        Proofs depend only on the kernel's access map, the ghost width,
+        and the strip boundaries, so one verdict per layout suffices.  A
+        prover *crash* is itself an unavailable proof (DEP004-shaped
+        reason) — it must serialize the plan, never take the engine down.
+        """
+        key = tuple((tile.start, tile.stop) for tile in plan.tiles)
+        proof = self._strip_proofs.get(key)
+        if proof is None:
+            from repro.analysis import deps
+
+            try:
+                amap = codegen.sweep_access_map(self.spec, self._flux_ir)
+                proof = deps.prove_strips(
+                    amap,
+                    key,
+                    self.spec.ghost_cells,
+                    where=self.spec.label(),
+                )
+            except Exception as error:
+                proof = deps.StripProof(
+                    licensed=False, reason=f"DEP004: prover failed: {error}"
+                )
+            self._strip_proofs[key] = proof
+        return proof
+
+    def _workers(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.threads, thread_name_prefix="repro-jit"
+            )
+        return self._pool
+
+    def sweep_tiled(self, engine, padded, plan, spacing: float, out) -> bool:
+        """Serve a whole tile plan's sweep over the thread pool; False = serial.
+
+        Licensed *only* by a passing dependence proof over the plan's
+        strip layout (DEP001/002/003 clean, proof available): each strip
+        then writes a proven-disjoint row range of ``out`` from its own
+        padded window through a GIL-releasing ctypes call, so the result
+        is bit-for-bit the serial per-strip dispatch.  A failing or
+        unavailable proof serializes with a per-strip counted reason in
+        :attr:`serialized`; configurations the threaded path simply does
+        not apply to (1 thread, single-strip plan, kernel unavailable,
+        unexpected dtype/geometry) return False silently and take the
+        ordinary serial path with its own accounting.
+        """
+        if self.threads < 2 or plan is None or len(plan.tiles) < 2:
+            return False
+        kernel = self._ensure_kernel()
+        if kernel is None or self._flux_ir is None:
+            return False
+        ng = self.spec.ghost_cells
+        nfields = self.spec.nfields
+        cells = padded.shape[0] - 2 * ng
+        if padded.dtype != np.float64 or out.dtype != np.float64:
+            return False
+        if not padded.flags.c_contiguous:
+            return False
+        if (
+            padded.shape[-1] != nfields
+            or cells != plan.n_cells
+            or out.shape != (cells,) + padded.shape[1:]
+        ):
+            return False
+        proof = self._strip_proof(plan)
+        if not proof.licensed:
+            reason = proof.reason or "DEP004: proof unavailable"
+            return self._serialize(reason, len(plan.tiles))
+        cross = 1
+        for extent in padded.shape[1:-1]:
+            cross *= extent
+
+        started = perf_counter()
+        workspace = engine.workspace
+        target = (
+            out
+            if out.flags.c_contiguous
+            else workspace.array("jit.sweep_out_full", (cells, cross, nfields))
+        )
+        # Workspace buffers are not thread-safe: allocate every strip's
+        # flux scratch up front on this thread, under distinct keys.
+        scratches = [
+            workspace.array(f"jit.flux_rows.t{index}", (2, cross, nfields))
+            for index in range(len(plan.tiles))
+        ]
+        gamma = float(self.config.gamma)
+        dx = float(spacing)
+
+        def run(index: int) -> None:
+            tile = plan.tiles[index]
+            kernel.sweep(
+                _ptr(padded[tile.start : tile.stop + 2 * ng]),
+                _ptr(target[tile.start : tile.stop]),
+                _ptr(scratches[index]),
+                tile.cells,
+                cross,
+                gamma,
+                dx,
+            )
+
+        # list() drains the iterator so worker exceptions surface here.
+        list(self._workers().map(run, range(len(plan.tiles))))
+        if target is not out:
+            np.copyto(out, target.reshape(out.shape))
+        engine.seconds["jit_sweep"] += perf_counter() - started
+        self.sweep_calls += len(plan.tiles)
+        self.strips_threaded += len(plan.tiles)
+        return True
+
     def dt_strip(
         self,
         engine,
@@ -210,6 +359,9 @@ class JitBackend:
             "sweep_calls": self.sweep_calls,
             "dt_calls": self.dt_calls,
             "fallbacks": dict(self.fallbacks),
+            "threads": self.threads,
+            "strips_threaded": self.strips_threaded,
+            "serialized": dict(self.serialized),
         }
         snapshot.update(jit_compile.compile_stats())
         return snapshot

@@ -34,12 +34,19 @@ Bit-identity ground rules baked in here:
 
 from __future__ import annotations
 
-from typing import Dict, List
+import json
+from typing import Callable, Dict, List
 
-from repro.jit.ir import BOOL, KernelIR
+from repro.jit.ir import BOOL, KernelIR, Op
 from repro.jit.kernels import KernelSpec
 
-__all__ = ["CFLAGS", "generate_source"]
+__all__ = [
+    "CFLAGS",
+    "LOWERED_OPCODES",
+    "generate_source",
+    "sweep_access_map",
+    "dt_access_map",
+]
 
 #: Compiler flags for the kernel shared objects.  ``-ffp-contract=off``
 #: is load-bearing: without it the compiler may fuse a*b+c into an FMA
@@ -72,37 +79,43 @@ def _const_literal(value: float) -> str:
     return f"{float(value).hex()} /* {value!r} */"
 
 
+#: One C expression per opcode.  This table is the single source of
+#: truth for what the backend can lower; the drift-guard test asserts
+#: its key set stays in lockstep with :data:`repro.jit.ir.OPCODES` and
+#: :data:`repro.analysis.deps.OPCODE_EFFECTS`.
+_LOWERERS: Dict[str, Callable[[Op], str]] = {
+    "const": lambda op: _const_literal(op.payload),
+    "param": lambda op: str(op.payload),
+    "neg": lambda op: f"-{op.args[0]}",
+    "abs": lambda op: f"fabs({op.args[0]})",
+    "sqrt": lambda op: f"sqrt({op.args[0]})",
+    "sign": lambda op: f"nsign({op.args[0]})",
+    "minimum": lambda op: f"nmin({op.args[0]}, {op.args[1]})",
+    "maximum": lambda op: f"nmax({op.args[0]}, {op.args[1]})",
+    "and_": lambda op: f"{op.args[0]} && {op.args[1]}",
+    "select": lambda op: f"{op.args[0]} ? {op.args[1]} : {op.args[2]}",
+}
+for _name, _symbol in _BINOPS.items():
+    _LOWERERS[_name] = (
+        lambda op, s=_symbol: f"{op.args[0]} {s} {op.args[1]}"
+    )
+for _name, _symbol in _CMPOPS.items():
+    _LOWERERS[_name] = (
+        lambda op, s=_symbol: f"{op.args[0]} {s} {op.args[1]}"
+    )
+del _name, _symbol
+
+#: The opcodes this backend can emit C for (drift-guard contract).
+LOWERED_OPCODES = frozenset(_LOWERERS)
+
+
 def _lower_op(op) -> str:
     """One SSA op as one C declaration."""
     ctype = "int" if op.dtype == BOOL else "double"
-    a = op.args
-    if op.opcode == "const":
-        expr = _const_literal(op.payload)
-    elif op.opcode == "param":
-        expr = str(op.payload)
-    elif op.opcode in _BINOPS:
-        expr = f"{a[0]} {_BINOPS[op.opcode]} {a[1]}"
-    elif op.opcode in _CMPOPS:
-        expr = f"{a[0]} {_CMPOPS[op.opcode]} {a[1]}"
-    elif op.opcode == "neg":
-        expr = f"-{a[0]}"
-    elif op.opcode == "abs":
-        expr = f"fabs({a[0]})"
-    elif op.opcode == "sqrt":
-        expr = f"sqrt({a[0]})"
-    elif op.opcode == "sign":
-        expr = f"nsign({a[0]})"
-    elif op.opcode == "minimum":
-        expr = f"nmin({a[0]}, {a[1]})"
-    elif op.opcode == "maximum":
-        expr = f"nmax({a[0]}, {a[1]})"
-    elif op.opcode == "and_":
-        expr = f"{a[0]} && {a[1]}"
-    elif op.opcode == "select":
-        expr = f"{a[0]} ? {a[1]} : {a[2]}"
-    else:  # pragma: no cover - verify_kernel rejects unknown opcodes
+    lowerer = _LOWERERS.get(op.opcode)
+    if lowerer is None:  # pragma: no cover - verify_kernel rejects these
         raise ValueError(f"cannot lower opcode {op.opcode!r}")
-    return f"    const {ctype} {op.name} = {expr};"
+    return f"    const {ctype} {op.name} = {lowerer(op)};"
 
 
 def _point_function(
@@ -123,14 +136,130 @@ def _point_function(
     return lines
 
 
+def sweep_access_map(spec: KernelSpec, flux_ir: KernelIR):
+    """The machine-readable access map of the sweep kernel.
+
+    Derived from the same geometry :func:`generate_source` emits — the
+    face loop ``j in [0, cells]`` reading the ``2 * ghost_cells``
+    padded stencil rows ``j + k``, writing output row ``j - 1`` for
+    ``j >= 1``, with the two rolling flux-row buffers in strip-private
+    scratch.  Rows are the unit (one row = ``cross * nfields``
+    doubles), so the map is independent of the cross extent.
+    """
+    from repro.analysis import deps
+
+    cells = deps.LinExpr.var("cells")
+    j = deps.LinExpr.var("j")
+    zero = deps.LinExpr.of(0)
+    stencil = 2 * spec.ghost_cells
+    accesses = [
+        deps.Access(
+            "padded", "read", j + k, "j", zero, cells + 1, scope="shared"
+        )
+        for k in range(stencil)
+    ]
+    # The rolling buffers: every iteration writes one of two scratch
+    # rows and reads the other back for the difference.  The rotation
+    # is not affine in j, but both rows stay inside [0, 2) and the
+    # buffer is strip-private, which is all the prover needs.
+    for row in range(2):
+        accesses.append(
+            deps.Access(
+                "scratch",
+                "write",
+                deps.LinExpr.of(row),
+                "j",
+                zero,
+                cells + 1,
+                scope="strip",
+            )
+        )
+        accesses.append(
+            deps.Access(
+                "scratch",
+                "read",
+                deps.LinExpr.of(row),
+                "j",
+                zero,
+                cells + 1,
+                scope="strip",
+            )
+        )
+    accesses.append(
+        deps.Access(
+            "out",
+            "write",
+            j - 1,
+            "j",
+            deps.LinExpr.of(1),
+            cells + 1,
+            scope="shared",
+        )
+    )
+    return deps.AccessMap(
+        kernel=f"sweep_{spec.symbol()}",
+        accesses=tuple(accesses),
+        extents={
+            "padded": cells + stencil,
+            "out": cells,
+            "scratch": deps.LinExpr.of(2),
+        },
+        opcodes=frozenset(op.opcode for op in flux_ir.ops),
+        strip_bases={"padded": "start", "out": "start", "scratch": "zero"},
+    )
+
+
+def dt_access_map(spec: KernelSpec, dt_ir: KernelIR):
+    """The access map of the fused convert+GetDT kernel.
+
+    Groups are the unit: iteration ``g`` reads group ``g`` of ``u``,
+    writes group ``g`` of ``prim`` and entry ``g`` of ``group_max`` —
+    trivially injective, so the per-strip dt dispatch needs no further
+    geometry.
+    """
+    from repro.analysis import deps
+
+    groups = deps.LinExpr.var("groups")
+    g = deps.LinExpr.var("g")
+    zero = deps.LinExpr.of(0)
+    accesses = (
+        deps.Access("u", "read", g, "g", zero, groups, scope="shared"),
+        deps.Access("prim", "write", g, "g", zero, groups, scope="shared"),
+        deps.Access(
+            "group_max", "write", g, "g", zero, groups, scope="shared"
+        ),
+    )
+    return deps.AccessMap(
+        kernel=f"dt_{spec.symbol()}",
+        accesses=accesses,
+        extents={"u": groups, "prim": groups, "group_max": groups},
+        opcodes=frozenset(op.opcode for op in dt_ir.ops),
+        strip_bases={"u": "start", "prim": "start", "group_max": "start"},
+    )
+
+
 def generate_source(
     spec: KernelSpec, flux_ir: KernelIR, dt_ir: KernelIR
 ) -> str:
-    """The complete C translation unit for one specialization."""
+    """The complete C translation unit for one specialization.
+
+    The header embeds the kernels' access maps (JSON) so the cached
+    ``.c`` alongside the shared object is self-describing: the affine
+    footprint the dependence prover certifies travels with the code it
+    certifies.
+    """
     nfields = spec.nfields
     stencil = 2 * spec.ghost_cells
+    access_maps = json.dumps(
+        {
+            "sweep": sweep_access_map(spec, flux_ir).to_dict(),
+            "dt": dt_access_map(spec, dt_ir).to_dict(),
+        },
+        sort_keys=True,
+    )
     lines: List[str] = [
         f"/* repro.jit specialization: {spec.label()} */",
+        f"/* access-map: {access_maps} */",
         _PRELUDE,
     ]
 

@@ -73,6 +73,12 @@ class TraceRecord:
     jit_compile_seconds: float = 0.0
     jit_cache_hits: int = 0
     jit_cache_misses: int = 0
+    #: Proof-licensed threaded strip dispatch (cumulative snapshots):
+    #: worker threads, strips served threaded, and strips serialized
+    #: because the dependence proof failed or was unavailable.
+    jit_threads: int = 1
+    jit_strips_threaded: int = 0
+    jit_strips_serialized: int = 0
 
     def to_json(self) -> Dict[str, object]:
         """A plain-dict form with only JSON-serialisable values.
@@ -220,11 +226,15 @@ class StepTrace:
         if backend is None:
             return {}
         stats = backend.stats()
+        serialized = stats.get("serialized") or {}
         return {
             "backend": backend.name,
             "jit_compile_seconds": float(stats.get("compile_seconds", 0.0)),
             "jit_cache_hits": int(stats.get("cache_hits", 0)),
             "jit_cache_misses": int(stats.get("cache_misses", 0)),
+            "jit_threads": int(stats.get("threads", 1)),
+            "jit_strips_threaded": int(stats.get("strips_threaded", 0)),
+            "jit_strips_serialized": int(sum(serialized.values())),
         }
 
     def _phase_delta(self, solver) -> Optional[Dict[str, float]]:

@@ -178,6 +178,31 @@ def measure_batch_steprate(
     }
 
 
+def _jit_summary(counters: Dict[str, object]) -> str:
+    """Lines making a degraded jit run visible from the CLI.
+
+    Reports worker threads and threaded-strip counts, then every
+    *counted reason* the backend served strips outside the fast path:
+    per-strip NumPy fallbacks and proof-failure serializations.  Empty
+    string when the engine carries no jit backend.
+    """
+    stats = counters.get("jit")
+    if not isinstance(stats, dict):
+        return ""
+    lines = [
+        f"  jit: threads={stats.get('threads', 1)}"
+        f" sweep_calls={stats.get('sweep_calls', 0)}"
+        f" strips_threaded={stats.get('strips_threaded', 0)}"
+    ]
+    fallbacks = stats.get("fallbacks") or {}
+    for reason, count in sorted(fallbacks.items()):
+        lines.append(f"  jit fallback ({count} strip(s)): {reason}")
+    serialized = stats.get("serialized") or {}
+    for reason, count in sorted(serialized.items()):
+        lines.append(f"  jit serialized ({count} strip(s)): {reason}")
+    return "\n".join(lines)
+
+
 def _phase_table(result: Dict[str, object]) -> str:
     tiled = result["tiled_counters"]["seconds"]
     untiled = result["untiled_counters"]["seconds"]
@@ -291,6 +316,9 @@ def main(argv=None) -> int:
             f"  B=1   {baseline['member_steps_per_second']:.3f}"
             f" member-steps/s -> batch speedup {result['batch_speedup']:.2f}x"
         )
+        summary = _jit_summary(result["counters"])
+        if summary:
+            print(summary)
         difference = result["max_abs_difference_vs_solo"]
         print(f"  max |member 0 - solo| = {difference}")
         if args.json:
@@ -327,6 +355,9 @@ def main(argv=None) -> int:
             f"  -> engine speedup {result['speedup']:.2f}x"
         )
     print(_phase_table(result))
+    summary = _jit_summary(counters)
+    if summary:
+        print(summary)
     difference = result["max_abs_difference_tiled_vs_untiled"]
     print(f"  max |tiled - untiled| = {difference}")
     if args.json:

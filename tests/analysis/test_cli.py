@@ -144,3 +144,63 @@ class TestPipelineStage:
             "double f(double x) { return( x + 1.0 ); }", pipeline=False
         )
         assert engine.codes() == []
+
+
+class TestJitMatrixLint:
+    def test_jit_matrix_lints_clean(self, capsys):
+        """Every registered specialization lowers, verifies and proves —
+        the ahead-of-time version of the first-engine-use gate."""
+        assert main(["--jit"]) == 0
+        out = capsys.readouterr().out
+        assert "jit kernel matrix:" in out
+        assert "unsupported (NumPy-only)" in out
+        assert "0 error(s)" in out
+
+    def test_jit_matrix_covers_every_registered_method(self):
+        from repro.analysis.cli import lint_jit_kernels
+        from repro.analysis.diag import DiagnosticEngine
+        from repro.euler.riemann import RIEMANN_SOLVERS
+
+        engine = DiagnosticEngine()
+        verified, unsupported = lint_jit_kernels(engine)
+        assert engine.codes() == []
+        # 4 riemann x (pc + 4*tvd2 + 4*tvd3 + weno3) x 2 variables x 2 ndim
+        assert verified == len(RIEMANN_SOLVERS) * 10 * 2 * 2
+        # characteristic + wide stencils stay NumPy-only, with reasons
+        assert unsupported
+        assert all("characteristic" in reason for _, reason in unsupported)
+
+    def test_jit_matrix_catches_seeded_footprint_bug(self, monkeypatch):
+        """Widen every sweep kernel's stencil by one row past the
+        declared ghost width: the matrix lint must light up with DEP001
+        instead of passing silently."""
+        from repro.analysis import deps
+        from repro.analysis.cli import lint_jit_kernels
+        from repro.analysis.diag import DiagnosticEngine
+        from repro.jit import codegen
+
+        real_map = codegen.sweep_access_map
+
+        def widened(spec, flux_ir):
+            amap = real_map(spec, flux_ir)
+            j = deps.LinExpr.var("j")
+            overread = deps.Access(
+                "padded",
+                "read",
+                j + 2 * spec.ghost_cells,
+                "j",
+                deps.LinExpr.of(0),
+                deps.LinExpr.var("cells") + 1,
+            )
+            return deps.AccessMap(
+                amap.kernel,
+                amap.accesses + (overread,),
+                amap.extents,
+                amap.opcodes,
+                amap.strip_bases,
+            )
+
+        monkeypatch.setattr(codegen, "sweep_access_map", widened)
+        engine = DiagnosticEngine()
+        lint_jit_kernels(engine)
+        assert "DEP001" in engine.codes()

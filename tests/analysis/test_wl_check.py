@@ -169,3 +169,82 @@ class TestDefines:
         """
         engine = _check(source, {"N": 8})
         assert engine.codes() == ["SAC-WL001"]
+
+
+class TestSymbolicDisjointness:
+    """Symbolic bounds get real verdicts via the dependence prover
+    (repro.analysis.deps) where the constant-only logic used to bail."""
+
+    def test_adjacent_symbolic_halves_proven_disjoint(self):
+        engine = _check(
+            """
+            double[.] halves(double[.] u, int n) {
+              return( with {
+                    ([0] <= [i] < [n]) : u[i];
+                    ([n] <= [i] < [2 * n]) : 2.0 * u[i];
+                  } : modarray(u) );
+            }
+            """
+        )
+        assert engine.codes() == ["SAC-WL004"]
+        note = engine.diagnostics[0]
+        assert note.severity is Severity.NOTE
+        assert "nonnegative" in note.message
+
+    def test_symbolic_overlap_names_a_witness(self):
+        engine = _check(
+            """
+            double[.] halves(double[.] u, int n) {
+              return( with {
+                    ([0] <= [i] < [n + 1]) : u[i];
+                    ([n] <= [i] < [2 * n]) : 2.0 * u[i];
+                  } : modarray(u) );
+            }
+            """
+        )
+        assert engine.codes() == ["SAC-WL002"]
+        message = engine.diagnostics[0].message
+        assert "n = " in message  # concrete witness, not just "maybe"
+
+    def test_symbolic_vs_constant_pair_gets_a_verdict(self):
+        engine = _check(
+            """
+            double[.] f(double[.] u, int n) {
+              return( with {
+                    ([0] <= [i] < [4]) : u[i];
+                    ([4 + n] <= [i] < [8 + n]) : 2.0 * u[i];
+                  } : modarray(u) );
+            }
+            """
+        )
+        assert engine.codes() == ["SAC-WL004"]
+
+    def test_undecidable_pair_stays_silent(self):
+        """Two unrelated symbols: no proof either way, no noise."""
+        engine = _check(
+            """
+            double[.] f(double[.] u, int n, int m) {
+              return( with {
+                    ([0] <= [i] < [n]) : u[i];
+                    ([m] <= [i] < [m + n]) : 2.0 * u[i];
+                  } : modarray(u) );
+            }
+            """
+        )
+        assert engine.codes() == []
+
+    def test_without_typecheck_stays_silent(self):
+        """No scalar-int annotation on n -> not a symbol -> no verdict
+        (the conservative policy survives the upgrade)."""
+        engine = _check(
+            """
+            double[.] halves(double[.] u, int n) {
+              return( with {
+                    ([0] <= [i] < [n]) : u[i];
+                    ([n] <= [i] < [2 * n]) : 2.0 * u[i];
+                  } : modarray(u) );
+            }
+            """,
+            typecheck=False,
+        )
+        assert engine.codes() == []

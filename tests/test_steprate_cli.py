@@ -69,3 +69,28 @@ def test_cli_backend_flag(tmp_path, capsys):
     assert "backend=numpy" in printed
     assert "jit_sweep" not in printed  # numpy engines carry no jit phases
     assert out.exists()
+
+
+def test_jit_summary_surfaces_fallbacks_and_serializations():
+    from repro.steprate import _jit_summary
+
+    counters = {
+        "jit": {
+            "threads": 2,
+            "sweep_calls": 10,
+            "strips_threaded": 6,
+            "fallbacks": {"non-float64 state": 3},
+            "serialized": {"DEP002: seeded overlap": 4},
+        }
+    }
+    summary = _jit_summary(counters)
+    assert "threads=2" in summary
+    assert "strips_threaded=6" in summary
+    assert "jit fallback (3 strip(s)): non-float64 state" in summary
+    assert "jit serialized (4 strip(s)): DEP002: seeded overlap" in summary
+
+
+def test_jit_summary_silent_without_backend():
+    from repro.steprate import _jit_summary
+
+    assert _jit_summary({"backend": "numpy"}) == ""
